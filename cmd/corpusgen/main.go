@@ -1,0 +1,69 @@
+// Command corpusgen emits the synthetic loop corpus (or the Livermore
+// kernel suite) in the textual loop format, one file per loop, for
+// inspection or for feeding to msched:
+//
+//	corpusgen -out corpus/ [-n 1300] [-seed 19941127] [-kernels]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"modsched/internal/ir"
+	"modsched/internal/kernels"
+	"modsched/internal/loopgen"
+	"modsched/internal/looplang"
+	"modsched/internal/machine"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "corpus", "output directory")
+		n       = flag.Int("n", 0, "synthetic corpus size (default: the paper's 1300)")
+		seed    = flag.Int64("seed", 0, "generator seed (default: built-in)")
+		kernsFl = flag.Bool("kernels", false, "emit the Livermore kernel suite instead")
+		list    = flag.Bool("list", false, "print loop names and sizes to stdout instead of writing files")
+	)
+	flag.Parse()
+
+	m := machine.Cydra5()
+	var loops []*ir.Loop
+	var err error
+	if *kernsFl {
+		loops, err = kernels.All(m)
+	} else {
+		cfg := loopgen.DefaultConfig()
+		if *n > 0 {
+			cfg.N = *n
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		loops, err = loopgen.Generate(cfg, m)
+	}
+	check(err)
+
+	if *list {
+		for _, l := range loops {
+			fmt.Printf("%-24s %4d ops %5d edges entry=%d trips=%d\n",
+				l.Name, l.NumRealOps(), len(l.Edges), l.EntryFreq, l.LoopFreq)
+		}
+		return
+	}
+
+	check(os.MkdirAll(*out, 0o755))
+	for _, l := range loops {
+		path := filepath.Join(*out, l.Name+".loop")
+		check(os.WriteFile(path, []byte(looplang.Print(l)), 0o644))
+	}
+	fmt.Printf("wrote %d loops to %s\n", len(loops), *out)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,173 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation over the stand-in corpus (see DESIGN.md for the corpus
+// substitution):
+//
+//	experiments -table3     Table 3 distribution statistics (BudgetRatio 6)
+//	experiments -fig6       Figure 6 BudgetRatio sweep
+//	experiments -table4     Table 4 empirical complexity fits
+//	experiments -summary    Section 4.3 / 5 headline numbers
+//	experiments -fig1       Figure 1 reservation tables
+//	experiments -table2     Table 2 machine model
+//	experiments -unroll     Section 5 unroll-before-scheduling baseline
+//	experiments -pressure   register-pressure study (extension)
+//	experiments -all        everything above
+//
+// Use -n to shrink the synthetic corpus for quick runs and -seed to vary
+// it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"modsched/internal/core"
+	"modsched/internal/experiments"
+	"modsched/internal/ir"
+	"modsched/internal/loopgen"
+	"modsched/internal/machine"
+)
+
+func main() {
+	var (
+		doTable3  = flag.Bool("table3", false, "reproduce Table 3")
+		doFig6    = flag.Bool("fig6", false, "reproduce Figure 6")
+		doTable4  = flag.Bool("table4", false, "reproduce Table 4")
+		doSummary = flag.Bool("summary", false, "headline numbers (Sections 4.3, 5)")
+		doFig1    = flag.Bool("fig1", false, "print the Figure 1 reservation tables")
+		doTable2  = flag.Bool("table2", false, "print the Table 2 machine model")
+		doUnroll  = flag.Bool("unroll", false, "Section 5 baseline: unroll-before-scheduling vs modulo")
+		doPress   = flag.Bool("pressure", false, "register-pressure study (extension)")
+		doAll     = flag.Bool("all", false, "run everything")
+		n         = flag.Int("n", 0, "synthetic corpus size (default: the paper's 1300)")
+		seed      = flag.Int64("seed", 0, "corpus seed (default: built-in)")
+		machName  = flag.String("machine", "cydra5", "machine model: cydra5 (the paper's), generic, tiny")
+	)
+	flag.Parse()
+	if *doAll {
+		*doTable3, *doFig6, *doTable4, *doSummary = true, true, true, true
+		*doFig1, *doTable2, *doUnroll, *doPress = true, true, true, true
+	}
+	if !(*doTable3 || *doFig6 || *doTable4 || *doSummary || *doFig1 || *doTable2 || *doUnroll || *doPress) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var m *machine.Machine
+	switch *machName {
+	case "cydra5":
+		m = machine.Cydra5()
+	case "generic":
+		m = machine.Generic(machine.DefaultUnitConfig())
+	case "tiny":
+		m = machine.Tiny()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown machine %q\n", *machName)
+		os.Exit(2)
+	}
+
+	if *doFig1 {
+		fmt.Println("Figure 1(a): reservation table for a pipelined add")
+		fmt.Println(m.TableString(m.MustOpcode("add").Alternatives[0].Table))
+		fmt.Println("Figure 1(b): reservation table for a pipelined multiply")
+		fmt.Println(m.TableString(m.MustOpcode("fmul").Alternatives[0].Table))
+	}
+	if *doTable2 {
+		printTable2(m)
+	}
+	if !(*doTable3 || *doFig6 || *doTable4 || *doSummary || *doUnroll || *doPress) {
+		return
+	}
+
+	loops := corpus(m, *n, *seed)
+	fmt.Printf("corpus: %d loops on %s\n\n", len(loops), m.Name)
+
+	if *doTable3 {
+		cr := must(experiments.RunCorpus(loops, m, 6, true))
+		fmt.Println(experiments.FormatTable3(experiments.Table3(cr)))
+	}
+	if *doFig6 {
+		pts := must(experiments.Fig6Sweep(loops, m, experiments.DefaultFig6Ratios()))
+		fmt.Println(experiments.FormatFig6(pts))
+	}
+	if *doTable4 {
+		cr := must(experiments.RunCorpus(loops, m, 2, false))
+		fmt.Println(experiments.ComputeTable4(cr).Format())
+	}
+	if *doUnroll {
+		// The unroll study schedules each loop up to 9 times; subsample
+		// for tractability unless the corpus is already small.
+		sub := loops
+		if len(sub) > 300 {
+			sub = sub[:300]
+		}
+		pts, err := experiments.UnrollStudy(sub, m, []int{1, 2, 4, 8, 16})
+		check(err)
+		fmt.Println(experiments.FormatUnrollStudy(pts))
+	}
+	if *doPress {
+		sub := loops
+		if len(sub) > 400 {
+			sub = sub[:400]
+		}
+		early := must(experiments.RegPressureStudy(sub, m, core.DefaultOptions(), "early"))
+		lateOpts := core.DefaultOptions()
+		lateOpts.PlaceLate = true
+		late := must(experiments.RegPressureStudy(sub, m, lateOpts, "late"))
+		fmt.Println(experiments.FormatPressure([]*experiments.PressurePoint{early, late}))
+	}
+	if *doSummary {
+		cr := must(experiments.RunCorpus(loops, m, 2, false))
+		fmt.Println(experiments.Summarize(cr).Format())
+		listSteps, modSteps, modUnsch, err := experiments.ListVsModulo(loops, m, 2)
+		check(err)
+		fmt.Printf("Section 5 cost comparison: list %d steps, modulo %d steps + %d unschedules => %.2fx (paper 2.18x)\n",
+			listSteps, modSteps, modUnsch, float64(modSteps+modUnsch)/float64(listSteps))
+	}
+}
+
+func corpus(m *machine.Machine, n int, seed int64) []*ir.Loop {
+	if n == 0 && seed == 0 {
+		loops, err := experiments.Corpus(m)
+		check(err)
+		return loops
+	}
+	cfg := loopgen.DefaultConfig()
+	if n > 0 {
+		cfg.N = n
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	loops, err := loopgen.Generate(cfg, m)
+	check(err)
+	return loops
+}
+
+func printTable2(m *machine.Machine) {
+	fmt.Println("Table 2: machine model (functional units, operations, latencies)")
+	fmt.Printf("%-10s %-28s %s\n", "Opcode", "Alternatives", "Latency")
+	for _, oc := range m.Opcodes() {
+		alts := ""
+		for i, a := range oc.Alternatives {
+			if i > 0 {
+				alts += ", "
+			}
+			alts += a.Name
+		}
+		fmt.Printf("%-10s %-28s %d\n", oc.Name, alts, oc.Latency)
+	}
+	fmt.Println()
+}
+
+func must[T any](v T, err error) T {
+	check(err)
+	return v
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

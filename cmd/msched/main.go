@@ -1,0 +1,206 @@
+// Command msched modulo-schedules a loop written in the textual loop
+// format (see internal/looplang) and prints the resulting schedule and
+// kernel-only code:
+//
+//	msched [-machine cydra5|generic|tiny] [-algo iterative|slack]
+//	       [-budget 2] [-priority heightr|fifo|depth|recfirst]
+//	       [-delays vliw|conservative] [-verbose] [-mrt] [-gantt N]
+//	       [-backsub] [-flat] file.loop
+//
+// With no file it reads standard input. -mrt prints the schedule's modulo
+// reservation table, -gantt N a pipeline diagram of N overlapped
+// iterations, -backsub applies recurrence back-substitution first, and
+// -flat also reports the explicit prologue/kernel/epilogue schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"modsched/internal/backsub"
+	"modsched/internal/codegen"
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/listsched"
+	"modsched/internal/looplang"
+	"modsched/internal/machine"
+	"modsched/internal/mii"
+	"modsched/internal/modvar"
+)
+
+func main() {
+	var (
+		machName = flag.String("machine", "cydra5", "target machine: cydra5, generic, tiny")
+		budget   = flag.Float64("budget", 2, "BudgetRatio: scheduling steps allowed per operation per II attempt")
+		priority = flag.String("priority", "heightr", "priority function: heightr, fifo, depth, recfirst")
+		algo     = flag.String("algo", "iterative", "scheduling algorithm: iterative (the paper's), slack (Huff)")
+		delays   = flag.String("delays", "vliw", "delay model: vliw, conservative")
+		verbose  = flag.Bool("verbose", false, "print the parsed loop and per-op schedule")
+		flat     = flag.Bool("flat", false, "also emit explicit prologue/kernel/epilogue code (modulo variable expansion)")
+		backsubF = flag.Bool("backsub", false, "back-substitute closed-form inductions before scheduling")
+		mrt      = flag.Bool("mrt", false, "print the schedule's modulo reservation table")
+		gantt    = flag.Int("gantt", 0, "print a pipeline diagram with N overlapped iterations")
+	)
+	flag.Parse()
+
+	var m *machine.Machine
+	switch *machName {
+	case "cydra5":
+		m = machine.Cydra5()
+	case "generic":
+		m = machine.Generic(machine.DefaultUnitConfig())
+	case "tiny":
+		m = machine.Tiny()
+	default:
+		fail("unknown machine %q", *machName)
+	}
+
+	opts := core.DefaultOptions()
+	opts.BudgetRatio = *budget
+	switch *priority {
+	case "heightr":
+		opts.Priority = core.PriorityHeightR
+	case "fifo":
+		opts.Priority = core.PriorityFIFO
+	case "depth":
+		opts.Priority = core.PriorityDepth
+	case "recfirst":
+		opts.Priority = core.PriorityRecFirst
+	default:
+		fail("unknown priority %q", *priority)
+	}
+	schedule := core.ModuloSchedule
+	switch *algo {
+	case "iterative":
+	case "slack":
+		schedule = core.ModuloScheduleSlack
+	default:
+		fail("unknown algorithm %q", *algo)
+	}
+	switch *delays {
+	case "vliw":
+		opts.DelayModel = ir.VLIWDelays
+	case "conservative":
+		opts.DelayModel = ir.ConservativeDelays
+	default:
+		fail("unknown delay model %q", *delays)
+	}
+
+	src := readInput()
+	loop, err := looplang.Parse(src, m)
+	check(err)
+
+	if *backsubF {
+		transformed, rewrites, err := backsub.Apply(loop, m, 1)
+		check(err)
+		for _, rw := range rewrites {
+			fmt.Printf("back-substituted op %d: distance %d -> %d\n", rw.Op, rw.OldDist, rw.NewDist)
+		}
+		loop = transformed
+	}
+
+	if *verbose {
+		fmt.Print(looplang.Print(loop))
+		fmt.Println()
+	}
+
+	dl, err := ir.Delays(loop, m, opts.DelayModel)
+	check(err)
+	bounds, err := mii.Compute(loop, m, dl, nil)
+	check(err)
+	ls, err := listsched.Schedule(loop, m, dl)
+	check(err)
+
+	fmt.Printf("loop %s: %d operations, %d edges\n", loop.Name, loop.NumRealOps(), len(loop.Edges))
+	fmt.Printf("ResMII=%d MII=%d non-trivial SCCs=%d acyclic-list SL=%d\n",
+		bounds.ResMII, bounds.MII, len(bounds.NonTrivialSCCs), ls.Length)
+
+	sched, err := schedule(loop, m, opts)
+	check(err)
+	fmt.Printf("II=%d (DeltaII=%d) SL=%d stages=%d scheduling steps=%d\n\n",
+		sched.II, sched.II-sched.MII, sched.Length, sched.StageCount(), sched.Stats.SchedSteps)
+
+	if *verbose {
+		printScheduleTable(sched)
+		fmt.Println()
+	}
+
+	if *mrt {
+		fmt.Print(sched.MRTString())
+		fmt.Println()
+	}
+	if *gantt > 0 {
+		fmt.Print(sched.GanttString(*gantt))
+		fmt.Println()
+	}
+
+	kern, err := codegen.GenerateKernel(sched)
+	check(err)
+	fmt.Print(kern.String())
+
+	if *flat {
+		u, err := modvar.PlanUnroll(sched)
+		check(err)
+		trips := modvar.ValidTrips(sched.StageCount(), u, 100)
+		f, err := modvar.Generate(sched, trips)
+		check(err)
+		fmt.Printf("\nexplicit schema (for %d trips): unroll U=%d, %d instructions (prologue %d + kernel %d + epilogue %d)\n",
+			trips, f.U, f.CodeSize(), len(f.Prologue), len(f.Kernel), len(f.Epilogue))
+		for _, pi := range f.Preinit {
+			fmt.Printf("  preinit %v = init(r%d, back %d)\n", pi.Dst, pi.Reg, pi.Back)
+		}
+	}
+}
+
+func printScheduleTable(s *core.Schedule) {
+	type row struct{ t, id int }
+	rows := make([]row, 0, s.Loop.NumOps())
+	for i := range s.Loop.Ops {
+		rows = append(rows, row{t: s.Times[i], id: i})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].t != rows[j].t {
+			return rows[i].t < rows[j].t
+		}
+		return rows[i].id < rows[j].id
+	})
+	fmt.Println("time  stage slot  op")
+	for _, r := range rows {
+		op := s.Loop.Ops[r.id]
+		if op.IsPseudo() {
+			continue
+		}
+		alt := s.Machine.MustOpcode(op.Opcode).Alternatives[s.Alts[r.id]]
+		fmt.Printf("%5d %5d %4d  %s (%s)", r.t, r.t/s.II, r.t%s.II, op.Opcode, alt.Name)
+		if op.Comment != "" {
+			fmt.Printf("  ; %s", op.Comment)
+		}
+		fmt.Println()
+	}
+}
+
+func readInput() string {
+	if flag.NArg() == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		check(err)
+		return string(b)
+	}
+	b, err := os.ReadFile(flag.Arg(0))
+	check(err)
+	return string(b)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "msched: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "msched:", err)
+		os.Exit(1)
+	}
+}

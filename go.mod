@@ -1,0 +1,3 @@
+module modsched
+
+go 1.22

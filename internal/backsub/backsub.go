@@ -1,0 +1,108 @@
+// Package backsub implements recurrence back-substitution, one of the
+// preprocessing steps the paper lists before modulo scheduling (Schlansker
+// & Kathail, "Acceleration of first and higher order recurrences"): a
+// closed-form first-order induction
+//
+//	x = x[-d] + imm
+//
+// whose self-recurrence constrains the II (RecMII contribution
+// ceil(latency/d)) is rewritten as
+//
+//	x = x[-k*d] + k*imm
+//
+// so that ceil(latency/(k*d)) fits under a target II. The transformed loop
+// computes exactly the same value sequence provided the pre-entry history
+// is extended backwards through the recurrence (ExtendHist).
+package backsub
+
+import (
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// Rewrite records one transformed operation.
+type Rewrite struct {
+	// Op is the operation index in the loop.
+	Op int
+	// Reg is the induction register.
+	Reg ir.Reg
+	// OldDist/NewDist are the self-recurrence distances; the immediate is
+	// scaled by NewDist/OldDist.
+	OldDist, NewDist int
+}
+
+// Apply back-substitutes every eligible induction in l (in place on a
+// clone) so that no rewritten recurrence forces the II above targetII.
+// It returns the transformed loop and the rewrites performed. Operations
+// are eligible when they are an unpredicated add-with-immediate whose only
+// register operand is their own previous value: x = x[-d] + imm.
+func Apply(l *ir.Loop, m *machine.Machine, targetII int) (*ir.Loop, []Rewrite, error) {
+	if targetII < 1 {
+		targetII = 1
+	}
+	out := l.Clone()
+	var rewrites []Rewrite
+	for _, op := range out.RealOps() {
+		if !eligible(op) {
+			continue
+		}
+		oc, ok := m.Opcode(op.Opcode)
+		if !ok {
+			continue
+		}
+		d := op.SrcDists[0]
+		// Current contribution ceil(latency/d); skip if already fine.
+		if (oc.Latency+d-1)/d <= targetII {
+			continue
+		}
+		// Smallest multiple k*d with ceil(latency/(k*d)) <= targetII.
+		needD := (oc.Latency + targetII - 1) / targetII
+		k := (needD + d - 1) / d
+		newD := k * d
+		op.SrcDists[0] = newD
+		op.Imm *= int64(k)
+		for ei := range out.Edges {
+			e := &out.Edges[ei]
+			if e.From == op.ID && e.To == op.ID && e.Kind == ir.Flow && e.Distance == d {
+				e.Distance = newD
+			}
+		}
+		rewrites = append(rewrites, Rewrite{Op: op.ID, Reg: op.Dest, OldDist: d, NewDist: newD})
+	}
+	if err := out.Validate(m); err != nil {
+		return nil, nil, err
+	}
+	return out, rewrites, nil
+}
+
+// eligible reports whether op is a closed-form induction x = x[-d] + imm.
+func eligible(op *ir.Operation) bool {
+	switch op.Opcode {
+	case "add", "aadd":
+	default:
+		return false
+	}
+	if op.Pred != ir.NoReg || op.Dest == ir.NoReg || op.Imm == 0 {
+		return false
+	}
+	if len(op.Srcs) != 1 || op.Srcs[0] != op.Dest {
+		return false
+	}
+	if op.SrcDists == nil || op.SrcDists[0] < 1 {
+		return false
+	}
+	return true
+}
+
+// ExtendHist extends an induction's pre-entry history from oldDist to
+// newDist seed values by running the recurrence x[-j] = x[-j+oldDist] - imm
+// backwards. hist[j-1] is the value j iterations before entry; imm is the
+// ORIGINAL per-oldDist step.
+func ExtendHist(hist []float64, imm int64, oldDist, newDist int) []float64 {
+	out := make([]float64, newDist)
+	copy(out, hist)
+	for j := oldDist; j < newDist; j++ {
+		out[j] = out[j-oldDist] - float64(imm)
+	}
+	return out
+}

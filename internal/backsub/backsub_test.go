@@ -1,0 +1,237 @@
+package backsub
+
+import (
+	"testing"
+
+	"modsched/internal/codegen"
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/mii"
+	"modsched/internal/vliw"
+)
+
+// naiveStreamLoop builds a store stream with a distance-1 address
+// induction (the form a naive front end emits).
+func naiveStreamLoop(t testing.TB, m *machine.Machine) (*ir.Loop, ir.Reg, ir.Reg) {
+	t.Helper()
+	b := ir.NewBuilder("naive", m)
+	ai := b.Future()
+	b.DefineAsImm(ai, "aadd", 8, ai.Back(1))
+	x := b.Define("load", ai)
+	y := b.Define("fmul", x, b.Invariant("c"))
+	si := b.Future()
+	b.DefineAsImm(si, "aadd", 8, si.Back(1))
+	b.Effect("store", si, y)
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, b.RegOf(ai), b.RegOf(si)
+}
+
+func TestApplyLowersRecMII(t *testing.T) {
+	m := machine.Cydra5() // aadd latency 3
+	l, _, _ := naiveStreamLoop(t, m)
+	delays, err := ir.Delays(l, m, ir.VLIWDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := mii.ExactRecMII(l, delays, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 3 {
+		t.Fatalf("naive RecMII = %d, want 3 (aadd latency)", before)
+	}
+
+	l2, rws, err := Apply(l, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 2 {
+		t.Fatalf("rewrites = %d, want 2 (both address inductions)", len(rws))
+	}
+	for _, rw := range rws {
+		if rw.OldDist != 1 || rw.NewDist != 3 {
+			t.Errorf("rewrite %+v, want 1 -> 3", rw)
+		}
+	}
+	delays2, err := ir.Delays(l2, m, ir.VLIWDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := mii.ExactRecMII(l2, delays2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != 1 {
+		t.Errorf("back-substituted RecMII = %d, want 1", after)
+	}
+	// Immediates scaled.
+	for _, op := range l2.RealOps() {
+		if op.Opcode == "aadd" && op.Imm != 24 {
+			t.Errorf("imm = %d, want 24", op.Imm)
+		}
+	}
+	// The original loop is untouched.
+	for _, op := range l.RealOps() {
+		if op.Opcode == "aadd" && op.Imm != 8 {
+			t.Error("Apply mutated its input")
+		}
+	}
+}
+
+func TestApplyIdempotentWhenAlreadyFast(t *testing.T) {
+	m := machine.Cydra5()
+	l, _, _ := naiveStreamLoop(t, m)
+	l2, _, err := Apply(l, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, rws, err := Apply(l2, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 0 {
+		t.Errorf("second Apply rewrote %d ops, want 0", len(rws))
+	}
+	if l3.NumRealOps() != l2.NumRealOps() {
+		t.Error("idempotent application changed the loop")
+	}
+}
+
+func TestIneligibleOpsUntouched(t *testing.T) {
+	m := machine.Cydra5()
+	b := ir.NewBuilder("inel", m)
+	// Accumulator (no immediate): not closed-form, must not be rewritten.
+	s := b.Future()
+	b.DefineAs(s, "fadd", s.Back(1), b.Invariant("x"))
+	// Predicated induction: not rewritten.
+	p := b.Define("cmp", b.Invariant("a"), b.Invariant("bb"))
+	b.SetPred(p)
+	g := b.Future()
+	b.DefineAsImm(g, "aadd", 8, g.Back(1))
+	b.ClearPred()
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rws, err := Apply(l, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) != 0 {
+		t.Errorf("rewrote ineligible ops: %+v", rws)
+	}
+}
+
+// TestSemanticsPreserved runs the original and the back-substituted loops
+// through the reference interpreter and the pipelined simulator: identical
+// memory images, and the transformed version must achieve a smaller II.
+func TestSemanticsPreserved(t *testing.T) {
+	m := machine.Cydra5()
+	l, ai, si := naiveStreamLoop(t, m)
+	const trips = 30
+	mkSpec := func(aiHist, siHist []float64) vliw.RunSpec {
+		mem := map[int64]float64{}
+		for i := int64(0); i < trips; i++ {
+			mem[1000+8*(i+1)] = float64(i + 1)
+		}
+		spec := vliw.RunSpec{
+			Init:     map[ir.Reg]float64{ai: 1000, si: 9000},
+			InitHist: map[ir.Reg][]float64{},
+			Mem:      mem,
+			Trips:    trips,
+		}
+		if aiHist != nil {
+			spec.InitHist[ai] = aiHist
+		}
+		if siHist != nil {
+			spec.InitHist[si] = siHist
+		}
+		return spec
+	}
+	// Locate the invariant's register robustly.
+	var cReg ir.Reg
+	for _, op := range l.RealOps() {
+		if op.Opcode == "fmul" {
+			cReg = op.Srcs[1]
+		}
+	}
+
+	specOrig := mkSpec(nil, nil)
+	specOrig.Init[cReg] = 2
+	refOrig, err := vliw.RunReference(l, specOrig)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rws, err := Apply(l, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) == 0 {
+		t.Fatal("no rewrites")
+	}
+	aiHist := ExtendHist([]float64{1000}, 8, 1, 3)
+	siHist := ExtendHist([]float64{9000}, 8, 1, 3)
+	spec2 := mkSpec(aiHist, siHist)
+	spec2.Init[cReg] = 2
+	ref2, err := vliw.RunReference(l2, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, want := range refOrig.Mem {
+		if got := ref2.Mem[a]; got != want {
+			t.Fatalf("interpretation diverged at mem[%d]: %v vs %v", a, got, want)
+		}
+	}
+
+	// Schedule both; the transformed one must reach a smaller II, and its
+	// pipelined execution must still match.
+	s1, err := core.ModuloSchedule(l, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := core.ModuloSchedule(l2, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.II >= s1.II {
+		t.Errorf("back-substitution did not help: II %d -> %d", s1.II, s2.II)
+	}
+	k, err := codegen.GenerateKernel(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vliw.RunKernel(k, m, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, want := range refOrig.Mem {
+		if g := got.Mem[a]; g != want {
+			t.Fatalf("pipelined transformed loop wrong at mem[%d]: %v vs %v", a, g, want)
+		}
+	}
+}
+
+func TestExtendHist(t *testing.T) {
+	h := ExtendHist([]float64{100}, 10, 1, 4)
+	want := []float64{100, 90, 80, 70}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("hist = %v, want %v", h, want)
+		}
+	}
+	// Multi-seed: d=2.
+	h = ExtendHist([]float64{100, 55}, 10, 2, 6)
+	want = []float64{100, 55, 90, 45, 80, 35}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("hist = %v, want %v", h, want)
+		}
+	}
+}

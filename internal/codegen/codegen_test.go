@@ -1,0 +1,204 @@
+package codegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+func scheduleLoop(t testing.TB, m *machine.Machine, f func(b *ir.Builder)) *core.Schedule {
+	t.Helper()
+	b := ir.NewBuilder("t", m)
+	f(b)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.ModuloSchedule(l, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func dot(b *ir.Builder) {
+	xi := b.Future()
+	b.DefineAsImm(xi, "aadd", 8, xi.Back(1))
+	x := b.Define("load", xi)
+	zi := b.Future()
+	b.DefineAsImm(zi, "aadd", 8, zi.Back(1))
+	z := b.Define("load", zi)
+	p := b.Define("fmul", x, z)
+	q := b.Future()
+	b.DefineAs(q, "fadd", q.Back(1), p)
+	b.Effect("brtop")
+}
+
+func TestKernelStructure(t *testing.T) {
+	m := machine.Cydra5()
+	s := scheduleLoop(t, m, dot)
+	k, err := GenerateKernel(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.II != s.II || k.SC != s.StageCount() {
+		t.Errorf("kernel II/SC mismatch: %d/%d vs %d/%d", k.II, k.SC, s.II, s.StageCount())
+	}
+	if len(k.Slots) != k.II {
+		t.Fatalf("kernel has %d slots, want II=%d", len(k.Slots), k.II)
+	}
+	// Every real op appears exactly once, in its modulo slot and stage.
+	count := 0
+	for slot, ops := range k.Slots {
+		for _, ko := range ops {
+			count++
+			if ko.Slot != slot {
+				t.Errorf("op %d recorded slot %d but placed in slot %d", ko.Op.ID, ko.Slot, slot)
+			}
+			if want := s.Times[ko.Op.ID] % s.II; slot != want {
+				t.Errorf("op %d in slot %d, want %d", ko.Op.ID, slot, want)
+			}
+			if want := s.Times[ko.Op.ID] / s.II; ko.Stage != want {
+				t.Errorf("op %d stage %d, want %d", ko.Op.ID, ko.Stage, want)
+			}
+		}
+	}
+	if count != s.Loop.NumRealOps() {
+		t.Errorf("kernel holds %d ops, want %d", count, s.Loop.NumRealOps())
+	}
+}
+
+func TestKernelOffsetsNonNegative(t *testing.T) {
+	m := machine.Cydra5()
+	s := scheduleLoop(t, m, dot)
+	k, err := GenerateKernel(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ops := range k.Slots {
+		for _, ko := range ops {
+			for _, src := range ko.Srcs {
+				if src.Kind == Rotating && src.Offset < 0 {
+					t.Errorf("op %d has negative rotating offset %d", ko.Op.ID, src.Offset)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelPreloadsCoverLiveIns(t *testing.T) {
+	m := machine.Cydra5()
+	s := scheduleLoop(t, m, dot)
+	k, err := GenerateKernel(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dot has three live-in carrying EVRs: xi, zi (addresses) and q.
+	byReg := map[ir.Reg]int{}
+	for _, pl := range k.Preloads {
+		byReg[pl.Reg]++
+		if pl.Back < 1 {
+			t.Errorf("preload with Back=%d", pl.Back)
+		}
+		if pl.Phys < 0 || pl.Phys >= k.Alloc.Size {
+			t.Errorf("preload cell %d outside file of %d", pl.Phys, k.Alloc.Size)
+		}
+	}
+	if len(byReg) != 3 {
+		t.Errorf("preloads cover %d EVRs (%v), want 3", len(byReg), byReg)
+	}
+	// Preload cells must be unique.
+	seen := map[int]bool{}
+	for _, pl := range k.Preloads {
+		if seen[pl.Phys] {
+			t.Errorf("cell %d preloaded twice", pl.Phys)
+		}
+		seen[pl.Phys] = true
+	}
+}
+
+func TestKernelStringFormat(t *testing.T) {
+	m := machine.Cydra5()
+	s := scheduleLoop(t, m, dot)
+	k, err := GenerateKernel(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := k.String()
+	for _, want := range []string{"kernel t:", "preload", "rot[", "[stg", "fadd", "fmul"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("kernel text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	cases := map[string]Operand{
+		"-":         {},
+		"s5":        {Kind: Invariant, Reg: 5},
+		"rot[r3]":   {Kind: Rotating, Reg: 3},
+		"rot[r3+2]": {Kind: Rotating, Reg: 3, Offset: 2},
+	}
+	for want, o := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("Operand %+v = %q, want %q", o, got, want)
+		}
+	}
+}
+
+// TestKernelGenerationNeverFailsOnValidSchedules: codegen plus the
+// allocator's replay verification succeed for random loops across
+// machines.
+func TestKernelGenerationNeverFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, m := range []*machine.Machine{machine.Cydra5(), machine.Tiny(), machine.Generic(machine.DefaultUnitConfig())} {
+		for trial := 0; trial < 30; trial++ {
+			s := scheduleLoop(t, m, func(b *ir.Builder) {
+				randomBody(b, rng)
+			})
+			k, err := GenerateKernel(s)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", m.Name, trial, err)
+			}
+			if err := k.Alloc.Verify(); err != nil {
+				t.Fatalf("%s trial %d: %v", m.Name, trial, err)
+			}
+		}
+	}
+}
+
+func randomBody(b *ir.Builder, rng *rand.Rand) {
+	var vals []ir.Value
+	pick := func() ir.Value {
+		if len(vals) == 0 || rng.Float64() < 0.3 {
+			return b.Invariant("inv")
+		}
+		return vals[rng.Intn(len(vals))]
+	}
+	for i := 0; i < 1+rng.Intn(2); i++ {
+		ai := b.Future()
+		b.DefineAsImm(ai, "aadd", 8, ai.Back(1+rng.Intn(3)))
+		vals = append(vals, b.Define("load", ai))
+	}
+	if rng.Float64() < 0.6 {
+		s := b.Future()
+		vals = append(vals, b.DefineAs(s, "fadd", s.Back(1+rng.Intn(2)), pick()))
+	}
+	if rng.Float64() < 0.4 {
+		p := b.Define("cmp", pick(), b.Invariant("lim"))
+		b.SetPred(p)
+		vals = append(vals, b.Define("copy", pick()))
+		b.ClearPred()
+	}
+	for i := rng.Intn(5); i > 0; i-- {
+		vals = append(vals, b.Define([]string{"fadd", "fmul", "add"}[rng.Intn(3)], pick(), pick()))
+	}
+	si := b.Future()
+	b.DefineAsImm(si, "aadd", 8, si.Back(1))
+	b.Effect("store", si, pick())
+	b.Effect("brtop")
+}

@@ -1,0 +1,299 @@
+// Package codegen lowers a modulo schedule into executable loop code. Two
+// schemas from "Code generation schemas for modulo scheduled loops" (Rau,
+// Schlansker, Tirumalai) are implemented:
+//
+//   - Kernel-only code for machines with rotating registers and predicated
+//     execution: II instructions, stage predicates supplied by the brtop
+//     semantics, no prologue or epilogue (GenerateKernel).
+//   - Explicit prologue/kernel/epilogue code with modulo variable
+//     expansion for machines without rotating registers (package modvar +
+//     GenerateFlat in flat.go).
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/regalloc"
+)
+
+// OperandKind says which register space an operand lives in.
+type OperandKind int
+
+const (
+	// NoOperand marks an absent dest/pred.
+	NoOperand OperandKind = iota
+	// Invariant operands live in the static register file.
+	Invariant
+	// Rotating operands live in the rotating file; Offset is added to the
+	// current rotating base (reads reach Offset passes into the past).
+	Rotating
+)
+
+// Operand is a concrete register reference in generated code.
+type Operand struct {
+	Kind   OperandKind
+	Reg    ir.Reg
+	Offset int
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case Invariant:
+		return fmt.Sprintf("s%d", o.Reg)
+	case Rotating:
+		if o.Offset != 0 {
+			return fmt.Sprintf("rot[r%d+%d]", o.Reg, o.Offset)
+		}
+		return fmt.Sprintf("rot[r%d]", o.Reg)
+	default:
+		return "-"
+	}
+}
+
+// KOp is one operation of the kernel.
+type KOp struct {
+	// Op is the source operation (carries opcode, immediate, comment).
+	Op *ir.Operation
+	// Slot and Stage locate the op: issue time = Stage*II + Slot.
+	Slot, Stage int
+	Dest        Operand
+	Srcs        []Operand
+	// Pred is the data predicate (from IF-conversion); the stage predicate
+	// is implied by Stage and handled by the brtop semantics.
+	Pred Operand
+	// Alt is the chosen machine alternative.
+	Alt int
+}
+
+// Preload describes a rotating register that must hold a live-in value
+// before the first kernel pass: the value the EVR Reg held Back iterations
+// before iteration zero.
+type Preload struct {
+	Phys int
+	Reg  ir.Reg
+	Back int
+}
+
+// Kernel is kernel-only modulo-scheduled code.
+type Kernel struct {
+	Name string
+	// II is the initiation interval; SC the stage count.
+	II, SC int
+	// Slots holds the II VLIW instructions; ops within a slot are
+	// simultaneous.
+	Slots [][]KOp
+	// Alloc is the rotating-file allocation backing the operands.
+	Alloc *regalloc.Rotating
+	// Preloads must be applied before the first pass.
+	Preloads []Preload
+	// Schedule is the schedule this code was generated from.
+	Schedule *core.Schedule
+}
+
+// GenerateKernel lowers a schedule to kernel-only code with rotating
+// registers. Reads of a value produced by operation Q at distance d from
+// operation P become rotating-file reads at offset d + Stage(P) - Stage(Q)
+// (the instance written d iterations earlier, observed from P's pass).
+func GenerateKernel(s *core.Schedule) (*Kernel, error) {
+	l := s.Loop
+	ii := s.II
+	defs := l.DefOf()
+
+	stage := func(op int) int { return s.Times[op] / ii }
+	slot := func(op int) int { return s.Times[op] % ii }
+
+	// First pass: build the allocation request per register — the
+	// steady-state lifetime (maximum read offset) and the live-in virtual
+	// instances read during the fill phase. A predicated definition also
+	// reads its own previous instance (select semantics, offset 1).
+	offsetOf := func(p *ir.Operation, reg ir.Reg, dist int) (int, bool) {
+		def, ok := defs[reg]
+		if !ok {
+			return 0, false // invariant
+		}
+		return dist + stage(p.ID) - stage(def), true
+	}
+	forEachRead := func(f func(p *ir.Operation, reg ir.Reg, dist int)) {
+		for _, op := range l.RealOps() {
+			for si, r := range op.Srcs {
+				d := 0
+				if op.SrcDists != nil {
+					d = op.SrcDists[si]
+				}
+				f(op, r, d)
+			}
+			if op.Pred != ir.NoReg {
+				f(op, op.Pred, op.PredDist)
+			}
+			if op.Pred != ir.NoReg && op.Dest != ir.NoReg {
+				f(op, op.Dest, 1) // nullified def carries the old value forward
+			}
+		}
+	}
+	life := make(map[ir.Reg]int)
+	virtuals := make(map[ir.Reg]map[int]int) // reg -> virtual pass V -> last read
+	for r := range l.VariantRegs() {
+		life[r] = 0
+	}
+	var offErr error
+	forEachRead(func(p *ir.Operation, reg ir.Reg, dist int) {
+		off, variant := offsetOf(p, reg, dist)
+		if !variant {
+			return
+		}
+		if off < 0 && offErr == nil {
+			offErr = fmt.Errorf("codegen %s: op %d reads r%d at negative rotating offset %d", l.Name, p.ID, reg, off)
+		}
+		if off > life[reg] {
+			life[reg] = off
+		}
+		// Iterations i < dist read a live-in instance: virtual write pass
+		// v = i - dist + stage(def), read at pass i + stage(p).
+		sq := stage(defs[reg])
+		sp := stage(p.ID)
+		for i := 0; i < dist; i++ {
+			v := i - dist + sq
+			lastRead := i + sp
+			if virtuals[reg] == nil {
+				virtuals[reg] = make(map[int]int)
+			}
+			if lr, ok := virtuals[reg][v]; !ok || lastRead > lr {
+				virtuals[reg][v] = lastRead
+			}
+		}
+	})
+	if offErr != nil {
+		return nil, offErr
+	}
+	// A value's register is busy not only until its last read but until
+	// the write itself commits (issue + latency): a long-latency producer
+	// must not have its cell reassigned to a wand whose shorter-latency
+	// write would commit first and then be clobbered by the stale commit.
+	// Guaranteeing the next writer is at least ceil((latency-1)/II) passes
+	// away makes commits to each cell strictly issue-ordered.
+	for r := range life {
+		lat := s.Machine.MustOpcode(l.Ops[defs[r]].Opcode).Latency
+		if need := (lat - 1 + ii - 1) / ii; need > life[r] {
+			life[r] = need
+		}
+	}
+
+	wands := make([]regalloc.Wand, 0, len(life))
+	for r, lf := range life {
+		w := regalloc.Wand{Reg: r, Stage: stage(defs[r]), Life: lf}
+		vks := make([]int, 0, len(virtuals[r]))
+		for v := range virtuals[r] {
+			vks = append(vks, v)
+		}
+		sort.Ints(vks)
+		for _, v := range vks {
+			w.Virtuals = append(w.Virtuals, regalloc.Virtual{V: v, LastRead: virtuals[r][v]})
+		}
+		wands = append(wands, w)
+	}
+	sort.Slice(wands, func(i, j int) bool { return wands[i].Reg < wands[j].Reg })
+
+	alloc, err := regalloc.AllocateRotating(wands)
+	if err != nil {
+		return nil, err
+	}
+	if err := alloc.Verify(); err != nil {
+		return nil, fmt.Errorf("codegen %s: %w", l.Name, err)
+	}
+
+	k := &Kernel{
+		Name:     l.Name,
+		II:       ii,
+		SC:       s.StageCount(),
+		Slots:    make([][]KOp, ii),
+		Alloc:    alloc,
+		Schedule: s,
+	}
+
+	// Second pass: emit operations.
+	for _, op := range l.RealOps() {
+		ko := KOp{
+			Op:    op,
+			Slot:  slot(op.ID),
+			Stage: stage(op.ID),
+			Alt:   s.Alts[op.ID],
+		}
+		if op.Dest != ir.NoReg {
+			ko.Dest = Operand{Kind: Rotating, Reg: op.Dest}
+		}
+		mkOperand := func(reg ir.Reg, dist int) Operand {
+			if off, variant := offsetOf(op, reg, dist); variant {
+				return Operand{Kind: Rotating, Reg: reg, Offset: off}
+			}
+			return Operand{Kind: Invariant, Reg: reg}
+		}
+		for si, r := range op.Srcs {
+			d := 0
+			if op.SrcDists != nil {
+				d = op.SrcDists[si]
+			}
+			ko.Srcs = append(ko.Srcs, mkOperand(r, d))
+		}
+		if op.Pred != ir.NoReg {
+			ko.Pred = mkOperand(op.Pred, op.PredDist)
+		}
+		k.Slots[ko.Slot] = append(k.Slots[ko.Slot], ko)
+	}
+
+	// Preloads: each virtual instance (the value the EVR held before
+	// iteration 0, read during the fill phase) must be placed in its cell
+	// before the first pass. The instance with virtual write pass v
+	// carries the value from (stage(def) - v) iterations before entry.
+	for _, w := range wands {
+		sq := stage(defs[w.Reg])
+		for _, v := range w.Virtuals {
+			k.Preloads = append(k.Preloads, Preload{
+				Phys: alloc.Phys(w.Reg, v.V),
+				Reg:  w.Reg,
+				Back: sq - v.V,
+			})
+		}
+	}
+	return k, nil
+}
+
+// String renders the kernel as annotated assembly.
+func (k *Kernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s: II=%d SC=%d rotsize=%d\n", k.Name, k.II, k.SC, k.Alloc.Size)
+	for _, pl := range k.Preloads {
+		fmt.Fprintf(&b, "  preload rot[%d] = init(r%d, back %d)\n", pl.Phys, pl.Reg, pl.Back)
+	}
+	for slot, ops := range k.Slots {
+		fmt.Fprintf(&b, "  t%-3d:", slot)
+		if len(ops) == 0 {
+			b.WriteString(" nop\n")
+			continue
+		}
+		for i, ko := range ops {
+			if i > 0 {
+				b.WriteString(" ||")
+			}
+			fmt.Fprintf(&b, " [stg%d]", ko.Stage)
+			if ko.Pred.Kind != NoOperand {
+				fmt.Fprintf(&b, " (%s)", ko.Pred)
+			}
+			if ko.Dest.Kind != NoOperand {
+				fmt.Fprintf(&b, " %s =", ko.Dest)
+			}
+			fmt.Fprintf(&b, " %s", ko.Op.Opcode)
+			for _, src := range ko.Srcs {
+				fmt.Fprintf(&b, " %s", src)
+			}
+			if ko.Op.Imm != 0 {
+				fmt.Fprintf(&b, " #%d", ko.Op.Imm)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Check verifies a Schedule against the definition of a legal modulo
+// schedule: every operation placed at a non-negative time with a valid
+// alternative, every dependence edge satisfied under the modulo timing
+// rule, and no resource oversubscription when the schedule repeats every
+// II cycles (verified by replaying all reservations into a fresh MRT).
+// ModuloSchedule runs this on every schedule it returns; tests and the
+// experiment harness also call it directly.
+func Check(s *Schedule) error {
+	l := s.Loop
+	if s.II < 1 {
+		return fmt.Errorf("check %s: II=%d < 1", l.Name, s.II)
+	}
+	if len(s.Times) != l.NumOps() || len(s.Alts) != l.NumOps() {
+		return fmt.Errorf("check %s: times/alts length mismatch", l.Name)
+	}
+	if s.Times[l.Start()] != 0 {
+		return fmt.Errorf("check %s: START scheduled at %d, want 0", l.Name, s.Times[l.Start()])
+	}
+	for i, op := range l.Ops {
+		if s.Times[i] < 0 {
+			return fmt.Errorf("check %s: op %d (%s) unscheduled", l.Name, i, op.Opcode)
+		}
+		oc, ok := s.Machine.Opcode(op.Opcode)
+		if !ok {
+			return fmt.Errorf("check %s: op %d has unknown opcode %q", l.Name, i, op.Opcode)
+		}
+		if s.Alts[i] < 0 || s.Alts[i] >= len(oc.Alternatives) {
+			return fmt.Errorf("check %s: op %d selects alternative %d of %d", l.Name, i, s.Alts[i], len(oc.Alternatives))
+		}
+	}
+	if want := s.Times[l.Stop()]; s.Length != want {
+		return fmt.Errorf("check %s: Length=%d but STOP at %d", l.Name, s.Length, want)
+	}
+
+	// Dependence constraints: t(to) >= t(from) + delay - II*distance.
+	if len(s.Delays) != len(l.Edges) {
+		return fmt.Errorf("check %s: %d delays for %d edges", l.Name, len(s.Delays), len(l.Edges))
+	}
+	for ei, e := range l.Edges {
+		lhs := s.Times[e.To]
+		rhs := s.Times[e.From] + s.Delays[ei] - s.II*e.Distance
+		if lhs < rhs {
+			return fmt.Errorf("check %s: edge %d->%d (%s, dist %d, delay %d) violated: t(%d)=%d < %d",
+				l.Name, e.From, e.To, e.Kind, e.Distance, s.Delays[ei], e.To, lhs, rhs)
+		}
+	}
+
+	// Modulo resource constraints: replay every reservation.
+	replay := newMRT(s.II, s.Machine.NumResources())
+	for i := range l.Ops {
+		tab := s.ResourceTable(i)
+		if !replay.fits(s.Times[i], tab) {
+			return fmt.Errorf("check %s: op %d (%s) at t=%d oversubscribes a resource modulo II=%d",
+				l.Name, i, l.Ops[i].Opcode, s.Times[i], s.II)
+		}
+		replay.place(i, s.Times[i], tab)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GanttString renders the modulo schedule as a pipeline diagram: one row
+// per operation (in issue order), one column per cycle of a window
+// covering `iters` overlapped iterations, with the digit of the iteration
+// whose instance issues in that cycle. It makes the software pipeline
+// visible: after the fill phase, every II-cycle band contains one full
+// iteration's worth of work.
+func (s *Schedule) GanttString(iters int) string {
+	if iters < 1 {
+		iters = 1
+	}
+	if iters > 8 {
+		iters = 8
+	}
+	width := s.Length + (iters-1)*s.II + 1
+	if width > 160 {
+		width = 160
+	}
+
+	// Ops in issue order.
+	order := make([]int, 0, s.Loop.NumRealOps())
+	for i, op := range s.Loop.Ops {
+		if op.IsPseudo() {
+			continue
+		}
+		order = append(order, i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && s.Times[order[j]] < s.Times[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline: II=%d SL=%d stages=%d (%d overlapped iterations; digits mark the issuing iteration)\n",
+		s.II, s.Length, s.StageCount(), iters)
+	// Cycle ruler marking II boundaries.
+	fmt.Fprintf(&b, "%-26s", "")
+	for t := 0; t < width; t++ {
+		if t%s.II == 0 {
+			b.WriteByte('|')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+	for _, op := range order {
+		label := fmt.Sprintf("%3d %-10s t=%-4d", op, s.Loop.Ops[op].Opcode, s.Times[op])
+		fmt.Fprintf(&b, "%-26s", label)
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for it := 0; it < iters; it++ {
+			t := s.Times[op] + it*s.II
+			if t < width {
+				row[t] = byte('0' + it)
+			}
+		}
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"modsched/internal/graph"
+)
+
+// heightR solves the implicit equations of Figure 5a for a given II:
+//
+//	HeightR(STOP) = 0
+//	HeightR(P)    = max over successors Q of
+//	                HeightR(Q) + Delay(P,Q) - II*Distance(P,Q)
+//
+// Operations are processed one strongly connected component at a time, in
+// reverse topological order of the condensation (sinks first, so every
+// external successor is final before a component is entered); within a
+// component the equations are iterated to fixpoint, which converges
+// because at II >= RecMII every circuit has non-positive weight. The
+// relaxation count feeds the Table 4 complexity measurement.
+//
+// Ops with no path to STOP (impossible in well-formed loops, where STOP
+// succeeds everything) would keep height 0.
+func (p *problem) heightR(ii int) ([]int, error) {
+	n := p.loop.NumOps()
+	h := make([]int, n)
+
+	g := graph.New(n)
+	for _, e := range p.loop.Edges {
+		g.AddEdge(e.From, e.To)
+	}
+	comps := g.SCCs() // reverse topological: successors appear earlier
+
+	relax := func(v int) bool {
+		changed := false
+		for _, ei := range p.succ[v] {
+			e := p.loop.Edges[ei]
+			p.counters.HeightRRelax++
+			cand := h[e.To] + p.delays[ei] - ii*e.Distance
+			if cand > h[v] {
+				h[v] = cand
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	for _, comp := range comps {
+		if len(comp) == 1 && !hasSelfEdge(p, comp[0]) {
+			relax(comp[0])
+			continue
+		}
+		// Iterate within the SCC until fixpoint; bound the sweeps to
+		// detect positive cycles (II below RecMII — caller bug).
+		for sweep := 0; ; sweep++ {
+			changed := false
+			for _, v := range comp {
+				if relax(v) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+			if sweep > len(comp)+2 {
+				return nil, fmt.Errorf("core: HeightR diverges at II=%d (positive-weight recurrence circuit; II below RecMII?)", ii)
+			}
+		}
+	}
+	return h, nil
+}
+
+// recurrenceComponents lists the non-trivial SCCs (more than one op) of
+// the dependence graph, for the recurrence-first priority ablation.
+func recurrenceComponents(p *problem) [][]int {
+	g := graph.New(p.loop.NumOps())
+	for _, e := range p.loop.Edges {
+		g.AddEdge(e.From, e.To)
+	}
+	var out [][]int
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+func hasSelfEdge(p *problem, v int) bool {
+	for _, ei := range p.succ[v] {
+		if p.loop.Edges[ei].To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// depthPriority is the ablation priority: heights computed with the
+// distance terms dropped (inter-iteration edges ignored), i.e. the plain
+// acyclic list-scheduling height over the distance-0 subgraph.
+func (p *problem) depthPriority() []int {
+	n := p.loop.NumOps()
+	h := make([]int, n)
+	g := graph.New(n)
+	for _, e := range p.loop.Edges {
+		if e.Distance == 0 {
+			g.AddEdge(e.From, e.To)
+		}
+	}
+	order, ok := g.Topo()
+	if !ok {
+		// A distance-0 cycle is invalid; fall back to zero heights (the
+		// scheduler will still be correct, only slower).
+		return h
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, ei := range p.succ[v] {
+			e := p.loop.Edges[ei]
+			if e.Distance != 0 {
+				continue
+			}
+			if cand := h[e.To] + p.delays[ei]; cand > h[v] {
+				h[v] = cand
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,103 @@
+package core
+
+import "modsched/internal/machine"
+
+// mrt is the modulo reservation table (Section 3.1): a schedule
+// reservation table of exactly II rows. A reservation of resource R at
+// absolute time T is recorded at ((T mod II), R); a conflict at T implies
+// conflicts at all T + k*II, so II rows suffice.
+type mrt struct {
+	ii   int
+	nres int
+	// owner[(t%ii)*nres + r] is the op occupying the cell, or -1.
+	owner []int
+}
+
+func newMRT(ii, nres int) *mrt {
+	m := &mrt{ii: ii, nres: nres, owner: make([]int, ii*nres)}
+	for i := range m.owner {
+		m.owner[i] = -1
+	}
+	return m
+}
+
+func (m *mrt) cell(t int, r machine.Resource) int {
+	tm := t % m.ii
+	if tm < 0 {
+		tm += m.ii
+	}
+	return tm*m.nres + int(r)
+}
+
+// fits reports whether the reservation table placed at time t collides
+// with any existing reservation (including a self-collision, where two
+// uses of the table land on the same cell — impossible to place at this
+// II regardless of occupancy).
+func (m *mrt) fits(t int, tab machine.ReservationTable) bool {
+	for i, u := range tab.Uses {
+		c := m.cell(t+u.Time, u.Resource)
+		if m.owner[c] != -1 {
+			return false
+		}
+		// Self-collision check against earlier uses of the same table.
+		for j := 0; j < i; j++ {
+			v := tab.Uses[j]
+			if v.Resource == u.Resource && m.cell(t+v.Time, u.Resource) == c {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// selfConsistent reports whether the table can ever be placed at this II:
+// no two of its own uses of the same resource may fall on the same modulo
+// cell.
+func (m *mrt) selfConsistent(tab machine.ReservationTable) bool {
+	for i, u := range tab.Uses {
+		for j := 0; j < i; j++ {
+			v := tab.Uses[j]
+			if v.Resource == u.Resource && (u.Time-v.Time)%m.ii == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// conflicts returns the distinct ops whose reservations collide with tab
+// placed at t.
+func (m *mrt) conflicts(t int, tab machine.ReservationTable) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, u := range tab.Uses {
+		if o := m.owner[m.cell(t+u.Time, u.Resource)]; o != -1 && !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// place records op's reservations; it must only be called when fits
+// returned true.
+func (m *mrt) place(op, t int, tab machine.ReservationTable) {
+	for _, u := range tab.Uses {
+		c := m.cell(t+u.Time, u.Resource)
+		if m.owner[c] != -1 {
+			panic("core: MRT place over occupied cell")
+		}
+		m.owner[c] = op
+	}
+}
+
+// remove erases op's reservations (the reverse translation of place).
+func (m *mrt) remove(op, t int, tab machine.ReservationTable) {
+	for _, u := range tab.Uses {
+		c := m.cell(t+u.Time, u.Resource)
+		if m.owner[c] != op {
+			panic("core: MRT remove of foreign reservation")
+		}
+		m.owner[c] = -1
+	}
+}

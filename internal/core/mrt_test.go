@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+func TestMRTPlaceRemoveRoundTrip(t *testing.T) {
+	m := newMRT(4, 3)
+	tab := machine.MustTable(
+		machine.ResourceUse{Resource: 0, Time: 0},
+		machine.ResourceUse{Resource: 1, Time: 2},
+		machine.ResourceUse{Resource: 2, Time: 5}, // wraps to slot 1
+	)
+	if !m.fits(0, tab) {
+		t.Fatal("empty MRT should fit")
+	}
+	m.place(7, 0, tab)
+	if m.fits(4, tab) { // same table one II later collides with itself
+		t.Error("modulo collision not detected")
+	}
+	if got := m.conflicts(4, tab); len(got) != 1 || got[0] != 7 {
+		t.Errorf("conflicts = %v, want [7]", got)
+	}
+	m.remove(7, 0, tab)
+	if !m.fits(4, tab) {
+		t.Error("remove did not clear reservations")
+	}
+}
+
+func TestMRTSelfCollisionDetected(t *testing.T) {
+	m := newMRT(5, 2)
+	gap := machine.MustTable(
+		machine.ResourceUse{Resource: 0, Time: 0},
+		machine.ResourceUse{Resource: 0, Time: 5}, // 5 mod 5 == 0: impossible at II=5
+	)
+	if m.selfConsistent(gap) {
+		t.Error("self-collision at II=5 not detected")
+	}
+	if m.fits(0, gap) {
+		t.Error("fits must reject self-colliding placement")
+	}
+	m6 := newMRT(6, 2)
+	if !m6.selfConsistent(gap) {
+		t.Error("gap table should be placeable at II=6")
+	}
+}
+
+// TestSchedulerSkipsSelfCollidingII: a machine whose opcode reservation
+// table cannot exist at some II (two uses of one resource congruent mod
+// II) must make the scheduler bump the II rather than loop.
+func TestSchedulerSkipsSelfCollidingII(t *testing.T) {
+	m := machine.New("gapmachine")
+	r0 := m.AddResource("unit")
+	r1 := m.AddResource("other")
+	m.MustAddOpcode(&machine.Opcode{Name: "gap", Latency: 6, Alternatives: []machine.Alternative{{
+		Name: "u",
+		Table: machine.MustTable(
+			machine.ResourceUse{Resource: r0, Time: 0},
+			machine.ResourceUse{Resource: r0, Time: 5},
+		),
+	}}})
+	m.MustAddOpcode(&machine.Opcode{Name: "use5", Latency: 1, Alternatives: []machine.Alternative{{
+		Name: "o", Table: machine.BlockTable(r1, 5),
+	}}})
+	m.MustAddOpcode(&machine.Opcode{Name: "START", Latency: 0,
+		Alternatives: []machine.Alternative{{Name: "none"}}})
+	m.MustAddOpcode(&machine.Opcode{Name: "STOP", Latency: 0,
+		Alternatives: []machine.Alternative{{Name: "none"}}})
+
+	b := ir.NewBuilder("gaploop", m)
+	b.Define("gap", b.Invariant("a"))
+	b.Define("use5", b.Invariant("a")) // forces ResMII = 5
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ModuloSchedule(l, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MII = 5 but the gap table self-collides at II=5 (5 mod 5 == 0), so
+	// the scheduler must deliver II=6.
+	if s.MII != 5 {
+		t.Fatalf("MII = %d, want 5", s.MII)
+	}
+	if s.II != 6 {
+		t.Errorf("II = %d, want 6 (5 is structurally impossible)", s.II)
+	}
+}
+
+// TestForcedEvictionForwardProgress: engineered contention where forced
+// placement must displace and the prev+1 rule must prevent ping-ponging.
+func TestForcedEvictionForwardProgress(t *testing.T) {
+	m := machine.Cydra5()
+	// Saturate the source buses: II == number of adder/multiplier ops, so
+	// the last ops placed must evict.
+	l := build(t, m, func(b *ir.Builder) {
+		a := b.Invariant("a")
+		var vals []ir.Value
+		for i := 0; i < 5; i++ {
+			vals = append(vals, b.Define("fadd", a, a))
+			vals = append(vals, b.Define("fmul", a, a))
+		}
+		// Chain a few to create ordering pressure.
+		b.Define("fadd", vals[0], vals[9])
+		b.Effect("brtop")
+	})
+	opts := DefaultOptions()
+	opts.BudgetRatio = 6
+	s, err := ModuloSchedule(l, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.Unschedules == 0 {
+		t.Log("note: no evictions were needed (machine had enough slack)")
+	}
+}

@@ -1,0 +1,197 @@
+// Package core implements iterative modulo scheduling (Section 3 of the
+// paper): the budgeted, backtracking operation scheduler built around the
+// modulo reservation table, the HeightR priority function, the Estart
+// computation over currently-scheduled predecessors, and the
+// forward-progress eviction rules of FindTimeSlot.
+package core
+
+import (
+	"fmt"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/mii"
+)
+
+// PriorityKind selects the scheduling priority function. HeightR is the
+// paper's choice; the others exist for ablation studies.
+type PriorityKind int
+
+const (
+	// PriorityHeightR is the height-based priority of Figure 5a.
+	PriorityHeightR PriorityKind = iota
+	// PriorityFIFO schedules in program order.
+	PriorityFIFO
+	// PriorityDepth uses II-unaware height (distance terms ignored), the
+	// classic acyclic list-scheduling priority applied naively.
+	PriorityDepth
+	// PriorityRecFirst gives absolute priority to operations on
+	// non-trivial recurrence circuits (the strategy of most prior modulo
+	// schedulers, which Section 3.2 contrasts with HeightR), breaking ties
+	// by HeightR.
+	PriorityRecFirst
+)
+
+func (p PriorityKind) String() string {
+	switch p {
+	case PriorityHeightR:
+		return "heightr"
+	case PriorityFIFO:
+		return "fifo"
+	case PriorityDepth:
+		return "depth"
+	case PriorityRecFirst:
+		return "recfirst"
+	default:
+		return fmt.Sprintf("PriorityKind(%d)", int(p))
+	}
+}
+
+// Options configures ModuloSchedule.
+type Options struct {
+	// BudgetRatio is the ratio of the maximum number of operation
+	// scheduling steps attempted (before giving up on a candidate II) to
+	// the number of operations in the loop. The paper finds 2 optimal for
+	// its workload and uses 6 to characterize best-case quality.
+	BudgetRatio float64
+	// DelayModel selects the Table 1 column. Default VLIWDelays.
+	DelayModel ir.DelayModel
+	// MaxII caps the candidate II search. 0 means "derive a safe bound".
+	MaxII int
+	// Priority selects the priority function (default HeightR).
+	Priority PriorityKind
+	// RestartOnFailure, when set, replaces eviction with a full restart of
+	// the current II attempt whenever FindTimeSlot fails (an ablation that
+	// demonstrates why iterative unschedule/reschedule matters).
+	RestartOnFailure bool
+	// PlaceLate, when set, makes FindTimeSlot scan candidate slots from
+	// MaxTime down instead of from Estart up — a crude version of the
+	// lifetime-sensitive placement direction Huff's slack scheduling
+	// explores (placing producers later shortens their values'
+	// lifetimes). Exists for the register-pressure ablation.
+	PlaceLate bool
+}
+
+// DefaultOptions returns the configuration recommended by the paper's
+// conclusion (BudgetRatio 2, VLIW delays, HeightR priority).
+func DefaultOptions() Options {
+	return Options{BudgetRatio: 2, DelayModel: ir.VLIWDelays, Priority: PriorityHeightR}
+}
+
+// Counters aggregates the empirical-complexity measurements of Table 4
+// across all phases of one or many scheduling runs.
+type Counters struct {
+	MII mii.Counters
+	// HeightRRelax counts edge relaxations in the HeightR computation.
+	HeightRRelax int64
+	// EstartPredExams counts immediate-predecessor examinations during
+	// Estart computation.
+	EstartPredExams int64
+	// FindTimeSlotIters counts iterations of the FindTimeSlot while-loop.
+	FindTimeSlotIters int64
+	// SchedSteps counts operation scheduling steps (Schedule calls),
+	// across all candidate IIs. SchedStepsFinal counts only the steps of
+	// the successful IterativeSchedule invocation.
+	SchedSteps      int64
+	SchedStepsFinal int64
+	// Unschedules counts operations displaced from the partial schedule.
+	Unschedules int64
+	// IIAttempts counts IterativeSchedule invocations.
+	IIAttempts int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.MII.MinDistInner += other.MII.MinDistInner
+	c.MII.MinDistCalls += other.MII.MinDistCalls
+	c.MII.ResMIIInspections += other.MII.ResMIIInspections
+	c.HeightRRelax += other.HeightRRelax
+	c.EstartPredExams += other.EstartPredExams
+	c.FindTimeSlotIters += other.FindTimeSlotIters
+	c.SchedSteps += other.SchedSteps
+	c.SchedStepsFinal += other.SchedStepsFinal
+	c.Unschedules += other.Unschedules
+	c.IIAttempts += other.IIAttempts
+}
+
+// problem is the prepared, immutable scheduling problem.
+type problem struct {
+	loop   *ir.Loop
+	mach   *machine.Machine
+	opts   Options
+	delays []int // per edge
+	opcode []*machine.Opcode
+	// succ/pred adjacency as edge indices.
+	succ, pred [][]int
+	counters   *Counters
+}
+
+func newProblem(l *ir.Loop, m *machine.Machine, opts Options, c *Counters) (*problem, error) {
+	if err := l.Validate(m); err != nil {
+		return nil, err
+	}
+	if opts.BudgetRatio <= 0 {
+		opts.BudgetRatio = 2
+	}
+	delays, err := ir.Delays(l, m, opts.DelayModel)
+	if err != nil {
+		return nil, err
+	}
+	p := &problem{
+		loop:     l,
+		mach:     m,
+		opts:     opts,
+		delays:   delays,
+		opcode:   make([]*machine.Opcode, l.NumOps()),
+		succ:     make([][]int, l.NumOps()),
+		pred:     make([][]int, l.NumOps()),
+		counters: c,
+	}
+	for i, op := range l.Ops {
+		p.opcode[i] = m.MustOpcode(op.Opcode)
+	}
+	for ei, e := range l.Edges {
+		p.succ[e.From] = append(p.succ[e.From], ei)
+		p.pred[e.To] = append(p.pred[e.To], ei)
+	}
+	return p, nil
+}
+
+// Schedule is a complete modulo schedule for one loop.
+type Schedule struct {
+	Loop    *ir.Loop
+	Machine *machine.Machine
+	Options Options
+
+	// II is the achieved initiation interval; MII, ResMII the bounds.
+	II, MII, ResMII int
+	// Times holds each operation's scheduled issue time (START at 0).
+	Times []int
+	// Alts holds the chosen alternative index per operation.
+	Alts []int
+	// Length is the schedule length SL of one iteration: the time of the
+	// STOP pseudo-operation, i.e. when all results of the iteration are
+	// available.
+	Length int
+	// Delays is the per-edge delay vector used (for checking/codegen).
+	Delays []int
+
+	// Stats describes the effort expended on this loop alone.
+	Stats Counters
+}
+
+// StageCount is the number of kernel stages: ceil(Length/II), the number
+// of concurrently executing iterations in the steady state.
+func (s *Schedule) StageCount() int {
+	if s.II <= 0 {
+		return 0
+	}
+	sc := (s.Length + s.II - 1) / s.II
+	if sc < 1 {
+		sc = 1
+	}
+	return sc
+}
+
+// TimeOf returns the scheduled time of op i.
+func (s *Schedule) TimeOf(i int) int { return s.Times[i] }

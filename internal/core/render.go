@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"modsched/internal/machine"
+)
+
+// MRTString renders the schedule's modulo reservation table: one row per
+// modulo time slot, one column per machine resource, each cell naming the
+// operation occupying that resource in that slot (its loop index). This is
+// the schedule-level counterpart of the Figure 1 per-opcode tables and
+// shows at a glance how close to fully-packed the critical resource is.
+func (s *Schedule) MRTString() string {
+	nres := s.Machine.NumResources()
+	cells := make([][]string, s.II)
+	for i := range cells {
+		cells[i] = make([]string, nres)
+	}
+	for op := range s.Loop.Ops {
+		tab := s.ResourceTable(op)
+		for _, u := range tab.Uses {
+			slot := (s.Times[op] + u.Time) % s.II
+			cells[slot][u.Resource] = fmt.Sprintf("%d", op)
+		}
+	}
+	// Only show resources that are used at all.
+	used := make([]int, 0, nres)
+	for r := 0; r < nres; r++ {
+		for t := 0; t < s.II; t++ {
+			if cells[t][r] != "" {
+				used = append(used, r)
+				break
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "modulo reservation table: II=%d (cells show op index)\n", s.II)
+	fmt.Fprintf(&b, "%-5s", "slot")
+	widths := make([]int, len(used))
+	for i, r := range used {
+		name := s.Machine.ResourceName(machine.Resource(r))
+		widths[i] = len(name)
+		if widths[i] < 4 {
+			widths[i] = 4
+		}
+		fmt.Fprintf(&b, " %-*s", widths[i], name)
+	}
+	b.WriteByte('\n')
+	for t := 0; t < s.II; t++ {
+		fmt.Fprintf(&b, "%-5d", t)
+		for i, r := range used {
+			fmt.Fprintf(&b, " %-*s", widths[i], cells[t][r])
+		}
+		b.WriteByte('\n')
+	}
+	// Utilization summary.
+	fmt.Fprintf(&b, "utilization:")
+	for i, r := range used {
+		n := 0
+		for t := 0; t < s.II; t++ {
+			if cells[t][r] != "" {
+				n++
+			}
+		}
+		_ = i
+		fmt.Fprintf(&b, " %s=%d/%d", s.Machine.ResourceName(machine.Resource(r)), n, s.II)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

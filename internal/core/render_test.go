@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+func TestMRTString(t *testing.T) {
+	m := machine.Cydra5()
+	l := build(t, m, func(b *ir.Builder) {
+		x := b.Define("load", b.Invariant("p"))
+		y := b.Define("fadd", x, x)
+		z := b.Define("fmul", y, x)
+		b.Effect("store", b.Invariant("q"), z)
+		b.Effect("brtop")
+	})
+	s, err := ModuloSchedule(l, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.MRTString()
+	for _, want := range []string{"modulo reservation table", "slot", "utilization:", "MemPort0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("MRT rendering missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "\n"); n < s.II+2 {
+		t.Errorf("MRT rendering too short: %d lines for II=%d", n, s.II)
+	}
+}
+
+// TestMRTFullyPackedAtResMII: when II equals a resource's usage count,
+// the rendering must show that resource fully utilized.
+func TestMRTFullyPackedAtResMII(t *testing.T) {
+	m := machine.Cydra5()
+	l := build(t, m, func(b *ir.Builder) {
+		a := b.Invariant("a")
+		for i := 0; i < 6; i++ {
+			b.Define("fadd", a, a)
+		}
+		b.Effect("brtop")
+	})
+	s, err := ModuloSchedule(l, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 6 {
+		t.Skipf("II=%d, want 6", s.II)
+	}
+	out := s.MRTString()
+	if !strings.Contains(out, "SrcBusA=6/6") {
+		t.Errorf("source bus should be fully packed:\n%s", out)
+	}
+}
+
+func TestGanttString(t *testing.T) {
+	m := machine.Cydra5()
+	l := build(t, m, func(b *ir.Builder) {
+		x := b.Define("load", b.Invariant("p"))
+		y := b.Define("fadd", x, x)
+		b.Effect("store", b.Invariant("q"), y)
+		b.Effect("brtop")
+	})
+	s, err := ModuloSchedule(l, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.GanttString(3)
+	if !strings.Contains(out, "pipeline: II=") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	// Each real op appears as a row with iteration digits 0,1,2.
+	for _, want := range []string{"load", "fadd", "store", "brtop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q", want)
+		}
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Error("missing iteration digits")
+	}
+	// Clamping.
+	if s.GanttString(0) == "" || s.GanttString(100) == "" {
+		t.Error("clamped renders must not be empty")
+	}
+}

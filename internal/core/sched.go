@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/mii"
+)
+
+// ModuloSchedule schedules the loop on machine m: it computes the MII and
+// invokes IterativeSchedule with successively larger candidate IIs until a
+// schedule is found (Figure 2). The returned Schedule is verified by
+// Check before being returned.
+func ModuloSchedule(l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error) {
+	var c Counters
+	p, err := newProblem(l, m, opts, &c)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := mii.Compute(l, m, p.delays, &c.MII)
+	if err != nil {
+		return nil, err
+	}
+	maxII := opts.MaxII
+	if maxII <= 0 {
+		maxII = safeMaxII(p)
+	}
+	budget := int(opts.BudgetRatio * float64(l.NumOps()))
+	if budget < l.NumOps()+1 {
+		budget = l.NumOps() + 1 // always enough to try each op once
+	}
+
+	for ii := bounds.MII; ii <= maxII; ii++ {
+		s := newState(p, ii)
+		ok, err := s.iterativeSchedule(budget)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		sched := &Schedule{
+			Loop:    l,
+			Machine: m,
+			Options: opts,
+			II:      ii,
+			MII:     bounds.MII,
+			ResMII:  bounds.ResMII,
+			Times:   s.times,
+			Alts:    s.alts,
+			Length:  s.times[l.Stop()],
+			Delays:  p.delays,
+			Stats:   c,
+		}
+		if err := Check(sched); err != nil {
+			return nil, fmt.Errorf("core: internal error: produced schedule fails verification: %w", err)
+		}
+		return sched, nil
+	}
+	return nil, fmt.Errorf("core: loop %s: no schedule found up to II=%d (MII=%d)", l.Name, maxII, bounds.MII)
+}
+
+// safeMaxII is an II at which scheduling is guaranteed to succeed: with II
+// no smaller than the whole loop's serial span, every operation can be
+// issued in its own modulo slot in dependence order.
+func safeMaxII(p *problem) int {
+	s := 1
+	for _, d := range p.delays {
+		if d > 0 {
+			s += d
+		}
+	}
+	s += p.loop.NumOps()
+	return s
+}
+
+// state is the mutable scheduling state for one candidate II.
+type state struct {
+	p  *problem
+	ii int
+
+	mrt   *mrt
+	times []int // -1 if unscheduled
+	alts  []int
+	prev  []int // PrevScheduleTime
+	never []bool
+	prio  []int // priority value per op
+
+	unscheduled int  // count of unscheduled ops
+	forceEarly  bool // late placement disabled for the rest of the attempt
+}
+
+func newState(p *problem, ii int) *state {
+	n := p.loop.NumOps()
+	s := &state{
+		p:     p,
+		ii:    ii,
+		mrt:   newMRT(ii, p.mach.NumResources()),
+		times: make([]int, n),
+		alts:  make([]int, n),
+		prev:  make([]int, n),
+		never: make([]bool, n),
+	}
+	for i := range s.times {
+		s.times[i] = -1
+		s.alts[i] = -1
+		s.prev[i] = -1
+		s.never[i] = true
+	}
+	s.unscheduled = n
+	return s
+}
+
+// iterativeSchedule is Figure 3: schedule operations highest-priority
+// first, displacing previously scheduled operations when necessary, until
+// every operation is placed or the budget is exhausted.
+func (s *state) iterativeSchedule(budget int) (bool, error) {
+	p := s.p
+	p.counters.IIAttempts++
+
+	// Fast infeasibility check: an operation whose every alternative
+	// self-collides on the MRT at this II can never be placed.
+	for i := range p.loop.Ops {
+		if !s.hasConsistentAlt(i) {
+			return false, nil
+		}
+	}
+
+	switch p.opts.Priority {
+	case PriorityHeightR:
+		h, err := p.heightR(s.ii)
+		if err != nil {
+			return false, err
+		}
+		s.prio = h
+	case PriorityDepth:
+		s.prio = p.depthPriority()
+	case PriorityFIFO:
+		s.prio = make([]int, p.loop.NumOps())
+		for i := range s.prio {
+			s.prio[i] = -i // earlier ops first
+		}
+	case PriorityRecFirst:
+		h, err := p.heightR(s.ii)
+		if err != nil {
+			return false, err
+		}
+		s.prio = h
+		// Lift every operation on a non-trivial SCC above all others.
+		boost := 1
+		for _, v := range h {
+			if v > boost {
+				boost = v
+			}
+		}
+		for _, comp := range recurrenceComponents(p) {
+			for _, op := range comp {
+				s.prio[op] += boost + 1
+			}
+		}
+	default:
+		return false, fmt.Errorf("core: unknown priority kind %v", p.opts.Priority)
+	}
+
+	stepsAtEntry := p.counters.SchedSteps
+
+	// Schedule START at time 0.
+	s.scheduleAt(p.loop.Start(), 0, 0)
+	budget--
+
+	for s.unscheduled > 0 && budget > 0 {
+		// The late-placement variant has no convergence bias (early
+		// placement is monotone in Estart; late placement can ripple
+		// forever); if it is burning the budget, finish the attempt with
+		// standard early placement.
+		if p.opts.PlaceLate && !s.forceEarly && budget <= p.loop.NumOps() {
+			s.forceEarly = true
+		}
+		op := s.highestPriorityOperation()
+		estart := s.calculateEarlyStart(op)
+		minTime := estart
+		maxTime := minTime + s.ii - 1
+		slot, alt := s.findTimeSlot(op, minTime, maxTime)
+		if alt < 0 {
+			// Forced placement: no conflict-free slot exists.
+			if p.opts.RestartOnFailure {
+				// Ablation: give up on this II attempt immediately.
+				return false, nil
+			}
+			alt = s.forcedAlternative(op, slot)
+		}
+		s.scheduleAt(op, slot, alt)
+		budget--
+	}
+	done := s.unscheduled == 0
+	if done {
+		p.counters.SchedStepsFinal += p.counters.SchedSteps - stepsAtEntry
+	}
+	return done, nil
+}
+
+func (s *state) hasConsistentAlt(op int) bool {
+	oc := s.p.opcode[op]
+	for _, alt := range oc.Alternatives {
+		if s.mrt.selfConsistent(alt.Table) {
+			return true
+		}
+	}
+	return false
+}
+
+// highestPriorityOperation returns the unscheduled operation with the
+// highest priority; ties break toward the smaller operation index, which
+// keeps the scheduler deterministic.
+func (s *state) highestPriorityOperation() int {
+	best := -1
+	for i, t := range s.times {
+		if t != -1 {
+			continue
+		}
+		if best == -1 || s.prio[i] > s.prio[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// calculateEarlyStart is Figure 5b: the earliest issue time permitted by
+// the currently scheduled immediate predecessors.
+func (s *state) calculateEarlyStart(op int) int {
+	estart := 0
+	for _, ei := range s.p.pred[op] {
+		s.p.counters.EstartPredExams++
+		e := s.p.loop.Edges[ei]
+		if e.From == op {
+			continue // self edges cannot constrain the first placement
+		}
+		qt := s.times[e.From]
+		if qt == -1 {
+			continue // unscheduled predecessor contributes 0
+		}
+		if t := qt + s.p.delays[ei] - s.ii*e.Distance; t > estart {
+			estart = t
+		}
+	}
+	return estart
+}
+
+// calculateLateStart is the dual of calculateEarlyStart, used by the
+// lifetime-sensitive placement variant: the latest issue time permitted by
+// the currently scheduled immediate successors.
+func (s *state) calculateLateStart(op int) int {
+	const inf = int(^uint(0) >> 2)
+	lstart := inf
+	for _, ei := range s.p.succ[op] {
+		e := s.p.loop.Edges[ei]
+		if e.To == op {
+			continue
+		}
+		qt := s.times[e.To]
+		if qt == -1 {
+			continue
+		}
+		if t := qt - s.p.delays[ei] + s.ii*e.Distance; t < lstart {
+			lstart = t
+		}
+	}
+	return lstart
+}
+
+// findTimeSlot is Figure 4. It returns the chosen slot and the fitting
+// alternative index, or (forcedSlot, -1) when every candidate slot has a
+// resource conflict, in which case the slot follows the forward-progress
+// rule: MinTime if this is the first placement or MinTime exceeds the
+// previous schedule time, else previous time + 1.
+func (s *state) findTimeSlot(op, minTime, maxTime int) (int, int) {
+	if s.p.opts.PlaceLate && !s.forceEarly {
+		// Lifetime-sensitive variant: place as late as the currently
+		// scheduled successors allow (their constraints are honored
+		// up front rather than by displacement, which keeps the
+		// iteration convergent), scanning downward.
+		last := maxTime
+		if ls := s.calculateLateStart(op); ls < last {
+			last = ls
+		}
+		if last < minTime-1 {
+			last = minTime - 1 // successors too tight; only the upward scan remains
+		}
+		for curr := last; curr >= minTime; curr-- {
+			s.p.counters.FindTimeSlotIters++
+			if alt := s.fittingAlternative(op, curr); alt >= 0 {
+				return curr, alt
+			}
+		}
+		// Fall through to the standard upward scan above Lstart.
+		for curr := last + 1; curr <= maxTime; curr++ {
+			s.p.counters.FindTimeSlotIters++
+			if alt := s.fittingAlternative(op, curr); alt >= 0 {
+				return curr, alt
+			}
+		}
+	}
+	for curr := minTime; curr <= maxTime; curr++ {
+		s.p.counters.FindTimeSlotIters++
+		if alt := s.fittingAlternative(op, curr); alt >= 0 {
+			// Dependence conflicts with successors are ignored here; they
+			// are resolved by displacement in scheduleAt.
+			return curr, alt
+		}
+	}
+	if s.never[op] || minTime > s.prev[op] {
+		return minTime, -1
+	}
+	return s.prev[op] + 1, -1
+}
+
+// fittingAlternative returns the first alternative of op that has no
+// resource conflict at time t, or -1.
+func (s *state) fittingAlternative(op, t int) int {
+	oc := s.p.opcode[op]
+	for ai, alt := range oc.Alternatives {
+		if s.mrt.fits(t, alt.Table) {
+			return ai
+		}
+	}
+	return -1
+}
+
+// forcedAlternative implements Section 3.4's resolution when an operation
+// must displace others: every operation that conflicts with the use of
+// any alternative at the chosen slot is unscheduled, and the operation is
+// then placed using its first self-consistent alternative.
+func (s *state) forcedAlternative(op, slot int) int {
+	oc := s.p.opcode[op]
+	chosen := -1
+	for ai, alt := range oc.Alternatives {
+		if !s.mrt.selfConsistent(alt.Table) {
+			continue
+		}
+		if chosen == -1 {
+			chosen = ai
+		}
+		for _, victim := range s.mrt.conflicts(slot, alt.Table) {
+			s.unschedule(victim)
+		}
+	}
+	if chosen == -1 {
+		// hasConsistentAlt guarantees this cannot happen.
+		panic(fmt.Sprintf("core: op %d has no self-consistent alternative at II=%d", op, s.ii))
+	}
+	return chosen
+}
+
+// scheduleAt places op at the given slot using alternative alt,
+// displacing (a) any operations still holding conflicting reservations
+// and (b) any scheduled successors whose dependence constraints the new
+// placement violates (Section 3.4). It also updates the bookkeeping that
+// guarantees forward progress.
+func (s *state) scheduleAt(op, slot, alt int) {
+	p := s.p
+	tab := p.opcode[op].Alternatives[alt].Table
+
+	// Resource displacement (no-ops if findTimeSlot found a free slot).
+	for _, victim := range s.mrt.conflicts(slot, tab) {
+		s.unschedule(victim)
+	}
+	s.mrt.place(op, slot, tab)
+	s.times[op] = slot
+	s.alts[op] = alt
+	s.prev[op] = slot
+	s.never[op] = false
+	s.unscheduled--
+	p.counters.SchedSteps++
+
+	// Dependence displacement: successors scheduled too early relative to
+	// the new placement. (Predecessor constraints were honored through
+	// Estart; the forced slot is never below Estart.)
+	for _, ei := range p.succ[op] {
+		e := p.loop.Edges[ei]
+		if e.To == op {
+			continue
+		}
+		qt := s.times[e.To]
+		if qt == -1 {
+			continue
+		}
+		if qt < slot+p.delays[ei]-s.ii*e.Distance {
+			s.unschedule(e.To)
+		}
+	}
+}
+
+// unschedule reverses scheduleAt's placement of op.
+func (s *state) unschedule(op int) {
+	if s.times[op] == -1 {
+		return
+	}
+	tab := s.p.opcode[op].Alternatives[s.alts[op]].Table
+	s.mrt.remove(op, s.times[op], tab)
+	s.times[op] = -1
+	s.alts[op] = -1
+	s.unscheduled++
+	s.p.counters.Unschedules++
+}
+
+// ResourceTable returns the reservation table chosen for op by the final
+// schedule.
+func (s *Schedule) ResourceTable(op int) machine.ReservationTable {
+	oc := s.Machine.MustOpcode(s.Loop.Ops[op].Opcode)
+	return oc.Alternatives[s.Alts[op]].Table
+}

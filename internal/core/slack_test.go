@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+func TestSlackSchedulesSimpleLoops(t *testing.T) {
+	m := machine.Cydra5()
+	l := build(t, m, func(b *ir.Builder) {
+		x := b.Define("load", b.Invariant("p"))
+		y := b.Define("fmul", x, b.Invariant("c"))
+		b.Effect("store", b.Invariant("q"), y)
+		b.Effect("brtop")
+	})
+	s, err := ModuloScheduleSlack(l, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.II != s.MII {
+		t.Errorf("slack II=%d MII=%d on a trivial loop", s.II, s.MII)
+	}
+}
+
+func TestSlackAlwaysValidOnRandomLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, m := range []*machine.Machine{machine.Cydra5(), machine.Tiny()} {
+		for trial := 0; trial < 40; trial++ {
+			l := randomLoop(t, m, rng)
+			opts := DefaultOptions()
+			opts.BudgetRatio = 6
+			s, err := ModuloScheduleSlack(l, m, opts)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", m.Name, trial, err)
+			}
+			if err := Check(s); err != nil {
+				t.Fatalf("%s trial %d: %v", m.Name, trial, err)
+			}
+		}
+	}
+}
+
+// TestSlackVsIterativeQuality: the two algorithms should deliver similar
+// II quality; slack tends to use smaller register lifetimes, iterative
+// fewer MinDist computations. Neither should be grossly worse on II.
+func TestSlackVsIterativeQuality(t *testing.T) {
+	m := machine.Cydra5()
+	rng := rand.New(rand.NewSource(43))
+	var iterII, slackII int64
+	for trial := 0; trial < 50; trial++ {
+		l := randomLoop(t, m, rng)
+		opts := DefaultOptions()
+		opts.BudgetRatio = 6
+		a, err := ModuloSchedule(l, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ModuloScheduleSlack(l, m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iterII += int64(a.II)
+		slackII += int64(b.II)
+	}
+	t.Logf("total II: iterative=%d slack=%d", iterII, slackII)
+	if slackII > iterII*12/10 {
+		t.Errorf("slack scheduling much worse on II: %d vs %d", slackII, iterII)
+	}
+	if iterII > slackII*12/10 {
+		t.Errorf("iterative scheduling much worse on II: %d vs %d", iterII, slackII)
+	}
+}
+
+func TestSlackRespectsRecurrences(t *testing.T) {
+	m := machine.Cydra5()
+	l := build(t, m, func(b *ir.Builder) {
+		s := b.Future()
+		t1 := b.Define("fmul", s.Back(1), b.Invariant("c"))
+		b.DefineAs(s, "fadd", t1, b.Invariant("y"))
+		b.Effect("brtop")
+	})
+	s, err := ModuloScheduleSlack(l, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 9 {
+		t.Errorf("slack II=%d, want 9 (recurrence bound)", s.II)
+	}
+}

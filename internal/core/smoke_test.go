@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// dotProductLoop builds s += a[i]*b[i] with EVR address recurrences.
+func dotProductLoop(t testing.TB, m *machine.Machine) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("dotproduct", m)
+	ai := b.Future()
+	bi := b.Future()
+	s := b.Future()
+	b.DefineAsImm(ai, "aadd", 8, ai.Back(1))
+	b.DefineAsImm(bi, "aadd", 8, bi.Back(1))
+	av := b.Define("load", ai)
+	bv := b.Define("load", bi)
+	prod := b.Define("fmul", av, bv)
+	b.DefineAs(s, "fadd", s.Back(1), prod)
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return l
+}
+
+func TestModuloScheduleDotProduct(t *testing.T) {
+	for _, m := range []*machine.Machine{machine.Cydra5(), machine.Tiny(), machine.Generic(machine.DefaultUnitConfig())} {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			l := dotProductLoop(t, m)
+			s, err := ModuloSchedule(l, m, DefaultOptions())
+			if err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+			if err := Check(s); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			t.Logf("machine=%s II=%d MII=%d SL=%d stages=%d", m.Name, s.II, s.MII, s.Length, s.StageCount())
+			if s.II < 1 {
+				t.Fatalf("bad II %d", s.II)
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"testing"
+
+	"modsched/internal/core"
+	"modsched/internal/machine"
+)
+
+func TestTable3SmallCorpus(t *testing.T) {
+	m := machine.Cydra5()
+	loops, err := SmallCorpus(m, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := RunCorpus(loops, m, 6, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table3(cr)
+	t.Logf("\n%s", FormatTable3(rows))
+
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Dist.Name] = r
+	}
+	// Shape assertions: generous bands around the paper's values.
+	check := func(name string, get func(Table3Row) float64, lo, hi float64) {
+		t.Helper()
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing row %q", name)
+		}
+		v := get(r)
+		if v < lo || v > hi {
+			t.Errorf("%s = %.3f outside [%.3f, %.3f] (paper %.3f)", name, v, lo, hi, paperValue(r))
+		}
+	}
+	mean := func(r Table3Row) float64 { return r.Dist.Mean }
+	freq := func(r Table3Row) float64 { return r.Dist.FreqOfMin }
+	check("Number of operations", mean, 12, 28)
+	check("II - MII", freq, 0.88, 1.0)                         // paper 0.96
+	check("II / MII", mean, 1.0, 1.06)                         // paper 1.01
+	check("Number of non-trivial SCCs", freq, 0.65, 0.9)       // paper 0.773
+	check("Number of nodes per SCC", freq, 0.8, 1.0)           // paper 0.93
+	check("Number of nodes scheduled (ratio)", mean, 1.0, 1.2) // paper 1.03
+}
+
+func paperValue(r Table3Row) float64 { return r.Paper.Mean }
+
+func TestSummaryAndFig6Point(t *testing.T) {
+	m := machine.Cydra5()
+	loops, err := SmallCorpus(m, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := RunCorpus(loops, m, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(cr)
+	t.Logf("\n%s", s.Format())
+	if s.AtMII < 0.85 {
+		t.Errorf("II==MII fraction %.2f below band", s.AtMII)
+	}
+	if s.Dilation > 0.15 {
+		t.Errorf("dilation %.3f above band", s.Dilation)
+	}
+	if s.Inefficiency < 1.0 || s.Inefficiency > 3.0 {
+		t.Errorf("inefficiency %.2f outside [1,3]", s.Inefficiency)
+	}
+}
+
+func TestTable4Fits(t *testing.T) {
+	m := machine.Cydra5()
+	loops, err := SmallCorpus(m, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := RunCorpus(loops, m, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4 := ComputeTable4(cr)
+	t.Logf("\n%s", t4.Format())
+	if t4.Edges.A < 1.5 || t4.Edges.A > 5 {
+		t.Errorf("edges/op fit %.2f outside [1.5, 5] (paper 3.0)", t4.Edges.A)
+	}
+	if t4.HeightR.A <= 0 || t4.Estart.A <= 0 {
+		t.Errorf("HeightR/Estart fits must be positive: %v %v", t4.HeightR, t4.Estart)
+	}
+	// The FindTimeSlot cost curve must be positive and increasing over the
+	// observed size range (the paper's fit is a shallow upward parabola;
+	// with a different machine the curvature split between the linear and
+	// quadratic terms shifts, so assert the curve's shape, not one
+	// coefficient).
+	eval := func(n float64) float64 {
+		return t4.FindTimeSlot.A*n*n + t4.FindTimeSlot.B*n + t4.FindTimeSlot.C
+	}
+	if eval(50) <= 0 || eval(150) <= eval(50) {
+		t.Errorf("FindTimeSlot cost curve not increasing-positive: f(50)=%.1f f(150)=%.1f", eval(50), eval(150))
+	}
+}
+
+func TestUnrollStudyShape(t *testing.T) {
+	m := machine.Cydra5()
+	loops, err := SmallCorpus(m, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := UnrollStudy(loops, m, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatUnrollStudy(pts))
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CyclesPerIter > pts[i-1].CyclesPerIter {
+			t.Errorf("k=%d: unrolled cost increased", pts[i].K)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.CyclesPerIter < last.ModuloCyclesPerIter {
+		t.Errorf("unrolled (k=%d) beat modulo aggregate: %.2f < %.2f",
+			last.K, last.CyclesPerIter, last.ModuloCyclesPerIter)
+	}
+	if last.CodeExpansion < 2 {
+		t.Errorf("code expansion %.1fx at k=%d implausibly low", last.CodeExpansion, last.K)
+	}
+}
+
+func TestRegPressureStudy(t *testing.T) {
+	m := machine.Cydra5()
+	loops, err := SmallCorpus(m, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := RegPressureStudy(loops, m, core.DefaultOptions(), "early")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateOpts := core.DefaultOptions()
+	lateOpts.PlaceLate = true
+	late, err := RegPressureStudy(loops, m, lateOpts, "late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatPressure([]*PressurePoint{early, late}))
+	if early.RotSize.Mean <= 0 || late.RotSize.Mean <= 0 {
+		t.Fatal("degenerate pressure stats")
+	}
+	// Both configurations must still produce valid schedules; quality may
+	// differ but not collapse.
+	if late.MeanDeltaII > early.MeanDeltaII+2 {
+		t.Errorf("late placement degrades deltaII too much: %.2f vs %.2f", late.MeanDeltaII, early.MeanDeltaII)
+	}
+}
+
+// TestGeneralityAcrossMachines: the scheduler's headline quality is not an
+// artifact of the Cydra 5 model — a clean-RISC machine with simple tables
+// must do at least as well.
+func TestGeneralityAcrossMachines(t *testing.T) {
+	for _, m := range []*machine.Machine{machine.Generic(machine.DefaultUnitConfig()), machine.Tiny()} {
+		loops, err := SmallCorpus(m, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := RunCorpus(loops, m, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Summarize(cr)
+		t.Logf("%s: II==MII %.1f%% dilation %.2f%% steps/op %.2f", m.Name, 100*s.AtMII, 100*s.Dilation, s.Inefficiency)
+		if s.AtMII < 0.93 {
+			t.Errorf("%s: II==MII %.2f below 0.93", m.Name, s.AtMII)
+		}
+	}
+}
+
+// TestFig6Shape: dilation decreases monotonically (within noise) with
+// BudgetRatio and the knee lands by ratio 2 — the Figure 6 story.
+func TestFig6Shape(t *testing.T) {
+	m := machine.Cydra5()
+	loops, err := SmallCorpus(m, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := Fig6Sweep(loops, m, []float64{1.0, 1.5, 2.0, 3.0, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatFig6(pts))
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Dilation > pts[i-1].Dilation+0.005 {
+			t.Errorf("dilation rose from ratio %.2f to %.2f: %.4f -> %.4f",
+				pts[i-1].BudgetRatio, pts[i].BudgetRatio, pts[i-1].Dilation, pts[i].Dilation)
+		}
+	}
+	first, at2 := pts[0], pts[2]
+	if at2.Dilation > first.Dilation*0.8 {
+		t.Errorf("no knee: dilation %.4f at ratio 1 vs %.4f at ratio 2", first.Dilation, at2.Dilation)
+	}
+	// Inefficiency at the knee is near the paper's 1.55-1.8 band.
+	if at2.Inefficiency < 1.0 || at2.Inefficiency > 2.2 {
+		t.Errorf("inefficiency at ratio 2 = %.2f outside [1.0, 2.2]", at2.Inefficiency)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"modsched/internal/codegen"
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/modvar"
+	"modsched/internal/stats"
+)
+
+// PressurePoint summarizes register demand for one scheduler
+// configuration over a corpus. The paper defers register allocation to
+// Rau et al. [35] and Huff's lifetime-sensitive scheduling [18]; this
+// study quantifies what the schedules produced here demand: the rotating
+// file size of the kernel-only schema and the unroll factor of modulo
+// variable expansion.
+type PressurePoint struct {
+	Label string
+	// RotSize is the distribution of rotating-file sizes; RotPerOp of
+	// size/ops; UnrollU of MVE unroll factors; DeltaII of II-MII.
+	RotSize, RotPerOp, UnrollU stats.Distribution
+	MeanDeltaII                float64
+}
+
+// RegPressureStudy measures register demand under the given options.
+func RegPressureStudy(loops []*ir.Loop, m *machine.Machine, opts core.Options, label string) (*PressurePoint, error) {
+	var rot, rotPerOp, us, delta []float64
+	for _, l := range loops {
+		s, err := core.ModuloSchedule(l, m, opts)
+		if err != nil {
+			return nil, err
+		}
+		k, err := codegen.GenerateKernel(s)
+		if err != nil {
+			return nil, err
+		}
+		rot = append(rot, float64(k.Alloc.Size))
+		rotPerOp = append(rotPerOp, float64(k.Alloc.Size)/float64(l.NumRealOps()))
+		u, err := modvar.PlanUnroll(s)
+		if err != nil {
+			return nil, err
+		}
+		us = append(us, float64(u))
+		delta = append(delta, float64(s.II-s.MII))
+	}
+	return &PressurePoint{
+		Label:       label,
+		RotSize:     stats.Describe("rotating file size", 1, rot),
+		RotPerOp:    stats.Describe("rotating regs per op", 0, rotPerOp),
+		UnrollU:     stats.Describe("MVE unroll factor", 1, us),
+		MeanDeltaII: stats.Mean(delta),
+	}, nil
+}
+
+// FormatPressure renders one or more pressure points side by side.
+func FormatPressure(points []*PressurePoint) string {
+	var b strings.Builder
+	b.WriteString("Register-pressure study (extension; the paper defers allocation to [35], [18])\n")
+	fmt.Fprintf(&b, "%-12s %18s %18s %18s %12s\n", "config", "rot size med/mean", "rot/op mean", "MVE U med/mean", "deltaII")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12s %8.0f /%8.1f %18.2f %8.0f /%8.1f %12.3f\n",
+			p.Label, p.RotSize.Median, p.RotSize.Mean, p.RotPerOp.Mean,
+			p.UnrollU.Median, p.UnrollU.Mean, p.MeanDeltaII)
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"modsched/internal/stats"
+)
+
+// Table3Row couples a reproduced distribution with the paper's published
+// values for side-by-side reporting.
+type Table3Row struct {
+	Dist  stats.Distribution
+	Paper PaperRow
+}
+
+// PaperRow holds the published Table 3 numbers.
+type PaperRow struct {
+	MinPossible, FreqOfMin, Median, Mean, Max float64
+}
+
+// paperTable3 is Table 3 of the paper, row by row.
+var paperTable3 = map[string]PaperRow{
+	"Number of operations":              {4, 0.004, 12.00, 19.54, 163.00},
+	"MII":                               {1, 0.286, 3.00, 11.41, 163.00},
+	"Minimum Modulo Schedule Length":    {4, 0.045, 31.00, 35.79, 211.00},
+	"max(0, RecMII - ResMII)":           {0, 0.840, 0.00, 4.54, 115.00},
+	"Number of non-trivial SCCs":        {0, 0.773, 0.00, 0.32, 6.00},
+	"Number of nodes per SCC":           {1, 0.930, 1.00, 1.30, 42.00},
+	"II - MII":                          {0, 0.960, 0.00, 0.10, 20.00},
+	"II / MII":                          {1, 0.960, 1.00, 1.01, 1.50},
+	"Schedule Length (ratio)":           {1, 0.484, 1.02, 1.07, 2.03},
+	"Execution Time (ratio)":            {1, 0.539, 1.00, 1.05, 1.50},
+	"Number of nodes scheduled (ratio)": {1, 0.900, 1.00, 1.03, 4.33},
+}
+
+// Table3 computes the eleven distribution rows of Table 3 from a corpus
+// run (which must have been made with exactRecMII=true and, to match the
+// paper's protocol, BudgetRatio 6).
+func Table3(cr *CorpusResult) []Table3Row {
+	var (
+		nops, miis, minSLs, recGap, ntSCCs, sccSizes []float64
+		deltaII, iiRatio, slRatio, etRatio, schedRat []float64
+	)
+	for _, r := range cr.Loops {
+		nops = append(nops, float64(r.N))
+		miis = append(miis, float64(r.MII))
+		minSLs = append(minSLs, float64(r.MinSL))
+		gap := r.RecMII - r.ResMII
+		if gap < 0 {
+			gap = 0
+		}
+		recGap = append(recGap, float64(gap))
+		ntSCCs = append(ntSCCs, float64(r.NonTrivialSCCs))
+		for _, s := range r.SCCSizes {
+			sccSizes = append(sccSizes, float64(s))
+		}
+		deltaII = append(deltaII, float64(r.II-r.MII))
+		iiRatio = append(iiRatio, float64(r.II)/float64(r.MII))
+		slRatio = append(slRatio, float64(r.SL)/float64(r.MinSL))
+		if r.LoopFreq > 0 {
+			etRatio = append(etRatio, float64(r.ExecTimeActual())/float64(r.ExecTimeBound()))
+		}
+		schedRat = append(schedRat, float64(r.StepsFinal)/float64(r.N+2))
+	}
+	mk := func(name string, min float64, xs []float64) Table3Row {
+		return Table3Row{Dist: stats.Describe(name, min, xs), Paper: paperTable3[name]}
+	}
+	return []Table3Row{
+		mk("Number of operations", 4, nops),
+		mk("MII", 1, miis),
+		mk("Minimum Modulo Schedule Length", 4, minSLs),
+		mk("max(0, RecMII - ResMII)", 0, recGap),
+		mk("Number of non-trivial SCCs", 0, ntSCCs),
+		mk("Number of nodes per SCC", 1, sccSizes),
+		mk("II - MII", 0, deltaII),
+		mk("II / MII", 1, iiRatio),
+		mk("Schedule Length (ratio)", 1, slRatio),
+		mk("Execution Time (ratio)", 1, etRatio),
+		mk("Number of nodes scheduled (ratio)", 1, schedRat),
+	}
+}
+
+// FormatTable3 renders the reproduced rows next to the paper's.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: distribution statistics (measured | paper)\n")
+	fmt.Fprintf(&b, "%-34s %8s %18s %18s %18s %20s\n",
+		"Measurement", "MinPoss", "FreqMin", "Median", "Mean", "Max")
+	for _, r := range rows {
+		d, p := r.Dist, r.Paper
+		fmt.Fprintf(&b, "%-34s %8.2f %8.3f|%8.3f %8.2f|%8.2f %8.2f|%8.2f %9.2f|%9.2f\n",
+			d.Name, d.MinPossible,
+			d.FreqOfMin, p.FreqOfMin,
+			d.Median, p.Median,
+			d.Mean, p.Mean,
+			d.Max, p.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package graph
+
+// Elementary-circuit enumeration, used by the circuit-enumeration variant
+// of the RecMII computation (the approach the Cydra 5 compiler took,
+// Section 2.2) and as a cross-check for the MinDist-based computation.
+//
+// The implementation is Johnson's algorithm (1975), run independently on
+// each strongly connected component. Enumeration is capped: dependence
+// graphs can hold exponentially many circuits, and the cap keeps the
+// cross-check usable on adversarial inputs.
+
+// ErrTooManyCircuits is reported via the truncated flag of
+// ElementaryCircuits when the cap is hit.
+
+// ElementaryCircuits returns up to limit elementary circuits of g, each as
+// a vertex sequence (the closing edge back to the first vertex is
+// implied). Self-loops are returned as single-vertex circuits. The second
+// result reports whether enumeration was truncated by the limit. A limit
+// of 0 or less means no cap.
+func (g *Graph) ElementaryCircuits(limit int) ([][]int, bool) {
+	var (
+		circuits  [][]int
+		truncated bool
+	)
+	emit := func(c []int) bool {
+		if limit > 0 && len(circuits) >= limit {
+			truncated = true
+			return false
+		}
+		circuits = append(circuits, append([]int(nil), c...))
+		return true
+	}
+
+	// Self-loops first (Johnson's algorithm as stated skips them).
+	selfLoop := make([]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Adj[v] {
+			if w == v && !selfLoop[v] {
+				selfLoop[v] = true
+				if !emit([]int{v}) {
+					return circuits, truncated
+				}
+			}
+		}
+	}
+
+	comps := g.SCCs()
+	for _, comp := range comps {
+		if len(comp) < 2 {
+			continue
+		}
+		inComp := make(map[int]bool, len(comp))
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		// Johnson's algorithm restricted to this component, rooted at each
+		// vertex in turn; vertices less than the root are excluded to
+		// avoid duplicates.
+		for ri, root := range comp {
+			allowed := make(map[int]bool, len(comp)-ri)
+			for _, v := range comp[ri:] {
+				allowed[v] = true
+			}
+			j := &johnson{
+				g:       g,
+				root:    root,
+				allowed: allowed,
+				blocked: make(map[int]bool),
+				blockB:  make(map[int]map[int]bool),
+				emit:    emit,
+			}
+			j.circuit(root)
+			if j.stop {
+				return circuits, true
+			}
+		}
+	}
+	return circuits, truncated
+}
+
+type johnson struct {
+	g       *Graph
+	root    int
+	allowed map[int]bool
+	blocked map[int]bool
+	blockB  map[int]map[int]bool
+	stack   []int
+	emit    func([]int) bool
+	stop    bool
+}
+
+func (j *johnson) unblock(v int) {
+	j.blocked[v] = false
+	for w := range j.blockB[v] {
+		if j.blockB[v][w] {
+			j.blockB[v][w] = false
+			if j.blocked[w] {
+				j.unblock(w)
+			}
+		}
+	}
+}
+
+func (j *johnson) circuit(v int) bool {
+	if j.stop {
+		return false
+	}
+	found := false
+	j.stack = append(j.stack, v)
+	j.blocked[v] = true
+	seen := make(map[int]bool)
+	for _, w := range j.g.Adj[v] {
+		if !j.allowed[w] || seen[w] {
+			continue
+		}
+		seen[w] = true // parallel edges yield the same vertex circuit once
+		if w == j.root {
+			if len(j.stack) > 1 || v != j.root { // skip pure self-loop (handled above)
+				if !j.emit(j.stack) {
+					j.stop = true
+					break
+				}
+			}
+			found = true
+		} else if !j.blocked[w] {
+			if j.circuit(w) {
+				found = true
+			}
+			if j.stop {
+				break
+			}
+		}
+	}
+	if found {
+		j.unblock(v)
+	} else {
+		for _, w := range j.g.Adj[v] {
+			if !j.allowed[w] {
+				continue
+			}
+			if j.blockB[w] == nil {
+				j.blockB[w] = make(map[int]bool)
+			}
+			j.blockB[w][v] = true
+		}
+	}
+	j.stack = j.stack[:len(j.stack)-1]
+	return found
+}

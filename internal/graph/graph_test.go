@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCsSimpleChain(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	comps := g.SCCs()
+	if len(comps) != 4 {
+		t.Fatalf("chain should have 4 singleton SCCs, got %d", len(comps))
+	}
+	// Reverse topological: sinks first.
+	if comps[0][0] != 3 || comps[3][0] != 0 {
+		t.Errorf("SCC emission order not reverse topological: %v", comps)
+	}
+}
+
+func TestSCCsCycleAndTail(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 cycle, 2 -> 3 tail.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	comps := g.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("want 2 SCCs, got %v", comps)
+	}
+	sizes := []int{len(comps[0]), len(comps[1])}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 3 {
+		t.Errorf("want sizes {1,3}, got %v", sizes)
+	}
+	// The singleton (3) is a sink, so it must be emitted first.
+	if len(comps[0]) != 1 || comps[0][0] != 3 {
+		t.Errorf("sink component should come first: %v", comps)
+	}
+}
+
+func TestSCCsTwoCycles(t *testing.T) {
+	// Two 2-cycles joined by an edge.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	comps := g.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("want 2 SCCs, got %v", comps)
+	}
+	idx := SCCIndex(4, comps)
+	if idx[0] != idx[1] || idx[2] != idx[3] || idx[0] == idx[2] {
+		t.Errorf("bad SCC membership: %v", idx)
+	}
+}
+
+func TestSCCsSelfLoopIsTrivialButDetectable(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	comps := g.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("want 2 components, got %v", comps)
+	}
+	for _, c := range comps {
+		if c[0] == 0 && g.IsTrivialSCC(c) {
+			t.Error("vertex with self loop must not be trivial")
+		}
+		if c[0] == 1 && !g.IsTrivialSCC(c) {
+			t.Error("isolated vertex must be trivial")
+		}
+	}
+}
+
+func TestSCCsDeepGraphNoStackOverflow(t *testing.T) {
+	const n = 200000
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if comps := g.SCCs(); len(comps) != n {
+		t.Fatalf("want %d components", n)
+	}
+}
+
+func TestTopo(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(3, 2)
+	g.AddEdge(2, 0)
+	order, ok := g.Topo()
+	if !ok {
+		t.Fatal("acyclic graph reported cyclic")
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for v := 0; v < 4; v++ {
+		for _, w := range g.Adj[v] {
+			if pos[v] >= pos[w] {
+				t.Errorf("topo violated for %d->%d", v, w)
+			}
+		}
+	}
+	g.AddEdge(0, 3)
+	if _, ok := g.Topo(); ok {
+		t.Error("cyclic graph reported acyclic")
+	}
+}
+
+func TestElementaryCircuitsTriangle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	circs, trunc := g.ElementaryCircuits(0)
+	if trunc {
+		t.Fatal("unexpected truncation")
+	}
+	if len(circs) != 1 || len(circs[0]) != 3 {
+		t.Fatalf("triangle: want one 3-circuit, got %v", circs)
+	}
+}
+
+func TestElementaryCircuitsSelfLoopAndParallel(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 0) // parallel edge: same vertex circuit reported once
+	circs, _ := g.ElementaryCircuits(0)
+	if len(circs) != 2 {
+		t.Fatalf("want self-loop + one 2-circuit, got %v", circs)
+	}
+}
+
+func TestElementaryCircuitsCompleteGraph(t *testing.T) {
+	// K4 has 20 elementary circuits (12 triangles+cycles: C(4,2)=6
+	// 2-circuits, 8 3-circuits, 6 4-circuits => 20).
+	n := 4
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	circs, trunc := g.ElementaryCircuits(0)
+	if trunc {
+		t.Fatal("unexpected truncation")
+	}
+	if len(circs) != 20 {
+		t.Fatalf("K4: want 20 circuits, got %d", len(circs))
+	}
+}
+
+func TestElementaryCircuitsLimit(t *testing.T) {
+	n := 6
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	circs, trunc := g.ElementaryCircuits(5)
+	if !trunc {
+		t.Error("expected truncation at limit 5")
+	}
+	if len(circs) != 5 {
+		t.Errorf("want exactly 5 circuits, got %d", len(circs))
+	}
+}
+
+// Property: every reported circuit is a real elementary circuit: edges
+// exist between consecutive vertices and no vertex repeats.
+func TestElementaryCircuitsValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		g := New(n)
+		hasEdge := make(map[[2]int]bool)
+		for e := 0; e < n*2; e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			g.AddEdge(a, b)
+			hasEdge[[2]int{a, b}] = true
+		}
+		circs, _ := g.ElementaryCircuits(1000)
+		seen := map[string]bool{}
+		for _, c := range circs {
+			visited := map[int]bool{}
+			for i, v := range c {
+				if visited[v] {
+					return false // repeated vertex
+				}
+				visited[v] = true
+				w := c[(i+1)%len(c)]
+				if !hasEdge[[2]int{v, w}] {
+					return false // missing edge
+				}
+			}
+			// canonical form to check duplicates: rotate to min vertex
+			min := 0
+			for i, v := range c {
+				if v < c[min] {
+					min = i
+				}
+			}
+			key := ""
+			for i := range c {
+				key += string(rune('a' + c[(min+i)%len(c)]))
+			}
+			if seen[key] {
+				return false // duplicate circuit
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SCC membership is an equivalence consistent with reachability:
+// two vertices share a component iff each reaches the other.
+func TestSCCReachabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := New(n)
+		for e := 0; e < n+rng.Intn(2*n); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		comps := g.SCCs()
+		idx := SCCIndex(n, comps)
+		reach := reachability(g)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				same := idx[a] == idx[b]
+				mutual := reach[a][b] && reach[b][a]
+				if same != mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func reachability(g *Graph) [][]bool {
+	n := g.N
+	r := make([][]bool, n)
+	for i := range r {
+		r[i] = make([]bool, n)
+		r[i][i] = true
+		stack := []int{i}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Adj[v] {
+				if !r[i][w] {
+					r[i][w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return r
+}
+
+func TestNumEdges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 2)
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}

@@ -1,0 +1,382 @@
+// Package ifconv implements IF-conversion, the preprocessing step the
+// paper's flow applies before modulo scheduling: a loop body with
+// structured, acyclic control flow is converted into the single predicated
+// basic block the scheduler consumes. Branch conditions become compare
+// results; operations with side effects (stores) are guarded by the
+// conjunction of the conditions on their control-flow path; values
+// assigned on both sides of a branch are merged with select operations
+// (conditional moves); loads are hoisted unpredicated, i.e. executed
+// speculatively, as the paper's flow does for control dependences that may
+// be "selectively ignored".
+//
+// The package also includes a direct interpreter for the structured form
+// (RunStructured), so IF-conversion can be proven semantics-preserving
+// against the converted loop's reference execution and its pipelined
+// schedule.
+package ifconv
+
+import (
+	"fmt"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// Ref names a value: the current version of a variable, an earlier
+// iteration's version (Back > 0), or — if the name is never assigned — a
+// loop invariant.
+type Ref struct {
+	Name string
+	Back int
+}
+
+// R is shorthand for Ref{Name: name}.
+func R(name string) Ref { return Ref{Name: name} }
+
+// Stmt is a statement of the structured loop body.
+type Stmt interface{ isStmt() }
+
+// Assign computes Dest = Opcode(Srcs..., #Imm).
+type Assign struct {
+	Dest   string
+	Opcode string
+	Srcs   []Ref
+	Imm    int64
+}
+
+// Store writes Val to the address in Addr.
+type Store struct {
+	Addr, Val Ref
+}
+
+// If branches on a (0/1-valued) condition.
+type If struct {
+	Cond Ref
+	Then []Stmt
+	Else []Stmt
+}
+
+func (Assign) isStmt() {}
+func (Store) isStmt()  {}
+func (If) isStmt()     {}
+
+// Region is a structured loop body.
+type Region struct {
+	Name                string
+	Stmts               []Stmt
+	EntryFreq, LoopFreq int64
+}
+
+// Result is the converted loop plus the mappings needed to run it.
+type Result struct {
+	Loop *ir.Loop
+	// Regs maps each assigned variable to the EVR holding its
+	// end-of-iteration value (the register Back references resolve to, and
+	// the one to initialize for live-in history).
+	Regs map[string]ir.Reg
+	// Invariants maps never-assigned names (including the synthetic
+	// "$one" constant used to negate predicates) to their registers. The
+	// caller must bind "$one" to 1 when executing.
+	Invariants map[string]ir.Reg
+}
+
+// Convert IF-converts the region for machine m.
+func Convert(rgn *Region, m *machine.Machine) (*Result, error) {
+	c := &converter{
+		b:          ir.NewBuilder(rgn.Name, m),
+		m:          m,
+		futures:    map[string]ir.Value{},
+		env:        map[string]ir.Value{},
+		defCount:   map[string]int{},
+		invariants: map[string]ir.Value{},
+		topIdx:     -1,
+	}
+	if rgn.LoopFreq > 0 {
+		c.b.SetProfile(rgn.EntryFreq, rgn.LoopFreq)
+	}
+	// Pre-scan: which names are assigned, how often, and — per name — the
+	// last top-level statement that defines it (directly or through a
+	// join), where the name's future can be bound without an extra copy.
+	scan(rgn.Stmts, false, c)
+	c.lastDef = map[string]int{}
+	for idx, s := range rgn.Stmts {
+		switch st := s.(type) {
+		case Assign:
+			c.lastDef[st.Dest] = idx
+		case If:
+			for _, name := range assignedIn(st) {
+				c.lastDef[name] = idx
+			}
+		}
+	}
+	for name := range c.defCount {
+		c.futures[name] = c.b.Future()
+	}
+
+	if err := c.topStmts(rgn.Stmts); err != nil {
+		return nil, err
+	}
+
+	// Bind each assigned name's future to its end-of-iteration value.
+	for name, fut := range c.futures {
+		v, ok := c.env[name]
+		if !ok {
+			return nil, fmt.Errorf("ifconv: variable %q has no unconditional reaching definition", name)
+		}
+		if c.bound[name] {
+			continue // future bound directly at the unique definition
+		}
+		c.b.DefineAs(fut, "copy", v)
+		c.b.Comment(name + " end-of-iteration binding")
+	}
+	c.b.Effect("brtop")
+	c.b.Comment("loop-closing branch")
+
+	l, err := c.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Loop: l, Regs: map[string]ir.Reg{}, Invariants: map[string]ir.Reg{}}
+	for name, fut := range c.futures {
+		res.Regs[name] = c.b.RegOf(fut)
+	}
+	for name, v := range c.invariants {
+		res.Invariants[name] = c.b.RegOf(v)
+	}
+	return res, nil
+}
+
+type converter struct {
+	b          *ir.Builder
+	m          *machine.Machine
+	futures    map[string]ir.Value
+	env        map[string]ir.Value // current version per name
+	defCount   map[string]int
+	lastDef    map[string]int // name -> last top-level stmt index defining it
+	topIdx     int            // current top-level stmt index (-1 when nested)
+	bound      map[string]bool
+	invariants map[string]ir.Value
+}
+
+func scan(stmts []Stmt, branch bool, c *converter) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case Assign:
+			c.defCount[st.Dest]++
+		case If:
+			scan(st.Then, true, c)
+			scan(st.Else, true, c)
+		}
+	}
+}
+
+// assignedIn lists the names assigned anywhere inside an If.
+func assignedIn(st If) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func([]Stmt)
+	walk = func(list []Stmt) {
+		for _, s := range list {
+			switch x := s.(type) {
+			case Assign:
+				if !seen[x.Dest] {
+					seen[x.Dest] = true
+					out = append(out, x.Dest)
+				}
+			case If:
+				walk(x.Then)
+				walk(x.Else)
+			}
+		}
+	}
+	walk(st.Then)
+	walk(st.Else)
+	return out
+}
+
+// topStmts walks the top-level statement list, tracking indices so
+// futures can be bound at each name's final definition site.
+func (c *converter) topStmts(list []Stmt) error {
+	if c.bound == nil {
+		c.bound = map[string]bool{}
+	}
+	for idx, s := range list {
+		c.topIdx = idx
+		if err := c.stmts([]Stmt{s}, ir.Value{}); err != nil {
+			return err
+		}
+	}
+	c.topIdx = -1
+	return nil
+}
+
+// resolve turns a Ref into a value.
+func (c *converter) resolve(r Ref) (ir.Value, error) {
+	if fut, assigned := c.futures[r.Name]; assigned {
+		if r.Back > 0 {
+			return fut.Back(r.Back), nil
+		}
+		v, ok := c.env[r.Name]
+		if !ok {
+			// Read before this iteration's assignment: the variable still
+			// carries its previous-iteration value.
+			return fut.Back(1), nil
+		}
+		return v, nil
+	}
+	if r.Back > 0 {
+		return ir.Value{}, fmt.Errorf("ifconv: Back reference to invariant %q", r.Name)
+	}
+	v, ok := c.invariants[r.Name]
+	if !ok {
+		v = c.b.Invariant(r.Name)
+		c.invariants[r.Name] = v
+	}
+	return v, nil
+}
+
+// one returns the synthetic constant-1 invariant.
+func (c *converter) one() ir.Value {
+	v, ok := c.invariants["$one"]
+	if !ok {
+		v = c.b.Invariant("$one")
+		c.invariants["$one"] = v
+	}
+	return v
+}
+
+// stmts converts a statement list under the given guard predicate (zero
+// Value = unguarded).
+func (c *converter) stmts(list []Stmt, guard ir.Value) error {
+	if c.bound == nil {
+		c.bound = map[string]bool{}
+	}
+	for _, s := range list {
+		switch st := s.(type) {
+		case Assign:
+			srcs := make([]ir.Value, len(st.Srcs))
+			for i, r := range st.Srcs {
+				v, err := c.resolve(r)
+				if err != nil {
+					return err
+				}
+				srcs[i] = v
+			}
+			// Speculative computation: the value is computed
+			// unconditionally; control dependence is honored at the join
+			// (sel) or at the side effect (store guard). When this is the
+			// name's final top-level definition, bind its future here.
+			var v ir.Value
+			if !guard.Valid() && c.topIdx >= 0 && c.lastDef[st.Dest] == c.topIdx {
+				v = c.b.DefineAsImm(c.futures[st.Dest], st.Opcode, st.Imm, srcs...)
+				c.bound[st.Dest] = true
+			} else {
+				v = c.b.DefineImm(st.Opcode, st.Imm, srcs...)
+			}
+			c.b.Comment(st.Dest + " = " + st.Opcode)
+			c.env[st.Dest] = v
+
+		case Store:
+			addr, err := c.resolve(st.Addr)
+			if err != nil {
+				return err
+			}
+			val, err := c.resolve(st.Val)
+			if err != nil {
+				return err
+			}
+			if guard.Valid() {
+				c.b.SetPred(guard)
+			}
+			c.b.Effect("store", addr, val)
+			c.b.Comment("store (guarded by path predicate)")
+			c.b.ClearPred()
+
+		case If:
+			cond, err := c.resolve(st.Cond)
+			if err != nil {
+				return err
+			}
+			// Path predicates: pThen = guard AND cond, pElse = guard AND
+			// NOT cond, materialized with mul/sub over 0/1 values.
+			pThen := cond
+			notCond := c.b.Define("sub", c.one(), cond)
+			c.b.Comment("!cond")
+			pElse := notCond
+			if guard.Valid() {
+				pThen = c.b.Define("mul", guard, cond)
+				c.b.Comment("guard & cond")
+				pElse = c.b.Define("mul", guard, notCond)
+				c.b.Comment("guard & !cond")
+			}
+
+			saved := snapshot(c.env)
+			if err := c.stmts(st.Then, pThen); err != nil {
+				return err
+			}
+			thenEnv := snapshot(c.env)
+			c.env = snapshot(saved)
+			if err := c.stmts(st.Else, pElse); err != nil {
+				return err
+			}
+			elseEnv := snapshot(c.env)
+
+			// Join: names assigned in either branch get a select.
+			merged := snapshot(saved)
+			for name := range c.defCount {
+				tv, inT := thenEnv[name]
+				ev, inE := elseEnv[name]
+				base, hasBase := saved[name]
+				switch {
+				case inT && inE && sameValue(tv, ev) && hasBase && sameValue(tv, base):
+					// unchanged
+				case inT || inE:
+					if !hasBase {
+						// Carry the previous iteration's value on the
+						// unassigned path.
+						base = c.futures[name].Back(1)
+					}
+					a, b := tv, ev
+					if !inT {
+						a = base
+					}
+					if !inE {
+						b = base
+					}
+					if sameValue(a, b) {
+						merged[name] = a
+						continue
+					}
+					var sel ir.Value
+					if !guard.Valid() && c.topIdx >= 0 && c.lastDef[name] == c.topIdx {
+						// Final top-level definition: bind the future at
+						// the join, avoiding an end-of-iteration copy on
+						// the recurrence path.
+						sel = c.b.DefineAs(c.futures[name], "sel", cond, a, b)
+						c.bound[name] = true
+					} else {
+						sel = c.b.Define("sel", cond, a, b)
+					}
+					c.b.Comment(name + " = cond ? then : else")
+					merged[name] = sel
+				}
+			}
+			c.env = merged
+
+		default:
+			return fmt.Errorf("ifconv: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func snapshot(m map[string]ir.Value) map[string]ir.Value {
+	out := make(map[string]ir.Value, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sameValue compares builder values structurally (they are small structs).
+func sameValue(a, b ir.Value) bool { return a == b }

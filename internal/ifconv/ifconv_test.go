@@ -1,0 +1,383 @@
+package ifconv
+
+import (
+	"math/rand"
+	"testing"
+
+	"modsched/internal/codegen"
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/vliw"
+)
+
+// clipRegion: out[i] = min(x[i], cap) via a branch, plus a guarded counter:
+//
+//	xi = xi[-1] + 8
+//	x  = load xi
+//	c  = cmp(x, cap)           // x < cap
+//	if c { y = x } else { y = cap; n = n[-1] + 1 }
+//	si = si[-1] + 8
+//	store si, y
+func clipRegion() *Region {
+	return &Region{
+		Name: "clip",
+		Stmts: []Stmt{
+			Assign{Dest: "xi", Opcode: "aadd", Srcs: []Ref{{Name: "xi", Back: 1}}, Imm: 8},
+			Assign{Dest: "x", Opcode: "load", Srcs: []Ref{R("xi")}},
+			Assign{Dest: "c", Opcode: "cmp", Srcs: []Ref{R("x"), R("cap")}},
+			If{
+				Cond: R("c"),
+				Then: []Stmt{
+					Assign{Dest: "y", Opcode: "copy", Srcs: []Ref{R("x")}},
+				},
+				Else: []Stmt{
+					Assign{Dest: "y", Opcode: "copy", Srcs: []Ref{R("cap")}},
+					Assign{Dest: "n", Opcode: "add", Srcs: []Ref{{Name: "n", Back: 1}}, Imm: 1},
+				},
+			},
+			Assign{Dest: "si", Opcode: "aadd", Srcs: []Ref{{Name: "si", Back: 1}}, Imm: 8},
+			Store{Addr: R("si"), Val: R("y")},
+		},
+		EntryFreq: 1, LoopFreq: 100,
+	}
+}
+
+func clipSpec(trips int64) Spec {
+	mem := map[int64]float64{}
+	for i := int64(0); i < trips; i++ {
+		mem[1000+8*(i+1)] = float64((i * 7) % 13)
+	}
+	return Spec{
+		Vars:       map[string]float64{"xi": 1000, "si": 9000, "n": 0, "y": -1, "x": 0, "c": 0},
+		Invariants: map[string]float64{"cap": 6},
+		Mem:        mem,
+		Trips:      trips,
+	}
+}
+
+func TestStructuredSemantics(t *testing.T) {
+	rgn := clipRegion()
+	out, err := RunStructured(rgn, clipSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check a few clipped stores: values (i*7)%13 clipped at 6.
+	for i := int64(0); i < 10; i++ {
+		v := float64((i * 7) % 13)
+		want := v
+		if v >= 6 {
+			want = 6
+		}
+		if got := out.Mem[9000+8*(i+1)]; got != want {
+			t.Errorf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+	// n counts the clipped iterations.
+	clipped := 0.0
+	for i := int64(0); i < 10; i++ {
+		if float64((i*7)%13) >= 6 {
+			clipped++
+		}
+	}
+	if out.Vars["n"] != clipped {
+		t.Errorf("n = %v, want %v", out.Vars["n"], clipped)
+	}
+}
+
+func TestConvertStructure(t *testing.T) {
+	m := machine.Cydra5()
+	res, err := Convert(clipRegion(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Loop
+	if err := l.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	// Single basic block: the only control construct left is predication
+	// and selects.
+	sels, guardedStores, preds := 0, 0, 0
+	for _, op := range l.RealOps() {
+		if op.Opcode == "sel" {
+			sels++
+		}
+		if op.Pred != ir.NoReg {
+			preds++
+			if op.Opcode == "store" {
+				guardedStores++
+			}
+		}
+	}
+	if sels < 2 {
+		t.Errorf("sels = %d, want >= 2 (y and n joins)", sels)
+	}
+	if preds != 0 {
+		// clip's store is unguarded (it happens on both paths); no
+		// predicated ops expected here.
+		t.Logf("note: %d predicated ops", preds)
+	}
+	if _, ok := res.Regs["y"]; !ok {
+		t.Error("y has no register mapping")
+	}
+	if _, ok := res.Invariants["cap"]; !ok {
+		t.Error("cap has no invariant mapping")
+	}
+}
+
+func TestGuardedStorePredicated(t *testing.T) {
+	m := machine.Cydra5()
+	rgn := &Region{
+		Name: "guardedstore",
+		Stmts: []Stmt{
+			Assign{Dest: "xi", Opcode: "aadd", Srcs: []Ref{{Name: "xi", Back: 1}}, Imm: 8},
+			Assign{Dest: "x", Opcode: "load", Srcs: []Ref{R("xi")}},
+			Assign{Dest: "c", Opcode: "cmp", Srcs: []Ref{R("x"), R("lim")}},
+			If{
+				Cond: R("c"),
+				Then: []Stmt{
+					Assign{Dest: "si", Opcode: "aadd", Srcs: []Ref{{Name: "si", Back: 1}}, Imm: 8},
+					Store{Addr: R("si"), Val: R("x")},
+				},
+			},
+		},
+		EntryFreq: 1, LoopFreq: 50,
+	}
+	res, err := Convert(rgn, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range res.Loop.RealOps() {
+		if op.Opcode == "store" && op.Pred != ir.NoReg {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("store inside the branch must be predicated")
+	}
+	// Caution: si is also conditionally updated -> needs a sel.
+	sels := 0
+	for _, op := range res.Loop.RealOps() {
+		if op.Opcode == "sel" {
+			sels++
+		}
+	}
+	if sels == 0 {
+		t.Error("conditionally updated si needs a select at the join")
+	}
+}
+
+// TestIfConversionPreservesSemantics is the key theorem: structured
+// execution == reference execution of the converted loop == pipelined
+// execution of the converted loop, across machines and trip counts.
+func TestIfConversionPreservesSemantics(t *testing.T) {
+	for _, m := range []*machine.Machine{machine.Cydra5(), machine.Tiny(), machine.Generic(machine.DefaultUnitConfig())} {
+		for _, trips := range []int64{1, 2, 7, 25} {
+			rgn := clipRegion()
+			spec := clipSpec(trips)
+			want, err := RunStructured(rgn, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Convert(rgn, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs := res.ToRunSpec(spec)
+			ref, err := vliw.RunReference(res.Loop, rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareMem(t, m.Name+"/ref", want.Mem, ref.Mem)
+			for name, reg := range res.Regs {
+				if v, ok := ref.Final[reg]; ok && v != want.Vars[name] {
+					t.Errorf("%s: ref %s = %v, want %v", m.Name, name, v, want.Vars[name])
+				}
+			}
+
+			sched, err := core.ModuloSchedule(res.Loop, m, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			k, err := codegen.GenerateKernel(sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := vliw.RunKernel(k, m, rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareMem(t, m.Name+"/kernel", want.Mem, got.Mem)
+		}
+	}
+}
+
+func compareMem(t *testing.T, label string, want, got map[int64]float64) {
+	t.Helper()
+	for a, w := range want {
+		if g := got[a]; g != w {
+			t.Errorf("%s: mem[%d] = %v, want %v", label, a, g, w)
+			return
+		}
+	}
+	for a := range got {
+		if _, ok := want[a]; !ok {
+			t.Errorf("%s: stray write mem[%d]", label, a)
+			return
+		}
+	}
+}
+
+// TestNestedIfs: two levels of nesting with guards composed by mul.
+func TestNestedIfs(t *testing.T) {
+	m := machine.Cydra5()
+	rgn := &Region{
+		Name: "nested",
+		Stmts: []Stmt{
+			Assign{Dest: "xi", Opcode: "aadd", Srcs: []Ref{{Name: "xi", Back: 1}}, Imm: 8},
+			Assign{Dest: "x", Opcode: "load", Srcs: []Ref{R("xi")}},
+			Assign{Dest: "c1", Opcode: "cmp", Srcs: []Ref{R("x"), R("hi")}},
+			If{
+				Cond: R("c1"),
+				Then: []Stmt{
+					Assign{Dest: "c2", Opcode: "cmp", Srcs: []Ref{R("x"), R("lo")}},
+					If{
+						Cond: R("c2"),
+						Then: []Stmt{Assign{Dest: "y", Opcode: "mul", Srcs: []Ref{R("x"), R("x")}}},
+						Else: []Stmt{Assign{Dest: "y", Opcode: "copy", Srcs: []Ref{R("lo")}}},
+					},
+				},
+				Else: []Stmt{Assign{Dest: "y", Opcode: "copy", Srcs: []Ref{R("hi")}}},
+			},
+			Assign{Dest: "si", Opcode: "aadd", Srcs: []Ref{{Name: "si", Back: 1}}, Imm: 8},
+			Store{Addr: R("si"), Val: R("y")},
+		},
+	}
+	const trips = 12
+	mem := map[int64]float64{}
+	for i := int64(0); i < trips; i++ {
+		mem[2000+8*(i+1)] = float64((i*5)%9) - 2
+	}
+	spec := Spec{
+		Vars:       map[string]float64{"xi": 2000, "si": 7000, "x": 0, "y": 0, "c1": 0, "c2": 0},
+		Invariants: map[string]float64{"hi": 5, "lo": 1},
+		Mem:        mem,
+		Trips:      trips,
+	}
+	want, err := RunStructured(rgn, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Convert(rgn, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.ToRunSpec(spec)
+	ref, err := vliw.RunReference(res.Loop, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMem(t, "nested/ref", want.Mem, ref.Mem)
+
+	sched, err := core.ModuloSchedule(res.Loop, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := codegen.GenerateKernel(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vliw.RunKernel(k, m, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMem(t, "nested/kernel", want.Mem, got.Mem)
+}
+
+// TestRandomRegions fuzzes IF-conversion with random structured bodies.
+func TestRandomRegions(t *testing.T) {
+	m := machine.Cydra5()
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		rgn, spec := randomRegion(rng, 10+int64(rng.Intn(20)))
+		want, err := RunStructured(rgn, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Convert(rgn, m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rs := res.ToRunSpec(spec)
+		ref, err := vliw.RunReference(res.Loop, rs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		compareMem(t, "fuzz/ref", want.Mem, ref.Mem)
+
+		sched, err := core.ModuloSchedule(res.Loop, m, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		k, err := codegen.GenerateKernel(sched)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := vliw.RunKernel(k, m, rs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		compareMem(t, "fuzz/kernel", want.Mem, got.Mem)
+	}
+}
+
+// randomRegion generates a structured body: a load stream, a couple of
+// arithmetic defs, one or two (possibly nested) ifs with assignments and
+// guarded stores, plus an unconditional store.
+func randomRegion(rng *rand.Rand, trips int64) (*Region, Spec) {
+	mem := map[int64]float64{}
+	for i := int64(0); i < trips; i++ {
+		a := 3000 + 8*(i+1)
+		mem[a] = float64((a / 8) % 11)
+	}
+	stmts := []Stmt{
+		Assign{Dest: "xi", Opcode: "aadd", Srcs: []Ref{{Name: "xi", Back: 1}}, Imm: 8},
+		Assign{Dest: "x", Opcode: "load", Srcs: []Ref{R("xi")}},
+		Assign{Dest: "t", Opcode: "fmul", Srcs: []Ref{R("x"), R("k")}},
+		Assign{Dest: "c", Opcode: "cmp", Srcs: []Ref{R("x"), R("lim")}},
+	}
+	inner := If{
+		Cond: R("c"),
+		Then: []Stmt{Assign{Dest: "y", Opcode: "fadd", Srcs: []Ref{R("t"), R("x")}}},
+		Else: []Stmt{Assign{Dest: "y", Opcode: "fsub", Srcs: []Ref{R("t"), R("x")}}},
+	}
+	if rng.Float64() < 0.5 {
+		inner.Then = append(inner.Then, Assign{Dest: "acc", Opcode: "fadd", Srcs: []Ref{{Name: "acc", Back: 1}, R("x")}})
+	}
+	stmts = append(stmts, inner)
+	if rng.Float64() < 0.5 {
+		stmts = append(stmts, If{
+			Cond: R("c"),
+			Then: []Stmt{
+				Assign{Dest: "gi", Opcode: "aadd", Srcs: []Ref{{Name: "gi", Back: 1}}, Imm: 8},
+				Store{Addr: R("gi"), Val: R("y")},
+			},
+		})
+	}
+	stmts = append(stmts,
+		Assign{Dest: "si", Opcode: "aadd", Srcs: []Ref{{Name: "si", Back: 1}}, Imm: 8},
+		Store{Addr: R("si"), Val: R("y")},
+	)
+	rgn := &Region{Name: "fuzzrgn", Stmts: stmts}
+	spec := Spec{
+		Vars: map[string]float64{
+			"xi": 3000, "si": 11000, "gi": 15000,
+			"x": 0, "t": 0, "c": 0, "y": 0, "acc": 0,
+		},
+		Invariants: map[string]float64{"k": 2, "lim": 5},
+		Mem:        mem,
+		Trips:      trips,
+	}
+	return rgn, spec
+}

@@ -1,0 +1,242 @@
+package ifconv
+
+import (
+	"fmt"
+	"math"
+
+	"modsched/internal/ir"
+	"modsched/internal/vliw"
+)
+
+// Spec supplies a structured region's live-in state, keyed by variable
+// name.
+type Spec struct {
+	// Vars gives each assigned variable's value before iteration 0;
+	// VarsHist optionally gives deeper history (index j-1 = value j
+	// iterations before entry).
+	Vars     map[string]float64
+	VarsHist map[string][]float64
+	// Invariants binds never-assigned names.
+	Invariants map[string]float64
+	Mem        map[int64]float64
+	Trips      int64
+}
+
+// Outcome is the observable result of running a region.
+type Outcome struct {
+	Mem  map[int64]float64
+	Vars map[string]float64 // final value per assigned variable
+}
+
+// RunStructured executes the region directly — real branches, no
+// predication — defining the semantics IF-conversion must preserve.
+func RunStructured(rgn *Region, spec Spec) (*Outcome, error) {
+	mem := make(map[int64]float64, len(spec.Mem))
+	for k, v := range spec.Mem {
+		mem[k] = v
+	}
+	hist := map[string][]float64{}
+	assigned := map[string]bool{}
+	var collect func([]Stmt)
+	collect = func(list []Stmt) {
+		for _, s := range list {
+			switch st := s.(type) {
+			case Assign:
+				assigned[st.Dest] = true
+			case If:
+				collect(st.Then)
+				collect(st.Else)
+			}
+		}
+	}
+	collect(rgn.Stmts)
+
+	readBack := func(name string, back int64) float64 {
+		if h, ok := spec.VarsHist[name]; ok && back >= 1 && back <= int64(len(h)) {
+			return h[back-1]
+		}
+		return spec.Vars[name]
+	}
+
+	var it int64
+	cur := map[string]float64{}
+	read := func(r Ref) (float64, error) {
+		if !assigned[r.Name] {
+			if r.Back > 0 {
+				return 0, fmt.Errorf("ifconv: Back on invariant %q", r.Name)
+			}
+			return spec.Invariants[r.Name], nil
+		}
+		if r.Back == 0 {
+			v, ok := cur[r.Name]
+			if !ok {
+				return 0, fmt.Errorf("ifconv: %q read before assignment in iteration %d", r.Name, it)
+			}
+			return v, nil
+		}
+		idx := it - int64(r.Back)
+		if idx < 0 {
+			return readBack(r.Name, -idx), nil
+		}
+		return hist[r.Name][idx], nil
+	}
+
+	var exec func([]Stmt) error
+	exec = func(list []Stmt) error {
+		for _, s := range list {
+			switch st := s.(type) {
+			case Assign:
+				srcs := make([]float64, len(st.Srcs))
+				for i, r := range st.Srcs {
+					v, err := read(r)
+					if err != nil {
+						return err
+					}
+					srcs[i] = v
+				}
+				v, err := evalStructured(st.Opcode, srcs, st.Imm, mem)
+				if err != nil {
+					return err
+				}
+				cur[st.Dest] = v
+			case Store:
+				addr, err := read(st.Addr)
+				if err != nil {
+					return err
+				}
+				val, err := read(st.Val)
+				if err != nil {
+					return err
+				}
+				mem[int64(addr)] = val
+			case If:
+				cond, err := read(st.Cond)
+				if err != nil {
+					return err
+				}
+				if cond != 0 {
+					if err := exec(st.Then); err != nil {
+						return err
+					}
+				} else if err := exec(st.Else); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	for it = 0; it < spec.Trips; it++ {
+		// Variables not reassigned this iteration carry their previous
+		// value forward (the structured form has ordinary variable
+		// semantics).
+		next := map[string]float64{}
+		for name := range assigned {
+			if it == 0 {
+				next[name] = readBack(name, 1)
+			} else {
+				next[name] = hist[name][it-1]
+			}
+		}
+		cur = next
+		if err := exec(rgn.Stmts); err != nil {
+			return nil, err
+		}
+		for name := range assigned {
+			hist[name] = append(hist[name], cur[name])
+		}
+	}
+
+	out := &Outcome{Mem: mem, Vars: map[string]float64{}}
+	for name := range assigned {
+		if h := hist[name]; len(h) > 0 {
+			out.Vars[name] = h[len(h)-1]
+		}
+	}
+	return out, nil
+}
+
+// evalStructured mirrors the machine semantics for the structured form,
+// including loads.
+func evalStructured(opcode string, srcs []float64, imm int64, mem map[int64]float64) (float64, error) {
+	if opcode == "load" {
+		if len(srcs) < 1 {
+			return 0, fmt.Errorf("ifconv: load needs an address")
+		}
+		return mem[int64(srcs[0])], nil
+	}
+	a := func(i int) float64 {
+		if i < len(srcs) {
+			return srcs[i]
+		}
+		return 0
+	}
+	switch opcode {
+	case "add", "aadd", "fadd":
+		s := float64(imm)
+		for _, v := range srcs {
+			s += v
+		}
+		return s, nil
+	case "sub", "asub", "fsub":
+		return a(0) - a(1) - float64(imm), nil
+	case "mul", "fmul":
+		if len(srcs) == 1 {
+			return a(0) * float64(imm), nil
+		}
+		return a(0) * a(1), nil
+	case "div", "fdiv":
+		d := a(1)
+		if len(srcs) == 1 {
+			d = float64(imm)
+		}
+		if d == 0 {
+			return 0, nil
+		}
+		return a(0) / d, nil
+	case "fsqrt":
+		if a(0) < 0 {
+			return 0, nil
+		}
+		return math.Sqrt(a(0)), nil
+	case "copy":
+		return a(0) + float64(imm), nil
+	case "sel":
+		if a(0) != 0 {
+			return a(1), nil
+		}
+		return a(2), nil
+	case "cmp":
+		if a(0) < a(1) {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("ifconv: no semantics for %q", opcode)
+	}
+}
+
+// ToRunSpec translates a structured Spec into a vliw.RunSpec for the
+// converted loop, binding the synthetic "$one" constant.
+func (r *Result) ToRunSpec(spec Spec) vliw.RunSpec {
+	out := vliw.RunSpec{
+		Init:     map[ir.Reg]float64{},
+		InitHist: map[ir.Reg][]float64{},
+		Mem:      spec.Mem,
+		Trips:    spec.Trips,
+	}
+	for name, reg := range r.Regs {
+		out.Init[reg] = spec.Vars[name]
+		if h, ok := spec.VarsHist[name]; ok {
+			out.InitHist[reg] = h
+		}
+	}
+	for name, reg := range r.Invariants {
+		if name == "$one" {
+			out.Init[reg] = 1
+			continue
+		}
+		out.Init[reg] = spec.Invariants[name]
+	}
+	return out
+}

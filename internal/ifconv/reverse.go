@@ -1,0 +1,144 @@
+package ifconv
+
+import (
+	"fmt"
+
+	"modsched/internal/ir"
+)
+
+// ReverseIfConvert regenerates structured control flow from a predicated
+// single-block loop (the paper's step for machines without predicated
+// execution, after Warter et al., "Reverse if-conversion"): consecutive
+// operations guarded by the same predicate become an if-block, and —
+// when expandSel is set — select operations become if/else assignments,
+// leaving no predication or conditional moves in the result.
+//
+// The inverse direction of Convert: for any loop this package produced,
+// RunStructured(ReverseIfConvert(l)) computes exactly what
+// vliw.RunReference(l) computes. Restrictions: predicates must be read at
+// distance 0 (IF-conversion never produces anything else), and operations
+// may not be multiply-guarded (one predicate register per op, which is
+// this IR's shape by construction).
+func ReverseIfConvert(l *ir.Loop, expandSel bool) (*Region, map[string]ir.Reg, error) {
+	variant := l.VariantRegs()
+	nameOf := func(r ir.Reg) string {
+		if variant[r] {
+			return fmt.Sprintf("v%d", r)
+		}
+		return fmt.Sprintf("c%d", r)
+	}
+	refOf := func(r ir.Reg, dist int) Ref {
+		return Ref{Name: nameOf(r), Back: dist}
+	}
+	names := make(map[string]ir.Reg)
+	for _, op := range l.Ops {
+		if op.Dest != ir.NoReg {
+			names[nameOf(op.Dest)] = op.Dest
+		}
+		for _, r := range op.Srcs {
+			names[nameOf(r)] = r
+		}
+		if op.Pred != ir.NoReg {
+			names[nameOf(op.Pred)] = op.Pred
+		}
+	}
+
+	rgn := &Region{Name: l.Name, EntryFreq: l.EntryFreq, LoopFreq: l.LoopFreq}
+
+	// Group consecutive ops with the same guard into one If.
+	var curIf *If
+	var curPred ir.Reg
+	flushIf := func() {
+		if curIf != nil {
+			rgn.Stmts = append(rgn.Stmts, *curIf)
+			curIf = nil
+			curPred = ir.NoReg
+		}
+	}
+	emit := func(st Stmt, pred ir.Reg) {
+		if pred == ir.NoReg {
+			flushIf()
+			rgn.Stmts = append(rgn.Stmts, st)
+			return
+		}
+		if curIf == nil || curPred != pred {
+			flushIf()
+			curIf = &If{Cond: Ref{Name: nameOf(pred)}}
+			curPred = pred
+		}
+		curIf.Then = append(curIf.Then, st)
+	}
+
+	for _, op := range l.RealOps() {
+		if op.Opcode == "brtop" {
+			continue // the loop-back branch is implicit in the Region form
+		}
+		if op.Pred != ir.NoReg && op.PredDist != 0 {
+			return nil, nil, fmt.Errorf("ifconv: op %d guarded by a distance-%d predicate; reverse IF-conversion requires distance 0", op.ID, op.PredDist)
+		}
+
+		// Expand selects into if/else when requested.
+		if expandSel && op.Opcode == "sel" && op.Pred == ir.NoReg && len(op.Srcs) == 3 {
+			d := func(i int) int {
+				if op.SrcDists != nil {
+					return op.SrcDists[i]
+				}
+				return 0
+			}
+			flushIf()
+			rgn.Stmts = append(rgn.Stmts, If{
+				Cond: refOf(op.Srcs[0], d(0)),
+				Then: []Stmt{Assign{Dest: nameOf(op.Dest), Opcode: "copy", Srcs: []Ref{refOf(op.Srcs[1], d(1))}}},
+				Else: []Stmt{Assign{Dest: nameOf(op.Dest), Opcode: "copy", Srcs: []Ref{refOf(op.Srcs[2], d(2))}}},
+			})
+			continue
+		}
+
+		var srcs []Ref
+		for si, r := range op.Srcs {
+			dd := 0
+			if op.SrcDists != nil {
+				dd = op.SrcDists[si]
+			}
+			srcs = append(srcs, refOf(r, dd))
+		}
+		var st Stmt
+		if op.Opcode == "store" {
+			if len(srcs) != 2 {
+				return nil, nil, fmt.Errorf("ifconv: store op %d has %d operands", op.ID, len(srcs))
+			}
+			st = Store{Addr: srcs[0], Val: srcs[1]}
+		} else {
+			if op.Dest == ir.NoReg {
+				return nil, nil, fmt.Errorf("ifconv: op %d (%s) has no destination and is not a store/brtop", op.ID, op.Opcode)
+			}
+			st = Assign{Dest: nameOf(op.Dest), Opcode: op.Opcode, Srcs: srcs, Imm: op.Imm}
+		}
+		emit(st, op.Pred)
+	}
+	flushIf()
+	return rgn, names, nil
+}
+
+// SpecFromRunSpec translates a vliw.RunSpec for the original predicated
+// loop into the name-keyed Spec the regenerated structured form uses.
+func SpecFromRunSpec(names map[string]ir.Reg, init map[ir.Reg]float64, initHist map[ir.Reg][]float64, mem map[int64]float64, trips int64) Spec {
+	spec := Spec{
+		Vars:       map[string]float64{},
+		VarsHist:   map[string][]float64{},
+		Invariants: map[string]float64{},
+		Mem:        mem,
+		Trips:      trips,
+	}
+	for name, reg := range names {
+		if name[0] == 'v' {
+			spec.Vars[name] = init[reg]
+			if h, ok := initHist[reg]; ok {
+				spec.VarsHist[name] = h
+			}
+		} else {
+			spec.Invariants[name] = init[reg]
+		}
+	}
+	return spec
+}

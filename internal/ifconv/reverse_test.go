@@ -1,0 +1,187 @@
+package ifconv
+
+import (
+	"math/rand"
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/vliw"
+)
+
+// predicatedLoop builds a hand-predicated loop with a guarded store and a
+// guarded accumulator.
+func predicatedLoop(t testing.TB, m *machine.Machine) (*ir.Loop, *ir.Builder) {
+	t.Helper()
+	b := ir.NewBuilder("predloop", m)
+	xi := b.Future()
+	b.DefineAsImm(xi, "aadd", 8, xi.Back(1))
+	x := b.Define("load", xi)
+	p := b.Define("cmp", x, b.Invariant("lim"))
+	b.SetPred(p)
+	s := b.Future()
+	b.DefineAs(s, "fadd", s.Back(1), x)
+	si := b.Future()
+	b.DefineAsImm(si, "aadd", 8, si.Back(1))
+	b.Effect("store", si, x)
+	b.ClearPred()
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, b
+}
+
+func TestReverseGroupsGuardedOps(t *testing.T) {
+	m := machine.Cydra5()
+	l, _ := predicatedLoop(t, m)
+	rgn, _, err := ReverseIfConvert(l, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The three consecutive guarded ops must fold into one If with three
+	// statements; nothing in the region may carry predication.
+	ifCount, ifLen := 0, 0
+	for _, st := range rgn.Stmts {
+		if iff, ok := st.(If); ok {
+			ifCount++
+			ifLen = len(iff.Then)
+		}
+	}
+	if ifCount != 1 || ifLen != 3 {
+		t.Errorf("want one If with 3 stmts, got %d Ifs (last len %d)", ifCount, ifLen)
+	}
+}
+
+func TestReverseMatchesReference(t *testing.T) {
+	m := machine.Cydra5()
+	l, b := predicatedLoop(t, m)
+	const trips = 20
+	mem := map[int64]float64{}
+	for i := int64(0); i < trips; i++ {
+		mem[1000+8*(i+1)] = float64((i * 3) % 7)
+	}
+	init := map[ir.Reg]float64{}
+	for _, v := range []ir.Value{} {
+		_ = v
+	}
+	// Collect registers from the builder.
+	var xi, s, si, lim ir.Reg
+	for _, op := range l.RealOps() {
+		switch op.Opcode {
+		case "aadd":
+			if xi == 0 {
+				xi = op.Dest
+			} else {
+				si = op.Dest
+			}
+		case "fadd":
+			s = op.Dest
+		case "cmp":
+			lim = op.Srcs[1]
+		}
+	}
+	_ = b
+	init[xi] = 1000
+	init[si] = 9000
+	init[s] = 0
+	init[lim] = 4
+	spec := vliw.RunSpec{Init: init, Mem: mem, Trips: trips}
+	ref, err := vliw.RunReference(l, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, expandSel := range []bool{false, true} {
+		rgn, names, err := ReverseIfConvert(l, expandSel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sspec := SpecFromRunSpec(names, init, nil, mem, trips)
+		got, err := RunStructured(rgn, sspec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a, want := range ref.Mem {
+			if g := got.Mem[a]; g != want {
+				t.Fatalf("expandSel=%v: mem[%d] = %v, want %v", expandSel, a, g, want)
+			}
+		}
+		for a := range got.Mem {
+			if _, ok := ref.Mem[a]; !ok {
+				t.Fatalf("expandSel=%v: stray write mem[%d]", expandSel, a)
+			}
+		}
+	}
+}
+
+// TestRoundTripConvertReverse: Convert(ReverseIfConvert(Convert(region)))
+// preserves semantics — the two transformations are mutual inverses up to
+// renaming.
+func TestRoundTripConvertReverse(t *testing.T) {
+	m := machine.Cydra5()
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 20; trial++ {
+		rgn, spec := randomRegion(rng, 8+int64(rng.Intn(12)))
+		want, err := RunStructured(rgn, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Convert(rgn, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, names, err := ReverseIfConvert(res.Loop, true)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rs := res.ToRunSpec(spec)
+		bspec := SpecFromRunSpec(names, rs.Init, rs.InitHist, spec.Mem, spec.Trips)
+		got, err := RunStructured(back, bspec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for a, w := range want.Mem {
+			if g := got.Mem[a]; g != w {
+				t.Fatalf("trial %d: mem[%d] = %v, want %v", trial, a, g, w)
+			}
+		}
+		// The reverse form must be convertible again and still agree.
+		res2, err := Convert(back, m)
+		if err != nil {
+			t.Fatalf("trial %d: reconvert: %v", trial, err)
+		}
+		rspec2 := res2.ToRunSpec(bspec.toNamed())
+		ref2, err := vliw.RunReference(res2.Loop, rspec2)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for a, w := range want.Mem {
+			if g := ref2.Mem[a]; g != w {
+				t.Fatalf("trial %d: reconverted mem[%d] = %v, want %v", trial, a, g, w)
+			}
+		}
+	}
+}
+
+// toNamed is an identity helper so the reconversion uses the same Spec.
+func (s Spec) toNamed() Spec { return s }
+
+func TestReverseRejectsDistancePredicates(t *testing.T) {
+	m := machine.Cydra5()
+	b := ir.NewBuilder("badpred", m)
+	p := b.Future()
+	b.DefineAs(p, "cmp", b.Invariant("a"), b.Invariant("bb"))
+	b.SetPred(p.Back(1))
+	b.Define("copy", b.Invariant("c"))
+	b.ClearPred()
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReverseIfConvert(l, false); err == nil {
+		t.Error("distance-1 predicate accepted")
+	}
+}

@@ -1,0 +1,519 @@
+// Package kernels hand-translates the Livermore Fortran Kernels (and the
+// loop idioms the paper's corpus is rich in) into the scheduler's IR,
+// standing in for the 27 LFK loops of the paper's input set. Each builder
+// mirrors the dataflow of the original source: array streams become
+// address-increment recurrences plus loads, reductions and linear
+// recurrences become cross-iteration flow dependences, and conditionals
+// are IF-converted to predicated operations.
+package kernels
+
+import (
+	"fmt"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// Kernel couples a name with its loop builder.
+type Kernel struct {
+	Name  string
+	Descr string
+	Build func(m *machine.Machine) (*ir.Loop, error)
+}
+
+// addr adds a back-substituted address increment: ai = ai[-3] + 24, the
+// form the Cydra 5 compiler's recurrence back-substitution produces so the
+// latency-3 address add never constrains the II.
+func addr(b *ir.Builder, name string) ir.Value {
+	ai := b.Future()
+	b.DefineAsImm(ai, "aadd", 24, ai.Back(3))
+	b.Comment(name + " address (back-substituted)")
+	return ai
+}
+
+// stream adds an address-increment recurrence and returns a load from it.
+func stream(b *ir.Builder, name string) ir.Value {
+	v := b.Define("load", addr(b, name))
+	b.Comment("load " + name + "[i]")
+	return v
+}
+
+// sink adds an address-increment recurrence and stores v through it.
+func sink(b *ir.Builder, name string, v ir.Value) ir.Op {
+	op := b.Effect("store", addr(b, name), v)
+	b.Comment("store " + name + "[i]")
+	return op
+}
+
+func finish(b *ir.Builder, entry, trips int64) (*ir.Loop, error) {
+	b.Effect("brtop")
+	b.Comment("loop-closing branch")
+	b.SetProfile(entry, entry*trips)
+	return b.Build()
+}
+
+// All returns the full kernel suite as loops valid on machine m.
+func All(m *machine.Machine) ([]*ir.Loop, error) {
+	ks := Suite()
+	loops := make([]*ir.Loop, 0, len(ks))
+	for _, k := range ks {
+		l, err := k.Build(m)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: %s: %w", k.Name, err)
+		}
+		loops = append(loops, l)
+	}
+	return loops, nil
+}
+
+// Suite lists all kernels.
+func Suite() []Kernel {
+	return []Kernel{
+		{"lfk01_hydro", "x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])", lfk01},
+		{"lfk02_iccg", "incomplete Cholesky conjugate gradient inner loop", lfk02},
+		{"lfk03_inner_product", "q += z[k]*x[k]", lfk03},
+		{"lfk04_banded_linear", "banded linear equations inner loop", lfk04},
+		{"lfk05_tridiag", "x[i] = z[i]*(y[i] - x[i-1])", lfk05},
+		{"lfk06_linear_recurrence", "general linear recurrence w[i] += b[i,k]*w[i-k]", lfk06},
+		{"lfk07_state_eqn", "equation-of-state fragment (long expression)", lfk07},
+		{"lfk08_adi", "ADI integration fragment", lfk08},
+		{"lfk09_numerical_integration", "px[i] = dm28*px[13,i] + ... (polynomial)", lfk09},
+		{"lfk10_numerical_differentiation", "difference predictors", lfk10},
+		{"lfk11_first_sum", "x[k] = x[k-1] + y[k]", lfk11},
+		{"lfk12_first_diff", "x[k] = y[k+1] - y[k]", lfk12},
+		{"lfk13_particle_in_cell", "2-D PIC fragment (gather/scatter)", lfk13},
+		{"lfk14_particle_pushing", "1-D PIC particle pushing", lfk14},
+		{"lfk15_casual_fortran", "casual Fortran fragment (predicated)", lfk15},
+		{"lfk16_monte_carlo", "Monte Carlo search (predicated compare chain)", lfk16},
+		{"lfk17_implicit_conditional", "implicit conditional computation", lfk17},
+		{"lfk18_explicit_hydro", "2-D explicit hydrodynamics fragment", lfk18},
+		{"lfk19_linear_recurrence2", "general linear recurrence (forward sweep)", lfk19},
+		{"lfk20_discrete_ordinates", "discrete ordinates transport (recurrence with divide)", lfk20},
+		{"lfk21_matmul_inner", "matrix*matrix product inner loop", lfk21},
+		{"lfk22_planck", "Planckian distribution (exp approximated by divide)", lfk22},
+		{"lfk23_implicit_hydro", "2-D implicit hydrodynamics (recurrence)", lfk23},
+		{"lfk24_min_search", "find location of first minimum (predicated)", lfk24},
+		{"daxpy", "y[i] += a*x[i]", daxpy},
+		{"stencil3", "three-point stencil with invariant weights", stencil3},
+		{"saxpy_strided", "strided saxpy with two induction variables", saxpyStrided},
+	}
+}
+
+// ---- individual kernels -------------------------------------------------
+
+func lfk01(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk01_hydro", m)
+	z10 := stream(b, "z+10")
+	z11 := stream(b, "z+11")
+	y := stream(b, "y")
+	r := b.Invariant("r")
+	t := b.Invariant("t")
+	q := b.Invariant("q")
+	t1 := b.Define("fmul", r, z10)
+	t2 := b.Define("fmul", t, z11)
+	t3 := b.Define("fadd", t1, t2)
+	t4 := b.Define("fmul", y, t3)
+	t5 := b.Define("fadd", q, t4)
+	sink(b, "x", t5)
+	return finish(b, 1, 1001)
+}
+
+func lfk02(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk02_iccg", m)
+	v := stream(b, "v")
+	x1 := stream(b, "x")
+	x2 := stream(b, "x+1")
+	t1 := b.Define("fmul", v, x2)
+	t2 := b.Define("fsub", x1, t1)
+	sink(b, "x", t2)
+	return finish(b, 20, 500)
+}
+
+func lfk03(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk03_inner_product", m)
+	z := stream(b, "z")
+	x := stream(b, "x")
+	p := b.Define("fmul", z, x)
+	q := b.Future()
+	b.DefineAs(q, "fadd", q.Back(1), p)
+	b.Comment("q accumulation")
+	return finish(b, 1, 1001)
+}
+
+func lfk04(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk04_banded_linear", m)
+	y := stream(b, "y")
+	x := stream(b, "x")
+	t1 := b.Define("fmul", x, y)
+	s := b.Future()
+	b.DefineAs(s, "fsub", s.Back(1), t1)
+	b.Comment("xx - sum reduction")
+	return finish(b, 3, 333)
+}
+
+func lfk05(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk05_tridiag", m)
+	z := stream(b, "z")
+	y := stream(b, "y")
+	x := b.Future()
+	t1 := b.Define("fsub", y, x.Back(1))
+	b.DefineAs(x, "fmul", z, t1)
+	b.Comment("x[i] = z[i]*(y[i]-x[i-1])")
+	sink(b, "x", x)
+	return finish(b, 1, 997)
+}
+
+func lfk06(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk06_linear_recurrence", m)
+	bb := stream(b, "b")
+	w := b.Future()
+	t1 := b.Define("fmul", bb, w.Back(1))
+	t2 := b.Define("fmul", t1, b.Invariant("scale"))
+	b.DefineAs(w, "fadd", w.Back(1), t2)
+	b.Comment("w += b*w(prev)")
+	return finish(b, 10, 100)
+}
+
+func lfk07(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk07_state_eqn", m)
+	u := stream(b, "u")
+	z := stream(b, "z")
+	y := stream(b, "y")
+	u1 := stream(b, "u+1")
+	u2 := stream(b, "u+2")
+	u3 := stream(b, "u+3")
+	r := b.Invariant("r")
+	t := b.Invariant("t")
+	a := b.Define("fmul", r, z)
+	c := b.Define("fmul", t, u1)
+	d := b.Define("fadd", u, c)
+	e := b.Define("fmul", r, d)
+	f := b.Define("fadd", y, e)
+	g := b.Define("fmul", t, u2)
+	h := b.Define("fadd", g, u3)
+	i := b.Define("fmul", r, h)
+	j := b.Define("fadd", i, a)
+	k := b.Define("fadd", f, j)
+	l := b.Define("fmul", u, k)
+	sink(b, "x", l)
+	return finish(b, 1, 995)
+}
+
+func lfk08(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk08_adi", m)
+	du1 := stream(b, "du1")
+	du2 := stream(b, "du2")
+	du3 := stream(b, "du3")
+	u1 := stream(b, "u1")
+	u2 := stream(b, "u2")
+	u3 := stream(b, "u3")
+	sig := b.Invariant("sig")
+	a11 := b.Invariant("a11")
+	a12 := b.Invariant("a12")
+	a13 := b.Invariant("a13")
+	t1 := b.Define("fmul", a12, du1)
+	t2 := b.Define("fmul", a13, du2)
+	t3 := b.Define("fadd", t1, t2)
+	t4 := b.Define("fmul", a11, u1)
+	t5 := b.Define("fadd", t3, t4)
+	t6 := b.Define("fmul", sig, t5)
+	t7 := b.Define("fmul", du3, t6)
+	t8 := b.Define("fadd", u2, t7)
+	sink(b, "u1out", t8)
+	t9 := b.Define("fmul", t6, u3)
+	sink(b, "u2out", t9)
+	return finish(b, 2, 100)
+}
+
+func lfk09(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk09_numerical_integration", m)
+	px1 := stream(b, "px1")
+	px2 := stream(b, "px2")
+	px3 := stream(b, "px3")
+	px4 := stream(b, "px4")
+	c0 := b.Invariant("dm22")
+	c1 := b.Invariant("dm23")
+	c2 := b.Invariant("dm24")
+	t1 := b.Define("fmul", c0, px2)
+	t2 := b.Define("fmul", c1, px3)
+	t3 := b.Define("fmul", c2, px4)
+	t4 := b.Define("fadd", t1, t2)
+	t5 := b.Define("fadd", t4, t3)
+	t6 := b.Define("fadd", px1, t5)
+	sink(b, "px", t6)
+	return finish(b, 1, 101)
+}
+
+func lfk10(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk10_numerical_differentiation", m)
+	cx := stream(b, "cx")
+	px1 := stream(b, "px1")
+	px2 := stream(b, "px2")
+	ar := cx
+	br := b.Define("fsub", ar, px1)
+	cr := b.Define("fsub", br, px2)
+	sink(b, "px_a", ar)
+	sink(b, "px_b", br)
+	sink(b, "px_c", cr)
+	return finish(b, 1, 101)
+}
+
+func lfk11(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk11_first_sum", m)
+	y := stream(b, "y")
+	x := b.Future()
+	b.DefineAs(x, "fadd", x.Back(1), y)
+	b.Comment("x[k] = x[k-1] + y[k]")
+	sink(b, "x", x)
+	return finish(b, 1, 1000)
+}
+
+func lfk12(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk12_first_diff", m)
+	y1 := stream(b, "y+1")
+	y0 := stream(b, "y")
+	d := b.Define("fsub", y1, y0)
+	sink(b, "x", d)
+	return finish(b, 1, 999)
+}
+
+func lfk13(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk13_particle_in_cell", m)
+	p1 := stream(b, "p.x")
+	p2 := stream(b, "p.y")
+	// gather: address depends on loaded data
+	i1 := b.Define("add", p1, b.Invariant("gridbase"))
+	y1 := b.Define("load", i1)
+	b.Comment("gather b[j1,k1]")
+	i2 := b.Define("add", p2, b.Invariant("gridbase2"))
+	y2 := b.Define("load", i2)
+	b.Comment("gather c[j2,k2]")
+	s1 := b.Define("fadd", p1, y1)
+	s2 := b.Define("fadd", p2, y2)
+	st1 := sink(b, "p.x", s1)
+	st2 := sink(b, "p.y", s2)
+	// scatter: store whose address is data-dependent may alias the gathers
+	b.Dep(b.OpOf(y1), st1, ir.Anti, 1)
+	b.Dep(b.OpOf(y2), st2, ir.Anti, 1)
+	return finish(b, 1, 128)
+}
+
+func lfk14(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk14_particle_pushing", m)
+	vx := stream(b, "vx")
+	xx := stream(b, "xx")
+	grd := stream(b, "grd")
+	ir1 := b.Define("add", grd, b.Invariant("zero"))
+	xi := b.Define("fsub", xx, ir1)
+	ex := b.Define("load", b.Define("add", ir1, b.Invariant("exbase")))
+	b.Comment("gather ex[ir]")
+	dex := b.Define("load", b.Define("add", ir1, b.Invariant("dexbase")))
+	b.Comment("gather dex[ir]")
+	t1 := b.Define("fmul", dex, xi)
+	t2 := b.Define("fadd", ex, t1)
+	vnew := b.Define("fadd", vx, t2)
+	xnew := b.Define("fadd", xx, vnew)
+	sink(b, "vx", vnew)
+	sink(b, "xx", xnew)
+	return finish(b, 1, 150)
+}
+
+func lfk15(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk15_casual_fortran", m)
+	vy := stream(b, "vy")
+	vh := stream(b, "vh")
+	p := b.Define("cmp", vy, b.Invariant("cutoff"))
+	b.Comment("if (vy > cutoff)")
+	b.SetPred(p)
+	t1 := b.Define("fmul", vh, b.Invariant("scale"))
+	t2 := b.Define("fadd", t1, b.Invariant("bias"))
+	b.ClearPred()
+	r := b.Define("fadd", t2, vy)
+	sink(b, "vs", r)
+	return finish(b, 7, 100)
+}
+
+func lfk16(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk16_monte_carlo", m)
+	zone := stream(b, "zone")
+	plan := stream(b, "plan")
+	t1 := b.Define("fsub", plan, b.Invariant("r"))
+	p1 := b.Define("cmp", t1, b.Invariant("zero"))
+	b.SetPred(p1)
+	t2 := b.Define("fadd", zone, b.Invariant("one"))
+	b.ClearPred()
+	p2 := b.Define("cmp", t2, zone)
+	b.SetPred(p2)
+	t3 := b.Define("fsub", t2, zone)
+	b.ClearPred()
+	sink(b, "k", t3)
+	return finish(b, 4, 230)
+}
+
+func lfk17(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk17_implicit_conditional", m)
+	vxne := stream(b, "vxne")
+	vlr := stream(b, "vlr")
+	s := b.Future()
+	t1 := b.Define("fmul", vlr, s.Back(1))
+	t2 := b.Define("fadd", t1, vxne)
+	p := b.Define("cmp", t2, b.Invariant("limit"))
+	b.SetPred(p)
+	t3 := b.Define("fmul", t2, b.Invariant("half"))
+	b.ClearPred()
+	b.DefineAs(s, "fadd", t3, b.Invariant("eps"))
+	b.Comment("scale update recurrence")
+	sink(b, "vxnd", t2)
+	return finish(b, 1, 101)
+}
+
+func lfk18(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk18_explicit_hydro", m)
+	za1 := stream(b, "za[j,k]")
+	za2 := stream(b, "za[j-1,k]")
+	zb1 := stream(b, "zb[j,k]")
+	zb2 := stream(b, "zb[j,k-1]")
+	zu := stream(b, "zu")
+	zv := stream(b, "zv")
+	t1 := b.Define("fsub", za1, za2)
+	t2 := b.Define("fsub", zb1, zb2)
+	t3 := b.Define("fmul", t1, b.Invariant("s"))
+	t4 := b.Define("fmul", t2, b.Invariant("t"))
+	t5 := b.Define("fadd", zu, t3)
+	t6 := b.Define("fadd", zv, t4)
+	sink(b, "zu", t5)
+	sink(b, "zv", t6)
+	return finish(b, 6, 100)
+}
+
+func lfk19(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk19_linear_recurrence2", m)
+	sa := stream(b, "sa")
+	sb := stream(b, "sb")
+	stb := b.Future()
+	t1 := b.Define("fmul", sa, stb.Back(1))
+	b.DefineAs(stb, "fsub", sb, t1)
+	b.Comment("stb[k] = sb[k] - sa[k]*stb[k-1]")
+	sink(b, "stb", stb)
+	return finish(b, 2, 101)
+}
+
+func lfk20(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk20_discrete_ordinates", m)
+	y := stream(b, "y")
+	u := stream(b, "u")
+	v := stream(b, "v")
+	w := stream(b, "w")
+	x := b.Future()
+	t1 := b.Define("fmul", u, x.Back(1))
+	t2 := b.Define("fadd", t1, v)
+	t3 := b.Define("fmul", w, t2)
+	t4 := b.Define("fadd", y, t3)
+	t5 := b.Define("fadd", t4, b.Invariant("dk"))
+	b.DefineAs(x, "fdiv", t3, t5)
+	b.Comment("xx = di*vx; recurrence through divide")
+	sink(b, "x", x)
+	return finish(b, 1, 1000)
+}
+
+func lfk21(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk21_matmul_inner", m)
+	cx := stream(b, "cx[i,k]")
+	vy := stream(b, "vy[k,j]")
+	t1 := b.Define("fmul", cx, vy)
+	px := b.Future()
+	b.DefineAs(px, "fadd", px.Back(1), t1)
+	b.Comment("px[i,j] accumulation")
+	return finish(b, 25, 625)
+}
+
+func lfk22(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk22_planck", m)
+	u := stream(b, "u")
+	v := stream(b, "v")
+	x := stream(b, "x")
+	t1 := b.Define("fdiv", u, v)
+	b.Comment("y[k] = u[k]/v[k]")
+	t2 := b.Define("fmul", x, t1)
+	t3 := b.Define("fsub", t2, b.Invariant("one"))
+	t4 := b.Define("fdiv", x, t3)
+	sink(b, "w", t4)
+	return finish(b, 1, 101)
+}
+
+func lfk23(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk23_implicit_hydro", m)
+	za := stream(b, "za")
+	zb := stream(b, "zb")
+	zu := stream(b, "zu")
+	zv := stream(b, "zv")
+	zz := b.Future()
+	t1 := b.Define("fmul", za, zz.Back(1))
+	t2 := b.Define("fadd", zu, t1)
+	t3 := b.Define("fmul", zb, t2)
+	t4 := b.Define("fadd", zv, t3)
+	qa := b.Define("fmul", t4, b.Invariant("fw"))
+	t5 := b.Define("fsub", qa, zb)
+	b.DefineAs(zz, "fadd", zz.Back(1), t5)
+	b.Comment("zz[j,k] += fw*(qa - zz[j,k])")
+	sink(b, "zz", zz)
+	return finish(b, 4, 250)
+}
+
+func lfk24(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("lfk24_min_search", m)
+	x := stream(b, "x")
+	mcur := b.Future()
+	p := b.Define("cmp", x, mcur.Back(1))
+	b.Comment("if (x[k] < xmin)")
+	b.SetPred(p)
+	b.DefineAs(mcur, "copy", x)
+	b.Comment("xmin = x[k] (predicated)")
+	idx := b.Future()
+	b.DefineAsImm(idx, "add", 1, idx.Back(1))
+	b.Comment("m = k (index track)")
+	b.ClearPred()
+	return finish(b, 1, 1001)
+}
+
+func daxpy(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("daxpy", m)
+	x := stream(b, "x")
+	y := stream(b, "y")
+	t1 := b.Define("fmul", b.Invariant("a"), x)
+	t2 := b.Define("fadd", y, t1)
+	sink(b, "y", t2)
+	return finish(b, 5, 2000)
+}
+
+func stencil3(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("stencil3", m)
+	xm := stream(b, "x-1")
+	x0 := stream(b, "x")
+	xp := stream(b, "x+1")
+	t1 := b.Define("fmul", b.Invariant("w0"), xm)
+	t2 := b.Define("fmul", b.Invariant("w1"), x0)
+	t3 := b.Define("fmul", b.Invariant("w2"), xp)
+	t4 := b.Define("fadd", t1, t2)
+	t5 := b.Define("fadd", t4, t3)
+	sink(b, "y", t5)
+	return finish(b, 1, 512)
+}
+
+func saxpyStrided(m *machine.Machine) (*ir.Loop, error) {
+	b := ir.NewBuilder("saxpy_strided", m)
+	xi := b.Future()
+	b.DefineAsImm(xi, "aadd", 32, xi.Back(1))
+	b.Comment("x stride-4 address")
+	x := b.Define("load", xi)
+	yi := b.Future()
+	b.DefineAsImm(yi, "aadd", 16, yi.Back(1))
+	b.Comment("y stride-2 address")
+	y := b.Define("load", yi)
+	t1 := b.Define("fmul", b.Invariant("a"), x)
+	t2 := b.Define("fadd", y, t1)
+	si := b.Future()
+	b.DefineAsImm(si, "aadd", 16, si.Back(1))
+	b.Effect("store", si, t2)
+	return finish(b, 3, 500)
+}

@@ -1,0 +1,62 @@
+package kernels
+
+import (
+	"testing"
+
+	"modsched/internal/core"
+	"modsched/internal/machine"
+)
+
+func TestAllKernelsBuildAndSchedule(t *testing.T) {
+	for _, mach := range []*machine.Machine{machine.Cydra5(), machine.Generic(machine.DefaultUnitConfig())} {
+		mach := mach
+		t.Run(mach.Name, func(t *testing.T) {
+			loops, err := All(mach)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(loops) != 27 {
+				t.Fatalf("suite has %d kernels, want 27", len(loops))
+			}
+			opts := core.DefaultOptions()
+			opts.BudgetRatio = 6
+			for _, l := range loops {
+				s, err := core.ModuloSchedule(l, mach, opts)
+				if err != nil {
+					t.Errorf("%s: %v", l.Name, err)
+					continue
+				}
+				t.Logf("%-28s N=%3d MII=%3d II=%3d SL=%3d stages=%d", l.Name, l.NumRealOps(), s.MII, s.II, s.Length, s.StageCount())
+			}
+		})
+	}
+}
+
+func TestKernelRecurrencesConstrainII(t *testing.T) {
+	mach := machine.Cydra5()
+	loops, err := All(mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, l := range loops {
+		s, err := core.ModuloSchedule(l, mach, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		byName[l.Name] = s.II
+	}
+	// lfk05 carries x[i-1] through fsub+fmul: RecMII >= 8 on the Cydra 5
+	// (two dependent 4-cycle ops per iteration).
+	if byName["lfk05_tridiag"] < 8 {
+		t.Errorf("lfk05 II=%d, want >= 8 (recurrence-bound)", byName["lfk05_tridiag"])
+	}
+	// lfk20's recurrence runs through a 22-cycle divide.
+	if byName["lfk20_discrete_ordinates"] < 22 {
+		t.Errorf("lfk20 II=%d, want >= 22 (divide recurrence)", byName["lfk20_discrete_ordinates"])
+	}
+	// daxpy is resource-bound and tiny: II should be small.
+	if byName["daxpy"] > 4 {
+		t.Errorf("daxpy II=%d, want <= 4", byName["daxpy"])
+	}
+}

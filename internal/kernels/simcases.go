@@ -1,0 +1,398 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/vliw"
+)
+
+// SimCase is a kernel with full execution semantics: a loop, its live-in
+// state, and a predicate over the final memory image. These are the
+// golden end-to-end cases proving the scheduled-and-generated code for
+// real Livermore kernels computes what the Fortran source computes.
+type SimCase struct {
+	Name  string
+	Loop  *ir.Loop
+	Spec  vliw.RunSpec
+	Check func(res *vliw.Result) error
+}
+
+// histFor produces the pre-entry history of a back-substituted address
+// EVR stepping by 8 bytes per iteration from base: the value j iterations
+// back is base - 8*(j-1).
+func histFor(base int64) []float64 {
+	return []float64{float64(base), float64(base - 8), float64(base - 16)}
+}
+
+// elem computes the address of element i (0-based) of a stream with the
+// given base (the first loaded element is base+8).
+func elem(base int64, i int64) int64 { return base + 8*(i+1) }
+
+// SimCases builds the semantically verified kernel subset for machine m
+// with the given trip count.
+func SimCases(m *machine.Machine, trips int64) ([]SimCase, error) {
+	var cases []SimCase
+
+	// --- LFK 1: hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+	{
+		b := ir.NewBuilder("lfk01_sim", m)
+		z10a := b.Future()
+		b.DefineAsImm(z10a, "aadd", 24, z10a.Back(3))
+		z10 := b.Define("load", z10a)
+		z11a := b.Future()
+		b.DefineAsImm(z11a, "aadd", 24, z11a.Back(3))
+		z11 := b.Define("load", z11a)
+		ya := b.Future()
+		b.DefineAsImm(ya, "aadd", 24, ya.Back(3))
+		y := b.Define("load", ya)
+		r := b.Invariant("r")
+		tt := b.Invariant("t")
+		q := b.Invariant("q")
+		t1 := b.Define("fmul", r, z10)
+		t2 := b.Define("fmul", tt, z11)
+		t3 := b.Define("fadd", t1, t2)
+		t4 := b.Define("fmul", y, t3)
+		t5 := b.Define("fadd", q, t4)
+		xa := b.Future()
+		b.DefineAsImm(xa, "aadd", 24, xa.Back(3))
+		b.Effect("store", xa, t5)
+		b.Effect("brtop")
+		l, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		const zb, z1b, yb, xb = 10000, 10080, 30000, 50000 // z+10 starts 10 elements in
+		mem := map[int64]float64{}
+		for i := int64(0); i < trips+16; i++ {
+			mem[elem(zb, i)] = float64(i%9) + 0.5
+			mem[elem(yb, i)] = float64(i%5) + 1
+		}
+		// z+11 stream overlays the z array shifted one element.
+		spec := vliw.RunSpec{
+			Init: map[ir.Reg]float64{
+				b.RegOf(r): 2, b.RegOf(tt): 3, b.RegOf(q): 10,
+			},
+			InitHist: map[ir.Reg][]float64{
+				b.RegOf(z10a): histFor(zb), b.RegOf(z11a): histFor(zb + 8),
+				b.RegOf(ya): histFor(yb), b.RegOf(xa): histFor(xb),
+			},
+			Mem:   mem,
+			Trips: trips,
+		}
+		cases = append(cases, SimCase{
+			Name: "lfk01", Loop: l, Spec: spec,
+			Check: func(res *vliw.Result) error {
+				for i := int64(0); i < trips; i++ {
+					z10v := mem[elem(zb, i)]
+					z11v := mem[elem(zb+8, i)]
+					yv := mem[elem(yb, i)]
+					want := 10 + yv*(2*z10v+3*z11v)
+					if got := res.Mem[elem(xb, i)]; math.Abs(got-want) > 1e-9 {
+						return fmt.Errorf("x[%d] = %v, want %v", i, got, want)
+					}
+				}
+				return nil
+			},
+		})
+	}
+
+	// --- LFK 5: tri-diagonal elimination: x[i] = z[i]*(y[i] - x[i-1]).
+	{
+		b := ir.NewBuilder("lfk05_sim", m)
+		za := b.Future()
+		b.DefineAsImm(za, "aadd", 24, za.Back(3))
+		z := b.Define("load", za)
+		ya := b.Future()
+		b.DefineAsImm(ya, "aadd", 24, ya.Back(3))
+		y := b.Define("load", ya)
+		x := b.Future()
+		t1 := b.Define("fsub", y, x.Back(1))
+		b.DefineAs(x, "fmul", z, t1)
+		sa := b.Future()
+		b.DefineAsImm(sa, "aadd", 24, sa.Back(3))
+		b.Effect("store", sa, x)
+		b.Effect("brtop")
+		l, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		const zb, yb, xb = 11000, 31000, 51000
+		mem := map[int64]float64{}
+		for i := int64(0); i < trips; i++ {
+			mem[elem(zb, i)] = 0.5
+			mem[elem(yb, i)] = float64(i + 1)
+		}
+		spec := vliw.RunSpec{
+			Init: map[ir.Reg]float64{b.RegOf(x): 0.25},
+			InitHist: map[ir.Reg][]float64{
+				b.RegOf(za): histFor(zb), b.RegOf(ya): histFor(yb), b.RegOf(sa): histFor(xb),
+			},
+			Mem:   mem,
+			Trips: trips,
+		}
+		cases = append(cases, SimCase{
+			Name: "lfk05", Loop: l, Spec: spec,
+			Check: func(res *vliw.Result) error {
+				xv := 0.25
+				for i := int64(0); i < trips; i++ {
+					xv = 0.5 * (float64(i+1) - xv)
+					if got := res.Mem[elem(xb, i)]; math.Abs(got-xv) > 1e-9 {
+						return fmt.Errorf("x[%d] = %v, want %v", i, got, xv)
+					}
+				}
+				return nil
+			},
+		})
+	}
+
+	// --- LFK 11: first sum (prefix sum): x[k] = x[k-1] + y[k].
+	{
+		b := ir.NewBuilder("lfk11_sim", m)
+		ya := b.Future()
+		b.DefineAsImm(ya, "aadd", 24, ya.Back(3))
+		y := b.Define("load", ya)
+		x := b.Future()
+		b.DefineAs(x, "fadd", x.Back(1), y)
+		sa := b.Future()
+		b.DefineAsImm(sa, "aadd", 24, sa.Back(3))
+		b.Effect("store", sa, x)
+		b.Effect("brtop")
+		l, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		const yb, xb = 32000, 52000
+		mem := map[int64]float64{}
+		for i := int64(0); i < trips; i++ {
+			mem[elem(yb, i)] = float64(i + 1)
+		}
+		spec := vliw.RunSpec{
+			Init: map[ir.Reg]float64{b.RegOf(x): 0},
+			InitHist: map[ir.Reg][]float64{
+				b.RegOf(ya): histFor(yb), b.RegOf(sa): histFor(xb),
+			},
+			Mem:   mem,
+			Trips: trips,
+		}
+		cases = append(cases, SimCase{
+			Name: "lfk11", Loop: l, Spec: spec,
+			Check: func(res *vliw.Result) error {
+				for i := int64(0); i < trips; i++ {
+					want := float64((i + 1) * (i + 2) / 2) // sum 1..i+1
+					if got := res.Mem[elem(xb, i)]; got != want {
+						return fmt.Errorf("x[%d] = %v, want %v", i, got, want)
+					}
+				}
+				return nil
+			},
+		})
+	}
+
+	// --- LFK 12: first difference: x[k] = y[k+1] - y[k].
+	{
+		b := ir.NewBuilder("lfk12_sim", m)
+		y1a := b.Future()
+		b.DefineAsImm(y1a, "aadd", 24, y1a.Back(3))
+		y1 := b.Define("load", y1a)
+		y0a := b.Future()
+		b.DefineAsImm(y0a, "aadd", 24, y0a.Back(3))
+		y0 := b.Define("load", y0a)
+		d := b.Define("fsub", y1, y0)
+		sa := b.Future()
+		b.DefineAsImm(sa, "aadd", 24, sa.Back(3))
+		b.Effect("store", sa, d)
+		b.Effect("brtop")
+		l, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		const yb, xb = 33000, 53000
+		mem := map[int64]float64{}
+		for i := int64(0); i < trips+1; i++ {
+			mem[elem(yb, i)] = float64(i * i)
+		}
+		spec := vliw.RunSpec{
+			Init: map[ir.Reg]float64{},
+			InitHist: map[ir.Reg][]float64{
+				b.RegOf(y1a): histFor(yb + 8), b.RegOf(y0a): histFor(yb), b.RegOf(sa): histFor(xb),
+			},
+			Mem:   mem,
+			Trips: trips,
+		}
+		cases = append(cases, SimCase{
+			Name: "lfk12", Loop: l, Spec: spec,
+			Check: func(res *vliw.Result) error {
+				for i := int64(0); i < trips; i++ {
+					want := float64((i+1)*(i+1) - i*i)
+					if got := res.Mem[elem(xb, i)]; got != want {
+						return fmt.Errorf("x[%d] = %v, want %v", i, got, want)
+					}
+				}
+				return nil
+			},
+		})
+	}
+
+	// --- LFK 3: inner product q = sum x[k]*z[k], checked via the final
+	// accumulator value.
+	{
+		b := ir.NewBuilder("lfk03_sim", m)
+		xa := b.Future()
+		b.DefineAsImm(xa, "aadd", 24, xa.Back(3))
+		x := b.Define("load", xa)
+		za := b.Future()
+		b.DefineAsImm(za, "aadd", 24, za.Back(3))
+		z := b.Define("load", za)
+		p := b.Define("fmul", x, z)
+		q := b.Future()
+		b.DefineAs(q, "fadd", q.Back(1), p)
+		b.Effect("brtop")
+		l, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		const xb, zb = 34000, 54000
+		mem := map[int64]float64{}
+		var want float64
+		for i := int64(0); i < trips; i++ {
+			xv, zv := float64(i%7)+1, float64(i%4)+1
+			mem[elem(xb, i)] = xv
+			mem[elem(zb, i)] = zv
+			want += xv * zv
+		}
+		qReg := b.RegOf(q)
+		spec := vliw.RunSpec{
+			Init: map[ir.Reg]float64{qReg: 0},
+			InitHist: map[ir.Reg][]float64{
+				b.RegOf(xa): histFor(xb), b.RegOf(za): histFor(zb),
+			},
+			Mem:   mem,
+			Trips: trips,
+		}
+		cases = append(cases, SimCase{
+			Name: "lfk03", Loop: l, Spec: spec,
+			Check: func(res *vliw.Result) error {
+				if got := res.Final[qReg]; math.Abs(got-want) > 1e-9 {
+					return fmt.Errorf("q = %v, want %v", got, want)
+				}
+				return nil
+			},
+		})
+	}
+
+	// --- Three-point stencil: y[i] = w0*x[i-1] + w1*x[i] + w2*x[i+1].
+	{
+		b := ir.NewBuilder("stencil3_sim", m)
+		mkStream := func() (ir.Value, ir.Value) {
+			a := b.Future()
+			b.DefineAsImm(a, "aadd", 24, a.Back(3))
+			return a, b.Define("load", a)
+		}
+		xma, xm := mkStream()
+		x0a, x0 := mkStream()
+		xpa, xp := mkStream()
+		t1 := b.Define("fmul", b.Invariant("w0"), xm)
+		t2 := b.Define("fmul", b.Invariant("w1"), x0)
+		t3 := b.Define("fmul", b.Invariant("w2"), xp)
+		t4 := b.Define("fadd", t1, t2)
+		t5 := b.Define("fadd", t4, t3)
+		sa := b.Future()
+		b.DefineAsImm(sa, "aadd", 24, sa.Back(3))
+		b.Effect("store", sa, t5)
+		b.Effect("brtop")
+		l, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		const xb, yb = 35000, 55000 // x[-1] lives at elem(xb,-1)=xb
+		mem := map[int64]float64{}
+		for i := int64(-1); i < trips+1; i++ {
+			mem[elem(xb, i)] = float64(2*i + 3)
+		}
+		spec := vliw.RunSpec{
+			Init: map[ir.Reg]float64{
+				b.RegOf(b.Invariant("w0")): 1, b.RegOf(b.Invariant("w1")): -2, b.RegOf(b.Invariant("w2")): 1,
+			},
+			InitHist: map[ir.Reg][]float64{
+				b.RegOf(xma): histFor(xb - 8), b.RegOf(x0a): histFor(xb), b.RegOf(xpa): histFor(xb + 8),
+				b.RegOf(sa): histFor(yb),
+			},
+			Mem:   mem,
+			Trips: trips,
+		}
+		cases = append(cases, SimCase{
+			Name: "stencil3", Loop: l, Spec: spec,
+			Check: func(res *vliw.Result) error {
+				for i := int64(0); i < trips; i++ {
+					// Second difference of a linear ramp is identically 0.
+					if got := res.Mem[elem(yb, i)]; got != 0 {
+						return fmt.Errorf("y[%d] = %v, want 0 (second difference of a ramp)", i, got)
+					}
+				}
+				return nil
+			},
+		})
+	}
+
+	// --- LFK 19-style backward recurrence: s[k] = b[k] - a[k]*s[k-1],
+	// with a predicated clamp: if s < 0 then s = 0 (select semantics).
+	{
+		b := ir.NewBuilder("lfk19_clamped_sim", m)
+		aa := b.Future()
+		b.DefineAsImm(aa, "aadd", 24, aa.Back(3))
+		av := b.Define("load", aa)
+		ba := b.Future()
+		b.DefineAsImm(ba, "aadd", 24, ba.Back(3))
+		bv := b.Define("load", ba)
+		s := b.Future()
+		t1 := b.Define("fmul", av, s.Back(1))
+		raw := b.Define("fsub", bv, t1)
+		neg := b.Define("cmp", raw, b.Invariant("zero")) // raw < 0
+		b.DefineAs(s, "sel", neg, b.Invariant("zero"), raw)
+		sa := b.Future()
+		b.DefineAsImm(sa, "aadd", 24, sa.Back(3))
+		b.Effect("store", sa, s)
+		b.Effect("brtop")
+		l, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		const ab, bb, ob = 36000, 56000, 76000
+		mem := map[int64]float64{}
+		for i := int64(0); i < trips; i++ {
+			mem[elem(ab, i)] = 0.5
+			mem[elem(bb, i)] = float64(i%3) - 1 // mix of negatives
+		}
+		spec := vliw.RunSpec{
+			Init: map[ir.Reg]float64{b.RegOf(s): 1, b.RegOf(b.Invariant("zero")): 0},
+			InitHist: map[ir.Reg][]float64{
+				b.RegOf(aa): histFor(ab), b.RegOf(ba): histFor(bb), b.RegOf(sa): histFor(ob),
+			},
+			Mem:   mem,
+			Trips: trips,
+		}
+		cases = append(cases, SimCase{
+			Name: "lfk19_clamped", Loop: l, Spec: spec,
+			Check: func(res *vliw.Result) error {
+				sv := 1.0
+				for i := int64(0); i < trips; i++ {
+					raw := (float64(i%3) - 1) - 0.5*sv
+					if raw < 0 {
+						sv = 0
+					} else {
+						sv = raw
+					}
+					if got := res.Mem[elem(ob, i)]; math.Abs(got-sv) > 1e-9 {
+						return fmt.Errorf("s[%d] = %v, want %v", i, got, sv)
+					}
+				}
+				return nil
+			},
+		})
+	}
+
+	return cases, nil
+}

@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"testing"
+
+	"modsched/internal/codegen"
+	"modsched/internal/core"
+	"modsched/internal/machine"
+	"modsched/internal/vliw"
+)
+
+// TestSimCasesGolden: every golden kernel produces its analytically known
+// result through all three execution paths — reference interpreter,
+// kernel-only pipelined code, and explicit-schema code with
+// preconditioning — on every machine.
+func TestSimCasesGolden(t *testing.T) {
+	machines := []*machine.Machine{
+		machine.Cydra5(),
+		machine.Tiny(),
+		machine.Generic(machine.DefaultUnitConfig()),
+	}
+	for _, m := range machines {
+		for _, trips := range []int64{1, 13, 40} {
+			cases, err := SimCases(m, trips)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cases) != 7 {
+				t.Fatalf("want 7 golden kernels, got %d", len(cases))
+			}
+			for _, sc := range cases {
+				ref, err := vliw.RunReference(sc.Loop, sc.Spec)
+				if err != nil {
+					t.Fatalf("%s/%s/%d ref: %v", m.Name, sc.Name, trips, err)
+				}
+				if err := sc.Check(ref); err != nil {
+					t.Fatalf("%s/%s/%d reference wrong: %v", m.Name, sc.Name, trips, err)
+				}
+
+				sched, err := core.ModuloSchedule(sc.Loop, m, core.DefaultOptions())
+				if err != nil {
+					t.Fatalf("%s/%s/%d schedule: %v", m.Name, sc.Name, trips, err)
+				}
+				k, err := codegen.GenerateKernel(sched)
+				if err != nil {
+					t.Fatalf("%s/%s/%d codegen: %v", m.Name, sc.Name, trips, err)
+				}
+				kr, err := vliw.RunKernel(k, m, sc.Spec)
+				if err != nil {
+					t.Fatalf("%s/%s/%d sim: %v", m.Name, sc.Name, trips, err)
+				}
+				if err := sc.Check(kr); err != nil {
+					t.Errorf("%s/%s/%d kernel-only wrong: %v", m.Name, sc.Name, trips, err)
+				}
+
+				fr, err := vliw.RunFlatAnyTrips(sc.Loop, m, sched, sc.Spec)
+				if err != nil {
+					t.Fatalf("%s/%s/%d flat: %v", m.Name, sc.Name, trips, err)
+				}
+				if err := sc.Check(fr); err != nil {
+					t.Errorf("%s/%s/%d explicit schema wrong: %v", m.Name, sc.Name, trips, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSimCasesThroughputStory: on the Cydra 5, the pipelined kernels hit
+// their recurrence or resource bounds — lfk11's prefix sum runs at the
+// fadd latency, lfk12's difference at the memory-port bound.
+func TestSimCasesThroughputStory(t *testing.T) {
+	m := machine.Cydra5()
+	cases, err := SimCases(m, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*core.Schedule{}
+	for _, sc := range cases {
+		s, err := core.ModuloSchedule(sc.Loop, m, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName[sc.Name] = s
+	}
+	if ii := byName["lfk11"].II; ii != machine.Cydra5AddLatency {
+		t.Errorf("lfk11 II=%d, want %d (prefix-sum recurrence = fadd latency)", ii, machine.Cydra5AddLatency)
+	}
+	if ii := byName["lfk05"].II; ii != machine.Cydra5AddLatency+machine.Cydra5MulLatency {
+		t.Errorf("lfk05 II=%d, want %d (fsub+fmul recurrence)", ii, machine.Cydra5AddLatency+machine.Cydra5MulLatency)
+	}
+	if ii := byName["lfk12"].II; ii > 2 {
+		t.Errorf("lfk12 II=%d, want <= 2 (no recurrence; 2 loads+1 store over 2 ports)", ii)
+	}
+}

@@ -1,0 +1,152 @@
+// Package listsched implements conventional acyclic list scheduling over
+// the distance-0 subgraph of a loop. The paper uses it in two roles: the
+// schedule-length lower bound for one iteration (the larger of
+// MinDist[START,STOP] and the acyclic list schedule length), and the
+// computational-cost yardstick that iterative modulo scheduling is
+// measured against (each op scheduled exactly once, no unscheduling).
+package listsched
+
+import (
+	"fmt"
+
+	"modsched/internal/graph"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// Result is an acyclic schedule of one loop iteration.
+type Result struct {
+	Times []int
+	Alts  []int
+	// Length is the issue time of STOP: when all results are available.
+	Length int
+	// Steps counts operation scheduling steps (always NumOps: list
+	// scheduling never backtracks).
+	Steps int64
+}
+
+// linearRT is an unbounded (non-modulo) schedule reservation table.
+type linearRT struct {
+	nres int
+	rows [][]bool
+}
+
+func (t *linearRT) row(time int) []bool {
+	for time >= len(t.rows) {
+		t.rows = append(t.rows, make([]bool, t.nres))
+	}
+	return t.rows[time]
+}
+
+func (t *linearRT) fits(at int, tab machine.ReservationTable) bool {
+	for _, u := range tab.Uses {
+		if t.row(at + u.Time)[u.Resource] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *linearRT) place(at int, tab machine.ReservationTable) {
+	for _, u := range tab.Uses {
+		t.row(at + u.Time)[u.Resource] = true
+	}
+}
+
+// Schedule list-schedules one iteration of the loop, ignoring
+// inter-iteration dependences, using the height-based priority and
+// operation scheduling. Delays must come from ir.Delays on the same
+// machine.
+func Schedule(l *ir.Loop, m *machine.Machine, delays []int) (*Result, error) {
+	if err := l.Validate(m); err != nil {
+		return nil, err
+	}
+	n := l.NumOps()
+
+	// Height priority over the distance-0 subgraph.
+	g := graph.New(n)
+	type sedge struct{ to, delay int }
+	succ := make([][]sedge, n)
+	pred := make([][]sedge, n)
+	for ei, e := range l.Edges {
+		if e.Distance != 0 {
+			continue
+		}
+		g.AddEdge(e.From, e.To)
+		succ[e.From] = append(succ[e.From], sedge{to: e.To, delay: delays[ei]})
+		pred[e.To] = append(pred[e.To], sedge{to: e.From, delay: delays[ei]})
+	}
+	order, ok := g.Topo()
+	if !ok {
+		return nil, fmt.Errorf("listsched: loop %s has a zero-distance dependence cycle", l.Name)
+	}
+	height := make([]int, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, e := range succ[v] {
+			if h := height[e.to] + e.delay; h > height[v] {
+				height[v] = h
+			}
+		}
+	}
+
+	rt := &linearRT{nres: m.NumResources()}
+	times := make([]int, n)
+	alts := make([]int, n)
+	for i := range times {
+		times[i] = -1
+		alts[i] = -1
+	}
+	unschedPreds := make([]int, n)
+	for v := range pred {
+		unschedPreds[v] = len(pred[v])
+	}
+
+	res := &Result{}
+	for scheduled := 0; scheduled < n; scheduled++ {
+		// Highest-priority ready operation (all distance-0 predecessors
+		// scheduled); ties break to the smaller index.
+		best := -1
+		for v := 0; v < n; v++ {
+			if times[v] != -1 || unschedPreds[v] > 0 {
+				continue
+			}
+			if best == -1 || height[v] > height[best] {
+				best = v
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("listsched: loop %s: no ready operation (cycle?)", l.Name)
+		}
+		estart := 0
+		for _, e := range pred[best] {
+			if t := times[e.to] + e.delay; t > estart {
+				estart = t
+			}
+		}
+		oc := m.MustOpcode(l.Ops[best].Opcode)
+		placedAt, alt := -1, -1
+		for t := estart; ; t++ {
+			for ai, a := range oc.Alternatives {
+				if rt.fits(t, a.Table) {
+					placedAt, alt = t, ai
+					break
+				}
+			}
+			if placedAt >= 0 {
+				break
+			}
+		}
+		rt.place(placedAt, oc.Alternatives[alt].Table)
+		times[best] = placedAt
+		alts[best] = alt
+		res.Steps++
+		for _, e := range succ[best] {
+			unschedPreds[e.to]--
+		}
+	}
+	res.Times = times
+	res.Alts = alts
+	res.Length = times[l.Stop()]
+	return res, nil
+}

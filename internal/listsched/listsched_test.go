@@ -1,0 +1,163 @@
+package listsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+func build(t testing.TB, m *machine.Machine, f func(b *ir.Builder)) (*ir.Loop, []int) {
+	t.Helper()
+	b := ir.NewBuilder("t", m)
+	f(b)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays, err := ir.Delays(l, m, ir.VLIWDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, delays
+}
+
+func TestListScheduleCriticalPath(t *testing.T) {
+	m := machine.Cydra5()
+	l, d := build(t, m, func(b *ir.Builder) {
+		x := b.Define("load", b.Invariant("p")) // 20
+		y := b.Define("fmul", x, x)             // 5
+		z := b.Define("fadd", y, y)             // 4
+		b.Effect("store", b.Invariant("q"), z)  // 1
+		b.Effect("brtop")
+	})
+	r, err := Schedule(l, m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Length != 30 {
+		t.Errorf("list SL = %d, want 30 (critical path)", r.Length)
+	}
+	if r.Steps != int64(l.NumOps()) {
+		t.Errorf("Steps = %d, want %d (one per op)", r.Steps, l.NumOps())
+	}
+}
+
+func TestListScheduleSerializesOnResource(t *testing.T) {
+	m := machine.Tiny() // single memory port, load latency 2
+	l, d := build(t, m, func(b *ir.Builder) {
+		p := b.Invariant("p")
+		for i := 0; i < 5; i++ {
+			b.Define("load", p)
+		}
+		b.Effect("brtop")
+	})
+	r, err := Schedule(l, m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five loads on one port: issues at 0..4, last completes at 4+2.
+	if r.Length < 6 {
+		t.Errorf("SL = %d, want >= 6", r.Length)
+	}
+	seen := map[int]bool{}
+	for _, op := range l.RealOps() {
+		if op.Opcode != "load" {
+			continue
+		}
+		tt := r.Times[op.ID]
+		if seen[tt] {
+			t.Errorf("two loads issued at %d on a single port", tt)
+		}
+		seen[tt] = true
+	}
+}
+
+func TestListScheduleIgnoresInterIterationEdges(t *testing.T) {
+	m := machine.Cydra5()
+	l, d := build(t, m, func(b *ir.Builder) {
+		s := b.Future()
+		b.DefineAs(s, "fadd", s.Back(1), b.Invariant("x"))
+		b.Effect("brtop")
+	})
+	r, err := Schedule(l, m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The distance-1 self edge must not serialize the acyclic schedule.
+	if r.Length > 5 {
+		t.Errorf("SL = %d; inter-iteration edge leaked into the acyclic schedule", r.Length)
+	}
+}
+
+func TestListScheduleRespectsAllIntraIterationEdges(t *testing.T) {
+	m := machine.Cydra5()
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		l, d := randomDAGLoop(t, m, rng)
+		r, err := Schedule(l, m, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ei, e := range l.Edges {
+			if e.Distance != 0 {
+				continue
+			}
+			if r.Times[e.To] < r.Times[e.From]+d[ei] {
+				t.Fatalf("trial %d: edge %d->%d delay %d violated (%d < %d+%d)",
+					trial, e.From, e.To, d[ei], r.Times[e.To], r.Times[e.From], d[ei])
+			}
+		}
+		// Replay resources.
+		rt := &linearRT{nres: m.NumResources()}
+		for i := range l.Ops {
+			tab := m.MustOpcode(l.Ops[i].Opcode).Alternatives[r.Alts[i]].Table
+			if !rt.fits(r.Times[i], tab) {
+				t.Fatalf("trial %d: resource oversubscription at op %d", trial, i)
+			}
+			rt.place(r.Times[i], tab)
+		}
+	}
+}
+
+func randomDAGLoop(t testing.TB, m *machine.Machine, rng *rand.Rand) (*ir.Loop, []int) {
+	t.Helper()
+	b := ir.NewBuilder("dag", m)
+	var vals []ir.Value
+	pick := func() ir.Value {
+		if len(vals) == 0 || rng.Float64() < 0.3 {
+			return b.Invariant("c")
+		}
+		return vals[rng.Intn(len(vals))]
+	}
+	ops := []string{"fadd", "fmul", "add", "load", "aadd"}
+	n := 3 + rng.Intn(12)
+	for i := 0; i < n; i++ {
+		vals = append(vals, b.Define(ops[rng.Intn(len(ops))], pick(), pick()))
+	}
+	b.Effect("store", b.Invariant("q"), pick())
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ir.Delays(l, m, ir.VLIWDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, d
+}
+
+func TestZeroDistanceCycleRejected(t *testing.T) {
+	m := machine.Cydra5()
+	l, d := build(t, m, func(b *ir.Builder) {
+		x := b.Define("fadd", b.Invariant("a"), b.Invariant("b"))
+		y := b.Define("fadd", x, b.Invariant("c"))
+		b.Dep(b.OpOf(y), b.OpOf(x), ir.Flow, 0)
+		b.Effect("brtop")
+	})
+	if _, err := Schedule(l, m, d); err == nil {
+		t.Error("zero-distance cycle must be rejected")
+	}
+}

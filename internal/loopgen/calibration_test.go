@@ -1,0 +1,102 @@
+package loopgen
+
+import (
+	"testing"
+
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/mii"
+	"modsched/internal/stats"
+)
+
+// TestCalibration checks that the generated corpus matches the Table 3
+// population shape within loose tolerances: op-count median/mean, the
+// vectorizable fraction, and the SCC-size skew.
+func TestCalibration(t *testing.T) {
+	m := machine.Cydra5()
+	cfg := DefaultConfig()
+	cfg.N = 400 // enough for stable marginals, cheap enough for -short
+	loops, err := Generate(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var nops, nontrivial, sccSizes []float64
+	vectorizable := 0
+	for _, l := range loops {
+		if err := l.Validate(m); err != nil {
+			t.Fatalf("invalid loop %s: %v", l.Name, err)
+		}
+		nops = append(nops, float64(l.NumRealOps()))
+		delays, err := ir.Delays(l, m, ir.VLIWDelays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mii.Compute(l, m, delays, nil)
+		if err != nil {
+			t.Fatalf("mii %s: %v", l.Name, err)
+		}
+		nontrivial = append(nontrivial, float64(len(res.NonTrivialSCCs)))
+		for _, s := range res.SCCSizes {
+			sccSizes = append(sccSizes, float64(s))
+		}
+		if len(res.NonTrivialSCCs) == 0 {
+			vectorizable++
+		}
+	}
+
+	dOps := stats.Describe("ops", 4, nops)
+	t.Logf("ops:   median=%.1f mean=%.1f max=%.0f (paper: 12 / 19.5 / 163)", dOps.Median, dOps.Mean, dOps.Max)
+	if dOps.Median < 8 || dOps.Median > 17 {
+		t.Errorf("op-count median %.1f outside [8,17]", dOps.Median)
+	}
+	if dOps.Mean < 13 || dOps.Mean > 27 {
+		t.Errorf("op-count mean %.1f outside [13,27]", dOps.Mean)
+	}
+
+	vf := float64(vectorizable) / float64(len(loops))
+	t.Logf("vectorizable fraction: %.2f (paper: 0.77)", vf)
+	if vf < 0.65 || vf > 0.88 {
+		t.Errorf("vectorizable fraction %.2f outside [0.65,0.88]", vf)
+	}
+
+	dSCC := stats.Describe("scc sizes", 1, sccSizes)
+	t.Logf("scc sizes: freq(1)=%.2f mean=%.2f max=%.0f (paper: 0.93 / 1.30 / 42)", dSCC.FreqOfMin, dSCC.Mean, dSCC.Max)
+	if dSCC.FreqOfMin < 0.80 {
+		t.Errorf("singleton SCC fraction %.2f < 0.80", dSCC.FreqOfMin)
+	}
+
+	dNT := stats.Describe("non-trivial sccs", 0, nontrivial)
+	t.Logf("non-trivial SCCs per loop: mean=%.2f max=%.0f (paper: 0.32 / 6)", dNT.Mean, dNT.Max)
+}
+
+// TestCorpusSchedules runs the scheduler over a corpus sample end to end;
+// every loop must produce a verified schedule.
+func TestCorpusSchedules(t *testing.T) {
+	m := machine.Cydra5()
+	cfg := DefaultConfig()
+	cfg.N = 150
+	cfg.Seed = 7
+	loops, err := Generate(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.BudgetRatio = 6
+	atMII := 0
+	for _, l := range loops {
+		s, err := core.ModuloSchedule(l, m, opts)
+		if err != nil {
+			t.Fatalf("schedule %s: %v", l.Name, err)
+		}
+		if s.II == s.MII {
+			atMII++
+		}
+	}
+	frac := float64(atMII) / float64(len(loops))
+	t.Logf("II==MII for %.1f%% of loops (paper: 96%%)", 100*frac)
+	if frac < 0.80 {
+		t.Errorf("II==MII fraction %.2f suspiciously low", frac)
+	}
+}

@@ -1,0 +1,399 @@
+// Package loopgen generates synthetic innermost loops whose population
+// statistics are calibrated to the corpus the paper measured (1327 Fortran
+// loops from the Perfect Club, SPEC and the Livermore kernels, fed through
+// the Cydra 5 compiler). We cannot rerun that proprietary front end, so
+// the generator reproduces the published marginals of Table 3 instead:
+//
+//   - operations per loop: heavily skewed small (median 12, mean ~19.5,
+//     max 163, min 4) — drawn from a clamped log-normal;
+//   - ~3 dependence edges per operation, including the predicate input;
+//   - 77% of loops vectorizable (no non-trivial SCC); the rest carry 1-6
+//     non-trivial recurrence circuits;
+//   - 93% of SCCs are singletons (address increments), sizes up to ~40;
+//   - a large population of tiny initialization loops.
+//
+// Loops are built from compiler-shaped idioms (load streams with address
+// increments, arithmetic DAGs, accumulations, stores, a loop branch, an
+// occasional predicated region), not uniform random graphs, so that the
+// scheduler sees the same structure mix a compiler would emit.
+package loopgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// Config tunes the generator. The zero value is replaced by defaults
+// matching the paper's corpus.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// N is the number of loops to generate.
+	N int
+	// MeanOps and MedianOps shape the log-normal size distribution.
+	MedianOps float64
+	SigmaOps  float64
+	// MinOps/MaxOps clamp loop sizes.
+	MinOps, MaxOps int
+	// VectorizableFrac is the fraction of loops with no non-trivial SCC.
+	VectorizableFrac float64
+	// InitLoopFrac is the fraction of tiny initialization loops.
+	InitLoopFrac float64
+	// PredicatedFrac is the fraction of loops containing a predicated
+	// (IF-converted) region.
+	PredicatedFrac float64
+}
+
+// DefaultConfig mirrors the paper's corpus shape with 1300 synthetic
+// loops (the companion Livermore kernels in internal/kernels bring the
+// total to the paper's 1327).
+func DefaultConfig() Config {
+	return Config{
+		Seed:             19941127, // MICRO-27, San Jose, November 1994
+		N:                1300,
+		MedianOps:        16,
+		SigmaOps:         0.85,
+		MinOps:           4,
+		MaxOps:           163,
+		VectorizableFrac: 0.66,
+		InitLoopFrac:     0.30,
+		PredicatedFrac:   0.18,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.N == 0 {
+		c.N = d.N
+	}
+	if c.MedianOps == 0 {
+		c.MedianOps = d.MedianOps
+	}
+	if c.SigmaOps == 0 {
+		c.SigmaOps = d.SigmaOps
+	}
+	if c.MinOps == 0 {
+		c.MinOps = d.MinOps
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = d.MaxOps
+	}
+	if c.VectorizableFrac == 0 {
+		c.VectorizableFrac = d.VectorizableFrac
+	}
+	if c.InitLoopFrac == 0 {
+		c.InitLoopFrac = d.InitLoopFrac
+	}
+	if c.PredicatedFrac == 0 {
+		c.PredicatedFrac = d.PredicatedFrac
+	}
+	return c
+}
+
+// Generate produces cfg.N loops valid on machine m (which must provide
+// the shared opcode repertoire: load, store, aadd, add, sub, fadd, fsub,
+// fmul, fdiv, pset, copy, cmp, brtop).
+func Generate(cfg Config, m *machine.Machine) ([]*ir.Loop, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	loops := make([]*ir.Loop, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		l, err := generateOne(cfg, rng, m, i)
+		if err != nil {
+			return nil, fmt.Errorf("loopgen: loop %d: %w", i, err)
+		}
+		loops = append(loops, l)
+	}
+	return loops, nil
+}
+
+// generateOne builds a single loop.
+func generateOne(cfg Config, rng *rand.Rand, m *machine.Machine, idx int) (*ir.Loop, error) {
+	g := &gen{
+		cfg: cfg,
+		rng: rng,
+		b:   ir.NewBuilder(fmt.Sprintf("synth%04d", idx), m),
+	}
+
+	if rng.Float64() < cfg.InitLoopFrac {
+		g.target = cfg.MinOps + rng.Intn(5) // tiny initialization loop
+		g.emitInitBody()
+	} else {
+		g.target = g.drawSize()
+		vectorizable := rng.Float64() < cfg.VectorizableFrac
+		predicated := rng.Float64() < cfg.PredicatedFrac
+		g.emitBody(vectorizable, predicated)
+	}
+
+	// Profile weights: trip counts follow a long-tailed distribution.
+	trips := 1 + int64(math.Exp(rng.NormFloat64()*1.0+math.Log(60)))
+	entries := 1 + int64(rng.Intn(8))
+	if rng.Float64() < 0.55 {
+		// Only ~45% of the paper's loops execute at all under the profiling
+		// inputs; give the rest zero weight.
+		entries, trips = 0, 0
+	}
+	g.b.SetProfile(entries, entries*trips)
+
+	return g.b.Build()
+}
+
+type gen struct {
+	cfg    Config
+	rng    *rand.Rand
+	b      *ir.Builder
+	target int
+	emit   int // ops emitted so far
+
+	values []ir.Value // pool of computed values usable as operands
+	stores []ir.Op    // store ops, for occasional aliasing edges
+}
+
+func (g *gen) drawSize() int {
+	v := math.Exp(g.rng.NormFloat64()*g.cfg.SigmaOps + math.Log(g.cfg.MedianOps))
+	n := int(v + 0.5)
+	if n < g.cfg.MinOps {
+		n = g.cfg.MinOps
+	}
+	if n > g.cfg.MaxOps {
+		n = g.cfg.MaxOps
+	}
+	return n
+}
+
+func (g *gen) add(v ir.Value) ir.Value {
+	g.emit++
+	g.values = append(g.values, v)
+	return v
+}
+
+func (g *gen) pick() ir.Value {
+	if len(g.values) == 0 {
+		return g.b.Invariant("c0")
+	}
+	// Bias toward recent values (compiler-shaped dataflow locality).
+	i := len(g.values) - 1 - int(math.Abs(g.rng.NormFloat64())*float64(len(g.values))/3)
+	if i < 0 {
+		i = 0
+	}
+	return g.values[i]
+}
+
+// addrIncr emits a back-substituted address increment: the recurrence
+// back-substitution pass the paper lists before scheduling rewrites
+// ai = ai[-1] + 8 into ai = ai[-3] + 24 so the latency-3 address add no
+// longer constrains the II (RecMII contribution ceil(3/3) = 1).
+func (g *gen) addrIncr(name string) ir.Value {
+	ai := g.b.Future()
+	g.b.DefineAsImm(ai, "aadd", 24, ai.Back(3))
+	g.b.Comment(name + " address increment (back-substituted)")
+	g.emit++
+	return ai
+}
+
+// addressStream emits the canonical induction idiom: a back-substituted
+// address increment (a trivial SCC with a distance-3 self-recurrence)
+// plus a load from it.
+func (g *gen) addressStream(name string) ir.Value {
+	ai := g.addrIncr(name)
+	v := g.b.Define("load", ai)
+	g.b.Comment("load " + name + "[i]")
+	return g.add(v)
+}
+
+// arith emits one arithmetic op over existing values.
+func (g *gen) arith() ir.Value {
+	ops := []string{"fadd", "fmul", "fsub", "add", "sub", "fmul", "fadd"}
+	op := ops[g.rng.Intn(len(ops))]
+	if g.rng.Float64() < 0.008 {
+		op = "fdiv"
+	}
+	return g.add(g.b.Define(op, g.pick(), g.pick()))
+}
+
+// accumulation emits a first-order recurrence s = s[-d] op x: a
+// single-node SCC with a distance-d self edge (d > 1 models interleaved
+// partial sums, which loosen the recurrence bound).
+func (g *gen) accumulation() ir.Value {
+	s := g.b.Future()
+	op := "fadd"
+	if g.rng.Float64() < 0.3 {
+		op = "fmul"
+	}
+	dist := 1
+	if g.rng.Float64() < 0.3 {
+		dist = 2 + g.rng.Intn(2)
+	}
+	v := g.b.DefineAs(s, op, s.Back(dist), g.pick())
+	g.b.Comment("accumulation")
+	return g.add(v)
+}
+
+// emitInitBody emits a tiny initialization loop: one or two store streams
+// writing an invariant, a little address arithmetic, and the branch. These
+// loops are the MII=1 population the paper's corpus is full of.
+func (g *gen) emitInitBody() {
+	nStores := 1
+	if g.rng.Float64() < 0.35 {
+		nStores = 2
+	}
+	for i := 0; i < nStores; i++ {
+		si := g.addrIncr("init")
+		g.b.Effect("store", si, g.b.Invariant("zero"))
+		g.b.Comment("store constant")
+		g.emit++
+	}
+	// A little extra index arithmetic on the address ALUs.
+	for g.emit < g.target-1 {
+		v := g.b.DefineImm("aadd", 4, g.pick())
+		g.add(v)
+	}
+	g.b.Effect("brtop")
+	g.emit++
+}
+
+// recurrenceCircuit emits a non-trivial SCC of the requested length and
+// iteration distance: v1 = f(vk[-dist], x); v2 = f(v1, y); ...;
+// vk = f(v_{k-1}, z). Larger distances loosen the RecMII constraint
+// (RecMII = ceil(Delay/dist)), mirroring recurrences through older
+// iterates in real code.
+func (g *gen) recurrenceCircuit(length, dist int) {
+	if length < 2 {
+		length = 2
+	}
+	if dist < 1 {
+		dist = 1
+	}
+	head := g.b.Future()
+	prev := head.Back(dist)
+	var last ir.Value
+	for i := 0; i < length; i++ {
+		op := []string{"fadd", "fmul", "add"}[g.rng.Intn(3)]
+		if i == length-1 {
+			last = g.b.DefineAs(head, op, prev, g.pick())
+		} else {
+			last = g.b.Define(op, prev, g.pick())
+		}
+		g.b.Comment(fmt.Sprintf("recurrence stage %d/%d", i+1, length))
+		g.add(last)
+		prev = last
+	}
+}
+
+// storeStream emits an address increment plus a store of a computed value.
+func (g *gen) storeStream(name string) {
+	si := g.addrIncr(name)
+	op := g.b.Effect("store", si, g.pick())
+	g.b.Comment("store " + name + "[i]")
+	g.emit++
+	g.stores = append(g.stores, op)
+}
+
+func (g *gen) emitBody(vectorizable, predicated bool) {
+	rng := g.rng
+	remaining := func() int { return g.target - g.emit }
+
+	// 1 brtop is always emitted at the end; reserve it.
+	g.target--
+
+	// Load streams: 1-4 depending on size.
+	nLoads := 1 + rng.Intn(3)
+	if g.target >= 24 {
+		nLoads += rng.Intn(3)
+	}
+	for i := 0; i < nLoads && remaining() >= 2; i++ {
+		g.addressStream(fmt.Sprintf("arr%c", 'a'+i))
+	}
+
+	// Non-trivial recurrences for the non-vectorizable population.
+	if !vectorizable {
+		n := 1
+		if rng.Float64() < 0.25 {
+			n += rng.Intn(3) // up to several non-trivial SCCs
+		}
+		for i := 0; i < n && remaining() >= 3; i++ {
+			ln := 2 + int(math.Abs(rng.NormFloat64())*2.5)
+			if maxLen := remaining() - 2; ln > maxLen {
+				ln = maxLen
+			}
+			if big := remaining() - 2; rng.Float64() < 0.02 && big > 12 {
+				ln = 12 + rng.Intn(big-11) // occasional large SCC (paper max 42)
+			}
+			// Distance: usually 1, sometimes through older iterates,
+			// which keeps many recurrences below the resource bound.
+			dist := 1
+			switch r := rng.Float64(); {
+			case r < 0.25:
+				dist = 2
+			case r < 0.40:
+				dist = 3 + rng.Intn(3)
+			}
+			g.recurrenceCircuit(ln, dist)
+		}
+	}
+
+	// Predicated region: a comparison sets a predicate guarding a few ops.
+	if predicated && remaining() >= 3 {
+		p := g.b.Define("cmp", g.pick(), g.b.Invariant("bound"))
+		g.b.Comment("guard compare")
+		g.add(p)
+		g.b.SetPred(p)
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n && remaining() >= 2; i++ {
+			g.arith()
+		}
+		g.b.ClearPred()
+	}
+
+	// Accumulations (reductions) appear in both populations; as
+	// single-node recurrences they keep vectorizable loops vectorizable
+	// in the paper's SCC-statistics sense.
+	if rng.Float64() < 0.25 && remaining() >= 2 {
+		g.accumulation()
+	}
+
+	// Stores: most loops write something.
+	nStores := 0
+	if rng.Float64() < 0.85 {
+		nStores = 1 + rng.Intn(2)
+	}
+	storeBudget := nStores * 2
+
+	// Fill the rest with arithmetic.
+	for remaining() > storeBudget {
+		g.arith()
+	}
+	for i := 0; i < nStores && remaining() >= 2; i++ {
+		g.storeStream(fmt.Sprintf("out%c", 'x'+i))
+	}
+
+	// Top up with arithmetic if the store budget went unused (keeps every
+	// loop at or above the configured minimum size).
+	for remaining() > 0 {
+		g.arith()
+	}
+
+	// Occasional memory aliasing edge: a load after a store of unknown
+	// relative address (flow-like Mem dependence at distance 0 or 1).
+	if len(g.stores) > 0 && rng.Float64() < 0.10 {
+		// The loop-closing branch is about to be emitted; attach the edge
+		// between the last store and a synthetic reload.
+		v := g.b.Define("load", g.b.Invariant("aliasptr"))
+		g.b.Comment("possibly aliased reload")
+		g.add(v)
+		g.emit++
+		g.b.Dep(g.stores[len(g.stores)-1], g.b.OpOf(v), ir.Mem, g.rng.Intn(2))
+	}
+
+	// Loop-closing branch.
+	g.b.Effect("brtop")
+	g.b.Comment("loop-closing branch")
+	g.emit++
+}

@@ -1,0 +1,128 @@
+package loopgen
+
+import (
+	"testing"
+
+	"modsched/internal/looplang"
+	"modsched/internal/machine"
+)
+
+func TestGenerationDeterministic(t *testing.T) {
+	m := machine.Cydra5()
+	cfg := DefaultConfig()
+	cfg.N = 50
+	a, err := Generate(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].NumRealOps() != b[i].NumRealOps() || len(a[i].Edges) != len(b[i].Edges) {
+			t.Fatalf("loop %d differs across runs with the same seed", i)
+		}
+		if a[i].LoopFreq != b[i].LoopFreq {
+			t.Fatalf("loop %d profile differs across runs", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	m := machine.Cydra5()
+	cfg := DefaultConfig()
+	cfg.N = 30
+	a, _ := Generate(cfg, m)
+	cfg.Seed = 999
+	b, _ := Generate(cfg, m)
+	same := 0
+	for i := range a {
+		if a[i].NumRealOps() == b[i].NumRealOps() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced structurally identical corpora")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var zero Config
+	c := zero.withDefaults()
+	d := DefaultConfig()
+	if c.N != d.N || c.Seed != d.Seed || c.MedianOps != d.MedianOps {
+		t.Errorf("withDefaults() != DefaultConfig(): %+v vs %+v", c, d)
+	}
+}
+
+func TestSizesWithinBounds(t *testing.T) {
+	m := machine.Cydra5()
+	cfg := DefaultConfig()
+	cfg.N = 300
+	loops, err := Generate(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range loops {
+		n := l.NumRealOps()
+		if n < cfg.MinOps {
+			t.Errorf("%s: %d ops below MinOps %d", l.Name, n, cfg.MinOps)
+		}
+		// Generators may overshoot the clamp by the trailing
+		// branch/store/alias ops, but not wildly.
+		if n > cfg.MaxOps+8 {
+			t.Errorf("%s: %d ops far above MaxOps %d", l.Name, n, cfg.MaxOps)
+		}
+	}
+}
+
+func TestProfilesPlausible(t *testing.T) {
+	m := machine.Cydra5()
+	cfg := DefaultConfig()
+	cfg.N = 400
+	loops, err := Generate(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := 0
+	for _, l := range loops {
+		if l.LoopFreq < 0 || l.LoopFreq < l.EntryFreq {
+			t.Fatalf("%s: bad profile %d/%d", l.Name, l.EntryFreq, l.LoopFreq)
+		}
+		if l.LoopFreq > 0 {
+			executed++
+		}
+	}
+	frac := float64(executed) / float64(len(loops))
+	// The paper: only 597/1327 (45%) of loops execute under the profile.
+	if frac < 0.30 || frac > 0.60 {
+		t.Errorf("executed fraction %.2f outside [0.30, 0.60] (paper 0.45)", frac)
+	}
+}
+
+// TestCorpusRoundTripsThroughLoopLang: every generated loop can be
+// printed in the textual format and re-parsed into an equivalent loop —
+// the corpusgen -> msched workflow.
+func TestCorpusRoundTripsThroughLoopLang(t *testing.T) {
+	m := machine.Cydra5()
+	cfg := DefaultConfig()
+	cfg.N = 60
+	loops, err := Generate(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range loops {
+		text := looplang.Print(l)
+		l2, err := looplang.Parse(text, m)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", l.Name, err, text)
+		}
+		if l2.NumRealOps() != l.NumRealOps() {
+			t.Fatalf("%s: ops %d -> %d", l.Name, l.NumRealOps(), l2.NumRealOps())
+		}
+		if len(l2.Edges) != len(l.Edges) {
+			t.Fatalf("%s: edges %d -> %d\n%s", l.Name, len(l.Edges), len(l2.Edges), text)
+		}
+	}
+}

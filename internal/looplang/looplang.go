@@ -1,0 +1,395 @@
+// Package looplang parses and prints the textual loop format used by the
+// command-line tools. The format describes one innermost loop body in
+// dynamic single assignment form:
+//
+//	loop daxpy
+//	profile 5 10000
+//
+//	xi = aadd xi@1, #8        ; xi@1 is xi's value one iteration back
+//	x  = load xi
+//	yi = aadd yi@1, #8
+//	y  = load yi
+//	t1 = fmul a, x            ; 'a' is never defined: loop invariant
+//	t2 = fadd y, t1
+//	si = aadd si@1, #8
+//	st: store si, t2
+//	brtop
+//
+//	!mem st -> x dist 1       ; explicit memory dependence
+//
+// Rules: `name@k` reads the value name held k iterations ago; a name that
+// is read at distance 0 before (or without) a definition is a loop
+// invariant; `(p) dest = op ...` predicates an operation on p; `label:`
+// prefixes give operations names for explicit `!kind from -> to dist n
+// [delay d]` dependence lines (kind one of mem, anti, output, flow).
+// Comments run from ';' to end of line ('#' introduces immediates).
+package looplang
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// Parse parses the textual format into a Loop valid on machine m.
+func Parse(src string, m *machine.Machine) (*ir.Loop, error) {
+	p := &parser{m: m}
+	if err := p.scan(src); err != nil {
+		return nil, err
+	}
+	return p.build()
+}
+
+type rawOp struct {
+	line    int
+	label   string
+	pred    string // predicate name (may carry @k)
+	dest    string
+	opcode  string
+	args    []string
+	comment string
+}
+
+type rawDep struct {
+	line     int
+	kind     ir.DepKind
+	from, to string
+	dist     int
+	delay    *int
+}
+
+type parser struct {
+	m       *machine.Machine
+	name    string
+	entry   int64
+	loops   int64
+	haveFrq bool
+	ops     []rawOp
+	deps    []rawDep
+	defined map[string]int // name -> op index defining it
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("looplang: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) scan(src string) error {
+	p.defined = make(map[string]int)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		n := lineNo + 1
+		line := raw
+		// strip comments
+		comment := ""
+		if i := strings.Index(line, ";"); i >= 0 {
+			comment = strings.TrimSpace(line[i+1:])
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "loop":
+			if len(fields) != 2 {
+				return p.errf(n, "usage: loop NAME")
+			}
+			p.name = fields[1]
+			continue
+		case "profile":
+			if len(fields) != 3 {
+				return p.errf(n, "usage: profile ENTRYFREQ LOOPFREQ")
+			}
+			e, err1 := strconv.ParseInt(fields[1], 10, 64)
+			l, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return p.errf(n, "profile wants two integers")
+			}
+			p.entry, p.loops, p.haveFrq = e, l, true
+			continue
+		}
+		if fields[0] == "!mem" || fields[0] == "!anti" || fields[0] == "!output" || fields[0] == "!flow" {
+			dep, err := p.parseDep(n, fields)
+			if err != nil {
+				return err
+			}
+			p.deps = append(p.deps, dep)
+			continue
+		}
+		op, err := p.parseOp(n, line, comment)
+		if err != nil {
+			return err
+		}
+		if op.dest != "" {
+			if _, dup := p.defined[op.dest]; dup {
+				return p.errf(n, "register %q defined twice (the format is single assignment)", op.dest)
+			}
+			p.defined[op.dest] = len(p.ops)
+		}
+		if op.label != "" {
+			if _, dup := p.defined["label:"+op.label]; dup {
+				return p.errf(n, "label %q used twice", op.label)
+			}
+			p.defined["label:"+op.label] = len(p.ops)
+		}
+		p.ops = append(p.ops, op)
+	}
+	if p.name == "" {
+		return fmt.Errorf("looplang: missing 'loop NAME' header")
+	}
+	if len(p.ops) == 0 {
+		return fmt.Errorf("looplang: loop %s has no operations", p.name)
+	}
+	return nil
+}
+
+func (p *parser) parseDep(n int, fields []string) (rawDep, error) {
+	// !kind FROM -> TO dist N [delay D]
+	kind := map[string]ir.DepKind{
+		"!mem": ir.Mem, "!anti": ir.Anti, "!output": ir.Output, "!flow": ir.Flow,
+	}[fields[0]]
+	if len(fields) < 6 || fields[2] != "->" || fields[4] != "dist" {
+		return rawDep{}, p.errf(n, "usage: %s FROM -> TO dist N [delay D]", fields[0])
+	}
+	dist, err := strconv.Atoi(fields[5])
+	if err != nil || dist < 0 {
+		return rawDep{}, p.errf(n, "bad distance %q", fields[5])
+	}
+	d := rawDep{line: n, kind: kind, from: fields[1], to: fields[3], dist: dist}
+	if len(fields) >= 8 && fields[6] == "delay" {
+		v, err := strconv.Atoi(fields[7])
+		if err != nil {
+			return rawDep{}, p.errf(n, "bad delay %q", fields[7])
+		}
+		d.delay = &v
+	}
+	return d, nil
+}
+
+func (p *parser) parseOp(n int, line, comment string) (rawOp, error) {
+	op := rawOp{line: n, comment: comment}
+	rest := line
+	// optional predicate "(p)"
+	if strings.HasPrefix(rest, "(") {
+		end := strings.Index(rest, ")")
+		if end < 0 {
+			return op, p.errf(n, "unterminated predicate")
+		}
+		op.pred = strings.TrimSpace(rest[1:end])
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	// optional label "name:"
+	if i := strings.Index(rest, ":"); i >= 0 && !strings.Contains(rest[:i], " ") && !strings.Contains(rest[:i], "=") {
+		op.label = strings.TrimSpace(rest[:i])
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	// optional "dest ="
+	if i := strings.Index(rest, "="); i >= 0 {
+		op.dest = strings.TrimSpace(rest[:i])
+		if strings.ContainsAny(op.dest, " \t,@#") || op.dest == "" {
+			return op, p.errf(n, "bad destination %q", op.dest)
+		}
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	fields := strings.Fields(strings.ReplaceAll(rest, ",", " "))
+	if len(fields) == 0 {
+		return op, p.errf(n, "missing opcode")
+	}
+	op.opcode = fields[0]
+	op.args = fields[1:]
+	if p.m != nil {
+		if _, ok := p.m.Opcode(op.opcode); !ok {
+			return op, p.errf(n, "unknown opcode %q", op.opcode)
+		}
+	}
+	return op, nil
+}
+
+// splitRef splits "name@k" into (name, k).
+func splitRef(s string) (string, int, error) {
+	if i := strings.Index(s, "@"); i >= 0 {
+		k, err := strconv.Atoi(s[i+1:])
+		if err != nil || k < 0 {
+			return "", 0, fmt.Errorf("bad back-reference %q", s)
+		}
+		return s[:i], k, nil
+	}
+	return s, 0, nil
+}
+
+func (p *parser) build() (*ir.Loop, error) {
+	b := ir.NewBuilder(p.name, p.m)
+	if p.haveFrq {
+		b.SetProfile(p.entry, p.loops)
+	}
+	// Pre-create futures for every defined name; unseen names become
+	// invariants on demand.
+	futures := make(map[string]ir.Value)
+	for name := range p.defined {
+		if !strings.HasPrefix(name, "label:") {
+			futures[name] = b.Future()
+		}
+	}
+	resolve := func(line int, refStr string) (ir.Value, error) {
+		name, k, err := splitRef(refStr)
+		if err != nil {
+			return ir.Value{}, p.errf(line, "%v", err)
+		}
+		if v, ok := futures[name]; ok {
+			return v.Back(k), nil
+		}
+		if k != 0 {
+			return ir.Value{}, p.errf(line, "back-reference %q to an undefined (invariant) name", refStr)
+		}
+		return b.Invariant(name), nil
+	}
+
+	handles := make([]ir.Op, len(p.ops))
+	for i, op := range p.ops {
+		if op.pred != "" {
+			pv, err := resolve(op.line, op.pred)
+			if err != nil {
+				return nil, err
+			}
+			b.SetPred(pv)
+		} else {
+			b.ClearPred()
+		}
+		var srcs []ir.Value
+		var imm int64
+		var hasImm bool
+		for _, a := range op.args {
+			if strings.HasPrefix(a, "#") {
+				v, err := strconv.ParseInt(a[1:], 10, 64)
+				if err != nil {
+					return nil, p.errf(op.line, "bad immediate %q", a)
+				}
+				imm, hasImm = v, true
+				continue
+			}
+			v, err := resolve(op.line, a)
+			if err != nil {
+				return nil, err
+			}
+			srcs = append(srcs, v)
+		}
+		_ = hasImm
+		if op.dest != "" {
+			v := b.DefineAsImm(futures[op.dest], op.opcode, imm, srcs...)
+			handles[i] = b.OpOf(v)
+		} else {
+			handles[i] = b.EffectImm(op.opcode, imm, srcs...)
+		}
+		if op.comment != "" {
+			b.Comment(op.comment)
+		}
+	}
+	b.ClearPred()
+
+	lookup := func(line int, name string) (ir.Op, error) {
+		if idx, ok := p.defined["label:"+name]; ok {
+			return handles[idx], nil
+		}
+		if idx, ok := p.defined[name]; ok {
+			return handles[idx], nil
+		}
+		return 0, p.errf(line, "unknown operation %q in dependence", name)
+	}
+	for _, d := range p.deps {
+		from, err := lookup(d.line, d.from)
+		if err != nil {
+			return nil, err
+		}
+		to, err := lookup(d.line, d.to)
+		if err != nil {
+			return nil, err
+		}
+		if d.delay != nil {
+			b.DepDelay(from, to, d.kind, d.dist, *d.delay)
+		} else {
+			b.Dep(from, to, d.kind, d.dist)
+		}
+	}
+	return b.Build()
+}
+
+// Print renders a loop in (approximately) the textual format, using
+// register numbers as names. It is meant for inspection, and round-trips
+// structurally (same ops, edges, and profile).
+func Print(l *ir.Loop) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loop %s\n", l.Name)
+	fmt.Fprintf(&sb, "profile %d %d\n\n", l.EntryFreq, l.LoopFreq)
+
+	variant := l.VariantRegs()
+	name := func(r ir.Reg) string {
+		if variant[r] {
+			return fmt.Sprintf("v%d", r)
+		}
+		return fmt.Sprintf("c%d", r)
+	}
+	ref := func(r ir.Reg, d int) string {
+		if d != 0 {
+			return fmt.Sprintf("%s@%d", name(r), d)
+		}
+		return name(r)
+	}
+	labels := make(map[int]string)
+	for i, op := range l.Ops {
+		if op.IsPseudo() {
+			continue
+		}
+		labels[i] = fmt.Sprintf("op%d", i)
+		if op.Pred != ir.NoReg {
+			fmt.Fprintf(&sb, "(%s) ", ref(op.Pred, op.PredDist))
+		}
+		fmt.Fprintf(&sb, "%s:", labels[i])
+		if op.Dest != ir.NoReg {
+			fmt.Fprintf(&sb, " %s =", name(op.Dest))
+		}
+		fmt.Fprintf(&sb, " %s", op.Opcode)
+		for si, r := range op.Srcs {
+			d := 0
+			if op.SrcDists != nil {
+				d = op.SrcDists[si]
+			}
+			if si > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s", ref(r, d))
+		}
+		if op.Imm != 0 {
+			fmt.Fprintf(&sb, ", #%d", op.Imm)
+		}
+		if op.Comment != "" {
+			fmt.Fprintf(&sb, "   ; %s", op.Comment)
+		}
+		sb.WriteByte('\n')
+	}
+	// Explicit (non-derivable) edges: memory and anti/output deps.
+	var extra []string
+	for _, e := range l.Edges {
+		switch e.Kind {
+		case ir.Mem, ir.Anti, ir.Output:
+			kind := map[ir.DepKind]string{ir.Mem: "!mem", ir.Anti: "!anti", ir.Output: "!output"}[e.Kind]
+			s := fmt.Sprintf("%s %s -> %s dist %d", kind, labels[e.From], labels[e.To], e.Distance)
+			if e.DelayOverride != nil {
+				s += fmt.Sprintf(" delay %d", *e.DelayOverride)
+			}
+			extra = append(extra, s)
+		}
+	}
+	if len(extra) > 0 {
+		sb.WriteByte('\n')
+		sort.Strings(extra)
+		for _, s := range extra {
+			sb.WriteString(s)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

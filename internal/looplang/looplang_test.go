@@ -1,0 +1,186 @@
+package looplang
+
+import (
+	"strings"
+	"testing"
+
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+const daxpySrc = `
+loop daxpy
+profile 5 10000
+
+xi = aadd xi@3, #24      ; back-substituted x address
+x  = load xi
+yi = aadd yi@3, #24
+y  = load yi
+t1 = fmul a, x           ; a is loop-invariant
+t2 = fadd y, t1
+si = aadd si@3, #24
+st: store si, t2
+brtop
+`
+
+func TestParseDaxpy(t *testing.T) {
+	m := machine.Cydra5()
+	l, err := Parse(daxpySrc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name != "daxpy" {
+		t.Errorf("name = %q", l.Name)
+	}
+	if l.EntryFreq != 5 || l.LoopFreq != 10000 {
+		t.Errorf("profile = %d/%d", l.EntryFreq, l.LoopFreq)
+	}
+	if l.NumRealOps() != 9 {
+		t.Errorf("ops = %d, want 9", l.NumRealOps())
+	}
+	// The back-substituted address recurrences must be distance-3 self
+	// edges.
+	self3 := 0
+	for _, e := range l.Edges {
+		if e.Kind == ir.Flow && e.From == e.To && e.Distance == 3 {
+			self3++
+		}
+	}
+	if self3 != 3 {
+		t.Errorf("distance-3 self recurrences = %d, want 3", self3)
+	}
+	// Comments survive.
+	found := false
+	for _, op := range l.Ops {
+		if strings.Contains(op.Comment, "loop-invariant") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("comment lost in parsing")
+	}
+	// And the loop schedules.
+	if _, err := core.ModuloSchedule(l, m, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePredicatedAndDeps(t *testing.T) {
+	m := machine.Cydra5()
+	src := `
+loop guarded
+xi = aadd xi@3, #24
+x = load xi
+p = cmp x, limit
+(p) s = fadd s@1, x
+st: store xi, x
+ld: x2 = load aliasptr
+brtop
+
+!mem st -> ld dist 1 delay 2
+`
+	l, err := Parse(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The predicated op must carry the predicate register.
+	var pred *ir.Operation
+	for _, op := range l.RealOps() {
+		if op.Opcode == "fadd" {
+			pred = op
+		}
+	}
+	if pred == nil || pred.Pred == ir.NoReg {
+		t.Fatal("predicated op lost its predicate")
+	}
+	// The explicit mem edge with delay override.
+	found := false
+	for _, e := range l.Edges {
+		if e.Kind == ir.Mem && e.Distance == 1 {
+			found = true
+			if e.DelayOverride == nil || *e.DelayOverride != 2 {
+				t.Error("delay override lost")
+			}
+		}
+	}
+	if !found {
+		t.Error("mem edge lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	m := machine.Cydra5()
+	cases := map[string]string{
+		"missing header":    "x = load p\n",
+		"no ops":            "loop empty\n",
+		"unknown opcode":    "loop l\nx = warp p\nbrtop\n",
+		"double define":     "loop l\nx = load p\nx = load p\nbrtop\n",
+		"bad profile":       "loop l\nprofile a b\nbrtop\n",
+		"bad immediate":     "loop l\nx = aadd y, #zz\nbrtop\n",
+		"bad backref":       "loop l\nx = load q@-1\nbrtop\n",
+		"invariant backref": "loop l\nx = load undef@2\nbrtop\n",
+		"bad dep target":    "loop l\nx = load p\nbrtop\n!mem x -> nosuch dist 0\n",
+		"bad dep syntax":    "loop l\nx = load p\nbrtop\n!mem x nosuch\n",
+		"unterminated pred": "loop l\n(p x = load q\nbrtop\n",
+		"duplicate label":   "loop l\na: x = load p\na: y = load p\nbrtop\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src, m); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, src)
+		}
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m := machine.Cydra5()
+	l1, err := Parse(daxpySrc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Print(l1)
+	l2, err := Parse(text, m)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if l1.NumRealOps() != l2.NumRealOps() {
+		t.Fatalf("op count changed: %d -> %d", l1.NumRealOps(), l2.NumRealOps())
+	}
+	if len(l1.Edges) != len(l2.Edges) {
+		t.Fatalf("edge count changed: %d -> %d", len(l1.Edges), len(l2.Edges))
+	}
+	if l1.EntryFreq != l2.EntryFreq || l1.LoopFreq != l2.LoopFreq {
+		t.Error("profile changed")
+	}
+	// Same schedule on both.
+	s1, err := core.ModuloSchedule(l1, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := core.ModuloSchedule(l2, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.II != s2.II || s1.Length != s2.Length {
+		t.Errorf("round trip changed the schedule: II %d->%d SL %d->%d", s1.II, s2.II, s1.Length, s2.Length)
+	}
+}
+
+func TestPrintMarksMemEdges(t *testing.T) {
+	m := machine.Cydra5()
+	src := `
+loop l
+a: x = load p
+b: store q, x
+brtop
+!mem b -> a dist 1
+`
+	l, err := Parse(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(l)
+	if !strings.Contains(out, "!mem") {
+		t.Errorf("printed form lost !mem edge:\n%s", out)
+	}
+}

@@ -1,0 +1,374 @@
+// Package machine models the target processor for modulo scheduling:
+// resources, reservation tables, opcodes with multiple alternatives, and
+// concrete machine descriptions (notably a Cydra 5-like model reproducing
+// Table 2 and Figure 1 of Rau's MICRO-27 paper).
+//
+// A resource is anything that at most one operation may use in a given
+// cycle: a pipeline stage of a functional unit, a bus, or a field in the
+// instruction format. The resource usage of an opcode is a reservation
+// table: the list of (resource, relative time) pairs the operation occupies
+// counted from its issue cycle. An opcode executable on several functional
+// units has one alternative (and one reservation table) per unit.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Resource identifies a single machine resource by index into
+// Machine.Resources.
+type Resource int
+
+// ResourceUse records that an operation occupies Resource during cycle
+// Time, counted relative to the operation's issue cycle (Time >= 0).
+type ResourceUse struct {
+	Resource Resource
+	Time     int
+}
+
+// TableKind classifies a reservation table by the difficulty it causes the
+// scheduler (Section 2.1 of the paper).
+type TableKind int
+
+const (
+	// Simple tables use a single resource for a single cycle at issue.
+	Simple TableKind = iota
+	// Block tables use a single resource for multiple consecutive cycles
+	// starting with the cycle of issue.
+	Block
+	// Complex is any other usage pattern (e.g. shared buses at different
+	// offsets, as in Figure 1).
+	Complex
+)
+
+func (k TableKind) String() string {
+	switch k {
+	case Simple:
+		return "simple"
+	case Block:
+		return "block"
+	case Complex:
+		return "complex"
+	default:
+		return fmt.Sprintf("TableKind(%d)", int(k))
+	}
+}
+
+// ReservationTable is the resource usage pattern of one alternative of one
+// opcode. The zero value is an empty table that uses no resources (legal
+// for pseudo-operations).
+type ReservationTable struct {
+	Uses []ResourceUse
+}
+
+// NewTable builds a reservation table from explicit uses. Uses are stored
+// sorted by (time, resource); duplicate uses are rejected.
+func NewTable(uses ...ResourceUse) (ReservationTable, error) {
+	t := ReservationTable{Uses: append([]ResourceUse(nil), uses...)}
+	sort.Slice(t.Uses, func(i, j int) bool {
+		if t.Uses[i].Time != t.Uses[j].Time {
+			return t.Uses[i].Time < t.Uses[j].Time
+		}
+		return t.Uses[i].Resource < t.Uses[j].Resource
+	})
+	for i, u := range t.Uses {
+		if u.Time < 0 {
+			return ReservationTable{}, fmt.Errorf("machine: reservation table use at negative time %d", u.Time)
+		}
+		if u.Resource < 0 {
+			return ReservationTable{}, fmt.Errorf("machine: reservation table uses negative resource %d", u.Resource)
+		}
+		if i > 0 && t.Uses[i-1] == u {
+			return ReservationTable{}, fmt.Errorf("machine: duplicate reservation table use %+v", u)
+		}
+	}
+	return t, nil
+}
+
+// MustTable is NewTable that panics on error; for use in machine
+// description literals.
+func MustTable(uses ...ResourceUse) ReservationTable {
+	t, err := NewTable(uses...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// BlockTable returns a table occupying a single resource for cycles
+// [0, cycles).
+func BlockTable(r Resource, cycles int) ReservationTable {
+	uses := make([]ResourceUse, cycles)
+	for i := range uses {
+		uses[i] = ResourceUse{Resource: r, Time: i}
+	}
+	return MustTable(uses...)
+}
+
+// SimpleTable returns a table occupying a single resource at issue only.
+func SimpleTable(r Resource) ReservationTable { return BlockTable(r, 1) }
+
+// Kind classifies the table per Section 2.1.
+func (t ReservationTable) Kind() TableKind {
+	if len(t.Uses) == 0 {
+		return Simple // empty tables never constrain the scheduler
+	}
+	r := t.Uses[0].Resource
+	for i, u := range t.Uses {
+		if u.Resource != r || u.Time != i {
+			return Complex
+		}
+	}
+	if len(t.Uses) == 1 {
+		return Simple
+	}
+	return Block
+}
+
+// Span is one past the last cycle at which the table uses any resource.
+func (t ReservationTable) Span() int {
+	max := 0
+	for _, u := range t.Uses {
+		if u.Time+1 > max {
+			max = u.Time + 1
+		}
+	}
+	return max
+}
+
+// UsesResource reports whether the table ever uses r, and how many cycles
+// it occupies it for in total.
+func (t ReservationTable) UsesResource(r Resource) (cycles int) {
+	for _, u := range t.Uses {
+		if u.Resource == r {
+			cycles++
+		}
+	}
+	return cycles
+}
+
+// Alternative is one way of executing an opcode: a named functional-unit
+// choice with its own reservation table.
+type Alternative struct {
+	Name  string
+	Table ReservationTable
+}
+
+// Opcode describes one operation repertoire entry: its architectural
+// latency (cycles from issue until the result may be consumed) and the
+// alternatives it may execute on.
+type Opcode struct {
+	Name    string
+	Latency int
+	// Alternatives lists the functional-unit choices. Pseudo-opcodes
+	// (START, STOP, and anything else that consumes no resources) have a
+	// single alternative with an empty table.
+	Alternatives []Alternative
+	// Class is a coarse semantic category used by the simulator and the
+	// synthetic loop generator; it does not affect scheduling.
+	Class OpClass
+}
+
+// OpClass is the coarse semantic category of an opcode.
+type OpClass int
+
+const (
+	ClassOther OpClass = iota
+	ClassMemLoad
+	ClassMemStore
+	ClassIntALU
+	ClassFloatALU
+	ClassMul
+	ClassDiv
+	ClassBranch
+	ClassPredicate
+	ClassAddress
+	ClassPseudo
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case ClassMemLoad:
+		return "load"
+	case ClassMemStore:
+		return "store"
+	case ClassIntALU:
+		return "ialu"
+	case ClassFloatALU:
+		return "falu"
+	case ClassMul:
+		return "mul"
+	case ClassDiv:
+		return "div"
+	case ClassBranch:
+		return "branch"
+	case ClassPredicate:
+		return "pred"
+	case ClassAddress:
+		return "addr"
+	case ClassPseudo:
+		return "pseudo"
+	default:
+		return "other"
+	}
+}
+
+// Machine is a complete machine description.
+type Machine struct {
+	Name      string
+	Resources []string // resource names, indexed by Resource
+	opcodes   map[string]*Opcode
+	order     []string // opcode insertion order, for deterministic iteration
+}
+
+// New creates an empty machine with the given resource names.
+func New(name string, resources ...string) *Machine {
+	return &Machine{
+		Name:      name,
+		Resources: append([]string(nil), resources...),
+		opcodes:   make(map[string]*Opcode),
+	}
+}
+
+// AddResource appends a resource and returns its handle.
+func (m *Machine) AddResource(name string) Resource {
+	m.Resources = append(m.Resources, name)
+	return Resource(len(m.Resources) - 1)
+}
+
+// AddOpcode registers an opcode. It returns an error if the name is
+// duplicated, the latency is negative, any alternative table references an
+// unknown resource, or a non-pseudo opcode has no alternatives.
+func (m *Machine) AddOpcode(op *Opcode) error {
+	if op.Name == "" {
+		return fmt.Errorf("machine %s: opcode with empty name", m.Name)
+	}
+	if _, dup := m.opcodes[op.Name]; dup {
+		return fmt.Errorf("machine %s: duplicate opcode %q", m.Name, op.Name)
+	}
+	if op.Latency < 0 {
+		return fmt.Errorf("machine %s: opcode %q has negative latency %d", m.Name, op.Name, op.Latency)
+	}
+	if len(op.Alternatives) == 0 {
+		return fmt.Errorf("machine %s: opcode %q has no alternatives", m.Name, op.Name)
+	}
+	for _, alt := range op.Alternatives {
+		for _, u := range alt.Table.Uses {
+			if int(u.Resource) >= len(m.Resources) {
+				return fmt.Errorf("machine %s: opcode %q alternative %q uses unknown resource %d",
+					m.Name, op.Name, alt.Name, u.Resource)
+			}
+		}
+	}
+	m.opcodes[op.Name] = op
+	m.order = append(m.order, op.Name)
+	return nil
+}
+
+// MustAddOpcode is AddOpcode that panics on error, for machine literals.
+func (m *Machine) MustAddOpcode(op *Opcode) {
+	if err := m.AddOpcode(op); err != nil {
+		panic(err)
+	}
+}
+
+// Opcode looks up an opcode by name.
+func (m *Machine) Opcode(name string) (*Opcode, bool) {
+	op, ok := m.opcodes[name]
+	return op, ok
+}
+
+// MustOpcode looks up an opcode and panics if it is absent.
+func (m *Machine) MustOpcode(name string) *Opcode {
+	op, ok := m.opcodes[name]
+	if !ok {
+		panic(fmt.Sprintf("machine %s: unknown opcode %q", m.Name, name))
+	}
+	return op
+}
+
+// Opcodes returns all opcodes in registration order.
+func (m *Machine) Opcodes() []*Opcode {
+	out := make([]*Opcode, 0, len(m.order))
+	for _, n := range m.order {
+		out = append(out, m.opcodes[n])
+	}
+	return out
+}
+
+// NumResources is the number of machine resources.
+func (m *Machine) NumResources() int { return len(m.Resources) }
+
+// ResourceName returns the name of r, or a synthetic name if out of range.
+func (m *Machine) ResourceName(r Resource) string {
+	if int(r) < 0 || int(r) >= len(m.Resources) {
+		return fmt.Sprintf("res%d", int(r))
+	}
+	return m.Resources[r]
+}
+
+// Validate performs whole-machine consistency checks beyond what AddOpcode
+// enforces: every resource must be used by some opcode (dead resources are
+// usually description bugs), and latencies must cover result-bus usage.
+func (m *Machine) Validate() error {
+	used := make([]bool, len(m.Resources))
+	for _, name := range m.order {
+		op := m.opcodes[name]
+		for _, alt := range op.Alternatives {
+			for _, u := range alt.Table.Uses {
+				used[u.Resource] = true
+			}
+			if s := alt.Table.Span(); op.Latency > 0 && s > op.Latency {
+				return fmt.Errorf("machine %s: opcode %q alternative %q reserves resources through cycle %d, beyond latency %d",
+					m.Name, op.Name, alt.Name, s-1, op.Latency)
+			}
+		}
+	}
+	for r, u := range used {
+		if !u {
+			return fmt.Errorf("machine %s: resource %q is used by no opcode", m.Name, m.Resources[r])
+		}
+	}
+	return nil
+}
+
+// TableString renders a reservation table pictorially, in the style of
+// Figure 1 of the paper: one row per cycle, one column per resource that
+// the machine defines, an X where the table occupies the resource.
+func (m *Machine) TableString(t ReservationTable) string {
+	span := t.Span()
+	// Collect only the resources the table touches, preserving machine order.
+	touched := make([]Resource, 0, 4)
+	seen := make(map[Resource]bool)
+	for _, u := range t.Uses {
+		if !seen[u.Resource] {
+			seen[u.Resource] = true
+			touched = append(touched, u.Resource)
+		}
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "Time")
+	for _, r := range touched {
+		fmt.Fprintf(&b, " %-12s", m.ResourceName(r))
+	}
+	b.WriteByte('\n')
+	occ := make(map[[2]int]bool, len(t.Uses))
+	for _, u := range t.Uses {
+		occ[[2]int{u.Time, int(u.Resource)}] = true
+	}
+	for c := 0; c < span; c++ {
+		fmt.Fprintf(&b, "%-6d", c)
+		for _, r := range touched {
+			mark := ""
+			if occ[[2]int{c, int(r)}] {
+				mark = "X"
+			}
+			fmt.Fprintf(&b, " %-12s", mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

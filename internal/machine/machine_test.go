@@ -1,0 +1,272 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableKindClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  ReservationTable
+		want TableKind
+	}{
+		{"empty", ReservationTable{}, Simple},
+		{"single-use", SimpleTable(0), Simple},
+		{"block2", BlockTable(0, 2), Block},
+		{"block5", BlockTable(3, 5), Block},
+		{"two-resources", MustTable(
+			ResourceUse{Resource: 0, Time: 0},
+			ResourceUse{Resource: 1, Time: 0},
+		), Complex},
+		{"gap", MustTable(
+			ResourceUse{Resource: 0, Time: 0},
+			ResourceUse{Resource: 0, Time: 2},
+		), Complex},
+		{"late-start", MustTable(ResourceUse{Resource: 0, Time: 1}), Complex},
+	}
+	for _, c := range cases {
+		if got := c.tab.Kind(); got != c.want {
+			t.Errorf("%s: Kind() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestTableKindStrings(t *testing.T) {
+	if Simple.String() != "simple" || Block.String() != "block" || Complex.String() != "complex" {
+		t.Error("TableKind strings wrong")
+	}
+	if !strings.Contains(TableKind(9).String(), "9") {
+		t.Error("unknown TableKind should include the value")
+	}
+}
+
+func TestNewTableRejectsBadUses(t *testing.T) {
+	if _, err := NewTable(ResourceUse{Resource: 0, Time: -1}); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := NewTable(ResourceUse{Resource: -1, Time: 0}); err == nil {
+		t.Error("negative resource accepted")
+	}
+	if _, err := NewTable(
+		ResourceUse{Resource: 2, Time: 3},
+		ResourceUse{Resource: 2, Time: 3},
+	); err == nil {
+		t.Error("duplicate use accepted")
+	}
+}
+
+func TestNewTableSortsUses(t *testing.T) {
+	tab, err := NewTable(
+		ResourceUse{Resource: 1, Time: 2},
+		ResourceUse{Resource: 0, Time: 0},
+		ResourceUse{Resource: 0, Time: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tab.Uses); i++ {
+		a, b := tab.Uses[i-1], tab.Uses[i]
+		if a.Time > b.Time || (a.Time == b.Time && a.Resource > b.Resource) {
+			t.Fatalf("uses not sorted: %+v", tab.Uses)
+		}
+	}
+}
+
+func TestSpanAndUsesResource(t *testing.T) {
+	tab := MustTable(
+		ResourceUse{Resource: 0, Time: 0},
+		ResourceUse{Resource: 0, Time: 4},
+		ResourceUse{Resource: 1, Time: 2},
+	)
+	if got := tab.Span(); got != 5 {
+		t.Errorf("Span = %d, want 5", got)
+	}
+	if got := tab.UsesResource(0); got != 2 {
+		t.Errorf("UsesResource(0) = %d, want 2", got)
+	}
+	if got := tab.UsesResource(1); got != 1 {
+		t.Errorf("UsesResource(1) = %d, want 1", got)
+	}
+	if got := tab.UsesResource(7); got != 0 {
+		t.Errorf("UsesResource(7) = %d, want 0", got)
+	}
+	if got := (ReservationTable{}).Span(); got != 0 {
+		t.Errorf("empty Span = %d, want 0", got)
+	}
+}
+
+func TestMachineOpcodeRegistry(t *testing.T) {
+	m := New("test", "r0")
+	if err := m.AddOpcode(&Opcode{Name: "x", Latency: 1, Alternatives: []Alternative{{Name: "a", Table: SimpleTable(0)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddOpcode(&Opcode{Name: "x", Latency: 1, Alternatives: []Alternative{{Name: "a", Table: SimpleTable(0)}}}); err == nil {
+		t.Error("duplicate opcode accepted")
+	}
+	if err := m.AddOpcode(&Opcode{Name: "", Latency: 1}); err == nil {
+		t.Error("empty opcode name accepted")
+	}
+	if err := m.AddOpcode(&Opcode{Name: "neg", Latency: -1, Alternatives: []Alternative{{Table: SimpleTable(0)}}}); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if err := m.AddOpcode(&Opcode{Name: "noalts", Latency: 1}); err == nil {
+		t.Error("opcode without alternatives accepted")
+	}
+	if err := m.AddOpcode(&Opcode{Name: "badres", Latency: 1, Alternatives: []Alternative{{Table: SimpleTable(9)}}}); err == nil {
+		t.Error("unknown resource accepted")
+	}
+	if _, ok := m.Opcode("x"); !ok {
+		t.Error("registered opcode not found")
+	}
+	if _, ok := m.Opcode("y"); ok {
+		t.Error("unregistered opcode found")
+	}
+	ops := m.Opcodes()
+	if len(ops) != 1 || ops[0].Name != "x" {
+		t.Errorf("Opcodes() = %v", ops)
+	}
+}
+
+func TestMustOpcodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOpcode should panic on unknown opcode")
+		}
+	}()
+	New("test").MustOpcode("nope")
+}
+
+func TestValidateDeadResource(t *testing.T) {
+	m := New("test", "used", "dead")
+	m.MustAddOpcode(&Opcode{Name: "x", Latency: 1, Alternatives: []Alternative{{Table: SimpleTable(0)}}})
+	if err := m.Validate(); err == nil {
+		t.Error("dead resource not reported")
+	}
+}
+
+func TestValidateLatencyCoversTable(t *testing.T) {
+	m := New("test", "r")
+	m.MustAddOpcode(&Opcode{Name: "x", Latency: 1, Alternatives: []Alternative{{Table: BlockTable(0, 3)}}})
+	if err := m.Validate(); err == nil {
+		t.Error("table extending past latency not reported")
+	}
+}
+
+func TestResourceName(t *testing.T) {
+	m := New("test", "alpha")
+	if m.ResourceName(0) != "alpha" {
+		t.Error("wrong resource name")
+	}
+	if !strings.Contains(m.ResourceName(42), "42") {
+		t.Error("out-of-range resource name should be synthetic")
+	}
+}
+
+func TestCydra5WellFormed(t *testing.T) {
+	m := Cydra5()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The repertoire the rest of the repository depends on.
+	for _, name := range []string{"load", "store", "pset", "preset", "aadd", "asub",
+		"add", "sub", "cmp", "copy", "fadd", "fsub", "mul", "fmul", "div", "fdiv",
+		"fsqrt", "brtop", "START", "STOP"} {
+		if _, ok := m.Opcode(name); !ok {
+			t.Errorf("cydra5 missing opcode %q", name)
+		}
+	}
+	// Table 2 latencies.
+	checks := map[string]int{
+		"load": 20, "aadd": 3, "add": 4, "fmul": 5, "div": 22, "fsqrt": 26, "brtop": 3,
+	}
+	for op, lat := range checks {
+		if got := m.MustOpcode(op).Latency; got != lat {
+			t.Errorf("%s latency = %d, want %d", op, got, lat)
+		}
+	}
+	// Figure 1 shapes: adder and multiplier tables are complex and share
+	// the source buses at issue.
+	add := m.MustOpcode("add").Alternatives[0].Table
+	mul := m.MustOpcode("fmul").Alternatives[0].Table
+	if add.Kind() != Complex || mul.Kind() != Complex {
+		t.Error("adder/multiplier tables should be complex (Figure 1)")
+	}
+	collide := false
+	for _, ua := range add.Uses {
+		for _, um := range mul.Uses {
+			if ua.Time == 0 && um.Time == 0 && ua.Resource == um.Resource {
+				collide = true
+			}
+		}
+	}
+	if !collide {
+		t.Error("add and multiply should collide at issue on the source buses (Figure 1)")
+	}
+	// Divide blocks a multiplier stage: a long block inside a complex
+	// table.
+	div := m.MustOpcode("div").Alternatives[0].Table
+	if div.Kind() != Complex {
+		t.Error("divide table should be complex")
+	}
+	maxUse := 0
+	for r := Resource(0); int(r) < m.NumResources(); r++ {
+		if c := div.UsesResource(r); c > maxUse {
+			maxUse = c
+		}
+	}
+	if maxUse < 10 {
+		t.Errorf("divide should monopolize a stage for many cycles, max use %d", maxUse)
+	}
+	// Memory ops have two alternatives (two ports).
+	if len(m.MustOpcode("load").Alternatives) != 2 {
+		t.Error("load should have two port alternatives")
+	}
+	// Pseudo ops consume no resources.
+	if len(m.MustOpcode("START").Alternatives[0].Table.Uses) != 0 {
+		t.Error("START must be resource-free")
+	}
+}
+
+func TestGenericAndTinyWellFormed(t *testing.T) {
+	for _, m := range []*Machine{Generic(DefaultUnitConfig()), Tiny()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.MustOpcode("load").Alternatives[0].Table.Kind() != Simple {
+			t.Errorf("%s: generic load should be a simple table", m.Name)
+		}
+		if m.MustOpcode("div").Alternatives[0].Table.Kind() != Block {
+			t.Errorf("%s: generic div should be a block table", m.Name)
+		}
+	}
+}
+
+func TestTableStringRendersUses(t *testing.T) {
+	m := Cydra5()
+	s := m.TableString(m.MustOpcode("add").Alternatives[0].Table)
+	for _, want := range []string{"Time", "SrcBusA", "SrcBusB", "AdderStage1", "X"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("TableString missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+// TestBlockTableProperty: BlockTable(r, n) always classifies as expected
+// and spans exactly n.
+func TestBlockTableProperty(t *testing.T) {
+	f := func(r uint8, n uint8) bool {
+		cycles := int(n%20) + 1
+		tab := BlockTable(Resource(r%8), cycles)
+		wantKind := Block
+		if cycles == 1 {
+			wantKind = Simple
+		}
+		return tab.Kind() == wantKind && tab.Span() == cycles &&
+			tab.UsesResource(Resource(r%8)) == cycles
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

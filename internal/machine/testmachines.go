@@ -1,0 +1,114 @@
+package machine
+
+import "fmt"
+
+// This file defines small machine descriptions used by unit tests,
+// examples, and ablation benchmarks. They share opcode names with the
+// Cydra 5 model so loops are portable across machines.
+
+// UnitConfig parameterizes Generic.
+type UnitConfig struct {
+	MemPorts    int // load/store ports (simple tables)
+	ALUs        int // integer/float add units
+	Multipliers int
+	LoadLatency int
+	ALULatency  int
+	MulLatency  int
+	DivLatency  int
+}
+
+// DefaultUnitConfig is a contemporary-looking 2-port, 2-ALU, 1-multiplier
+// machine with short latencies.
+func DefaultUnitConfig() UnitConfig {
+	return UnitConfig{
+		MemPorts:    2,
+		ALUs:        2,
+		Multipliers: 1,
+		LoadLatency: 3,
+		ALULatency:  1,
+		MulLatency:  3,
+		DivLatency:  10,
+	}
+}
+
+// Generic builds a machine where every reservation table is simple (one
+// resource, one cycle at issue) except divide, which blocks its multiplier.
+// This is the "clean RISC" regime in which non-iterative list scheduling
+// usually suffices, useful as an ablation contrast to the Cydra 5 model.
+func Generic(cfg UnitConfig) *Machine {
+	m := New("generic")
+
+	mems := make([]Resource, cfg.MemPorts)
+	for i := range mems {
+		mems[i] = m.AddResource(fmt.Sprintf("MemPort%d", i))
+	}
+	alus := make([]Resource, cfg.ALUs)
+	for i := range alus {
+		alus[i] = m.AddResource(fmt.Sprintf("ALU%d", i))
+	}
+	muls := make([]Resource, cfg.Multipliers)
+	for i := range muls {
+		muls[i] = m.AddResource(fmt.Sprintf("Mult%d", i))
+	}
+	br := m.AddResource("InstrUnit")
+
+	simpleAlts := func(prefix string, rs []Resource) []Alternative {
+		alts := make([]Alternative, len(rs))
+		for i, r := range rs {
+			alts[i] = Alternative{Name: fmt.Sprintf("%s%d", prefix, i), Table: SimpleTable(r)}
+		}
+		return alts
+	}
+	blockAlts := func(prefix string, rs []Resource, cycles int) []Alternative {
+		alts := make([]Alternative, len(rs))
+		for i, r := range rs {
+			alts[i] = Alternative{Name: fmt.Sprintf("%s%d", prefix, i), Table: BlockTable(r, cycles)}
+		}
+		return alts
+	}
+
+	memAlts := simpleAlts("mem", mems)
+	aluAlts := simpleAlts("alu", alus)
+	mulAlts := simpleAlts("mul", muls)
+
+	add := func(name string, lat int, class OpClass, alts []Alternative) {
+		m.MustAddOpcode(&Opcode{Name: name, Latency: lat, Class: class, Alternatives: alts})
+	}
+	add("load", cfg.LoadLatency, ClassMemLoad, memAlts)
+	add("store", 1, ClassMemStore, memAlts)
+	add("pset", 1, ClassPredicate, aluAlts)
+	add("preset", 1, ClassPredicate, aluAlts)
+	add("aadd", cfg.ALULatency, ClassAddress, aluAlts)
+	add("asub", cfg.ALULatency, ClassAddress, aluAlts)
+	add("add", cfg.ALULatency, ClassIntALU, aluAlts)
+	add("sub", cfg.ALULatency, ClassIntALU, aluAlts)
+	add("cmp", cfg.ALULatency, ClassIntALU, aluAlts)
+	add("fadd", cfg.ALULatency, ClassFloatALU, aluAlts)
+	add("fsub", cfg.ALULatency, ClassFloatALU, aluAlts)
+	add("copy", cfg.ALULatency, ClassIntALU, aluAlts)
+	add("sel", cfg.ALULatency, ClassIntALU, aluAlts)
+	add("mul", cfg.MulLatency, ClassMul, mulAlts)
+	add("fmul", cfg.MulLatency, ClassMul, mulAlts)
+	add("div", cfg.DivLatency, ClassDiv, blockAlts("mul", muls, cfg.DivLatency-1))
+	add("fdiv", cfg.DivLatency, ClassDiv, blockAlts("mul", muls, cfg.DivLatency-1))
+	add("fsqrt", cfg.DivLatency, ClassDiv, blockAlts("mul", muls, cfg.DivLatency-1))
+	add("brtop", 1, ClassBranch, []Alternative{{Name: "instr", Table: SimpleTable(br)}})
+	m.MustAddOpcode(&Opcode{Name: "START", Latency: 0, Class: ClassPseudo,
+		Alternatives: []Alternative{{Name: "none", Table: ReservationTable{}}}})
+	m.MustAddOpcode(&Opcode{Name: "STOP", Latency: 0, Class: ClassPseudo,
+		Alternatives: []Alternative{{Name: "none", Table: ReservationTable{}}}})
+
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Tiny returns a minimal single-issue-per-class machine with unit
+// latencies, handy for hand-checkable scheduling tests.
+func Tiny() *Machine {
+	return Generic(UnitConfig{
+		MemPorts: 1, ALUs: 1, Multipliers: 1,
+		LoadLatency: 2, ALULatency: 1, MulLatency: 2, DivLatency: 4,
+	})
+}

@@ -1,0 +1,75 @@
+package mii
+
+import (
+	"modsched/internal/graph"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// Result bundles the lower bounds and structural facts computed before
+// scheduling.
+type Result struct {
+	ResMII int
+	// MII is the production lower bound: the recurrence search seeded at
+	// ResMII, i.e. max(ResMII, RecMII) without ever probing below ResMII.
+	MII int
+	// AltChoice is the advisory alternative selection from the ResMII
+	// greedy pass (indexed by op; -1 where not applicable).
+	AltChoice []int
+	// SCCSizes holds the size of every SCC over the real (non-pseudo)
+	// operations; NonTrivialSCCs lists those with more than one operation.
+	SCCSizes       []int
+	NonTrivialSCCs [][]int
+}
+
+// Compute runs the Section 2 analysis: ResMII, then the per-SCC
+// recurrence search seeded at ResMII. delays must come from ir.Delays.
+func Compute(l *ir.Loop, m *machine.Machine, delays []int, c *Counters) (*Result, error) {
+	resMII, choice, err := ResMII(l, m, c)
+	if err != nil {
+		return nil, err
+	}
+	miiVal, err := RecurrenceMII(l, delays, resMII, c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ResMII:    resMII,
+		MII:       miiVal,
+		AltChoice: choice,
+	}
+	res.SCCSizes, res.NonTrivialSCCs = realSCCs(l)
+	return res, nil
+}
+
+// ExactRecMII computes the true recurrence-constrained bound by seeding
+// the per-SCC search at 1 (used by the Table 3 statistic
+// max(0, RecMII-ResMII); the production MII path never probes below
+// ResMII).
+func ExactRecMII(l *ir.Loop, delays []int, c *Counters) (int, error) {
+	return RecurrenceMII(l, delays, 1, c)
+}
+
+// realSCCs computes SCC statistics over the real operations only
+// (pseudo-ops excluded, matching the paper's loop statistics).
+func realSCCs(l *ir.Loop) (sizes []int, nonTrivial [][]int) {
+	n := l.NumOps()
+	g := graph.New(n)
+	start, stop := l.Start(), l.Stop()
+	for _, e := range l.Edges {
+		if e.From == start || e.To == stop || e.From == stop || e.To == start {
+			continue
+		}
+		g.AddEdge(e.From, e.To)
+	}
+	for _, comp := range g.SCCs() {
+		if len(comp) == 1 && (comp[0] == start || comp[0] == stop) {
+			continue
+		}
+		sizes = append(sizes, len(comp))
+		if len(comp) > 1 {
+			nonTrivial = append(nonTrivial, comp)
+		}
+	}
+	return sizes, nonTrivial
+}

@@ -1,0 +1,126 @@
+package mii
+
+import (
+	"math"
+
+	"modsched/internal/ir"
+)
+
+// NegInf is the MinDist value meaning "no path". It is far enough from
+// overflow that adding two in-range path lengths stays representable.
+const NegInf = math.MinInt / 4
+
+// MinDist is the matrix of Section 2.2: entry [i][j] is the minimum
+// permissible interval between the schedule time of operation i and that
+// of operation j in the same iteration, at a particular II. Entries are
+// NegInf where no dependence path exists. The matrix may be computed over
+// a subset of the loop's operations (one SCC at a time).
+type MinDist struct {
+	II    int
+	Nodes []int       // loop op indices covered, in matrix order
+	Index map[int]int // loop op index -> matrix row
+	d     []int
+	n     int
+}
+
+// At returns the entry for loop ops (i, j), which must be covered.
+func (md *MinDist) At(i, j int) int {
+	return md.d[md.Index[i]*md.n+md.Index[j]]
+}
+
+// atRC accesses by matrix row/col.
+func (md *MinDist) atRC(r, c int) int { return md.d[r*md.n+c] }
+
+// PositiveDiagonal reports whether any operation would have to be
+// scheduled after itself, i.e. the II is infeasible for these recurrences.
+func (md *MinDist) PositiveDiagonal() bool {
+	for i := 0; i < md.n; i++ {
+		if md.d[i*md.n+i] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ZeroDiagonal reports whether some diagonal entry is exactly zero, i.e.
+// at least one recurrence circuit is tight at this II.
+func (md *MinDist) ZeroDiagonal() bool {
+	for i := 0; i < md.n; i++ {
+		if md.d[i*md.n+i] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeMinDist builds the MinDist matrix for the given II over the
+// subset of operations in nodes (pass all op indices for the whole graph).
+// delays is indexed like l.Edges. Only edges with both endpoints inside
+// nodes contribute.
+//
+// Initialization: MinDist[i][j] >= Delay(e) - II*Distance(e) for each edge
+// e from i to j. Closure: max-plus Floyd-Warshall (the minimal
+// cost-to-time-ratio-cycle formulation of Huff). O(n^3); the innermost
+// relaxation count is recorded in c.MinDistInner.
+func ComputeMinDist(l *ir.Loop, delays []int, ii int, nodes []int, c *Counters) *MinDist {
+	n := len(nodes)
+	md := &MinDist{
+		II:    ii,
+		Nodes: append([]int(nil), nodes...),
+		Index: make(map[int]int, n),
+		d:     make([]int, n*n),
+		n:     n,
+	}
+	for r, v := range md.Nodes {
+		md.Index[v] = r
+	}
+	if c != nil {
+		c.MinDistCalls++
+	}
+	for i := range md.d {
+		md.d[i] = NegInf
+	}
+	for ei, e := range l.Edges {
+		r, okF := md.Index[e.From]
+		cc, okT := md.Index[e.To]
+		if !okF || !okT {
+			continue
+		}
+		w := delays[ei] - ii*e.Distance
+		if w > md.d[r*n+cc] {
+			md.d[r*n+cc] = w
+		}
+	}
+	d := md.d
+	for k := 0; k < n; k++ {
+		kn := k * n
+		for i := 0; i < n; i++ {
+			dik := d[i*n+k]
+			if dik == NegInf {
+				if c != nil {
+					c.MinDistInner += int64(n)
+				}
+				continue
+			}
+			in := i * n
+			for j := 0; j < n; j++ {
+				if c != nil {
+					c.MinDistInner++
+				}
+				if dkj := d[kn+j]; dkj != NegInf && dik+dkj > d[in+j] {
+					d[in+j] = dik + dkj
+				}
+			}
+		}
+	}
+	return md
+}
+
+// AllNodes returns 0..NumOps-1, the node set for a whole-graph MinDist.
+func AllNodes(l *ir.Loop) []int {
+	nodes := make([]int, l.NumOps())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}

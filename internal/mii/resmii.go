@@ -1,0 +1,100 @@
+// Package mii computes the minimum initiation interval lower bounds of
+// Section 2 of the paper: the resource-constrained ResMII, the
+// recurrence-constrained RecMII (via the MinDist matrix, per strongly
+// connected component, with the doubling-then-binary-search strategy), and
+// MII = max(ResMII, RecMII).
+package mii
+
+import (
+	"fmt"
+	"sort"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// Counters accumulates the work measurements used by the Table 4
+// complexity analysis.
+type Counters struct {
+	// MinDistInner counts executions of the innermost loop of
+	// ComputeMinDist (the Floyd-Warshall relaxation body).
+	MinDistInner int64
+	// MinDistCalls counts ComputeMinDist invocations.
+	MinDistCalls int64
+	// ResMIIInspections counts alternative reservation-table inspections
+	// during the ResMII computation.
+	ResMIIInspections int64
+}
+
+// ResMII computes the resource-constrained lower bound on the II
+// (Section 2.1). Operations are taken in increasing order of their number
+// of alternatives (degrees of freedom); for each, the alternative that
+// minimizes the resulting most-used resource count is selected and its
+// usage committed. The final most-used resource count is the ResMII.
+//
+// The returned choice slice maps each op index to the selected alternative
+// (or -1 for pseudo-ops); it is advisory — the scheduler is free to pick
+// differently.
+func ResMII(l *ir.Loop, m *machine.Machine, c *Counters) (int, []int, error) {
+	type entry struct {
+		op   int
+		alts []machine.Alternative
+	}
+	entries := make([]entry, 0, l.NumRealOps())
+	choice := make([]int, l.NumOps())
+	for i := range choice {
+		choice[i] = -1
+	}
+	for _, op := range l.RealOps() {
+		oc, ok := m.Opcode(op.Opcode)
+		if !ok {
+			return 0, nil, fmt.Errorf("mii: loop %s: unknown opcode %q", l.Name, op.Opcode)
+		}
+		if len(oc.Alternatives) == 1 && len(oc.Alternatives[0].Table.Uses) == 0 {
+			continue // resource-free operation
+		}
+		entries = append(entries, entry{op: op.ID, alts: oc.Alternatives})
+	}
+	// Radix-like stable sort by number of alternatives, ascending; ties
+	// keep program order for determinism.
+	sort.SliceStable(entries, func(i, j int) bool {
+		return len(entries[i].alts) < len(entries[j].alts)
+	})
+
+	usage := make([]int, m.NumResources())
+	maxUsage := 0
+	for _, e := range entries {
+		bestAlt, bestPeak := -1, -1
+		for ai, alt := range e.alts {
+			if c != nil {
+				c.ResMIIInspections++
+			}
+			peak := maxUsage
+			// Peak usage if this alternative were committed.
+			perRes := make(map[machine.Resource]int, len(alt.Table.Uses))
+			for _, u := range alt.Table.Uses {
+				perRes[u.Resource]++
+			}
+			for r, n := range perRes {
+				if t := usage[r] + n; t > peak {
+					peak = t
+				}
+			}
+			if bestAlt == -1 || peak < bestPeak {
+				bestAlt, bestPeak = ai, peak
+			}
+		}
+		alt := e.alts[bestAlt]
+		for _, u := range alt.Table.Uses {
+			usage[u.Resource]++
+			if usage[u.Resource] > maxUsage {
+				maxUsage = usage[u.Resource]
+			}
+		}
+		choice[e.op] = bestAlt
+	}
+	if maxUsage < 1 {
+		maxUsage = 1
+	}
+	return maxUsage, choice, nil
+}

@@ -1,0 +1,360 @@
+// Package modvar implements modulo variable expansion (Lam) and the
+// explicit prologue / unrolled-kernel / epilogue code-generation schema for
+// machines without rotating registers: the kernel is unrolled U times, and
+// each loop-variant register is renamed per kernel pass modulo U so that
+// simultaneously live instances of the same EVR occupy distinct physical
+// registers.
+//
+// U starts at max(lifetime)+1 and grows until an exact register-naming
+// replay shows every read observes the instance it expects; the replay is
+// also the package's own correctness oracle.
+package modvar
+
+import (
+	"fmt"
+
+	"modsched/internal/core"
+	"modsched/internal/ir"
+)
+
+// FReg names a physical register in the expanded code: an invariant
+// (Idx < 0) or version Idx of loop-variant register Reg.
+type FReg struct {
+	Reg ir.Reg
+	Idx int
+}
+
+func (r FReg) String() string {
+	if r.Idx < 0 {
+		return fmt.Sprintf("s%d", r.Reg)
+	}
+	return fmt.Sprintf("r%d.%d", r.Reg, r.Idx)
+}
+
+// InvariantReg names a static (loop-invariant) register.
+func InvariantReg(r ir.Reg) FReg { return FReg{Reg: r, Idx: -1} }
+
+// FOp is one operation of the expanded code.
+type FOp struct {
+	Op   *ir.Operation
+	Alt  int
+	Dest FReg // Dest.Reg == ir.NoReg when the op has no result
+	Srcs []FReg
+	Pred *FReg
+}
+
+// FInstr is one VLIW instruction (all ops issue in the same cycle).
+type FInstr []FOp
+
+// Flat is a complete expanded loop for a specific trip count.
+type Flat struct {
+	Name string
+	// II, SC and U are the initiation interval, stage count, and kernel
+	// unroll factor.
+	II, SC, U int
+	// Trips is the iteration count this code was generated for. The
+	// explicit schema requires Trips >= SC and (Trips-SC+1) divisible by
+	// U; ValidTrips rounds a desired count to the nearest valid one, and
+	// vliw.RunFlatAnyTrips preconditions arbitrary counts with a scalar
+	// remainder loop, as production compilers do.
+	Trips int64
+	// Prologue holds (SC-1)*II instructions, Kernel U*II (the loop body,
+	// executed KernelIters times), Epilogue (SC-1)*II.
+	Prologue, Kernel, Epilogue []FInstr
+	KernelIters                int64
+	// Preinit lists registers that must hold live-in values before the
+	// first instruction: version Idx of Reg receives the value the EVR
+	// held Back iterations before entry.
+	Preinit []Preinit
+}
+
+// Preinit is one live-in initialization.
+type Preinit struct {
+	Dst  FReg
+	Reg  ir.Reg
+	Back int
+}
+
+// CodeSize is the total number of VLIW instructions.
+func (f *Flat) CodeSize() int { return len(f.Prologue) + len(f.Kernel) + len(f.Epilogue) }
+
+// ValidTrips returns the smallest valid trip count >= want for the given
+// stage count and unroll factor.
+func ValidTrips(sc, u int, want int64) int64 {
+	min := int64(sc)
+	if want < min {
+		want = min
+	}
+	over := (want - int64(sc) + 1) % int64(u)
+	if over != 0 {
+		want += int64(u) - over
+	}
+	return want
+}
+
+// aRead is one register read with its pass offset.
+type aRead struct {
+	op   *ir.Operation
+	reg  ir.Reg
+	dist int
+	off  int // dist + stage(reader) - stage(def)
+}
+
+// collectReads gathers every register read (sources, predicates, and the
+// implicit previous-instance read of predicated definitions) with its pass
+// offset, and the maximum lifetime.
+func collectReads(l *ir.Loop, s *core.Schedule) ([]aRead, int, error) {
+	defs := l.DefOf()
+	stage := func(op int) int { return s.Times[op] / s.II }
+	var reads []aRead
+	maxLife := 0
+	add := func(op *ir.Operation, reg ir.Reg, dist int) error {
+		def, variant := defs[reg]
+		if !variant {
+			return nil
+		}
+		off := dist + stage(op.ID) - stage(def)
+		if off < 0 {
+			return fmt.Errorf("modvar %s: op %d reads r%d at negative offset", l.Name, op.ID, reg)
+		}
+		if off > maxLife {
+			maxLife = off
+		}
+		reads = append(reads, aRead{op: op, reg: reg, dist: dist, off: off})
+		return nil
+	}
+	for _, op := range l.RealOps() {
+		for si, r := range op.Srcs {
+			d := 0
+			if op.SrcDists != nil {
+				d = op.SrcDists[si]
+			}
+			if err := add(op, r, d); err != nil {
+				return nil, 0, err
+			}
+		}
+		if op.Pred != ir.NoReg {
+			if err := add(op, op.Pred, op.PredDist); err != nil {
+				return nil, 0, err
+			}
+		}
+		if op.Pred != ir.NoReg && op.Dest != ir.NoReg {
+			if err := add(op, op.Dest, 1); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	return reads, maxLife, nil
+}
+
+// PlanUnroll returns the smallest hazard-free kernel unroll factor for the
+// schedule, independent of trip count. Use it with ValidTrips to pick a
+// trip count the explicit schema accepts.
+func PlanUnroll(s *core.Schedule) (int, error) {
+	l := s.Loop
+	reads, maxLife, err := collectReads(l, s)
+	if err != nil {
+		return 0, err
+	}
+	sc := s.StageCount()
+	for u := maxLife + 1; ; u++ {
+		if u > 8*(maxLife+1)+2*sc {
+			return 0, fmt.Errorf("modvar %s: no hazard-free unroll factor found", l.Name)
+		}
+		probeTrips := ValidTrips(sc, u, int64(sc+4*u))
+		if namingHazardFree(l, s, reads, u, probeTrips) {
+			return u, nil
+		}
+	}
+}
+
+// Generate expands the schedule for the given trip count.
+func Generate(s *core.Schedule, trips int64) (*Flat, error) {
+	l := s.Loop
+	ii := s.II
+	sc := s.StageCount()
+	if trips < int64(sc) {
+		return nil, fmt.Errorf("modvar %s: trips %d < stage count %d (too short for the explicit schema)", l.Name, trips, sc)
+	}
+	defs := l.DefOf()
+	stage := func(op int) int { return s.Times[op] / ii }
+	slot := func(op int) int { return s.Times[op] % ii }
+
+	reads, maxLife, err := collectReads(l, s)
+	if err != nil {
+		return nil, err
+	}
+
+	// Grow U until the trip count divides evenly and the naming replay is
+	// hazard-free.
+	u := maxLife + 1
+	for ; ; u++ {
+		if u > 8*(maxLife+1)+2*sc+int(trips) {
+			return nil, fmt.Errorf("modvar %s: no unroll factor fits trips=%d (use PlanUnroll + ValidTrips)", l.Name, trips)
+		}
+		if (trips-int64(sc)+1)%int64(u) != 0 {
+			continue
+		}
+		if namingHazardFree(l, s, reads, u, trips) {
+			break
+		}
+	}
+
+	f := &Flat{Name: l.Name, II: ii, SC: sc, U: u, Trips: trips}
+	f.KernelIters = (trips - int64(sc) + 1) / int64(u)
+
+	// Preinit: virtual (live-in) instances, named by virtual pass mod U.
+	seen := map[FReg]bool{}
+	for _, rd := range reads {
+		sq := stage(defs[rd.reg])
+		for i := 0; i < rd.dist; i++ {
+			v := i - rd.dist + sq
+			name := FReg{Reg: rd.reg, Idx: mod(v, u)}
+			if !seen[name] {
+				seen[name] = true
+				f.Preinit = append(f.Preinit, Preinit{Dst: name, Reg: rd.reg, Back: rd.dist - i})
+			}
+		}
+	}
+
+	// emitPass produces the II instructions of one pass, with only the
+	// stages whose iteration lies in [0, trips).
+	emitPass := func(pass int64) []FInstr {
+		instrs := make([]FInstr, ii)
+		for _, op := range l.RealOps() {
+			st := stage(op.ID)
+			iter := pass - int64(st)
+			if iter < 0 || iter >= trips {
+				continue
+			}
+			fo := FOp{Op: op, Alt: s.Alts[op.ID]}
+			if op.Dest != ir.NoReg {
+				fo.Dest = FReg{Reg: op.Dest, Idx: mod(int(pass%int64(u)), u)}
+			} else {
+				fo.Dest = FReg{Reg: ir.NoReg, Idx: -1}
+			}
+			name := func(reg ir.Reg, dist int) FReg {
+				def, variant := defs[reg]
+				if !variant {
+					return InvariantReg(reg)
+				}
+				off := dist + st - stage(def)
+				return FReg{Reg: reg, Idx: mod(int((pass-int64(off))%int64(u)), u)}
+			}
+			for si, r := range op.Srcs {
+				d := 0
+				if op.SrcDists != nil {
+					d = op.SrcDists[si]
+				}
+				fo.Srcs = append(fo.Srcs, name(r, d))
+			}
+			if op.Pred != ir.NoReg {
+				p := name(op.Pred, op.PredDist)
+				fo.Pred = &p
+			}
+			instrs[slot(op.ID)] = append(instrs[slot(op.ID)], fo)
+		}
+		return instrs
+	}
+
+	for p := int64(0); p < int64(sc)-1; p++ {
+		f.Prologue = append(f.Prologue, emitPass(p)...)
+	}
+	for c := 0; c < u; c++ {
+		// Kernel copy c stands for passes SC-1+c+k*U; in that whole range
+		// every stage is active, so the representative pass SC-1+c emits
+		// the right ops, and its mod-U register names repeat verbatim.
+		f.Kernel = append(f.Kernel, emitPass(int64(sc)-1+int64(c))...)
+	}
+	for p := trips; p < trips+int64(sc)-1; p++ {
+		f.Epilogue = append(f.Epilogue, emitPass(p)...)
+	}
+	return f, nil
+}
+
+// namingHazardFree replays the mod-U register naming over the whole
+// execution: every write of reg at pass p lands in version p mod U; every
+// read of (reg, offset>0) at pass p must find the instance from pass
+// p-offset (or a live-in for pre-entry passes). Same-pass offset-0 reads
+// are satisfied by construction (the schedule orders them after the
+// write) and are skipped. Writes are replayed before reads within a pass,
+// which conservatively flags same-pass clobbers of live-ins.
+func namingHazardFree(l *ir.Loop, s *core.Schedule, reads []aRead, u int, trips int64) bool {
+	sc := s.StageCount()
+	defs := l.DefOf()
+	stage := func(op int) int { return s.Times[op] / s.II }
+
+	// Distinct live-in instances of one register must land in distinct
+	// versions (they carry different pre-entry values).
+	virtuals := make(map[ir.Reg]map[int]bool)
+	for _, rd := range reads {
+		sq := stage(defs[rd.reg])
+		for i := 0; i < rd.dist; i++ {
+			if virtuals[rd.reg] == nil {
+				virtuals[rd.reg] = make(map[int]bool)
+			}
+			virtuals[rd.reg][i-rd.dist+sq] = true
+		}
+	}
+	for _, vs := range virtuals {
+		byVersion := make(map[int]int)
+		for v := range vs {
+			if prev, ok := byVersion[mod(v, u)]; ok && prev != v {
+				return false
+			}
+			byVersion[mod(v, u)] = v
+		}
+	}
+
+	const liveIn = int64(-1) << 62
+	owner := make(map[ir.Reg][]int64)
+	for r := range l.VariantRegs() {
+		o := make([]int64, u)
+		for i := range o {
+			o[i] = liveIn
+		}
+		owner[r] = o
+	}
+	passes := trips + int64(sc) - 1
+	for p := int64(0); p < passes; p++ {
+		for _, op := range l.RealOps() {
+			if op.Dest == ir.NoReg {
+				continue
+			}
+			iter := p - int64(stage(op.ID))
+			if iter < 0 || iter >= trips {
+				continue
+			}
+			owner[op.Dest][mod(int(p%int64(u)), u)] = p
+		}
+		for _, rd := range reads {
+			iter := p - int64(stage(rd.op.ID))
+			if iter < 0 || iter >= trips {
+				continue
+			}
+			if rd.off == 0 {
+				continue // same-pass read of this pass's own write
+			}
+			wantPass := p - int64(rd.off)
+			got := owner[rd.reg][mod(int(wantPass%int64(u)), u)]
+			if wantPass < int64(stage(defs[rd.reg])) {
+				if got != liveIn {
+					return false // live-in version already clobbered
+				}
+				continue
+			}
+			if got != wantPass {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func mod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,241 @@
+package modvar
+
+import (
+	"strings"
+	"testing"
+
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+func scheduleLoop(t testing.TB, m *machine.Machine, f func(b *ir.Builder)) *core.Schedule {
+	t.Helper()
+	b := ir.NewBuilder("t", m)
+	f(b)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.ModuloSchedule(l, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func daxpyBody(b *ir.Builder) {
+	xi := b.Future()
+	b.DefineAsImm(xi, "aadd", 8, xi.Back(1))
+	x := b.Define("load", xi)
+	yi := b.Future()
+	b.DefineAsImm(yi, "aadd", 8, yi.Back(1))
+	y := b.Define("load", yi)
+	t1 := b.Define("fmul", b.Invariant("a"), x)
+	t2 := b.Define("fadd", y, t1)
+	si := b.Future()
+	b.DefineAsImm(si, "aadd", 8, si.Back(1))
+	b.Effect("store", si, t2)
+	b.Effect("brtop")
+}
+
+func TestValidTrips(t *testing.T) {
+	// sc=3, u=4: valid trips are 3-1+1=... (trips-2) % 4 == 0 => 6, 10, ...
+	cases := []struct {
+		sc, u    int
+		want, in int64
+	}{
+		{3, 4, 6, 1},
+		{3, 4, 6, 6},
+		{3, 4, 10, 7},
+		{5, 1, 5, 2},
+		{5, 1, 9, 9},
+		{2, 3, 4, 3},
+	}
+	for _, c := range cases {
+		if got := ValidTrips(c.sc, c.u, c.in); got != c.want {
+			t.Errorf("ValidTrips(%d,%d,%d) = %d, want %d", c.sc, c.u, c.in, got, c.want)
+		}
+	}
+	// Result is always >= sc and congruent.
+	for sc := 1; sc <= 6; sc++ {
+		for u := 1; u <= 5; u++ {
+			for want := int64(1); want < 20; want++ {
+				got := ValidTrips(sc, u, want)
+				if got < want || got < int64(sc) || (got-int64(sc)+1)%int64(u) != 0 {
+					t.Fatalf("ValidTrips(%d,%d,%d) = %d invalid", sc, u, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanUnrollCoversLifetimes(t *testing.T) {
+	m := machine.Generic(machine.DefaultUnitConfig())
+	s := scheduleLoop(t, m, daxpyBody)
+	u, err := PlanUnroll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The longest lifetime (load result consumed stages later) must fit.
+	if u < 2 {
+		t.Errorf("unroll factor %d suspiciously small", u)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	m := machine.Generic(machine.DefaultUnitConfig())
+	s := scheduleLoop(t, m, daxpyBody)
+	u, err := PlanUnroll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := ValidTrips(s.StageCount(), u, 50)
+	f, err := Generate(s, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Prologue) != (f.SC-1)*f.II {
+		t.Errorf("prologue %d instrs, want %d", len(f.Prologue), (f.SC-1)*f.II)
+	}
+	if len(f.Kernel) != f.U*f.II {
+		t.Errorf("kernel %d instrs, want %d", len(f.Kernel), f.U*f.II)
+	}
+	if len(f.Epilogue) != (f.SC-1)*f.II {
+		t.Errorf("epilogue %d instrs, want %d", len(f.Epilogue), (f.SC-1)*f.II)
+	}
+	if f.KernelIters*int64(f.U) != trips-int64(f.SC)+1 {
+		t.Errorf("kernel iters %d * U %d != %d", f.KernelIters, f.U, trips-int64(f.SC)+1)
+	}
+	if f.CodeSize() != len(f.Prologue)+len(f.Kernel)+len(f.Epilogue) {
+		t.Error("CodeSize inconsistent")
+	}
+
+	// Every op instance in the kernel writes version (pass mod U) and each
+	// op appears exactly U times across the kernel copies.
+	occur := map[int]int{}
+	for _, instr := range f.Kernel {
+		for _, fo := range instr {
+			occur[fo.Op.ID]++
+		}
+	}
+	for _, op := range s.Loop.RealOps() {
+		if occur[op.ID] != f.U {
+			t.Errorf("op %d occurs %d times in kernel, want U=%d", op.ID, occur[op.ID], f.U)
+		}
+	}
+}
+
+func TestGenerateRejectsShortTrips(t *testing.T) {
+	m := machine.Cydra5()
+	s := scheduleLoop(t, m, daxpyBody)
+	if s.StageCount() < 2 {
+		t.Skip("degenerate stage count")
+	}
+	if _, err := Generate(s, int64(s.StageCount()-1)); err == nil {
+		t.Error("trips below stage count accepted")
+	}
+}
+
+func TestVersionNamesStayInRange(t *testing.T) {
+	m := machine.Cydra5()
+	s := scheduleLoop(t, m, daxpyBody)
+	u, err := PlanUnroll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := ValidTrips(s.StageCount(), u, 40)
+	f, err := Generate(s, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSection := func(name string, instrs []FInstr) {
+		for _, instr := range instrs {
+			for _, fo := range instr {
+				if fo.Dest.Reg != ir.NoReg && (fo.Dest.Idx < 0 || fo.Dest.Idx >= f.U) {
+					t.Errorf("%s: dest version %d out of [0,%d)", name, fo.Dest.Idx, f.U)
+				}
+				for _, src := range fo.Srcs {
+					if src.Idx >= f.U {
+						t.Errorf("%s: src version %d out of range", name, src.Idx)
+					}
+				}
+			}
+		}
+	}
+	checkSection("prologue", f.Prologue)
+	checkSection("kernel", f.Kernel)
+	checkSection("epilogue", f.Epilogue)
+}
+
+func TestPreinitUniqueVersions(t *testing.T) {
+	m := machine.Cydra5()
+	s := scheduleLoop(t, m, func(b *ir.Builder) {
+		ai := b.Future()
+		b.DefineAsImm(ai, "aadd", 24, ai.Back(3)) // three live-ins
+		x := b.Define("load", ai)
+		q := b.Future()
+		b.DefineAs(q, "fadd", q.Back(1), x)
+		b.Effect("brtop")
+	})
+	u, err := PlanUnroll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := ValidTrips(s.StageCount(), u, 30)
+	f, err := Generate(s, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[FReg]bool{}
+	backs := map[FReg]int{}
+	for _, pi := range f.Preinit {
+		if seen[pi.Dst] && backs[pi.Dst] != pi.Back {
+			t.Errorf("version %v preinitialized with conflicting Backs", pi.Dst)
+		}
+		seen[pi.Dst] = true
+		backs[pi.Dst] = pi.Back
+	}
+	// The address EVR carries three distinct live-ins.
+	per := map[ir.Reg]int{}
+	for _, pi := range f.Preinit {
+		per[pi.Reg]++
+	}
+	found3 := false
+	for _, n := range per {
+		if n == 3 {
+			found3 = true
+		}
+	}
+	if !found3 {
+		t.Errorf("expected an EVR with three preinits, got %v", per)
+	}
+}
+
+func TestFRegString(t *testing.T) {
+	if got := (FReg{Reg: 5, Idx: 2}).String(); got != "r5.2" {
+		t.Errorf("FReg string = %q", got)
+	}
+	if got := InvariantReg(7).String(); got != "s7" {
+		t.Errorf("invariant string = %q", got)
+	}
+}
+
+func TestFlatString(t *testing.T) {
+	m := machine.Generic(machine.DefaultUnitConfig())
+	s := scheduleLoop(t, m, daxpyBody)
+	u, err := PlanUnroll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Generate(s, ValidTrips(s.StageCount(), u, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.String()
+	for _, want := range []string{"flat t:", "prologue:", "kernel (loop):", "epilogue:", "preinit", "load", "store"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flat rendering missing %q", want)
+		}
+	}
+}

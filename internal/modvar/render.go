@@ -1,0 +1,51 @@
+package modvar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the expanded code as annotated assembly: the preinits,
+// then the prologue, the U-times-unrolled kernel (the loop body), and the
+// epilogue, one VLIW instruction per line.
+func (f *Flat) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flat %s: II=%d SC=%d U=%d trips=%d kernel-iters=%d (%d instructions)\n",
+		f.Name, f.II, f.SC, f.U, f.Trips, f.KernelIters, f.CodeSize())
+	for _, pi := range f.Preinit {
+		fmt.Fprintf(&b, "  preinit %v = init(r%d, back %d)\n", pi.Dst, pi.Reg, pi.Back)
+	}
+	section := func(name string, instrs []FInstr) {
+		fmt.Fprintf(&b, "%s:\n", name)
+		for i, instr := range instrs {
+			fmt.Fprintf(&b, "  %-4d:", i)
+			if len(instr) == 0 {
+				b.WriteString(" nop\n")
+				continue
+			}
+			for j, fo := range instr {
+				if j > 0 {
+					b.WriteString(" ||")
+				}
+				if fo.Pred != nil {
+					fmt.Fprintf(&b, " (%v)", *fo.Pred)
+				}
+				if fo.Dest.Reg != 0 {
+					fmt.Fprintf(&b, " %v =", fo.Dest)
+				}
+				fmt.Fprintf(&b, " %s", fo.Op.Opcode)
+				for _, src := range fo.Srcs {
+					fmt.Fprintf(&b, " %v", src)
+				}
+				if fo.Op.Imm != 0 {
+					fmt.Fprintf(&b, " #%d", fo.Op.Imm)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	section("prologue", f.Prologue)
+	section("kernel (loop)", f.Kernel)
+	section("epilogue", f.Epilogue)
+	return b.String()
+}

@@ -1,0 +1,294 @@
+// Package regalloc allocates registers for modulo-scheduled kernels.
+//
+// For machines with rotating register files it implements a
+// lifetime-accurate cylinder packing in the spirit of Rau, Lee, Tirumalai
+// and Schlansker, "Register allocation for software pipelined loops": each
+// loop-variant EVR is a *wand* that writes one new physical register per
+// kernel pass (the file base decrements every pass), its instances stay
+// live for a fixed number of passes, and — crucially — its *live-in*
+// instances (values preloaded before the loop and read during the fill
+// phase by late-stage consumers) are live from loop entry, far longer than
+// the steady-state lifetime. Wands are placed on the cyclic file greedily,
+// longest-lifetime first, each at the first base that provably never
+// collides with an already-placed wand; the file grows until everything
+// fits.
+//
+// Invariants (loop-invariant registers) stay in the static file with
+// identity assignment and are not handled here.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"modsched/internal/ir"
+)
+
+// Virtual describes one live-in instance of a wand: the value the EVR held
+// before loop entry that some reader consumes during the fill phase.
+type Virtual struct {
+	// V is the virtual write pass (always < Stage; may be negative): the
+	// pass at which the instance "would have been" produced.
+	V int
+	// LastRead is the last pass at which the instance is read. The
+	// instance is live on [0, LastRead] because it is preloaded before the
+	// first pass.
+	LastRead int
+}
+
+// Wand is the allocation request for one loop-variant register.
+type Wand struct {
+	Reg ir.Reg
+	// Stage is the kernel stage of the defining operation: its first
+	// actual write happens in pass Stage.
+	Stage int
+	// Life is the maximum read offset: the instance written in pass w is
+	// live on [w, w+Life].
+	Life int
+	// Virtuals lists the live-in instances (deduplicated by V, worst-case
+	// LastRead).
+	Virtuals []Virtual
+}
+
+// Rotating is a rotating-register-file allocation.
+type Rotating struct {
+	// Base maps each loop-variant register to its wand base offset.
+	Base map[ir.Reg]int
+	// Size is the rotating file size.
+	Size int
+	// wands retains the accepted requests for verification.
+	wands map[ir.Reg]Wand
+}
+
+// AllocateRotating packs the wands onto the smallest cyclic file the
+// greedy search finds. It returns an error only for malformed requests;
+// packing itself always succeeds by growing the file.
+func AllocateRotating(wands []Wand) (*Rotating, error) {
+	sumLen := 0
+	maxLife := 0
+	for _, w := range wands {
+		if w.Life < 0 || w.Stage < 0 {
+			return nil, fmt.Errorf("regalloc: wand r%d has negative life/stage", w.Reg)
+		}
+		for _, v := range w.Virtuals {
+			if v.V >= w.Stage {
+				return nil, fmt.Errorf("regalloc: wand r%d virtual at pass %d not before stage %d", w.Reg, v.V, w.Stage)
+			}
+		}
+		sumLen += w.Life + 1
+		if w.Life+1 > maxLife {
+			maxLife = w.Life + 1
+		}
+	}
+	sorted := append([]Wand(nil), wands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		li, lj := sorted[i].maxSpan(), sorted[j].maxSpan()
+		if li != lj {
+			return li > lj
+		}
+		return sorted[i].Reg < sorted[j].Reg
+	})
+
+	size := sumLen
+	if size < maxLife+1 {
+		size = maxLife + 1
+	}
+	if size < 1 {
+		size = 1
+	}
+	for ; ; size++ {
+		if bases, ok := tryPack(sorted, size); ok {
+			a := &Rotating{Base: bases, Size: size, wands: make(map[ir.Reg]Wand, len(wands))}
+			for _, w := range wands {
+				a.wands[w.Reg] = w
+			}
+			return a, nil
+		}
+	}
+}
+
+// maxSpan is the longest lifetime any instance of the wand has, in passes.
+func (w Wand) maxSpan() int {
+	span := w.Life + 1
+	for _, v := range w.Virtuals {
+		if s := v.LastRead + 1; s > span {
+			span = s
+		}
+	}
+	return span
+}
+
+// tryPack places each wand at the first base with no conflict.
+func tryPack(wands []Wand, size int) (map[ir.Reg]int, bool) {
+	bases := make(map[ir.Reg]int, len(wands))
+	var placed []int // indices into wands
+	for i, w := range wands {
+		found := -1
+		for b := 0; b < size; b++ {
+			ok := true
+			for _, j := range placed {
+				if wandsConflict(w, b, wands[j], bases[wands[j].Reg], size) {
+					ok = false
+					break
+				}
+			}
+			if ok && !selfConflict(w, size) {
+				found = b
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		bases[w.Reg] = found
+		placed = append(placed, i)
+	}
+	return bases, true
+}
+
+// selfConflict reports whether a wand's own instances collide at this file
+// size: instance w and w+size share a cell, so every lifetime (steady and
+// virtual-to-first-steady) must be shorter than size.
+func selfConflict(w Wand, size int) bool {
+	if w.Life >= size {
+		return true
+	}
+	for _, v := range w.Virtuals {
+		// The first steady write to the virtual's cell is at pass v+size
+		// (pass v itself is predicated off). The virtual must be dead by
+		// then — and, symmetrically, earlier steady instances of the same
+		// cell do not exist before pass Stage.
+		if v.LastRead >= v.V+size {
+			return true
+		}
+	}
+	return false
+}
+
+// wandsConflict reports whether wand a at base ba and wand b at base bb
+// can ever have two live instances in the same physical register of a file
+// with the given size. Instance w of a wand occupies cell (base - w) mod
+// size; steady instances (w >= Stage, one per pass, unbounded trip count)
+// are live on [w, w+Life]; virtual instances are live on [0, LastRead].
+func wandsConflict(a Wand, ba int, b Wand, bb int, size int) bool {
+	// Cells collide when ba - wa == bb - wb (mod size), i.e. when
+	// wb = wa + delta (mod size) with delta = bb - ba.
+	delta := bb - ba
+
+	// steady(a) vs steady(b): instances wa and wb = wa + delta + k*size
+	// overlap iff wb - wa is within [-Life(b), Life(a)]; both streams are
+	// unbounded above, so any residue is realizable.
+	for k := -2; k <= 2; k++ {
+		d := delta + k*size
+		if d >= -b.Life && d <= a.Life {
+			return true
+		}
+	}
+	// virtual(a) vs steady(b): the virtual instance v occupies cell
+	// (ba - v) from pass 0; b writes that cell at passes
+	// wb = v + delta + k*size, gated at wb >= b.Stage; conflict iff the
+	// first such write lands at or before the virtual's last read.
+	if virtualVsSteady(a.Virtuals, delta, b.Stage, size) {
+		return true
+	}
+	// virtual(b) vs steady(a): symmetric, wa = v - delta + k*size.
+	if virtualVsSteady(b.Virtuals, -delta, a.Stage, size) {
+		return true
+	}
+	// virtual vs virtual: both live from pass 0, so sharing a cell at all
+	// is a conflict: ba - va == bb - vb, i.e. vb == va + delta (mod size).
+	for _, va := range a.Virtuals {
+		for _, vb := range b.Virtuals {
+			if mod(va.V+delta-vb.V, size) == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// virtualVsSteady checks virtual instances (live on [0, LastRead], at
+// cells ownBase - v) against another wand's steady write stream, which
+// hits those cells at passes w = v + delta + k*size, w >= otherStage.
+func virtualVsSteady(virtuals []Virtual, delta, otherStage, size int) bool {
+	for _, v := range virtuals {
+		w := v.V + delta
+		for w < otherStage {
+			w += size
+		}
+		for w-size >= otherStage {
+			w -= size
+		}
+		// w is the first write pass >= otherStage hitting the cell.
+		if w <= v.LastRead {
+			return true
+		}
+	}
+	return false
+}
+
+func mod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// Phys returns the physical register of reg's instance written in kernel
+// pass writePass (negative for virtual instances), with RRB(0) = 0.
+func (a *Rotating) Phys(reg ir.Reg, writePass int) int {
+	base, ok := a.Base[reg]
+	if !ok {
+		panic(fmt.Sprintf("regalloc: r%d is not rotating-allocated", reg))
+	}
+	return mod(base-writePass, a.Size)
+}
+
+// Wands returns the accepted allocation requests (for verification).
+func (a *Rotating) Wands() map[ir.Reg]Wand { return a.wands }
+
+// Verify exhaustively replays the write/read schedule over enough passes
+// to cover the fill phase plus two full rotations and reports any cell
+// that is overwritten while live. It is the independent check backing the
+// analytical conflict test, used by property tests.
+func (a *Rotating) Verify() error {
+	horizon := 2*a.Size + 4
+	for _, w := range a.wands {
+		if w.Stage+w.Life+1 > horizon {
+			horizon = w.Stage + w.Life + 1 + 2*a.Size
+		}
+	}
+	type occupant struct {
+		reg  ir.Reg
+		till int // live through this pass
+	}
+	cells := make([]occupant, a.Size)
+	for i := range cells {
+		cells[i] = occupant{reg: ir.NoReg, till: -1}
+	}
+	// Preload virtuals (live from pass 0).
+	for _, w := range a.wands {
+		for _, v := range w.Virtuals {
+			c := a.Phys(w.Reg, v.V)
+			if cells[c].reg != ir.NoReg {
+				return fmt.Errorf("regalloc verify: preload collision at cell %d between r%d and r%d", c, cells[c].reg, w.Reg)
+			}
+			cells[c] = occupant{reg: w.Reg, till: v.LastRead}
+		}
+	}
+	for pass := 0; pass < horizon; pass++ {
+		for _, w := range a.wands {
+			if pass < w.Stage {
+				continue
+			}
+			c := a.Phys(w.Reg, pass)
+			if o := cells[c]; o.till >= pass {
+				return fmt.Errorf("regalloc verify: pass %d: r%d overwrites cell %d still live for r%d (till %d)",
+					pass, w.Reg, c, o.reg, o.till)
+			}
+			cells[c] = occupant{reg: w.Reg, till: pass + w.Life}
+		}
+	}
+	return nil
+}

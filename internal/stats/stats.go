@@ -1,0 +1,223 @@
+// Package stats provides the descriptive statistics and least-mean-square
+// curve fits used by the paper's evaluation: the Table 3 distribution rows
+// (minimum possible value, frequency of that minimum, median, mean,
+// maximum) and the Table 4 empirical-complexity fits (linear and quadratic
+// polynomials in the loop size N).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution summarizes a sample the way Table 3 does.
+type Distribution struct {
+	Name string
+	// MinPossible is the theoretical minimum of the measurement.
+	MinPossible float64
+	// FreqOfMin is the fraction of samples equal to MinPossible.
+	FreqOfMin float64
+	Median    float64
+	Mean      float64
+	Max       float64
+	N         int
+}
+
+// Describe computes a Distribution for the samples against the given
+// theoretical minimum. Samples are not modified.
+func Describe(name string, minPossible float64, samples []float64) Distribution {
+	d := Distribution{Name: name, MinPossible: minPossible, N: len(samples)}
+	if len(samples) == 0 {
+		return d
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum float64
+	nmin := 0
+	const eps = 1e-9
+	for _, v := range s {
+		sum += v
+		if math.Abs(v-minPossible) < eps {
+			nmin++
+		}
+	}
+	d.FreqOfMin = float64(nmin) / float64(len(s))
+	d.Mean = sum / float64(len(s))
+	d.Max = s[len(s)-1]
+	if n := len(s); n%2 == 1 {
+		d.Median = s[n/2]
+	} else {
+		d.Median = (s[n/2-1] + s[n/2]) / 2
+	}
+	return d
+}
+
+// Row renders the distribution as a Table 3-style row.
+func (d Distribution) Row() string {
+	return fmt.Sprintf("%-38s %8.2f %8.3f %8.2f %8.2f %9.2f",
+		d.Name, d.MinPossible, d.FreqOfMin, d.Median, d.Mean, d.Max)
+}
+
+// Header is the column header matching Row.
+func Header() string {
+	return fmt.Sprintf("%-38s %8s %8s %8s %8s %9s",
+		"Measurement", "MinPoss", "FreqMin", "Median", "Mean", "Max")
+}
+
+// LinearFit fits y ~= a*x + b by least squares and reports the fit
+// together with the residual standard deviation (the paper quotes both
+// for the MII-calculation cost).
+type LinearFit struct {
+	A, B       float64
+	ResidualSD float64
+}
+
+func (f LinearFit) String() string {
+	return fmt.Sprintf("%.4fN %+.4f (residual sd %.1f)", f.A, f.B, f.ResidualSD)
+}
+
+// FitLinear computes the least-squares line through (x[i], y[i]).
+func FitLinear(x, y []float64) LinearFit {
+	if len(x) != len(y) || len(x) < 2 {
+		return LinearFit{}
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+	var ss float64
+	for i := range x {
+		r := y[i] - (a*x[i] + b)
+		ss += r * r
+	}
+	return LinearFit{A: a, B: b, ResidualSD: math.Sqrt(ss / n)}
+}
+
+// FitProportional fits y ~= a*x (through the origin), the form the paper
+// uses for most Table 4 entries (e.g. E = 3.0036N).
+func FitProportional(x, y []float64) LinearFit {
+	var sxx, sxy float64
+	for i := range x {
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	if sxx == 0 {
+		return LinearFit{}
+	}
+	a := sxy / sxx
+	var ss float64
+	for i := range x {
+		r := y[i] - a*x[i]
+		ss += r * r
+	}
+	return LinearFit{A: a, ResidualSD: math.Sqrt(ss / float64(len(x)))}
+}
+
+// QuadraticFit fits y ~= a*x^2 + b*x + c.
+type QuadraticFit struct {
+	A, B, C    float64
+	ResidualSD float64
+}
+
+func (f QuadraticFit) String() string {
+	return fmt.Sprintf("%.4fN^2 %+.4fN %+.4f (residual sd %.1f)", f.A, f.B, f.C, f.ResidualSD)
+}
+
+// FitQuadratic solves the 3x3 normal equations for the least-squares
+// parabola (the form of the paper's FindTimeSlot cost, 0.0587N^2 + ...).
+func FitQuadratic(x, y []float64) QuadraticFit {
+	if len(x) != len(y) || len(x) < 3 {
+		return QuadraticFit{}
+	}
+	var s0, s1, s2, s3, s4, t0, t1, t2 float64
+	s0 = float64(len(x))
+	for i := range x {
+		xi := x[i]
+		x2 := xi * xi
+		s1 += xi
+		s2 += x2
+		s3 += x2 * xi
+		s4 += x2 * x2
+		t0 += y[i]
+		t1 += xi * y[i]
+		t2 += x2 * y[i]
+	}
+	// Solve [s4 s3 s2; s3 s2 s1; s2 s1 s0] [a b c]' = [t2 t1 t0]'.
+	a, b, c, ok := solve3(
+		[3][3]float64{{s4, s3, s2}, {s3, s2, s1}, {s2, s1, s0}},
+		[3]float64{t2, t1, t0},
+	)
+	if !ok {
+		return QuadraticFit{}
+	}
+	var ss float64
+	for i := range x {
+		r := y[i] - (a*x[i]*x[i] + b*x[i] + c)
+		ss += r * r
+	}
+	return QuadraticFit{A: a, B: b, C: c, ResidualSD: math.Sqrt(ss / s0)}
+}
+
+// solve3 solves a 3x3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(m [3][3]float64, v [3]float64) (a, b, c float64, ok bool) {
+	for col := 0; col < 3; col++ {
+		// pivot
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return 0, 0, 0, false
+		}
+		m[col], m[p] = m[p], m[col]
+		v[col], v[p] = v[p], v[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k < 3; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	return v[0] / m[0][0], v[1] / m[1][1], v[2] / m[2][2], true
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0<=q<=1) by nearest-rank on a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDescribe(t *testing.T) {
+	d := Describe("x", 1, []float64{1, 1, 2, 3, 10})
+	if d.N != 5 {
+		t.Errorf("N = %d", d.N)
+	}
+	if d.FreqOfMin != 0.4 {
+		t.Errorf("FreqOfMin = %v, want 0.4", d.FreqOfMin)
+	}
+	if d.Median != 2 {
+		t.Errorf("Median = %v, want 2", d.Median)
+	}
+	if math.Abs(d.Mean-3.4) > 1e-12 {
+		t.Errorf("Mean = %v, want 3.4", d.Mean)
+	}
+	if d.Max != 10 {
+		t.Errorf("Max = %v, want 10", d.Max)
+	}
+}
+
+func TestDescribeEvenMedianAndEmpty(t *testing.T) {
+	d := Describe("x", 0, []float64{4, 2, 8, 6})
+	if d.Median != 5 {
+		t.Errorf("even median = %v, want 5", d.Median)
+	}
+	e := Describe("empty", 0, nil)
+	if e.N != 0 || e.Mean != 0 {
+		t.Errorf("empty describe = %+v", e)
+	}
+}
+
+func TestDescribeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Describe("x", 1, in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Describe sorted the caller's slice")
+	}
+}
+
+func TestRowAndHeaderAlign(t *testing.T) {
+	h := Header()
+	r := Describe("some measurement", 1, []float64{1, 2}).Row()
+	if len(h) == 0 || len(r) == 0 || !strings.Contains(r, "some measurement") {
+		t.Error("row rendering broken")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // 2x + 3
+	f := FitLinear(x, y)
+	if math.Abs(f.A-2) > 1e-9 || math.Abs(f.B-3) > 1e-9 || f.ResidualSD > 1e-9 {
+		t.Errorf("fit = %+v", f)
+	}
+}
+
+func TestFitProportionalExact(t *testing.T) {
+	x := []float64{1, 2, 5}
+	y := []float64{3, 6, 15}
+	f := FitProportional(x, y)
+	if math.Abs(f.A-3) > 1e-9 || f.ResidualSD > 1e-9 {
+		t.Errorf("fit = %+v", f)
+	}
+}
+
+func TestFitQuadraticExact(t *testing.T) {
+	var x, y []float64
+	for i := 1; i <= 8; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 0.5*xi*xi-2*xi+7)
+	}
+	f := FitQuadratic(x, y)
+	if math.Abs(f.A-0.5) > 1e-6 || math.Abs(f.B+2) > 1e-6 || math.Abs(f.C-7) > 1e-6 {
+		t.Errorf("fit = %+v", f)
+	}
+	if f.ResidualSD > 1e-6 {
+		t.Errorf("residual = %v", f.ResidualSD)
+	}
+}
+
+func TestFitDegenerateInputs(t *testing.T) {
+	if f := FitLinear([]float64{1}, []float64{1}); f.A != 0 || f.B != 0 {
+		t.Error("underdetermined linear fit should be zero")
+	}
+	if f := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); f.A != 0 {
+		t.Error("vertical-line fit should be zero")
+	}
+	if f := FitQuadratic([]float64{1, 2}, []float64{1, 2}); f.A != 0 {
+		t.Error("underdetermined quadratic fit should be zero")
+	}
+	if f := FitProportional([]float64{0, 0}, []float64{1, 2}); f.A != 0 {
+		t.Error("all-zero x proportional fit should be zero")
+	}
+}
+
+// Property: the least-squares line recovers slope/intercept from noisy
+// data to within a tolerance scaling with the noise.
+func TestFitLinearRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*10 - 5
+		b := rng.Float64()*20 - 10
+		var xs, ys []float64
+		for i := 0; i < 200; i++ {
+			x := float64(i)
+			xs = append(xs, x)
+			ys = append(ys, a*x+b+rng.NormFloat64()*0.5)
+		}
+		fit := FitLinear(xs, ys)
+		return math.Abs(fit.A-a) < 0.05 && math.Abs(fit.B-b) < 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if Mean(xs) != 3 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Error("Quantile endpoints wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) should be 0")
+	}
+}
+
+func TestFitStrings(t *testing.T) {
+	if s := (LinearFit{A: 1.5, B: -2, ResidualSD: 3}).String(); !strings.Contains(s, "1.5000N") {
+		t.Errorf("linear string %q", s)
+	}
+	if s := (QuadraticFit{A: 0.05, B: 1, C: 2}).String(); !strings.Contains(s, "N^2") {
+		t.Errorf("quadratic string %q", s)
+	}
+}

@@ -1,0 +1,154 @@
+// Package unroll implements the "unroll-before-scheduling" transformation
+// the paper compares software pipelining against (Section 5): the loop
+// body is replicated k times with registers renamed per copy and
+// cross-iteration references retargeted between copies, and the result is
+// scheduled with an ordinary acyclic scheduler. The back-edge remains a
+// scheduling barrier, so the achievable throughput approaches the modulo
+// scheduler's II only as k (and the code size) grows — the paper's
+// argument that an unroll-based scheme must replicate more than ~118% of
+// the body to compete.
+package unroll
+
+import (
+	"fmt"
+
+	"modsched/internal/ir"
+)
+
+// Unroll returns l replicated k times: one new loop whose single iteration
+// performs k original iterations. Register v of copy c becomes a fresh
+// register; a reference at original distance d from copy c resolves to
+// copy (c-d) mod k at unrolled distance (d-c+c')/k. Profile weights are
+// scaled so the execution-time metric stays comparable (LoopFreq is
+// divided by k).
+func Unroll(l *ir.Loop, k int) (*ir.Loop, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("unroll: k=%d", k)
+	}
+	if k == 1 {
+		return l.Clone(), nil
+	}
+
+	variant := l.VariantRegs()
+	// Register mapping: (orig reg, copy) -> new reg. Invariants map to
+	// themselves.
+	var nextReg ir.Reg = 1
+	for r := range variant {
+		if r >= nextReg {
+			nextReg = r + 1
+		}
+	}
+	for _, op := range l.Ops {
+		for _, r := range op.Srcs {
+			if r >= nextReg {
+				nextReg = r + 1
+			}
+		}
+		if op.Pred >= nextReg {
+			nextReg = op.Pred + 1
+		}
+	}
+	regMap := make(map[[2]int]ir.Reg)
+	mapReg := func(r ir.Reg, copy int) ir.Reg {
+		if r == ir.NoReg || !variant[r] {
+			return r
+		}
+		if copy == 0 {
+			return r // copy 0 keeps original names
+		}
+		key := [2]int{int(r), copy}
+		if nr, ok := regMap[key]; ok {
+			return nr
+		}
+		nr := nextReg
+		nextReg++
+		regMap[key] = nr
+		return nr
+	}
+
+	nReal := l.NumRealOps()
+	out := &ir.Loop{
+		Name:      fmt.Sprintf("%s.x%d", l.Name, k),
+		EntryFreq: l.EntryFreq,
+		LoopFreq:  l.LoopFreq / int64(k),
+	}
+	if out.LoopFreq < out.EntryFreq {
+		out.LoopFreq = out.EntryFreq
+	}
+
+	// Operation index mapping: original real op o (1-based), copy c ->
+	// 1 + c*nReal + (o-1).
+	newID := func(o, c int) int { return 1 + c*nReal + (o - 1) }
+
+	out.Ops = append(out.Ops, &ir.Operation{ID: 0, Opcode: "START"})
+	for c := 0; c < k; c++ {
+		for _, op := range l.RealOps() {
+			no := &ir.Operation{
+				ID:      newID(op.ID, c),
+				Opcode:  op.Opcode,
+				Dest:    mapReg(op.Dest, c),
+				Imm:     op.Imm,
+				Comment: op.Comment,
+			}
+			if op.Comment != "" {
+				no.Comment = fmt.Sprintf("%s (copy %d)", op.Comment, c)
+			}
+			// Sources: original distance d from copy c reads copy
+			// c' = (c-d) mod k at unrolled distance (d-c+c')/k.
+			for si, r := range op.Srcs {
+				d := 0
+				if op.SrcDists != nil {
+					d = op.SrcDists[si]
+				}
+				cp, nd := retarget(c, d, k)
+				no.Srcs = append(no.Srcs, mapReg(r, cp))
+				no.SrcDists = append(no.SrcDists, nd)
+			}
+			if op.Pred != ir.NoReg {
+				cp, nd := retarget(c, op.PredDist, k)
+				no.Pred = mapReg(op.Pred, cp)
+				no.PredDist = nd
+			}
+			out.Ops = append(out.Ops, no)
+		}
+	}
+	stop := &ir.Operation{ID: 1 + k*nReal, Opcode: "STOP"}
+	out.Ops = append(out.Ops, stop)
+
+	// START/STOP bracketing.
+	for i := 1; i <= k*nReal; i++ {
+		out.Edges = append(out.Edges, ir.Edge{From: 0, To: i, Kind: ir.Control})
+		out.Edges = append(out.Edges, ir.Edge{From: i, To: stop.ID, Kind: ir.Control})
+	}
+	// Replicate the dependence edges between copies.
+	for _, e := range l.Edges {
+		if e.From == l.Start() || e.To == l.Stop() || e.To == l.Start() || e.From == l.Stop() {
+			continue
+		}
+		for c := 0; c < k; c++ {
+			cp, nd := retarget(c, e.Distance, k)
+			ne := ir.Edge{
+				From:     newID(e.From, cp),
+				To:       newID(e.To, c),
+				Kind:     e.Kind,
+				Distance: nd,
+			}
+			if e.DelayOverride != nil {
+				v := *e.DelayOverride
+				ne.DelayOverride = &v
+			}
+			out.Edges = append(out.Edges, ne)
+		}
+	}
+	return out, out.Validate(nil)
+}
+
+// retarget computes, for a reference at original distance d made by copy
+// c, the producing copy and the distance in unrolled iterations.
+func retarget(c, d, k int) (copy, dist int) {
+	cp := (c - d) % k
+	if cp < 0 {
+		cp += k
+	}
+	return cp, (d - c + cp) / k
+}

@@ -1,0 +1,265 @@
+package vliw
+
+import (
+	"math"
+	"testing"
+
+	"modsched/internal/codegen"
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// testLoop bundles a loop with its run specification.
+type testLoop struct {
+	name string
+	loop *ir.Loop
+	spec RunSpec
+}
+
+// buildDaxpy: y[i] += a*x[i] over n elements at x=1000, y=8000.
+func buildDaxpy(t *testing.T, m *machine.Machine, trips int64) testLoop {
+	b := ir.NewBuilder("daxpy", m)
+	xi := b.Future()
+	b.DefineAsImm(xi, "aadd", 8, xi.Back(1))
+	x := b.Define("load", xi)
+	yi := b.Future()
+	b.DefineAsImm(yi, "aadd", 8, yi.Back(1))
+	y := b.Define("load", yi)
+	a := b.Invariant("a")
+	t1 := b.Define("fmul", a, x)
+	t2 := b.Define("fadd", y, t1)
+	si := b.Future()
+	b.DefineAsImm(si, "aadd", 8, si.Back(1))
+	st := b.Effect("store", si, t2)
+	_ = st
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]Word{}
+	for i := int64(0); i < trips; i++ {
+		mem[1000+8*(i+1)] = float64(i + 1)  // x
+		mem[8000+8*(i+1)] = float64(10 * i) // y
+	}
+	return testLoop{
+		name: "daxpy",
+		loop: l,
+		spec: RunSpec{
+			Init: map[ir.Reg]Word{
+				b.RegOf(xi): 1000, b.RegOf(yi): 8000, b.RegOf(si): 8000,
+				b.RegOf(a): 3,
+			},
+			Mem:   mem,
+			Trips: trips,
+		},
+	}
+}
+
+// buildDotProduct: q += x[i]*z[i] (reduction recurrence).
+func buildDotProduct(t *testing.T, m *machine.Machine, trips int64) testLoop {
+	b := ir.NewBuilder("dot", m)
+	xi := b.Future()
+	b.DefineAsImm(xi, "aadd", 8, xi.Back(1))
+	x := b.Define("load", xi)
+	zi := b.Future()
+	b.DefineAsImm(zi, "aadd", 8, zi.Back(1))
+	z := b.Define("load", zi)
+	p := b.Define("fmul", x, z)
+	q := b.Future()
+	b.DefineAs(q, "fadd", q.Back(1), p)
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]Word{}
+	for i := int64(0); i < trips; i++ {
+		mem[2000+8*(i+1)] = float64(i%7) + 1
+		mem[4000+8*(i+1)] = float64(i%5) + 2
+	}
+	return testLoop{
+		name: "dot",
+		loop: l,
+		spec: RunSpec{
+			Init:  map[ir.Reg]Word{b.RegOf(xi): 2000, b.RegOf(zi): 4000, b.RegOf(q): 0},
+			Mem:   mem,
+			Trips: trips,
+		},
+	}
+}
+
+// buildTridiag: x[i] = z[i]*(y[i]-x[i-1]) — cross-iteration recurrence
+// through two dependent ops (LFK 5).
+func buildTridiag(t *testing.T, m *machine.Machine, trips int64) testLoop {
+	b := ir.NewBuilder("tridiag", m)
+	zi := b.Future()
+	b.DefineAsImm(zi, "aadd", 8, zi.Back(1))
+	z := b.Define("load", zi)
+	yi := b.Future()
+	b.DefineAsImm(yi, "aadd", 8, yi.Back(1))
+	y := b.Define("load", yi)
+	x := b.Future()
+	t1 := b.Define("fsub", y, x.Back(1))
+	b.DefineAs(x, "fmul", z, t1)
+	si := b.Future()
+	b.DefineAsImm(si, "aadd", 8, si.Back(1))
+	b.Effect("store", si, x)
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]Word{}
+	for i := int64(0); i < trips; i++ {
+		mem[3000+8*(i+1)] = 0.5 + float64(i%3)*0.25 // z
+		mem[6000+8*(i+1)] = float64(i + 1)          // y
+	}
+	return testLoop{
+		name: "tridiag",
+		loop: l,
+		spec: RunSpec{
+			Init: map[ir.Reg]Word{
+				b.RegOf(zi): 3000, b.RegOf(yi): 6000, b.RegOf(si): 9000,
+				b.RegOf(x): 1, // x[0]
+			},
+			Mem:   mem,
+			Trips: trips,
+		},
+	}
+}
+
+// buildPredicated: s = (x[i] < c) ? s[-1]+x[i] : s[-1] via predication, and
+// a predicated store.
+func buildPredicated(t *testing.T, m *machine.Machine, trips int64) testLoop {
+	b := ir.NewBuilder("pred", m)
+	xi := b.Future()
+	b.DefineAsImm(xi, "aadd", 8, xi.Back(1))
+	x := b.Define("load", xi)
+	c := b.Invariant("c")
+	p := b.Define("cmp", x, c) // 1 if x < c
+	s := b.Future()
+	b.SetPred(p)
+	b.DefineAs(s, "fadd", s.Back(1), x)
+	si := b.Future()
+	b.DefineAsImm(si, "aadd", 8, si.Back(1))
+	b.Effect("store", si, x)
+	b.ClearPred()
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]Word{}
+	for i := int64(0); i < trips; i++ {
+		mem[5000+8*(i+1)] = float64((i * 13) % 10)
+	}
+	return testLoop{
+		name: "pred",
+		loop: l,
+		spec: RunSpec{
+			Init: map[ir.Reg]Word{
+				b.RegOf(xi): 5000, b.RegOf(si): 12000,
+				b.RegOf(c): 5, b.RegOf(s): 0,
+			},
+			Mem:   mem,
+			Trips: trips,
+		},
+	}
+}
+
+func machinesUnderTest() []*machine.Machine {
+	return []*machine.Machine{
+		machine.Cydra5(),
+		machine.Tiny(),
+		machine.Generic(machine.DefaultUnitConfig()),
+	}
+}
+
+// TestKernelMatchesReference is the end-to-end semantic proof: for each
+// test loop, machine, and trip count, the modulo-scheduled kernel-only
+// code must produce exactly the memory image and final register values of
+// the sequential reference interpreter.
+func TestKernelMatchesReference(t *testing.T) {
+	builders := []func(*testing.T, *machine.Machine, int64) testLoop{
+		buildDaxpy, buildDotProduct, buildTridiag, buildPredicated,
+	}
+	for _, m := range machinesUnderTest() {
+		for _, build := range builders {
+			for _, trips := range []int64{1, 2, 3, 7, 50} {
+				tl := build(t, m, trips)
+				t.Run(tl.name+"/"+m.Name+"/"+itoa(trips), func(t *testing.T) {
+					compareRefAndKernel(t, m, tl)
+				})
+			}
+		}
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func compareRefAndKernel(t *testing.T, m *machine.Machine, tl testLoop) {
+	t.Helper()
+	ref, err := RunReference(tl.loop, tl.spec)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	sched, err := core.ModuloSchedule(tl.loop, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	kern, err := codegen.GenerateKernel(sched)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	got, err := RunKernel(kern, m, tl.spec)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	// Memory must match exactly.
+	for a, want := range ref.Mem {
+		if gotV := got.Mem[a]; !close(gotV, want) {
+			t.Errorf("mem[%d] = %v, want %v", a, gotV, want)
+		}
+	}
+	for a := range got.Mem {
+		if _, ok := ref.Mem[a]; !ok {
+			t.Errorf("unexpected write at mem[%d] = %v", a, got.Mem[a])
+		}
+	}
+	// Final register values must match.
+	for r, want := range ref.Final {
+		if gotV, ok := got.Final[r]; !ok || !close(gotV, want) {
+			t.Errorf("final r%d = %v (present %v), want %v", r, gotV, ok, want)
+		}
+	}
+	// Timing sanity: cycles ~= SL + (trips-1)*II within the write-drain
+	// tail.
+	wantCycles := int64(sched.Length) + (tl.spec.Trips-1)*int64(sched.II)
+	slack := int64(sched.II) + 32
+	if got.Cycles > wantCycles+slack {
+		t.Errorf("cycles = %d, want <= %d (SL=%d II=%d trips=%d)",
+			got.Cycles, wantCycles+slack, sched.Length, sched.II, tl.spec.Trips)
+	}
+}
+
+func close(a, b Word) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}

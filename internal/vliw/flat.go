@@ -1,0 +1,142 @@
+package vliw
+
+import (
+	"fmt"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/modvar"
+)
+
+// RunFlat executes explicit prologue/kernel/epilogue code produced by
+// modulo variable expansion, cycle-accurately (one VLIW instruction per
+// cycle, register writes committing at issue + latency). It is the
+// non-rotating counterpart of RunKernel and uses the same RunSpec.
+func RunFlat(f *modvar.Flat, m *machine.Machine, spec RunSpec) (*Result, error) {
+	if spec.Trips != f.Trips {
+		return nil, fmt.Errorf("vliw: flat code generated for %d trips, spec has %d", f.Trips, spec.Trips)
+	}
+	regs := make(map[modvar.FReg]Word)
+	for _, pi := range f.Preinit {
+		regs[pi.Dst] = spec.initBack(pi.Reg, pi.Back)
+	}
+	mem := make(map[int64]Word, len(spec.Mem))
+	for a, v := range spec.Mem {
+		mem[a] = v
+	}
+
+	type pendingWrite struct {
+		at  int64
+		dst modvar.FReg
+		val Word
+	}
+	var pending []pendingWrite
+	finalVal := make(map[ir.Reg]Word)
+	commit := func(now int64) {
+		j := 0
+		for _, w := range pending {
+			if w.at > now {
+				pending[j] = w
+				j++
+				continue
+			}
+			regs[w.dst] = w.val
+			finalVal[w.dst.Reg] = w.val
+		}
+		pending = pending[:j]
+	}
+
+	readReg := func(r modvar.FReg) Word {
+		if r.Idx < 0 {
+			return spec.Init[r.Reg]
+		}
+		return regs[r]
+	}
+
+	var t int64
+	var lastActivity int64
+	execInstr := func(instr modvar.FInstr) error {
+		commit(t)
+		for _, fo := range instr {
+			oc := m.MustOpcode(fo.Op.Opcode)
+			srcs := make([]Word, len(fo.Srcs))
+			for i, s := range fo.Srcs {
+				srcs[i] = readReg(s)
+			}
+			active := true
+			if fo.Pred != nil {
+				active = readReg(*fo.Pred) != 0
+			}
+			var result Word
+			hasResult := fo.Dest.Reg != ir.NoReg
+			switch {
+			case !active:
+				if hasResult {
+					// Select semantics: the previous iteration's instance
+					// lives in version (Idx-1) mod U (or is a live-in).
+					prev := modvar.FReg{Reg: fo.Dest.Reg, Idx: fo.Dest.Idx - 1}
+					if prev.Idx < 0 {
+						prev.Idx += f.U
+					}
+					if v, ok := regs[prev]; ok {
+						result = v
+					} else {
+						result = spec.initBack(fo.Dest.Reg, 1)
+					}
+				}
+			case isMemLoad(fo.Op.Opcode):
+				result = mem[int64(srcs[0])]
+			case isMemStore(fo.Op.Opcode):
+				mem[int64(srcs[0])] = srcs[1]
+			case fo.Op.Opcode == "brtop":
+				// loop control is the instruction stream structure
+			default:
+				v, ok, err := evalArith(fo.Op.Opcode, srcs, fo.Op.Imm)
+				if err != nil {
+					return err
+				}
+				if ok {
+					result = v
+				}
+			}
+			if hasResult {
+				at := t + int64(oc.Latency)
+				if at <= t {
+					at = t + 1
+				}
+				pending = append(pending, pendingWrite{at: at, dst: fo.Dest, val: result})
+				if at > lastActivity {
+					lastActivity = at
+				}
+			} else if t > lastActivity {
+				lastActivity = t
+			}
+		}
+		t++
+		return nil
+	}
+
+	for _, instr := range f.Prologue {
+		if err := execInstr(instr); err != nil {
+			return nil, err
+		}
+	}
+	for k := int64(0); k < f.KernelIters; k++ {
+		for _, instr := range f.Kernel {
+			if err := execInstr(instr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, instr := range f.Epilogue {
+		if err := execInstr(instr); err != nil {
+			return nil, err
+		}
+	}
+	// Drain.
+	for len(pending) > 0 {
+		commit(t)
+		t++
+	}
+	return &Result{Mem: mem, Final: finalVal, Cycles: lastActivity + 1}, nil
+}

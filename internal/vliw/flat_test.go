@@ -1,0 +1,84 @@
+package vliw
+
+import (
+	"testing"
+
+	"modsched/internal/core"
+	"modsched/internal/machine"
+	"modsched/internal/modvar"
+)
+
+// TestFlatMatchesReference proves the explicit prologue/kernel/epilogue
+// schema (modulo variable expansion, no rotating registers) preserves
+// semantics, exactly like the kernel-only schema.
+func TestFlatMatchesReference(t *testing.T) {
+	builders := []func(*testing.T, *machine.Machine, int64) testLoop{
+		buildDaxpy, buildDotProduct, buildTridiag, buildPredicated,
+	}
+	for _, m := range machinesUnderTest() {
+		for _, build := range builders {
+			for _, want := range []int64{1, 3, 8, 50} {
+				// The explicit schema needs trips >= SC; probe the
+				// schedule to learn SC, then rebuild the workload at a
+				// valid trip count.
+				probe := build(t, m, 4)
+				sched, err := core.ModuloSchedule(probe.loop, m, core.DefaultOptions())
+				if err != nil {
+					t.Fatalf("schedule %s/%s: %v", probe.name, m.Name, err)
+				}
+				u, err := modvar.PlanUnroll(sched)
+				if err != nil {
+					t.Fatalf("plan unroll %s/%s: %v", probe.name, m.Name, err)
+				}
+				trips := modvar.ValidTrips(sched.StageCount(), u, want)
+				tl := build(t, m, trips)
+				t.Run(tl.name+"/"+m.Name+"/"+itoa(trips), func(t *testing.T) {
+					compareRefAndFlat(t, m, tl)
+				})
+			}
+		}
+	}
+}
+
+func compareRefAndFlat(t *testing.T, m *machine.Machine, tl testLoop) {
+	t.Helper()
+	ref, err := RunReference(tl.loop, tl.spec)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	sched, err := core.ModuloSchedule(tl.loop, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	flat, err := modvar.Generate(sched, tl.spec.Trips)
+	if err != nil {
+		t.Fatalf("modvar: %v", err)
+	}
+	got, err := RunFlat(flat, m, tl.spec)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	for a, want := range ref.Mem {
+		if gotV := got.Mem[a]; !close(gotV, want) {
+			t.Errorf("mem[%d] = %v, want %v", a, gotV, want)
+		}
+	}
+	for a := range got.Mem {
+		if _, ok := ref.Mem[a]; !ok {
+			t.Errorf("unexpected write at mem[%d] = %v", a, got.Mem[a])
+		}
+	}
+	for r, want := range ref.Final {
+		if gotV, ok := got.Final[r]; !ok || !close(gotV, want) {
+			t.Errorf("final r%d = %v (present %v), want %v", r, gotV, ok, want)
+		}
+	}
+	// Code size sanity: prologue and epilogue have (SC-1)*II instructions
+	// each, the kernel U*II.
+	if len(flat.Prologue) != (flat.SC-1)*flat.II ||
+		len(flat.Epilogue) != (flat.SC-1)*flat.II ||
+		len(flat.Kernel) != flat.U*flat.II {
+		t.Errorf("code shape: prologue %d kernel %d epilogue %d (II=%d SC=%d U=%d)",
+			len(flat.Prologue), len(flat.Kernel), len(flat.Epilogue), flat.II, flat.SC, flat.U)
+	}
+}

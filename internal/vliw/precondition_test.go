@@ -1,0 +1,87 @@
+package vliw
+
+import (
+	"testing"
+
+	"modsched/internal/core"
+)
+
+// TestAnyTripsMatchesReference: preconditioning makes the explicit schema
+// correct for every trip count, not just the ValidTrips ones.
+func TestAnyTripsMatchesReference(t *testing.T) {
+	for _, m := range machinesUnderTest() {
+		for trips := int64(1); trips <= 40; trips++ {
+			tl := buildDaxpy(t, m, trips)
+			ref, err := RunReference(tl.loop, tl.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := core.ModuloSchedule(tl.loop, m, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunFlatAnyTrips(tl.loop, m, sched, tl.spec)
+			if err != nil {
+				t.Fatalf("%s trips=%d: %v", m.Name, trips, err)
+			}
+			for a, want := range ref.Mem {
+				if g := got.Mem[a]; !close(g, want) {
+					t.Fatalf("%s trips=%d: mem[%d] = %v, want %v", m.Name, trips, a, g, want)
+				}
+			}
+			for a := range got.Mem {
+				if _, ok := ref.Mem[a]; !ok {
+					t.Fatalf("%s trips=%d: stray write mem[%d]", m.Name, trips, a)
+				}
+			}
+		}
+	}
+}
+
+// TestAnyTripsRecurrenceThreading: the accumulator's live state must carry
+// from the scalar remainder into the pipelined portion.
+func TestAnyTripsRecurrenceThreading(t *testing.T) {
+	for _, m := range machinesUnderTest() {
+		for trips := int64(5); trips <= 45; trips += 7 {
+			tl := buildDotProduct(t, m, trips)
+			ref, err := RunReference(tl.loop, tl.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := core.ModuloSchedule(tl.loop, m, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunFlatAnyTrips(tl.loop, m, sched, tl.spec)
+			if err != nil {
+				t.Fatalf("%s trips=%d: %v", m.Name, trips, err)
+			}
+			for r, want := range ref.Final {
+				if g, ok := got.Final[r]; !ok || !close(g, want) {
+					t.Fatalf("%s trips=%d: final r%d = %v (ok=%v), want %v", m.Name, trips, r, g, ok, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAnyTripsCycleAccounting: cycles include the scalar remainder at the
+// list-schedule rate.
+func TestAnyTripsCycleAccounting(t *testing.T) {
+	m := machinesUnderTest()[0]
+	tl := buildDaxpy(t, m, 3)
+	sched, err := core.ModuloSchedule(tl.loop, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(sched.StageCount()) <= tl.spec.Trips {
+		t.Skip("trip count not below stage count on this machine")
+	}
+	got, err := RunFlatAnyTrips(tl.loop, m, sched, tl.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles <= 0 {
+		t.Error("scalar-only path must still charge cycles")
+	}
+}

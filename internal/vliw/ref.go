@@ -1,0 +1,159 @@
+package vliw
+
+import (
+	"fmt"
+
+	"modsched/internal/ir"
+)
+
+// RunSpec supplies a loop's live-in state.
+type RunSpec struct {
+	// Init gives initial register values: loop invariants, and for
+	// loop-variant EVRs the value the register held before iteration 0.
+	Init map[ir.Reg]Word
+	// InitHist optionally gives deeper pre-entry history for EVRs read at
+	// distances beyond 1 (back-substituted recurrences): InitHist[r][j-1]
+	// is the value r held j iterations before entry. Missing entries fall
+	// back to Init[r].
+	InitHist map[ir.Reg][]Word
+	// Mem is the initial memory image (byte-addressed words).
+	Mem map[int64]Word
+	// Trips is the iteration count.
+	Trips int64
+}
+
+// initBack returns the value reg held back iterations before entry
+// (back >= 1).
+func (s RunSpec) initBack(reg ir.Reg, back int) Word {
+	if h := s.InitHist[reg]; back >= 1 && back <= len(h) {
+		return h[back-1]
+	}
+	return s.Init[reg]
+}
+
+// Result is the observable outcome of a loop execution.
+type Result struct {
+	// Mem is the final memory image.
+	Mem map[int64]Word
+	// Final holds each loop-variant register's last-iteration value.
+	Final map[ir.Reg]Word
+	// History, when produced (reference interpreter only), holds each
+	// loop-variant register's most recent values, newest first:
+	// History[r][j] is the value j+1 iterations before the end — exactly
+	// the InitHist shape a follow-on loop needs.
+	History map[ir.Reg][]Word
+	// Cycles is the execution time in machine cycles (0 for the reference
+	// interpreter, which has no timing model).
+	Cycles int64
+}
+
+// RunReference executes the loop sequentially, iteration by iteration, in
+// program order, honoring EVR semantics: a Back(k) reference reads the
+// value the register was assigned k iterations earlier (spec.Init[reg]
+// before iteration 0). A predicated operation whose predicate is false
+// assigns the register's previous-iteration value (select semantics); a
+// predicated store does nothing.
+func RunReference(l *ir.Loop, spec RunSpec) (*Result, error) {
+	mem := make(map[int64]Word, len(spec.Mem))
+	for k, v := range spec.Mem {
+		mem[k] = v
+	}
+	// hist[r][i] is r's value in iteration i.
+	hist := make(map[ir.Reg][]Word)
+	variant := l.VariantRegs()
+
+	read := func(it int64, r ir.Reg, dist int) (Word, error) {
+		if !variant[r] {
+			return spec.Init[r], nil
+		}
+		idx := it - int64(dist)
+		if idx < 0 {
+			return spec.initBack(r, int(-idx)), nil
+		}
+		h := hist[r]
+		if int64(len(h)) <= idx {
+			return 0, fmt.Errorf("vliw ref: loop %s: r%d read at iteration %d before assignment", l.Name, r, idx)
+		}
+		return h[idx], nil
+	}
+
+	for it := int64(0); it < spec.Trips; it++ {
+		for _, op := range l.RealOps() {
+			// Evaluate sources.
+			srcs := make([]Word, len(op.Srcs))
+			for si, r := range op.Srcs {
+				d := 0
+				if op.SrcDists != nil {
+					d = op.SrcDists[si]
+				}
+				v, err := read(it, r, d)
+				if err != nil {
+					return nil, err
+				}
+				srcs[si] = v
+			}
+			active := true
+			if op.Pred != ir.NoReg {
+				pv, err := read(it, op.Pred, op.PredDist)
+				if err != nil {
+					return nil, err
+				}
+				active = pv != 0
+			}
+
+			var result Word
+			hasResult := op.Dest != ir.NoReg
+			switch {
+			case !active:
+				if hasResult {
+					prev, err := read(it, op.Dest, 1)
+					if err != nil {
+						return nil, err
+					}
+					result = prev // select semantics for nullified defs
+				}
+			case isMemLoad(op.Opcode):
+				result = mem[int64(srcs[0])]
+			case isMemStore(op.Opcode):
+				mem[int64(srcs[0])] = srcs[1]
+			case op.Opcode == "brtop":
+				// loop control handled by the trip counter
+			default:
+				v, ok, err := evalArith(op.Opcode, srcs, op.Imm)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					result = v
+				}
+			}
+			if hasResult {
+				hist[op.Dest] = append(hist[op.Dest], result)
+			}
+		}
+	}
+
+	res := &Result{Mem: mem, Final: make(map[ir.Reg]Word), History: make(map[ir.Reg][]Word)}
+	const keep = 8
+	for r := range variant {
+		h := hist[r]
+		if len(h) == 0 {
+			continue
+		}
+		res.Final[r] = h[len(h)-1]
+		n := keep
+		if n > len(h) {
+			n = len(h)
+		}
+		newestFirst := make([]Word, 0, n+keep)
+		for j := 0; j < n; j++ {
+			newestFirst = append(newestFirst, h[len(h)-1-j])
+		}
+		// Extend with pre-entry history for loops shorter than keep.
+		for j := n; j < keep; j++ {
+			newestFirst = append(newestFirst, spec.initBack(r, j-n+1))
+		}
+		res.History[r] = newestFirst
+	}
+	return res, nil
+}

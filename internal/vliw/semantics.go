@@ -1,0 +1,84 @@
+// Package vliw executes loops: a sequential reference interpreter defines
+// the meaning of a loop (ref.go), and a cycle-accurate simulator executes
+// kernel-only modulo-scheduled code with a rotating register file and
+// brtop stage-predicate semantics (sim.go). Agreement between the two, on
+// the same inputs, is the repository's end-to-end proof that the scheduler
+// plus code generator preserve program semantics.
+package vliw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Word is the machine value: float64 everywhere, with addresses
+// represented exactly (integers below 2^53).
+type Word = float64
+
+// evalArith computes the register result of an opcode from operand values
+// and the immediate. Memory and branch opcodes are handled by the
+// interpreters directly; evalArith returns ok=false for them.
+func evalArith(opcode string, srcs []Word, imm int64) (Word, bool, error) {
+	a := func(i int) Word {
+		if i < len(srcs) {
+			return srcs[i]
+		}
+		return 0
+	}
+	switch opcode {
+	case "add", "aadd", "fadd":
+		s := float64(imm)
+		for _, v := range srcs {
+			s += v
+		}
+		return s, true, nil
+	case "sub", "asub", "fsub":
+		return a(0) - a(1) - float64(imm), true, nil
+	case "mul", "fmul":
+		if len(srcs) == 1 {
+			return a(0) * float64(imm), true, nil
+		}
+		return a(0) * a(1), true, nil
+	case "div", "fdiv":
+		d := a(1)
+		if len(srcs) == 1 {
+			d = float64(imm)
+		}
+		if d == 0 {
+			return 0, true, nil // quiet divide-by-zero: hardware would fault
+		}
+		return a(0) / d, true, nil
+	case "fsqrt":
+		if a(0) < 0 {
+			return 0, true, nil
+		}
+		return math.Sqrt(a(0)), true, nil
+	case "copy":
+		return a(0) + float64(imm), true, nil
+	case "sel":
+		if a(0) != 0 {
+			return a(1), true, nil
+		}
+		return a(2), true, nil
+	case "cmp":
+		if a(0) < a(1) {
+			return 1, true, nil
+		}
+		return 0, true, nil
+	case "pset":
+		if a(0) != 0 {
+			return 1, true, nil
+		}
+		return 0, true, nil
+	case "preset":
+		return 0, true, nil
+	case "load", "store", "brtop", "START", "STOP":
+		return 0, false, nil
+	default:
+		return 0, false, fmt.Errorf("vliw: no semantics for opcode %q", opcode)
+	}
+}
+
+// isMemLoad/isMemStore classify the memory opcodes.
+func isMemLoad(opcode string) bool  { return opcode == "load" }
+func isMemStore(opcode string) bool { return opcode == "store" }

@@ -1,0 +1,173 @@
+package vliw
+
+import (
+	"fmt"
+	"sort"
+
+	"modsched/internal/codegen"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// RunKernel executes kernel-only modulo-scheduled code cycle-accurately:
+// one kernel pass per II cycles, trips+SC-1 passes in total, the rotating
+// register base decrementing every pass, and stage predicates nullifying
+// operations whose iteration is outside [0, trips). Register results
+// commit at issue time plus the opcode's latency; reads observe only
+// committed values, so a scheduling or code-generation timing bug
+// manifests as a wrong result rather than being silently absorbed.
+func RunKernel(k *codegen.Kernel, m *machine.Machine, spec RunSpec) (*Result, error) {
+	if spec.Trips < 1 {
+		return nil, fmt.Errorf("vliw: trips must be >= 1")
+	}
+	S := k.Alloc.Size
+	rot := make([]Word, S)
+	for _, pl := range k.Preloads {
+		rot[pl.Phys] = spec.initBack(pl.Reg, pl.Back)
+	}
+	mem := make(map[int64]Word, len(spec.Mem))
+	for a, v := range spec.Mem {
+		mem[a] = v
+	}
+
+	physW := func(reg ir.Reg, pass int) int {
+		p := (k.Alloc.Base[reg] - pass) % S
+		if p < 0 {
+			p += S
+		}
+		return p
+	}
+	physR := func(o codegen.Operand, pass int) int {
+		p := (k.Alloc.Base[o.Reg] + o.Offset - pass) % S
+		if p < 0 {
+			p += S
+		}
+		return p
+	}
+	readOperand := func(o codegen.Operand, pass int) Word {
+		switch o.Kind {
+		case codegen.Invariant:
+			return spec.Init[o.Reg]
+		case codegen.Rotating:
+			return rot[physR(o, pass)]
+		default:
+			return 0
+		}
+	}
+
+	type pendingWrite struct {
+		at   int64
+		phys int
+		val  Word
+		op   int // op id for conflict diagnostics
+		reg  ir.Reg
+		pass int
+	}
+	var pending []pendingWrite
+	finalVal := make(map[ir.Reg]Word)
+	finalPass := make(map[ir.Reg]int)
+	commit := func(now int64) error {
+		j := 0
+		seen := map[int]int{}
+		for _, w := range pending {
+			if w.at > now {
+				pending[j] = w
+				j++
+				continue
+			}
+			if prev, dup := seen[w.phys]; dup && w.at == now {
+				return fmt.Errorf("vliw: ops %d and %d write rot[%d] on cycle %d", prev, w.op, w.phys, now)
+			}
+			seen[w.phys] = w.op
+			rot[w.phys] = w.val
+			if p, ok := finalPass[w.reg]; !ok || w.pass > p {
+				finalPass[w.reg] = w.pass
+				finalVal[w.reg] = w.val
+			}
+		}
+		pending = pending[:j]
+		return nil
+	}
+
+	passes := spec.Trips + int64(k.SC) - 1
+	var lastActivity int64
+	for t := int64(0); t < passes*int64(k.II); t++ {
+		if err := commit(t); err != nil {
+			return nil, err
+		}
+		pass := int(t / int64(k.II))
+		slot := int(t % int64(k.II))
+		for _, ko := range k.Slots[slot] {
+			iter := int64(pass - ko.Stage)
+			if iter < 0 || iter >= spec.Trips {
+				continue // stage predicate off
+			}
+			oc := m.MustOpcode(ko.Op.Opcode)
+			srcs := make([]Word, len(ko.Srcs))
+			for i, s := range ko.Srcs {
+				srcs[i] = readOperand(s, pass)
+			}
+			active := true
+			if ko.Pred.Kind != codegen.NoOperand {
+				active = readOperand(ko.Pred, pass) != 0
+			}
+
+			var result Word
+			hasResult := ko.Dest.Kind != codegen.NoOperand
+			switch {
+			case !active:
+				if hasResult {
+					// Select semantics: carry the previous iteration's
+					// instance forward into this iteration's register.
+					prev := codegen.Operand{Kind: codegen.Rotating, Reg: ko.Dest.Reg, Offset: 1}
+					if iter == 0 {
+						result = spec.initBack(ko.Dest.Reg, 1)
+					} else {
+						result = rot[physR(prev, pass)]
+					}
+				}
+			case isMemLoad(ko.Op.Opcode):
+				result = mem[int64(srcs[0])]
+			case isMemStore(ko.Op.Opcode):
+				mem[int64(srcs[0])] = srcs[1]
+			case ko.Op.Opcode == "brtop":
+				// pass loop models LC/ESC countdown
+			default:
+				v, ok, err := evalArith(ko.Op.Opcode, srcs, ko.Op.Imm)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					result = v
+				}
+			}
+			if hasResult {
+				at := t + int64(oc.Latency)
+				if at <= t {
+					at = t + 1 // zero-latency writes commit next cycle
+				}
+				pending = append(pending, pendingWrite{
+					at: at, phys: physW(ko.Dest.Reg, pass), val: result,
+					op: ko.Op.ID, reg: ko.Dest.Reg, pass: pass,
+				})
+				if at > lastActivity {
+					lastActivity = at
+				}
+			} else if t > lastActivity {
+				lastActivity = t
+			}
+		}
+	}
+	// Drain pending writes.
+	sort.Slice(pending, func(i, j int) bool { return pending[i].at < pending[j].at })
+	for _, w := range pending {
+		rot[w.phys] = w.val
+		if p, ok := finalPass[w.reg]; !ok || w.pass > p {
+			finalPass[w.reg] = w.pass
+			finalVal[w.reg] = w.val
+		}
+	}
+
+	res := &Result{Mem: mem, Final: finalVal, Cycles: lastActivity + 1}
+	return res, nil
+}

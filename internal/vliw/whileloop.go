@@ -1,0 +1,195 @@
+package vliw
+
+import (
+	"fmt"
+	"sort"
+
+	"modsched/internal/codegen"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// RunKernelWhile executes kernel-only code for a WHILE-loop (trip count
+// unknown at entry), per the speculative schema of "Code generation
+// schemas for modulo scheduled loops": new iterations are issued every II
+// cycles without waiting for the loop condition, so iterations beyond the
+// exit execute speculatively; their memory side effects must be nullified
+// by data predicates the loop itself computes (the continue chain), and
+// the hardware stops issuing once the loop-closing branch observes a false
+// continue value, then drains the iterations in flight.
+//
+// The loop-closing brtop must take the continue value (1 = keep going) as
+// its first operand — the resulting flow dependence is what guarantees the
+// branch reads a committed value. maxTrips bounds the simulation against
+// runaway loops. The returned Result.Cycles counts until the last
+// in-flight write commits.
+func RunKernelWhile(k *codegen.Kernel, m *machine.Machine, spec RunSpec, maxTrips int64) (*Result, error) {
+	S := k.Alloc.Size
+	rot := make([]Word, S)
+	for _, pl := range k.Preloads {
+		rot[pl.Phys] = spec.initBack(pl.Reg, pl.Back)
+	}
+	mem := make(map[int64]Word, len(spec.Mem))
+	for a, v := range spec.Mem {
+		mem[a] = v
+	}
+
+	// Locate the brtop; it must consume the continue value.
+	brFound, brHasCond := false, false
+	for _, slotOps := range k.Slots {
+		for _, ko := range slotOps {
+			if ko.Op.Opcode == "brtop" {
+				brFound = true
+				brHasCond = len(ko.Srcs) > 0
+			}
+		}
+	}
+	if !brFound {
+		return nil, fmt.Errorf("vliw: while-loop kernel has no brtop")
+	}
+	if !brHasCond {
+		return nil, fmt.Errorf("vliw: while-loop brtop has no continue operand")
+	}
+
+	physW := func(reg ir.Reg, pass int) int {
+		p := (k.Alloc.Base[reg] - pass) % S
+		if p < 0 {
+			p += S
+		}
+		return p
+	}
+	physR := func(o codegen.Operand, pass int) int {
+		p := (k.Alloc.Base[o.Reg] + o.Offset - pass) % S
+		if p < 0 {
+			p += S
+		}
+		return p
+	}
+	readOperand := func(o codegen.Operand, pass int) Word {
+		switch o.Kind {
+		case codegen.Invariant:
+			return spec.Init[o.Reg]
+		case codegen.Rotating:
+			return rot[physR(o, pass)]
+		default:
+			return 0
+		}
+	}
+
+	type pendingWrite struct {
+		at   int64
+		phys int
+		val  Word
+		reg  ir.Reg
+		pass int
+	}
+	var pending []pendingWrite
+	finalVal := make(map[ir.Reg]Word)
+	finalPass := make(map[ir.Reg]int)
+	commit := func(now int64) {
+		j := 0
+		for _, w := range pending {
+			if w.at > now {
+				pending[j] = w
+				j++
+				continue
+			}
+			rot[w.phys] = w.val
+			if p, ok := finalPass[w.reg]; !ok || w.pass > p {
+				finalPass[w.reg] = w.pass
+				finalVal[w.reg] = w.val
+			}
+		}
+		pending = pending[:j]
+	}
+
+	// lastIter, once known, is the final valid iteration index; issue of
+	// iterations beyond it stops (they are squashed wholesale once the
+	// branch resolves; side effects of already-issued speculative
+	// iterations rely on the code's own predication).
+	lastIter := int64(-1)
+	var lastActivity int64
+	for t := int64(0); ; t++ {
+		pass := int(t / int64(k.II))
+		slot := int(t % int64(k.II))
+		if lastIter >= 0 && int64(pass) > lastIter+int64(k.SC)-1 {
+			break // drained
+		}
+		if lastIter < 0 && int64(pass) > maxTrips+int64(k.SC) {
+			return nil, fmt.Errorf("vliw: while-loop exceeded maxTrips=%d", maxTrips)
+		}
+		commit(t)
+		for _, ko := range k.Slots[slot] {
+			iter := int64(pass - ko.Stage)
+			if iter < 0 {
+				continue
+			}
+			if lastIter >= 0 && iter > lastIter {
+				continue // squashed: issued after the branch resolved
+			}
+			oc := m.MustOpcode(ko.Op.Opcode)
+			srcs := make([]Word, len(ko.Srcs))
+			for i, s := range ko.Srcs {
+				srcs[i] = readOperand(s, pass)
+			}
+			active := true
+			if ko.Pred.Kind != codegen.NoOperand {
+				active = readOperand(ko.Pred, pass) != 0
+			}
+			var result Word
+			hasResult := ko.Dest.Kind != codegen.NoOperand
+			switch {
+			case !active:
+				if hasResult {
+					prev := codegen.Operand{Kind: codegen.Rotating, Reg: ko.Dest.Reg, Offset: 1}
+					if iter == 0 {
+						result = spec.initBack(ko.Dest.Reg, 1)
+					} else {
+						result = rot[physR(prev, pass)]
+					}
+				}
+			case isMemLoad(ko.Op.Opcode):
+				result = mem[int64(srcs[0])]
+			case isMemStore(ko.Op.Opcode):
+				mem[int64(srcs[0])] = srcs[1]
+			case ko.Op.Opcode == "brtop":
+				// The branch reads its iteration's continue value (a
+				// normal operand, so the scheduler already guaranteed the
+				// producing write has committed); until it resolves false,
+				// new iterations keep issuing — that is the speculation.
+				if srcs[0] == 0 && lastIter < 0 {
+					lastIter = iter
+				}
+			default:
+				v, ok, err := evalArith(ko.Op.Opcode, srcs, ko.Op.Imm)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					result = v
+				}
+			}
+			if hasResult {
+				at := t + int64(oc.Latency)
+				if at <= t {
+					at = t + 1
+				}
+				pending = append(pending, pendingWrite{at: at, phys: physW(ko.Dest.Reg, pass), val: result, reg: ko.Dest.Reg, pass: pass})
+				if at > lastActivity {
+					lastActivity = at
+				}
+			} else if t > lastActivity {
+				lastActivity = t
+			}
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].at < pending[j].at })
+	for _, w := range pending {
+		rot[w.phys] = w.val
+		if p, ok := finalPass[w.reg]; !ok || w.pass > p {
+			finalPass[w.reg] = w.pass
+			finalVal[w.reg] = w.val
+		}
+	}
+	return &Result{Mem: mem, Final: finalVal, Cycles: lastActivity + 1}, nil
+}

@@ -1,0 +1,193 @@
+package vliw
+
+import (
+	"testing"
+
+	"modsched/internal/codegen"
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// buildWhileCopy builds a do-while loop: copy x[i] to out[i] and continue
+// while x[i] < limit. The continue value feeds the brtop; the store is
+// predicated on the valid chain (product of all previous continues) so
+// speculative iterations beyond the exit cannot write memory.
+func buildWhileCopy(t testing.TB, m *machine.Machine) (*ir.Loop, *ir.Builder, ir.Value, ir.Value, ir.Value, ir.Value) {
+	t.Helper()
+	b := ir.NewBuilder("whilecopy", m)
+	xi := b.Future()
+	b.DefineAsImm(xi, "aadd", 8, xi.Back(1))
+	x := b.Define("load", xi)
+	cont := b.Future()
+	b.DefineAs(cont, "cmp", x, b.Invariant("limit"))
+	valid := b.Future()
+	b.DefineAs(valid, "mul", valid.Back(1), cont.Back(1))
+	b.Comment("valid chain: all previous continues")
+	si := b.Future()
+	b.DefineAsImm(si, "aadd", 8, si.Back(1))
+	b.SetPred(valid)
+	b.Effect("store", si, x)
+	b.ClearPred()
+	b.Effect("brtop", cont)
+	b.Comment("while-loop branch consumes the continue value")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, b, xi, si, cont, valid
+}
+
+func TestWhileLoopKernel(t *testing.T) {
+	for _, m := range machinesUnderTest() {
+		l, b, xi, si, cont, valid := buildWhileCopy(t, m)
+
+		// Data: values below 50 until index exitAt, then a sentinel.
+		const exitAt = 17
+		mem := map[int64]Word{}
+		for i := int64(0); i < 60; i++ {
+			v := Word(i % 40)
+			if i == exitAt {
+				v = 99 // >= limit: the loop exits after this iteration
+			}
+			mem[4000+8*(i+1)] = v
+		}
+		spec := RunSpec{
+			Init: map[ir.Reg]Word{
+				b.RegOf(xi): 4000, b.RegOf(si): 20000,
+				b.RegOf(b.Invariant("limit")): 50,
+				b.RegOf(cont):                 1,
+				b.RegOf(valid):                1,
+			},
+			Mem: mem,
+		}
+
+		// Reference: the loop body runs exitAt+1 times (do-while).
+		refSpec := spec
+		refSpec.Trips = exitAt + 1
+		ref, err := RunReference(l, refSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sched, err := core.ModuloSchedule(l, m, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := codegen.GenerateKernel(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunKernelWhile(k, m, spec, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+
+		// Memory: exactly the exitAt+1 copied elements, nothing else.
+		for i := int64(0); i <= exitAt; i++ {
+			a := int64(20000 + 8*(i+1))
+			if got.Mem[a] != ref.Mem[a] {
+				t.Errorf("%s: out[%d] = %v, want %v", m.Name, i, got.Mem[a], ref.Mem[a])
+			}
+		}
+		for a := range got.Mem {
+			if a >= 20000 && a <= 20000+8*60 {
+				if _, ok := ref.Mem[a]; !ok {
+					t.Errorf("%s: speculative store leaked to out[%d] = %v", m.Name, (a-20000)/8-1, got.Mem[a])
+				}
+			}
+		}
+	}
+}
+
+func TestWhileLoopExitOnFirstIteration(t *testing.T) {
+	m := machine.Cydra5()
+	l, b, xi, si, cont, valid := buildWhileCopy(t, m)
+	mem := map[int64]Word{4008: 99} // first element already >= limit
+	for i := int64(1); i < 40; i++ {
+		mem[4000+8*(i+1)] = 1
+	}
+	spec := RunSpec{
+		Init: map[ir.Reg]Word{
+			b.RegOf(xi): 4000, b.RegOf(si): 20000,
+			b.RegOf(b.Invariant("limit")): 50,
+			b.RegOf(cont):                 1,
+			b.RegOf(valid):                1,
+		},
+		Mem: mem,
+	}
+	sched, err := core.ModuloSchedule(l, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := codegen.GenerateKernel(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunKernelWhile(k, m, spec, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mem[20008] != 99 {
+		t.Errorf("out[0] = %v, want 99 (the exit iteration still stores)", got.Mem[20008])
+	}
+	for i := int64(1); i < 40; i++ {
+		if v, ok := got.Mem[20000+8*(i+1)]; ok && v != 0 {
+			t.Errorf("speculative store at out[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestWhileLoopGuards(t *testing.T) {
+	m := machine.Cydra5()
+	// A DO-loop kernel (no continue operand on brtop) must be rejected.
+	b := ir.NewBuilder("doloop", m)
+	xi := b.Future()
+	b.DefineAsImm(xi, "aadd", 8, xi.Back(1))
+	b.Define("load", xi)
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.ModuloSchedule(l, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := codegen.GenerateKernel(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunKernelWhile(k, m, RunSpec{Init: map[ir.Reg]Word{}}, 100); err == nil {
+		t.Error("brtop without a continue operand accepted")
+	}
+}
+
+func TestWhileLoopRunawayBounded(t *testing.T) {
+	m := machine.Cydra5()
+	l, b, xi, si, cont, valid := buildWhileCopy(t, m)
+	mem := map[int64]Word{}
+	for i := int64(0); i < 200; i++ {
+		mem[4000+8*(i+1)] = 1 // never reaches the limit
+	}
+	spec := RunSpec{
+		Init: map[ir.Reg]Word{
+			b.RegOf(xi): 4000, b.RegOf(si): 20000,
+			b.RegOf(b.Invariant("limit")): 50,
+			b.RegOf(cont):                 1,
+			b.RegOf(valid):                1,
+		},
+		Mem: mem,
+	}
+	sched, err := core.ModuloSchedule(l, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := codegen.GenerateKernel(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunKernelWhile(k, m, spec, 50); err == nil {
+		t.Error("runaway while-loop not bounded by maxTrips")
+	}
+}
