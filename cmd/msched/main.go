@@ -4,16 +4,25 @@
 //
 //	msched [-machine cydra5|generic|tiny] [-algo iterative|slack]
 //	       [-budget 2] [-priority heightr|fifo|depth|recfirst]
-//	       [-delays vliw|conservative] [-verbose] [-mrt] [-gantt N]
-//	       [-backsub] [-flat] file.loop
+//	       [-delays vliw|conservative] [-timeout 0] [-besteffort]
+//	       [-verbose] [-mrt] [-gantt N] [-backsub] [-flat] file.loop
 //
 // With no file it reads standard input. -mrt prints the schedule's modulo
 // reservation table, -gantt N a pipeline diagram of N overlapped
 // iterations, -backsub applies recurrence back-substitution first, and
 // -flat also reports the explicit prologue/kernel/epilogue schema.
+// -timeout bounds the whole compilation; -besteffort falls back to slack
+// scheduling and then to an unpipelined degenerate schedule rather than
+// failing.
+//
+// Exit codes: 0 success; 2 usage, flag, or input errors; 3 loop parse
+// error; 4 no schedule found (including deadline expiry); 5 internal
+// scheduler error; 1 anything else. Diagnostics are one line on stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,20 +40,55 @@ import (
 	"modsched/internal/modvar"
 )
 
+// Exit codes, one per failure class, so scripts can dispatch without
+// scraping stderr.
+const (
+	exitOK       = 0
+	exitOther    = 1
+	exitUsage    = 2
+	exitParse    = 3
+	exitNoSched  = 4
+	exitInternal = 5
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind an exit code, so tests can drive it
+// in-process. No panic may escape: anything recovered here is reported as
+// a one-line internal-error diagnostic, never a stack trace.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "msched: internal error: %v\n", r)
+			code = exitInternal
+		}
+	}()
+
+	fs := flag.NewFlagSet("msched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		machName = flag.String("machine", "cydra5", "target machine: cydra5, generic, tiny")
-		budget   = flag.Float64("budget", 2, "BudgetRatio: scheduling steps allowed per operation per II attempt")
-		priority = flag.String("priority", "heightr", "priority function: heightr, fifo, depth, recfirst")
-		algo     = flag.String("algo", "iterative", "scheduling algorithm: iterative (the paper's), slack (Huff)")
-		delays   = flag.String("delays", "vliw", "delay model: vliw, conservative")
-		verbose  = flag.Bool("verbose", false, "print the parsed loop and per-op schedule")
-		flat     = flag.Bool("flat", false, "also emit explicit prologue/kernel/epilogue code (modulo variable expansion)")
-		backsubF = flag.Bool("backsub", false, "back-substitute closed-form inductions before scheduling")
-		mrt      = flag.Bool("mrt", false, "print the schedule's modulo reservation table")
-		gantt    = flag.Int("gantt", 0, "print a pipeline diagram with N overlapped iterations")
+		machName   = fs.String("machine", "cydra5", "target machine: cydra5, generic, tiny")
+		budget     = fs.Float64("budget", 2, "BudgetRatio: scheduling steps allowed per operation per II attempt")
+		priority   = fs.String("priority", "heightr", "priority function: heightr, fifo, depth, recfirst")
+		algo       = fs.String("algo", "iterative", "scheduling algorithm: iterative (the paper's), slack (Huff)")
+		delays     = fs.String("delays", "vliw", "delay model: vliw, conservative")
+		timeout    = fs.Duration("timeout", 0, "abort compilation after this long (0 = no deadline)")
+		besteffort = fs.Bool("besteffort", false, "degrade through slack and unpipelined scheduling instead of failing")
+		verbose    = fs.Bool("verbose", false, "print the parsed loop and per-op schedule")
+		flat       = fs.Bool("flat", false, "also emit explicit prologue/kernel/epilogue code (modulo variable expansion)")
+		backsubF   = fs.Bool("backsub", false, "back-substitute closed-form inductions before scheduling")
+		mrt        = fs.Bool("mrt", false, "print the schedule's modulo reservation table")
+		gantt      = fs.Int("gantt", 0, "print a pipeline diagram with N overlapped iterations")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage // the flag package already printed the diagnostic
+	}
+	fail := func(code int, format string, args ...any) int {
+		fmt.Fprintf(stderr, "msched: "+format+"\n", args...)
+		return code
+	}
 
 	var m *machine.Machine
 	switch *machName {
@@ -55,7 +99,7 @@ func main() {
 	case "tiny":
 		m = machine.Tiny()
 	default:
-		fail("unknown machine %q", *machName)
+		return fail(exitUsage, "unknown machine %q", *machName)
 	}
 
 	opts := core.DefaultOptions()
@@ -70,15 +114,10 @@ func main() {
 	case "recfirst":
 		opts.Priority = core.PriorityRecFirst
 	default:
-		fail("unknown priority %q", *priority)
+		return fail(exitUsage, "unknown priority %q", *priority)
 	}
-	schedule := core.ModuloSchedule
-	switch *algo {
-	case "iterative":
-	case "slack":
-		schedule = core.ModuloScheduleSlack
-	default:
-		fail("unknown algorithm %q", *algo)
+	if *algo != "iterative" && *algo != "slack" {
+		return fail(exitUsage, "unknown algorithm %q", *algo)
 	}
 	switch *delays {
 	case "vliw":
@@ -86,76 +125,135 @@ func main() {
 	case "conservative":
 		opts.DelayModel = ir.ConservativeDelays
 	default:
-		fail("unknown delay model %q", *delays)
+		return fail(exitUsage, "unknown delay model %q", *delays)
 	}
 
-	src := readInput()
+	src, err := readInput(fs, stdin)
+	if err != nil {
+		return fail(exitUsage, "%v", err)
+	}
 	loop, err := looplang.Parse(src, m)
-	check(err)
+	if err != nil {
+		return fail(exitParse, "%v", err)
+	}
 
 	if *backsubF {
 		transformed, rewrites, err := backsub.Apply(loop, m, 1)
-		check(err)
+		if err != nil {
+			return fail(exitOther, "%v", err)
+		}
 		for _, rw := range rewrites {
-			fmt.Printf("back-substituted op %d: distance %d -> %d\n", rw.Op, rw.OldDist, rw.NewDist)
+			fmt.Fprintf(stdout, "back-substituted op %d: distance %d -> %d\n", rw.Op, rw.OldDist, rw.NewDist)
 		}
 		loop = transformed
 	}
 
 	if *verbose {
-		fmt.Print(looplang.Print(loop))
-		fmt.Println()
+		fmt.Fprint(stdout, looplang.Print(loop))
+		fmt.Fprintln(stdout)
 	}
 
 	dl, err := ir.Delays(loop, m, opts.DelayModel)
-	check(err)
+	if err != nil {
+		return fail(exitOther, "%v", err)
+	}
 	bounds, err := mii.Compute(loop, m, dl, nil)
-	check(err)
+	if err != nil {
+		return fail(schedExit(err), "%v", err)
+	}
 	ls, err := listsched.Schedule(loop, m, dl)
-	check(err)
+	if err != nil {
+		return fail(exitOther, "%v", err)
+	}
 
-	fmt.Printf("loop %s: %d operations, %d edges\n", loop.Name, loop.NumRealOps(), len(loop.Edges))
-	fmt.Printf("ResMII=%d MII=%d non-trivial SCCs=%d acyclic-list SL=%d\n",
+	fmt.Fprintf(stdout, "loop %s: %d operations, %d edges\n", loop.Name, loop.NumRealOps(), len(loop.Edges))
+	fmt.Fprintf(stdout, "ResMII=%d MII=%d non-trivial SCCs=%d acyclic-list SL=%d\n",
 		bounds.ResMII, bounds.MII, len(bounds.NonTrivialSCCs), ls.Length)
 
-	sched, err := schedule(loop, m, opts)
-	check(err)
-	fmt.Printf("II=%d (DeltaII=%d) SL=%d stages=%d scheduling steps=%d\n\n",
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var sched *core.Schedule
+	switch {
+	case *besteffort:
+		var deg *core.Degradation
+		sched, deg, err = core.ModuloScheduleBestEffort(ctx, loop, m, opts)
+		if err == nil && deg.Degraded() {
+			fmt.Fprintf(stderr, "msched: warning: %s\n", deg)
+		}
+	case *algo == "slack":
+		sched, err = core.ModuloScheduleSlackContext(ctx, loop, m, opts)
+	default:
+		sched, err = core.ModuloScheduleContext(ctx, loop, m, opts)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return fail(exitNoSched, "deadline of %v expired: %v", *timeout, err)
+		}
+		return fail(schedExit(err), "%v", err)
+	}
+	fmt.Fprintf(stdout, "II=%d (DeltaII=%d) SL=%d stages=%d scheduling steps=%d\n\n",
 		sched.II, sched.II-sched.MII, sched.Length, sched.StageCount(), sched.Stats.SchedSteps)
 
 	if *verbose {
-		printScheduleTable(sched)
-		fmt.Println()
+		printScheduleTable(stdout, sched)
+		fmt.Fprintln(stdout)
 	}
 
 	if *mrt {
-		fmt.Print(sched.MRTString())
-		fmt.Println()
+		fmt.Fprint(stdout, sched.MRTString())
+		fmt.Fprintln(stdout)
 	}
 	if *gantt > 0 {
-		fmt.Print(sched.GanttString(*gantt))
-		fmt.Println()
+		fmt.Fprint(stdout, sched.GanttString(*gantt))
+		fmt.Fprintln(stdout)
 	}
 
 	kern, err := codegen.GenerateKernel(sched)
-	check(err)
-	fmt.Print(kern.String())
+	if err != nil {
+		return fail(exitOther, "%v", err)
+	}
+	fmt.Fprint(stdout, kern.String())
 
 	if *flat {
 		u, err := modvar.PlanUnroll(sched)
-		check(err)
+		if err != nil {
+			return fail(exitOther, "%v", err)
+		}
 		trips := modvar.ValidTrips(sched.StageCount(), u, 100)
 		f, err := modvar.Generate(sched, trips)
-		check(err)
-		fmt.Printf("\nexplicit schema (for %d trips): unroll U=%d, %d instructions (prologue %d + kernel %d + epilogue %d)\n",
+		if err != nil {
+			return fail(exitOther, "%v", err)
+		}
+		fmt.Fprintf(stdout, "\nexplicit schema (for %d trips): unroll U=%d, %d instructions (prologue %d + kernel %d + epilogue %d)\n",
 			trips, f.U, f.CodeSize(), len(f.Prologue), len(f.Kernel), len(f.Epilogue))
 		for _, pi := range f.Preinit {
-			fmt.Printf("  preinit %v = init(r%d, back %d)\n", pi.Dst, pi.Reg, pi.Back)
+			fmt.Fprintf(stdout, "  preinit %v = init(r%d, back %d)\n", pi.Dst, pi.Reg, pi.Back)
 		}
+	}
+	return exitOK
+}
+
+// schedExit classifies a compilation error into an exit code.
+func schedExit(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInternal):
+		return exitInternal
+	case errors.Is(err, core.ErrNoSchedule),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return exitNoSched
+	case errors.Is(err, core.ErrInvalidLoop), errors.Is(err, core.ErrInvalidMachine):
+		return exitUsage
+	default:
+		return exitOther
 	}
 }
 
-func printScheduleTable(s *core.Schedule) {
+func printScheduleTable(w io.Writer, s *core.Schedule) {
 	type row struct{ t, id int }
 	rows := make([]row, 0, s.Loop.NumOps())
 	for i := range s.Loop.Ops {
@@ -167,40 +265,32 @@ func printScheduleTable(s *core.Schedule) {
 		}
 		return rows[i].id < rows[j].id
 	})
-	fmt.Println("time  stage slot  op")
+	fmt.Fprintln(w, "time  stage slot  op")
 	for _, r := range rows {
 		op := s.Loop.Ops[r.id]
 		if op.IsPseudo() {
 			continue
 		}
 		alt := s.Machine.MustOpcode(op.Opcode).Alternatives[s.Alts[r.id]]
-		fmt.Printf("%5d %5d %4d  %s (%s)", r.t, r.t/s.II, r.t%s.II, op.Opcode, alt.Name)
+		fmt.Fprintf(w, "%5d %5d %4d  %s (%s)", r.t, r.t/s.II, r.t%s.II, op.Opcode, alt.Name)
 		if op.Comment != "" {
-			fmt.Printf("  ; %s", op.Comment)
+			fmt.Fprintf(w, "  ; %s", op.Comment)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func readInput() string {
-	if flag.NArg() == 0 {
-		b, err := io.ReadAll(os.Stdin)
-		check(err)
-		return string(b)
+func readInput(fs *flag.FlagSet, stdin io.Reader) (string, error) {
+	if fs.NArg() == 0 {
+		b, err := io.ReadAll(stdin)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
 	}
-	b, err := os.ReadFile(flag.Arg(0))
-	check(err)
-	return string(b)
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "msched: "+format+"\n", args...)
-	os.Exit(2)
-}
-
-func check(err error) {
+	b, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "msched:", err)
-		os.Exit(1)
+		return "", err
 	}
+	return string(b), nil
 }

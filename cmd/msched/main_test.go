@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodLoop = `
+loop daxpy
+profile 5 10000
+
+xi = aadd xi@1, #8
+x  = load xi
+yi = aadd yi@1, #8
+y  = load yi
+t1 = fmul a, x
+t2 = fadd y, t1
+si = aadd si@1, #8
+st: store si, t2
+brtop
+`
+
+// A zero-distance dependence cycle: no II can satisfy it, so the bound
+// computation reports an unschedulable recurrence.
+const impossibleLoop = `
+loop impossible
+a: x = add p
+b: y = add x
+brtop
+!mem b -> a dist 0
+`
+
+func runCase(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		stdin      string
+		code       int
+		wantErrSub string // substring required on stderr ("" = no check)
+	}{
+		{"success", nil, goodLoop, exitOK, ""},
+		{"success slack", []string{"-algo", "slack"}, goodLoop, exitOK, ""},
+		{"success besteffort", []string{"-besteffort"}, goodLoop, exitOK, ""},
+		{"bad flag", []string{"-nosuchflag"}, goodLoop, exitUsage, "flag provided but not defined"},
+		{"bad machine", []string{"-machine", "pdp11"}, goodLoop, exitUsage, "unknown machine"},
+		{"bad priority", []string{"-priority", "random"}, goodLoop, exitUsage, "unknown priority"},
+		{"bad algo", []string{"-algo", "magic"}, goodLoop, exitUsage, "unknown algorithm"},
+		{"bad delays", []string{"-delays", "none"}, goodLoop, exitUsage, "unknown delay model"},
+		{"missing file", []string{"/no/such/file.loop"}, "", exitUsage, "no such file"},
+		{"parse error", nil, "loop l\nx = warp p\nbrtop\n", exitParse, "line 2"},
+		{"empty input", nil, "", exitParse, "missing 'loop NAME' header"},
+		{"no schedule", nil, impossibleLoop, exitNoSched, ""},
+		{"deadline", []string{"-timeout", "1ns"}, goodLoop, exitNoSched, "deadline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := runCase(t, tc.args, tc.stdin)
+			if code != tc.code {
+				t.Fatalf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.code, stdout, stderr)
+			}
+			if tc.wantErrSub != "" && !strings.Contains(stderr, tc.wantErrSub) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.wantErrSub)
+			}
+			if code == exitOK && !strings.Contains(stdout, "II=") {
+				t.Errorf("successful run printed no schedule:\n%s", stdout)
+			}
+			if strings.Contains(stderr, "goroutine") || strings.Contains(stderr, "panic:") {
+				t.Errorf("stderr looks like a stack trace:\n%s", stderr)
+			}
+		})
+	}
+}
+
+// TestDiagnosticsAreOneLine: every failure diagnostic is a single stderr
+// line (scripts parse these).
+func TestDiagnosticsAreOneLine(t *testing.T) {
+	for _, tc := range []struct {
+		args  []string
+		stdin string
+	}{
+		{nil, "loop l\nx = warp p\nbrtop\n"},
+		{[]string{"-machine", "pdp11"}, goodLoop},
+		{nil, impossibleLoop},
+	} {
+		_, _, stderr := runCase(t, tc.args, tc.stdin)
+		trimmed := strings.TrimRight(stderr, "\n")
+		if trimmed == "" || strings.Contains(trimmed, "\n") {
+			t.Errorf("diagnostic not exactly one line: %q", stderr)
+		}
+		if !strings.HasPrefix(trimmed, "msched: ") {
+			t.Errorf("diagnostic missing msched: prefix: %q", stderr)
+		}
+	}
+}
+
+// TestBestEffortOnImpossibleLoop: with -besteffort the zero-distance cycle
+// still fails (no stage can satisfy it), but a loop that merely cannot be
+// pipelined within the default budget still produces output.
+func TestBestEffortWarnsOnDegradation(t *testing.T) {
+	code, stdout, stderr := runCase(t, []string{"-besteffort"}, goodLoop)
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "II=") {
+		t.Errorf("no schedule printed:\n%s", stdout)
+	}
+}
+
+// TestBinary builds the real binary once and exercises it end to end,
+// asserting process-level exit codes and that failures never print a
+// stack trace.
+func TestBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary build")
+	}
+	bin := filepath.Join(t.TempDir(), "msched")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	loopFile := filepath.Join(t.TempDir(), "daxpy.loop")
+	if err := os.WriteFile(loopFile, []byte(goodLoop), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+		code  int
+	}{
+		{"file ok", []string{loopFile}, "", exitOK},
+		{"stdin ok", nil, goodLoop, exitOK},
+		{"parse error", nil, "loop l\nx = warp p\nbrtop\n", exitParse},
+		{"no schedule", nil, impossibleLoop, exitNoSched},
+		{"usage", []string{"-machine", "vax"}, "", exitUsage},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cmd := exec.Command(bin, tc.args...)
+			cmd.Stdin = strings.NewReader(tc.stdin)
+			var out, errb bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &out, &errb
+			err := cmd.Run()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("exec: %v", err)
+			}
+			if code != tc.code {
+				t.Fatalf("exit = %d, want %d\nstderr: %s", code, tc.code, errb.String())
+			}
+			if s := errb.String(); strings.Contains(s, "goroutine") || strings.Contains(s, "panic:") {
+				t.Errorf("stack trace leaked to stderr:\n%s", s)
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"modsched/internal/scherr"
+)
+
+// Sentinel errors, re-exported from scherr so callers inside and outside
+// this package match the same values with errors.Is.
+var (
+	ErrNoSchedule      = scherr.ErrNoSchedule
+	ErrBudgetExhausted = scherr.ErrBudgetExhausted
+	ErrInvalidLoop     = scherr.ErrInvalidLoop
+	ErrInvalidMachine  = scherr.ErrInvalidMachine
+	ErrInternal        = scherr.ErrInternal
+)
+
+// NoScheduleError is the structured failure returned when the II search
+// runs out of candidates without finding a schedule. It wraps
+// ErrNoSchedule, and additionally ErrBudgetExhausted when at least one
+// candidate II was abandoned for budget rather than proven infeasible.
+type NoScheduleError struct {
+	Loop      string
+	Algorithm string // "iterative" or "slack"
+	MII       int    // lower bound the search started from
+	MaxII     int    // largest candidate II tried
+	Attempts  int64  // II attempts actually made
+	// BudgetExhausted reports whether some attempt ran out of its
+	// scheduling-step budget; raising Options.BudgetRatio (or MaxII) may
+	// still find a schedule. When false, every candidate was rejected as
+	// infeasible outright.
+	BudgetExhausted bool
+}
+
+func (e *NoScheduleError) Error() string {
+	s := fmt.Sprintf("core: loop %s: %s scheduling found no schedule up to II=%d (MII=%d, %d attempts)",
+		e.Loop, e.Algorithm, e.MaxII, e.MII, e.Attempts)
+	if e.BudgetExhausted {
+		s += ": " + ErrBudgetExhausted.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the applicable sentinels to errors.Is.
+func (e *NoScheduleError) Unwrap() []error {
+	errs := []error{ErrNoSchedule}
+	if e.BudgetExhausted {
+		errs = append(errs, ErrBudgetExhausted)
+	}
+	return errs
+}
+
+// InternalError is the diagnostic produced when an internal invariant is
+// violated — including panics recovered at the API boundary. It captures
+// the loop, the candidate II being attempted (-1 when outside an attempt),
+// and the scheduler counters at the time of failure, so a crashing input
+// can be reported and reproduced without taking the caller down.
+type InternalError struct {
+	Loop     string
+	II       int // candidate II at the time of failure; -1 when unknown
+	Counters Counters
+	Panic    any    // recovered panic value, nil for non-panic failures
+	Stack    []byte // stack captured at recovery, nil for non-panic failures
+	Err      error  // underlying error for non-panic internal failures
+}
+
+func (e *InternalError) Error() string {
+	var what string
+	switch {
+	case e.Panic != nil:
+		what = fmt.Sprintf("panic: %v", e.Panic)
+	case e.Err != nil:
+		what = e.Err.Error()
+	default:
+		what = "unknown failure"
+	}
+	at := ""
+	if e.II >= 0 {
+		at = fmt.Sprintf(" at II=%d", e.II)
+	}
+	return fmt.Sprintf("core: %v scheduling loop %s%s: %s [steps=%d unschedules=%d attempts=%d]",
+		ErrInternal, e.Loop, at, what,
+		e.Counters.SchedSteps, e.Counters.Unschedules, e.Counters.IIAttempts)
+}
+
+// Unwrap exposes ErrInternal (and any underlying error) to errors.Is/As.
+func (e *InternalError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrInternal, e.Err}
+	}
+	return []error{ErrInternal}
+}
+
+// InvariantViolation is the panic value raised when internal scheduling
+// state is found corrupted (an MRT cell double-placed, a foreign
+// reservation removed, an impossible alternative selection). These panics
+// never escape the exported entry points: they are recovered into an
+// *InternalError wrapping ErrInternal. The type exists so containment
+// tests can distinguish deliberate invariant panics from stray ones.
+type InvariantViolation string
+
+func (v InvariantViolation) String() string { return string(v) }
+
+// RecoverToInternal converts an escaping panic into an *InternalError
+// assigned through errp. It is installed with defer at every exported
+// compilation entry point so no internal invariant violation can crash a
+// caller.
+func RecoverToInternal(loop string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = &InternalError{Loop: loop, II: -1, Panic: r, Stack: debug.Stack()}
+	}
+}

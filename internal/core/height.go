@@ -63,7 +63,7 @@ func (p *problem) heightR(ii int) ([]int, error) {
 				break
 			}
 			if sweep > len(comp)+2 {
-				return nil, fmt.Errorf("core: HeightR diverges at II=%d (positive-weight recurrence circuit; II below RecMII?)", ii)
+				return nil, fmt.Errorf("core: %w: HeightR diverges at II=%d (positive-weight recurrence circuit; II below RecMII?)", ErrInternal, ii)
 			}
 		}
 	}

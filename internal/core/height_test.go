@@ -18,7 +18,7 @@ func TestHeightREqualsMinDistToStop(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		l := randomLoop(t, m, rng)
 		var c Counters
-		p, err := newProblem(l, m, DefaultOptions(), &c)
+		p, err := newProblem(nil, l, m, DefaultOptions(), &c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func TestHeightRDivergesBelowRecMII(t *testing.T) {
 		b.Effect("brtop")
 	})
 	var c Counters
-	p, err := newProblem(l, m, DefaultOptions(), &c)
+	p, err := newProblem(nil, l, m, DefaultOptions(), &c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestHeightRTopologicalForSimpleLoops(t *testing.T) {
 		b.Effect("brtop")
 	})
 	var c Counters
-	p, err := newProblem(l, m, DefaultOptions(), &c)
+	p, err := newProblem(nil, l, m, DefaultOptions(), &c)
 	if err != nil {
 		t.Fatal(err)
 	}

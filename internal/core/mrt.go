@@ -1,6 +1,10 @@
 package core
 
-import "modsched/internal/machine"
+import (
+	"fmt"
+
+	"modsched/internal/machine"
+)
 
 // mrt is the modulo reservation table (Section 3.1): a schedule
 // reservation table of exactly II rows. A reservation of resource R at
@@ -80,23 +84,32 @@ func (m *mrt) conflicts(t int, tab machine.ReservationTable) []int {
 }
 
 // place records op's reservations; it must only be called when fits
-// returned true.
+// returned true. A double placement means the scheduling state is
+// corrupted: the typed panic is recovered into an *InternalError at the
+// API boundary (see runAttempt and RecoverToInternal) rather than being
+// allowed to crash the caller.
 func (m *mrt) place(op, t int, tab machine.ReservationTable) {
 	for _, u := range tab.Uses {
 		c := m.cell(t+u.Time, u.Resource)
 		if m.owner[c] != -1 {
-			panic("core: MRT place over occupied cell")
+			panic(InvariantViolation(fmt.Sprintf(
+				"core: MRT place over occupied cell: op %d at t=%d (resource %d, cell held by op %d, II=%d)",
+				op, t, u.Resource, m.owner[c], m.ii)))
 		}
 		m.owner[c] = op
 	}
 }
 
 // remove erases op's reservations (the reverse translation of place).
+// Removing a reservation the op does not hold is the same class of
+// corruption as a double place, and is contained the same way.
 func (m *mrt) remove(op, t int, tab machine.ReservationTable) {
 	for _, u := range tab.Uses {
 		c := m.cell(t+u.Time, u.Resource)
 		if m.owner[c] != op {
-			panic("core: MRT remove of foreign reservation")
+			panic(InvariantViolation(fmt.Sprintf(
+				"core: MRT remove of foreign reservation: op %d at t=%d (resource %d, cell held by op %d, II=%d)",
+				op, t, u.Resource, m.owner[c], m.ii)))
 		}
 		m.owner[c] = -1
 	}

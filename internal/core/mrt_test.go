@@ -62,7 +62,7 @@ func TestSchedulerSkipsSelfCollidingII(t *testing.T) {
 			machine.ResourceUse{Resource: r0, Time: 5},
 		),
 	}}})
-	m.MustAddOpcode(&machine.Opcode{Name: "use5", Latency: 1, Alternatives: []machine.Alternative{{
+	m.MustAddOpcode(&machine.Opcode{Name: "use5", Latency: 5, Alternatives: []machine.Alternative{{
 		Name: "o", Table: machine.BlockTable(r1, 5),
 	}}})
 	m.MustAddOpcode(&machine.Opcode{Name: "START", Latency: 0,

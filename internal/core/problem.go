@@ -6,11 +6,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"modsched/internal/ir"
 	"modsched/internal/machine"
 	"modsched/internal/mii"
+	"modsched/internal/scherr"
 )
 
 // PriorityKind selects the scheduling priority function. HeightR is the
@@ -116,6 +118,7 @@ func (c *Counters) Add(other *Counters) {
 
 // problem is the prepared, immutable scheduling problem.
 type problem struct {
+	ctx    context.Context // cancellation source; nil means "never canceled"
 	loop   *ir.Loop
 	mach   *machine.Machine
 	opts   Options
@@ -126,18 +129,35 @@ type problem struct {
 	counters   *Counters
 }
 
-func newProblem(l *ir.Loop, m *machine.Machine, opts Options, c *Counters) (*problem, error) {
+// ctxErr reports the problem's cancellation state, wrapped with the loop
+// for diagnosis. errors.Is(err, context.Canceled) (or DeadlineExceeded)
+// holds on the result.
+func (p *problem) ctxErr() error {
+	if p.ctx == nil {
+		return nil
+	}
+	if err := p.ctx.Err(); err != nil {
+		return fmt.Errorf("core: loop %s: scheduling aborted: %w", p.loop.Name, err)
+	}
+	return nil
+}
+
+func newProblem(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options, c *Counters) (*problem, error) {
 	if err := l.Validate(m); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %w: %w", scherr.ErrInvalidLoop, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loop %s: %w: %w", l.Name, scherr.ErrInvalidMachine, err)
 	}
 	if opts.BudgetRatio <= 0 {
 		opts.BudgetRatio = 2
 	}
 	delays, err := ir.Delays(l, m, opts.DelayModel)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %w: %w", scherr.ErrInvalidLoop, err)
 	}
 	p := &problem{
+		ctx:      ctx,
 		loop:     l,
 		mach:     m,
 		opts:     opts,

@@ -1,24 +1,72 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"modsched/internal/ir"
 	"modsched/internal/machine"
 	"modsched/internal/mii"
 )
 
+// Algorithm names used in errors and degradation reports.
+const (
+	AlgoIterative = "iterative"
+	AlgoSlack     = "slack"
+)
+
+// attemptOutcome classifies one II attempt.
+type attemptOutcome int
+
+const (
+	attemptScheduled attemptOutcome = iota
+	attemptInfeasible
+	attemptBudgetExhausted
+)
+
+// testHookPreAttempt, when non-nil, runs with the freshly created state
+// before each II attempt. Tests use it to corrupt internal scheduling
+// state and prove that the resulting invariant panics are contained at
+// the API boundary rather than escaping to the caller.
+var testHookPreAttempt func(*state)
+
 // ModuloSchedule schedules the loop on machine m: it computes the MII and
 // invokes IterativeSchedule with successively larger candidate IIs until a
 // schedule is found (Figure 2). The returned Schedule is verified by
 // Check before being returned.
 func ModuloSchedule(l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error) {
+	return ModuloScheduleContext(context.Background(), l, m, opts)
+}
+
+// ModuloScheduleContext is ModuloSchedule with cancellation: ctx.Err() is
+// checked at every II bump, every few operation scheduling steps, and
+// inside the MinDist/RecMII computations, so a deadline or cancel aborts a
+// pathological search promptly. The returned error wraps ctx.Err().
+func ModuloScheduleContext(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error) {
+	return scheduleLoop(ctx, l, m, opts, AlgoIterative)
+}
+
+// scheduleLoop is the shared II-search driver for both scheduling
+// algorithms. It contains the three robustness layers of this package:
+// input validation (typed ErrInvalidLoop/ErrInvalidMachine), cancellation
+// checks, and panic containment (any internal invariant violation comes
+// back as *InternalError instead of crashing the caller).
+func scheduleLoop(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options, algo string) (sched *Schedule, err error) {
+	if l == nil {
+		return nil, fmt.Errorf("core: %w: nil loop", ErrInvalidLoop)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("core: loop %s: %w: nil machine", l.Name, ErrInvalidMachine)
+	}
+	defer RecoverToInternal(l.Name, &err)
+
 	var c Counters
-	p, err := newProblem(l, m, opts, &c)
+	p, err := newProblem(ctx, l, m, opts, &c)
 	if err != nil {
 		return nil, err
 	}
-	bounds, err := mii.Compute(l, m, p.delays, &c.MII)
+	bounds, err := mii.ComputeContext(ctx, l, m, p.delays, &c.MII)
 	if err != nil {
 		return nil, err
 	}
@@ -31,13 +79,21 @@ func ModuloSchedule(l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, er
 		budget = l.NumOps() + 1 // always enough to try each op once
 	}
 
+	exhausted := false
 	for ii := bounds.MII; ii <= maxII; ii++ {
+		if err := p.ctxErr(); err != nil {
+			return nil, err
+		}
 		s := newState(p, ii)
-		ok, err := s.iterativeSchedule(budget)
+		outcome, err := s.runAttempt(algo, budget)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
+		switch outcome {
+		case attemptBudgetExhausted:
+			exhausted = true
+			continue
+		case attemptInfeasible:
 			continue
 		}
 		sched := &Schedule{
@@ -54,11 +110,44 @@ func ModuloSchedule(l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, er
 			Stats:   c,
 		}
 		if err := Check(sched); err != nil {
-			return nil, fmt.Errorf("core: internal error: produced schedule fails verification: %w", err)
+			return nil, &InternalError{
+				Loop: l.Name, II: ii, Counters: c,
+				Err: fmt.Errorf("produced schedule fails verification: %w", err),
+			}
 		}
 		return sched, nil
 	}
-	return nil, fmt.Errorf("core: loop %s: no schedule found up to II=%d (MII=%d)", l.Name, maxII, bounds.MII)
+	return nil, &NoScheduleError{
+		Loop:            l.Name,
+		Algorithm:       algo,
+		MII:             bounds.MII,
+		MaxII:           maxII,
+		Attempts:        c.IIAttempts,
+		BudgetExhausted: exhausted,
+	}
+}
+
+// runAttempt runs one II attempt with panic containment: an invariant
+// violation inside the attempt (MRT corruption, impossible alternative
+// selection, ...) is converted into an *InternalError carrying the loop,
+// the candidate II, and the counters at the moment of failure.
+func (s *state) runAttempt(algo string, budget int) (outcome attemptOutcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outcome = attemptInfeasible
+			err = &InternalError{
+				Loop: s.p.loop.Name, II: s.ii, Counters: *s.p.counters,
+				Panic: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	if testHookPreAttempt != nil {
+		testHookPreAttempt(s)
+	}
+	if algo == AlgoSlack {
+		return s.slackSchedule(budget)
+	}
+	return s.iterativeSchedule(budget)
 }
 
 // safeMaxII is an II at which scheduling is guaranteed to succeed: with II
@@ -115,7 +204,7 @@ func newState(p *problem, ii int) *state {
 // iterativeSchedule is Figure 3: schedule operations highest-priority
 // first, displacing previously scheduled operations when necessary, until
 // every operation is placed or the budget is exhausted.
-func (s *state) iterativeSchedule(budget int) (bool, error) {
+func (s *state) iterativeSchedule(budget int) (attemptOutcome, error) {
 	p := s.p
 	p.counters.IIAttempts++
 
@@ -123,7 +212,7 @@ func (s *state) iterativeSchedule(budget int) (bool, error) {
 	// self-collides on the MRT at this II can never be placed.
 	for i := range p.loop.Ops {
 		if !s.hasConsistentAlt(i) {
-			return false, nil
+			return attemptInfeasible, nil
 		}
 	}
 
@@ -131,7 +220,7 @@ func (s *state) iterativeSchedule(budget int) (bool, error) {
 	case PriorityHeightR:
 		h, err := p.heightR(s.ii)
 		if err != nil {
-			return false, err
+			return attemptInfeasible, err
 		}
 		s.prio = h
 	case PriorityDepth:
@@ -144,7 +233,7 @@ func (s *state) iterativeSchedule(budget int) (bool, error) {
 	case PriorityRecFirst:
 		h, err := p.heightR(s.ii)
 		if err != nil {
-			return false, err
+			return attemptInfeasible, err
 		}
 		s.prio = h
 		// Lift every operation on a non-trivial SCC above all others.
@@ -160,7 +249,7 @@ func (s *state) iterativeSchedule(budget int) (bool, error) {
 			}
 		}
 	default:
-		return false, fmt.Errorf("core: unknown priority kind %v", p.opts.Priority)
+		return attemptInfeasible, fmt.Errorf("core: unknown priority kind %v", p.opts.Priority)
 	}
 
 	stepsAtEntry := p.counters.SchedSteps
@@ -169,7 +258,13 @@ func (s *state) iterativeSchedule(budget int) (bool, error) {
 	s.scheduleAt(p.loop.Start(), 0, 0)
 	budget--
 
-	for s.unscheduled > 0 && budget > 0 {
+	for steps := 0; s.unscheduled > 0 && budget > 0; steps++ {
+		// Cancellation check, amortized over scheduling steps.
+		if steps&ctxCheckMask == 0 {
+			if err := p.ctxErr(); err != nil {
+				return attemptInfeasible, err
+			}
+		}
 		// The late-placement variant has no convergence bias (early
 		// placement is monotone in Estart; late placement can ripple
 		// forever); if it is burning the budget, finish the attempt with
@@ -186,19 +281,23 @@ func (s *state) iterativeSchedule(budget int) (bool, error) {
 			// Forced placement: no conflict-free slot exists.
 			if p.opts.RestartOnFailure {
 				// Ablation: give up on this II attempt immediately.
-				return false, nil
+				return attemptInfeasible, nil
 			}
 			alt = s.forcedAlternative(op, slot)
 		}
 		s.scheduleAt(op, slot, alt)
 		budget--
 	}
-	done := s.unscheduled == 0
-	if done {
-		p.counters.SchedStepsFinal += p.counters.SchedSteps - stepsAtEntry
+	if s.unscheduled > 0 {
+		return attemptBudgetExhausted, nil
 	}
-	return done, nil
+	p.counters.SchedStepsFinal += p.counters.SchedSteps - stepsAtEntry
+	return attemptScheduled, nil
 }
+
+// ctxCheckMask amortizes ctx.Err() checks: one check every
+// ctxCheckMask+1 operation scheduling steps.
+const ctxCheckMask = 15
 
 func (s *state) hasConsistentAlt(op int) bool {
 	oc := s.p.opcode[op]
@@ -346,8 +445,9 @@ func (s *state) forcedAlternative(op, slot int) int {
 		}
 	}
 	if chosen == -1 {
-		// hasConsistentAlt guarantees this cannot happen.
-		panic(fmt.Sprintf("core: op %d has no self-consistent alternative at II=%d", op, s.ii))
+		// hasConsistentAlt guarantees this cannot happen; if it does, the
+		// violation is recovered into an *InternalError at the API boundary.
+		panic(InvariantViolation(fmt.Sprintf("core: op %d has no self-consistent alternative at II=%d", op, s.ii)))
 	}
 	return chosen
 }

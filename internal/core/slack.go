@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"modsched/internal/ir"
 	"modsched/internal/machine"
@@ -21,68 +21,32 @@ import (
 // early as possible — which tends to shorten value lifetimes; eviction and
 // the BudgetRatio safety valve work as in the iterative scheduler.
 func ModuloScheduleSlack(l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error) {
-	var c Counters
-	p, err := newProblem(l, m, opts, &c)
-	if err != nil {
-		return nil, err
-	}
-	bounds, err := mii.Compute(l, m, p.delays, &c.MII)
-	if err != nil {
-		return nil, err
-	}
-	maxII := opts.MaxII
-	if maxII <= 0 {
-		maxII = safeMaxII(p)
-	}
-	budget := int(opts.BudgetRatio * float64(l.NumOps()))
-	if budget < l.NumOps()+1 {
-		budget = l.NumOps() + 1
-	}
+	return ModuloScheduleSlackContext(context.Background(), l, m, opts)
+}
 
-	for ii := bounds.MII; ii <= maxII; ii++ {
-		s := newState(p, ii)
-		ok, err := s.slackSchedule(budget)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			continue
-		}
-		sched := &Schedule{
-			Loop:    l,
-			Machine: m,
-			Options: opts,
-			II:      ii,
-			MII:     bounds.MII,
-			ResMII:  bounds.ResMII,
-			Times:   s.times,
-			Alts:    s.alts,
-			Length:  s.times[l.Stop()],
-			Delays:  p.delays,
-			Stats:   c,
-		}
-		if err := Check(sched); err != nil {
-			return nil, fmt.Errorf("core: internal error: slack schedule fails verification: %w", err)
-		}
-		return sched, nil
-	}
-	return nil, fmt.Errorf("core: loop %s: slack scheduling found no schedule up to II=%d (MII=%d)", l.Name, maxII, bounds.MII)
+// ModuloScheduleSlackContext is ModuloScheduleSlack with cancellation,
+// with the same ctx.Err() checkpoints as ModuloScheduleContext.
+func ModuloScheduleSlackContext(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error) {
+	return scheduleLoop(ctx, l, m, opts, AlgoSlack)
 }
 
 // slackSchedule runs one II attempt of the slack algorithm.
-func (s *state) slackSchedule(budget int) (bool, error) {
+func (s *state) slackSchedule(budget int) (attemptOutcome, error) {
 	p := s.p
 	p.counters.IIAttempts++
 	for i := range p.loop.Ops {
 		if !s.hasConsistentAlt(i) {
-			return false, nil
+			return attemptInfeasible, nil
 		}
 	}
 
 	// The full-graph MinDist matrix drives Estart/Lstart maintenance.
-	md := mii.ComputeMinDist(p.loop, p.delays, s.ii, mii.AllNodes(p.loop), &p.counters.MII)
+	md, err := mii.ComputeMinDistContext(p.ctx, p.loop, p.delays, s.ii, mii.AllNodes(p.loop), &p.counters.MII)
+	if err != nil {
+		return attemptInfeasible, err
+	}
 	if md.PositiveDiagonal() {
-		return false, nil // II below this graph's recurrence bound
+		return attemptInfeasible, nil // II below this graph's recurrence bound
 	}
 
 	stepsAtEntry := p.counters.SchedSteps
@@ -90,7 +54,12 @@ func (s *state) slackSchedule(budget int) (bool, error) {
 	budget--
 
 	const inf = int(^uint(0) >> 2)
-	for s.unscheduled > 0 && budget > 0 {
+	for steps := 0; s.unscheduled > 0 && budget > 0; steps++ {
+		if steps&ctxCheckMask == 0 {
+			if err := p.ctxErr(); err != nil {
+				return attemptInfeasible, err
+			}
+		}
 		// Estart/Lstart for every unscheduled op from the placed ones.
 		best, bestSlack, bestE, bestL := -1, inf, 0, 0
 		for op, tm := range s.times {
@@ -166,9 +135,9 @@ func (s *state) slackSchedule(budget int) (bool, error) {
 		s.scheduleAt(op, slot, alt)
 		budget--
 	}
-	done := s.unscheduled == 0
-	if done {
-		p.counters.SchedStepsFinal += p.counters.SchedSteps - stepsAtEntry
+	if s.unscheduled > 0 {
+		return attemptBudgetExhausted, nil
 	}
-	return done, nil
+	p.counters.SchedStepsFinal += p.counters.SchedSteps - stepsAtEntry
+	return attemptScheduled, nil
 }

@@ -1,0 +1,82 @@
+package looplang
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"modsched/internal/ir"
+)
+
+// edgeSignature is the multiset of explicitly printable dependence edges
+// (mem/anti/output — flow edges are reconstructed from operand references
+// and so are not part of the printed form's contract).
+func edgeSignature(l *ir.Loop) string {
+	var sig []string
+	for _, e := range l.Edges {
+		switch e.Kind {
+		case ir.Mem, ir.Anti, ir.Output:
+			d := -1
+			if e.DelayOverride != nil {
+				d = *e.DelayOverride
+			}
+			sig = append(sig, fmt.Sprintf("%d:%d->%d dist %d delay %d", e.Kind, e.From, e.To, e.Distance, d))
+		}
+	}
+	sort.Strings(sig)
+	return strings.Join(sig, "\n")
+}
+
+// FuzzLooplangRoundTrip: for any input the parser must either reject with
+// a *ParseError (never panic, never another error type), or accept and
+// produce a loop whose printed form re-parses to a structurally identical
+// loop, with Print a fixpoint thereafter.
+func FuzzLooplangRoundTrip(f *testing.F) {
+	seeds := []string{
+		"loop daxpy\nprofile 5 10000\n\nxi = aadd xi@1, #8\nx  = load xi\nt1 = fmul a, x\nst: store xi, t1\nbrtop\n",
+		"loop guarded\np = cmp x, limit\n(p) s = fadd s@1, x\nbrtop\n",
+		"loop deps\na: x = load p\nb: store q, x\nbrtop\n!mem b -> a dist 1 delay 2\n",
+		"loop min\nbrtop\n",
+		"loop bad\nx = \nbrtop\n",
+		"!mem a -> b dist 1\n",
+		"loop l\nx = op y@2, #-7\n",
+		"; comment only\n",
+		"loop l\n() x = y\n",
+		"loop l\nprofile 1\nbrtop\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := Parse(src, nil) // nil machine: syntax-only, the fuzzing mode
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection is not a *ParseError: %T %v", err, err)
+			}
+			if pe.Line < 0 || pe.Line > strings.Count(src, "\n")+1 {
+				t.Fatalf("ParseError.Line %d outside input", pe.Line)
+			}
+			return
+		}
+		text := Print(l)
+		l2, err := Parse(text, nil)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput:\n%s\nprinted:\n%s", err, src, text)
+		}
+		if l.NumRealOps() != l2.NumRealOps() {
+			t.Fatalf("op count changed: %d -> %d\nprinted:\n%s", l.NumRealOps(), l2.NumRealOps(), text)
+		}
+		if l.EntryFreq != l2.EntryFreq || l.LoopFreq != l2.LoopFreq {
+			t.Fatalf("profile changed: %d/%d -> %d/%d", l.EntryFreq, l.LoopFreq, l2.EntryFreq, l2.LoopFreq)
+		}
+		if s1, s2 := edgeSignature(l), edgeSignature(l2); s1 != s2 {
+			t.Fatalf("explicit edges changed:\n%s\n-- vs --\n%s\nprinted:\n%s", s1, s2, text)
+		}
+		if text2 := Print(l2); text2 != text {
+			t.Fatalf("Print is not a fixpoint:\n%s\n-- vs --\n%s", text, text2)
+		}
+	})
+}

@@ -35,7 +35,9 @@ import (
 	"modsched/internal/machine"
 )
 
-// Parse parses the textual format into a Loop valid on machine m.
+// Parse parses the textual format into a Loop valid on machine m. Every
+// error it returns is (or wraps) a *ParseError carrying the 1-based line
+// (and, where known, column) of the offending token.
 func Parse(src string, m *machine.Machine) (*ir.Loop, error) {
 	p := &parser{m: m}
 	if err := p.scan(src); err != nil {
@@ -64,6 +66,7 @@ type rawDep struct {
 
 type parser struct {
 	m       *machine.Machine
+	lines   []string // raw source lines, for error columns
 	name    string
 	entry   int64
 	loops   int64
@@ -73,13 +76,10 @@ type parser struct {
 	defined map[string]int // name -> op index defining it
 }
 
-func (p *parser) errf(line int, format string, args ...any) error {
-	return fmt.Errorf("looplang: line %d: %s", line, fmt.Sprintf(format, args...))
-}
-
 func (p *parser) scan(src string) error {
 	p.defined = make(map[string]int)
-	for lineNo, raw := range strings.Split(src, "\n") {
+	p.lines = strings.Split(src, "\n")
+	for lineNo, raw := range p.lines {
 		n := lineNo + 1
 		line := raw
 		// strip comments
@@ -98,6 +98,9 @@ func (p *parser) scan(src string) error {
 			if len(fields) != 2 {
 				return p.errf(n, "usage: loop NAME")
 			}
+			if p.name != "" {
+				return p.errTok(n, fields[0], "duplicate 'loop' header (already named %q)", p.name)
+			}
 			p.name = fields[1]
 			continue
 		case "profile":
@@ -112,12 +115,17 @@ func (p *parser) scan(src string) error {
 			p.entry, p.loops, p.haveFrq = e, l, true
 			continue
 		}
-		if fields[0] == "!mem" || fields[0] == "!anti" || fields[0] == "!output" || fields[0] == "!flow" {
-			dep, err := p.parseDep(n, fields)
-			if err != nil {
-				return err
+		if strings.HasPrefix(fields[0], "!") {
+			switch fields[0] {
+			case "!mem", "!anti", "!output", "!flow":
+				dep, err := p.parseDep(n, fields)
+				if err != nil {
+					return err
+				}
+				p.deps = append(p.deps, dep)
+			default:
+				return p.errTok(n, fields[0], "unknown dependence kind %q (want !mem, !anti, !output, or !flow)", fields[0])
 			}
-			p.deps = append(p.deps, dep)
 			continue
 		}
 		op, err := p.parseOp(n, line, comment)
@@ -139,10 +147,10 @@ func (p *parser) scan(src string) error {
 		p.ops = append(p.ops, op)
 	}
 	if p.name == "" {
-		return fmt.Errorf("looplang: missing 'loop NAME' header")
+		return &ParseError{Msg: "missing 'loop NAME' header"}
 	}
 	if len(p.ops) == 0 {
-		return fmt.Errorf("looplang: loop %s has no operations", p.name)
+		return &ParseError{Msg: fmt.Sprintf("loop %s has no operations", p.name)}
 	}
 	return nil
 }
@@ -157,15 +165,24 @@ func (p *parser) parseDep(n int, fields []string) (rawDep, error) {
 	}
 	dist, err := strconv.Atoi(fields[5])
 	if err != nil || dist < 0 {
-		return rawDep{}, p.errf(n, "bad distance %q", fields[5])
+		return rawDep{}, p.errTok(n, fields[5], "bad distance %q", fields[5])
 	}
 	d := rawDep{line: n, kind: kind, from: fields[1], to: fields[3], dist: dist}
-	if len(fields) >= 8 && fields[6] == "delay" {
+	switch {
+	case len(fields) == 6:
+		// no delay clause
+	case fields[6] == "delay" && len(fields) == 7:
+		return rawDep{}, p.errTok(n, fields[6], "'delay' wants a value: %s FROM -> TO dist N delay D", fields[0])
+	case fields[6] == "delay" && len(fields) == 8:
 		v, err := strconv.Atoi(fields[7])
 		if err != nil {
-			return rawDep{}, p.errf(n, "bad delay %q", fields[7])
+			return rawDep{}, p.errTok(n, fields[7], "bad delay %q", fields[7])
 		}
 		d.delay = &v
+	case fields[6] == "delay":
+		return rawDep{}, p.errTok(n, fields[8], "unexpected %q after delay value", fields[8])
+	default:
+		return rawDep{}, p.errTok(n, fields[6], "unexpected %q after dependence (want nothing or 'delay D')", fields[6])
 	}
 	return d, nil
 }
@@ -180,6 +197,9 @@ func (p *parser) parseOp(n int, line, comment string) (rawOp, error) {
 			return op, p.errf(n, "unterminated predicate")
 		}
 		op.pred = strings.TrimSpace(rest[1:end])
+		if op.pred == "" {
+			return op, p.errf(n, "empty predicate '()'")
+		}
 		rest = strings.TrimSpace(rest[end+1:])
 	}
 	// optional label "name:"
@@ -191,7 +211,7 @@ func (p *parser) parseOp(n int, line, comment string) (rawOp, error) {
 	if i := strings.Index(rest, "="); i >= 0 {
 		op.dest = strings.TrimSpace(rest[:i])
 		if strings.ContainsAny(op.dest, " \t,@#") || op.dest == "" {
-			return op, p.errf(n, "bad destination %q", op.dest)
+			return op, p.errTok(n, op.dest, "bad destination %q", op.dest)
 		}
 		rest = strings.TrimSpace(rest[i+1:])
 	}
@@ -203,7 +223,7 @@ func (p *parser) parseOp(n int, line, comment string) (rawOp, error) {
 	op.args = fields[1:]
 	if p.m != nil {
 		if _, ok := p.m.Opcode(op.opcode); !ok {
-			return op, p.errf(n, "unknown opcode %q", op.opcode)
+			return op, p.errTok(n, op.opcode, "unknown opcode %q", op.opcode)
 		}
 	}
 	return op, nil
@@ -237,13 +257,13 @@ func (p *parser) build() (*ir.Loop, error) {
 	resolve := func(line int, refStr string) (ir.Value, error) {
 		name, k, err := splitRef(refStr)
 		if err != nil {
-			return ir.Value{}, p.errf(line, "%v", err)
+			return ir.Value{}, p.errTok(line, refStr, "%v", err)
 		}
 		if v, ok := futures[name]; ok {
 			return v.Back(k), nil
 		}
 		if k != 0 {
-			return ir.Value{}, p.errf(line, "back-reference %q to an undefined (invariant) name", refStr)
+			return ir.Value{}, p.errTok(line, refStr, "back-reference %q to an undefined (invariant) name", refStr)
 		}
 		return b.Invariant(name), nil
 	}
@@ -266,7 +286,10 @@ func (p *parser) build() (*ir.Loop, error) {
 			if strings.HasPrefix(a, "#") {
 				v, err := strconv.ParseInt(a[1:], 10, 64)
 				if err != nil {
-					return nil, p.errf(op.line, "bad immediate %q", a)
+					return nil, p.errTok(op.line, a, "bad immediate %q", a)
+				}
+				if hasImm {
+					return nil, p.errTok(op.line, a, "duplicate immediate %q (operations take at most one)", a)
 				}
 				imm, hasImm = v, true
 				continue
@@ -277,7 +300,6 @@ func (p *parser) build() (*ir.Loop, error) {
 			}
 			srcs = append(srcs, v)
 		}
-		_ = hasImm
 		if op.dest != "" {
 			v := b.DefineAsImm(futures[op.dest], op.opcode, imm, srcs...)
 			handles[i] = b.OpOf(v)
@@ -297,7 +319,7 @@ func (p *parser) build() (*ir.Loop, error) {
 		if idx, ok := p.defined[name]; ok {
 			return handles[idx], nil
 		}
-		return 0, p.errf(line, "unknown operation %q in dependence", name)
+		return 0, p.errTok(line, name, "unknown operation %q in dependence", name)
 	}
 	for _, d := range p.deps {
 		from, err := lookup(d.line, d.from)
@@ -314,7 +336,11 @@ func (p *parser) build() (*ir.Loop, error) {
 			b.Dep(from, to, d.kind, d.dist)
 		}
 	}
-	return b.Build()
+	l, err := b.Build()
+	if err != nil {
+		return nil, &ParseError{Msg: "invalid loop: " + err.Error(), Err: err}
+	}
+	return l, nil
 }
 
 // Print renders a loop in (approximately) the textual format, using

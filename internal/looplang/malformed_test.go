@@ -1,0 +1,115 @@
+package looplang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"modsched/internal/machine"
+)
+
+// TestMalformedInputs drives the parser through the audit's catalogue of
+// broken inputs. Every case must be rejected with a *ParseError whose
+// position points at the offending line, and must never panic.
+func TestMalformedInputs(t *testing.T) {
+	m := machine.Cydra5()
+	cases := []struct {
+		name    string
+		src     string
+		line    int    // expected ParseError.Line (0 = whole-input)
+		wantMsg string // substring the message must contain
+	}{
+		{"empty input", "", 0, "missing 'loop NAME' header"},
+		{"only comments", "; nothing here\n ; still nothing\n", 0, "missing 'loop NAME' header"},
+		{"truncated header", "loop\nbrtop\n", 1, "usage: loop NAME"},
+		{"header with garbage", "loop l extra\nbrtop\n", 1, "usage: loop NAME"},
+		{"duplicate header", "loop l\nloop m\nbrtop\n", 2, "duplicate 'loop' header"},
+		{"no operations", "loop l\nprofile 1 2\n", 0, "has no operations"},
+		{"truncated profile", "loop l\nprofile 5\nbrtop\n", 2, "usage: profile"},
+		{"non-numeric profile", "loop l\nprofile five ten\nbrtop\n", 2, "two integers"},
+		{"unknown opcode", "loop l\nx = warp p\nbrtop\n", 2, "unknown opcode"},
+		{"missing opcode", "loop l\nx =\nbrtop\n", 2, "missing opcode"},
+		{"bad destination", "loop l\nx@1 = load p\nbrtop\n", 2, "bad destination"},
+		{"empty destination", "loop l\n = load p\nbrtop\n", 2, "bad destination"},
+		{"duplicate definition", "loop l\nx = load p\nx = load q\nbrtop\n", 3, "defined twice"},
+		{"duplicate label", "loop l\na: x = load p\na: y = load q\nbrtop\n", 3, "used twice"},
+		{"unterminated predicate", "loop l\n(p x = load q\nbrtop\n", 2, "unterminated predicate"},
+		{"empty predicate", "loop l\n() x = load q\nbrtop\n", 2, "empty predicate"},
+		{"bad immediate", "loop l\nx = aadd y, #zz\nbrtop\n", 2, "bad immediate"},
+		{"duplicate immediate", "loop l\nx = aadd y, #1, #2\nbrtop\n", 2, "duplicate immediate"},
+		{"negative back-reference", "loop l\nx = load q@-1\nbrtop\n", 2, "bad back-reference"},
+		{"non-numeric back-reference", "loop l\nx = load q@k\nbrtop\n", 2, "bad back-reference"},
+		{"invariant back-reference", "loop l\nx = load undef@2\nbrtop\n", 2, "undefined (invariant) name"},
+		{"unknown dep kind", "loop l\nx = load p\nbrtop\n!ctrl x -> x dist 1\n", 4, "unknown dependence kind"},
+		{"dep missing arrow", "loop l\nx = load p\nbrtop\n!mem x x dist 1\n", 4, "usage: !mem"},
+		{"dep truncated", "loop l\nx = load p\nbrtop\n!mem x -> x\n", 4, "usage: !mem"},
+		{"dep bad distance", "loop l\nx = load p\nbrtop\n!mem x -> x dist many\n", 4, "bad distance"},
+		{"dep negative distance", "loop l\nx = load p\nbrtop\n!mem x -> x dist -1\n", 4, "bad distance"},
+		{"dep delay without value", "loop l\nx = load p\nbrtop\n!mem x -> x dist 1 delay\n", 4, "'delay' wants a value"},
+		{"dep bad delay", "loop l\nx = load p\nbrtop\n!mem x -> x dist 1 delay soon\n", 4, "bad delay"},
+		{"dep trailing garbage", "loop l\nx = load p\nbrtop\n!mem x -> x dist 1 junk\n", 4, "unexpected"},
+		{"dep garbage after delay", "loop l\nx = load p\nbrtop\n!mem x -> x dist 1 delay 2 junk\n", 4, "after delay value"},
+		{"dangling dep source", "loop l\nx = load p\nbrtop\n!mem nosuch -> x dist 1\n", 4, "unknown operation"},
+		{"dangling dep target", "loop l\nx = load p\nbrtop\n!mem x -> nosuch dist 1\n", 4, "unknown operation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src, m)
+			if err == nil {
+				t.Fatalf("accepted malformed input:\n%s", tc.src)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is not a *ParseError: %T %v", err, err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line = %d, want %d (%v)", pe.Line, tc.line, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("message %q does not mention %q", err.Error(), tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestParseErrorColumns spot-checks that token-level errors carry a column
+// pointing at the offending token, not just a line.
+func TestParseErrorColumns(t *testing.T) {
+	m := machine.Cydra5()
+	cases := []struct {
+		name string
+		src  string
+		col  int
+	}{
+		{"unknown opcode", "loop l\nx = warp p\nbrtop\n", 5},
+		{"bad immediate", "loop l\nx = aadd y, #zz\nbrtop\n", 13},
+		{"dep bad distance", "loop l\nx = load p\nbrtop\n!mem x -> x dist many\n", 18},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src, m)
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is not a *ParseError: %v", err)
+			}
+			if pe.Col != tc.col {
+				t.Errorf("col = %d, want %d (%v)", pe.Col, tc.col, err)
+			}
+		})
+	}
+}
+
+// TestParseNilMachine: without a machine the parser still enforces syntax
+// (opcode validity is deferred), which is the mode the fuzzer runs in.
+func TestParseNilMachine(t *testing.T) {
+	l, err := Parse("loop l\nx = anything p\nbrtop\n", nil)
+	if err != nil {
+		t.Fatalf("nil-machine parse failed: %v", err)
+	}
+	if l.Name != "l" {
+		t.Errorf("name = %q", l.Name)
+	}
+	if _, err := Parse("loop l\nx =\n", nil); err == nil {
+		t.Error("nil-machine parse must still reject syntax errors")
+	}
+}

@@ -1,6 +1,8 @@
 package mii
 
 import (
+	"context"
+
 	"modsched/internal/graph"
 	"modsched/internal/ir"
 	"modsched/internal/machine"
@@ -25,11 +27,18 @@ type Result struct {
 // Compute runs the Section 2 analysis: ResMII, then the per-SCC
 // recurrence search seeded at ResMII. delays must come from ir.Delays.
 func Compute(l *ir.Loop, m *machine.Machine, delays []int, c *Counters) (*Result, error) {
+	return ComputeContext(nil, l, m, delays, c)
+}
+
+// ComputeContext is Compute with cancellation: ctx.Err() is checked inside
+// the MinDist closures of the recurrence search (the only super-linear part
+// of the analysis). A nil ctx disables the checks.
+func ComputeContext(ctx context.Context, l *ir.Loop, m *machine.Machine, delays []int, c *Counters) (*Result, error) {
 	resMII, choice, err := ResMII(l, m, c)
 	if err != nil {
 		return nil, err
 	}
-	miiVal, err := RecurrenceMII(l, delays, resMII, c)
+	miiVal, err := RecurrenceMIIContext(ctx, l, delays, resMII, c)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package mii
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"modsched/internal/ir"
@@ -63,6 +65,15 @@ func (md *MinDist) ZeroDiagonal() bool {
 // cost-to-time-ratio-cycle formulation of Huff). O(n^3); the innermost
 // relaxation count is recorded in c.MinDistInner.
 func ComputeMinDist(l *ir.Loop, delays []int, ii int, nodes []int, c *Counters) *MinDist {
+	md, _ := ComputeMinDistContext(nil, l, delays, ii, nodes, c) // nil ctx: cannot fail
+	return md
+}
+
+// ComputeMinDistContext is ComputeMinDist with cancellation: ctx.Err() is
+// checked once per outer Floyd-Warshall iteration (O(n) checks against
+// O(n^3) work), so a deadline interrupts even a whole-graph closure on a
+// large loop promptly. A nil ctx disables the checks.
+func ComputeMinDistContext(ctx context.Context, l *ir.Loop, delays []int, ii int, nodes []int, c *Counters) (*MinDist, error) {
 	n := len(nodes)
 	md := &MinDist{
 		II:    ii,
@@ -93,6 +104,11 @@ func ComputeMinDist(l *ir.Loop, delays []int, ii int, nodes []int, c *Counters) 
 	}
 	d := md.d
 	for k := 0; k < n; k++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mii: loop %s: MinDist aborted: %w", l.Name, err)
+			}
+		}
 		kn := k * n
 		for i := 0; i < n; i++ {
 			dik := d[i*n+k]
@@ -113,7 +129,7 @@ func ComputeMinDist(l *ir.Loop, delays []int, ii int, nodes []int, c *Counters) 
 			}
 		}
 	}
-	return md
+	return md, nil
 }
 
 // AllNodes returns 0..NumOps-1, the node set for a whole-graph MinDist.

@@ -1,10 +1,12 @@
 package mii
 
 import (
+	"context"
 	"fmt"
 
 	"modsched/internal/graph"
 	"modsched/internal/ir"
+	"modsched/internal/scherr"
 )
 
 // depGraph builds the dependence graph over all loop operations
@@ -29,7 +31,8 @@ func selfEdgeRecMII(l *ir.Loop, delays []int, op int) (int, error) {
 		d := delays[ei]
 		if e.Distance == 0 {
 			if d > 0 {
-				return 0, fmt.Errorf("mii: loop %s: op %d has zero-distance self dependence with delay %d", l.Name, op, d)
+				return 0, fmt.Errorf("mii: loop %s: op %d has zero-distance self dependence with delay %d: %w",
+					l.Name, op, d, scherr.ErrNoSchedule)
 			}
 			continue
 		}
@@ -45,9 +48,12 @@ func selfEdgeRecMII(l *ir.Loop, delays []int, op int) (int, error) {
 
 // sccFeasible reports whether the recurrences within one multi-node SCC
 // admit a schedule at the candidate II (no positive MinDist diagonal).
-func sccFeasible(l *ir.Loop, delays []int, ii int, scc []int, c *Counters) bool {
-	md := ComputeMinDist(l, delays, ii, scc, c)
-	return !md.PositiveDiagonal()
+func sccFeasible(ctx context.Context, l *ir.Loop, delays []int, ii int, scc []int, c *Counters) (bool, error) {
+	md, err := ComputeMinDistContext(ctx, l, delays, ii, scc, c)
+	if err != nil {
+		return false, err
+	}
+	return !md.PositiveDiagonal(), nil
 }
 
 // searchSCC finds the smallest feasible II for one SCC, starting the probe
@@ -55,11 +61,13 @@ func sccFeasible(l *ir.Loop, delays []int, ii int, scc []int, c *Counters) bool 
 // strategy follows Section 2.2: increment with doubling until feasible,
 // then binary search between the last unsuccessful and first successful
 // candidates.
-func searchSCC(l *ir.Loop, delays []int, scc []int, start, maxII int, c *Counters) (int, error) {
+func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, maxII int, c *Counters) (int, error) {
 	if start < 1 {
 		start = 1
 	}
-	if sccFeasible(l, delays, start, scc, c) {
+	if ok, err := sccFeasible(ctx, l, delays, start, scc, c); err != nil {
+		return 0, err
+	} else if ok {
 		return start, nil
 	}
 	lastBad := start
@@ -69,13 +77,22 @@ func searchSCC(l *ir.Loop, delays []int, scc []int, start, maxII int, c *Counter
 		cand += inc
 		inc *= 2
 		if cand > maxII {
-			if !sccFeasible(l, delays, maxII, scc, c) {
-				return 0, fmt.Errorf("mii: loop %s: recurrence infeasible at any II (zero-distance circuit?)", l.Name)
+			ok, err := sccFeasible(ctx, l, delays, maxII, scc, c)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return 0, fmt.Errorf("mii: loop %s: recurrence infeasible at any II (zero-distance circuit?): %w",
+					l.Name, scherr.ErrNoSchedule)
 			}
 			cand = maxII
 			break
 		}
-		if sccFeasible(l, delays, cand, scc, c) {
+		ok, err := sccFeasible(ctx, l, delays, cand, scc, c)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
 			break
 		}
 		lastBad = cand
@@ -84,7 +101,11 @@ func searchSCC(l *ir.Loop, delays []int, scc []int, start, maxII int, c *Counter
 	lo, hi := lastBad, cand
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if sccFeasible(l, delays, mid, scc, c) {
+		ok, err := sccFeasible(ctx, l, delays, mid, scc, c)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
 			hi = mid
 		} else {
 			lo = mid
@@ -114,8 +135,15 @@ func maxIIBound(delays []int) int {
 // Single-operation SCCs are handled by the closed-form reflexive-edge
 // bound without invoking ComputeMinDist.
 func RecurrenceMII(l *ir.Loop, delays []int, start int, c *Counters) (int, error) {
+	return RecurrenceMIIContext(nil, l, delays, start, c)
+}
+
+// RecurrenceMIIContext is RecurrenceMII with cancellation: the context is
+// checked inside every MinDist closure of the per-SCC search. A nil ctx
+// disables the checks.
+func RecurrenceMIIContext(ctx context.Context, l *ir.Loop, delays []int, start int, c *Counters) (int, error) {
 	if len(delays) != len(l.Edges) {
-		return 0, fmt.Errorf("mii: loop %s: %d delays for %d edges", l.Name, len(delays), len(l.Edges))
+		return 0, fmt.Errorf("mii: loop %s: %d delays for %d edges: %w", l.Name, len(delays), len(l.Edges), scherr.ErrInvalidLoop)
 	}
 	g := depGraph(l)
 	comps := g.SCCs()
@@ -135,7 +163,7 @@ func RecurrenceMII(l *ir.Loop, delays []int, start int, c *Counters) (int, error
 			}
 			continue
 		}
-		r, err := searchSCC(l, delays, scc, running, maxII, c)
+		r, err := searchSCC(ctx, l, delays, scc, running, maxII, c)
 		if err != nil {
 			return 0, err
 		}
@@ -152,13 +180,13 @@ func RecurrenceMII(l *ir.Loop, delays []int, start int, c *Counters) (int, error
 // decomposition exists to avoid. It is used by the ablation benchmarks.
 func RecurrenceMIIWholeGraph(l *ir.Loop, delays []int, start int, c *Counters) (int, error) {
 	if len(delays) != len(l.Edges) {
-		return 0, fmt.Errorf("mii: loop %s: %d delays for %d edges", l.Name, len(delays), len(l.Edges))
+		return 0, fmt.Errorf("mii: loop %s: %d delays for %d edges: %w", l.Name, len(delays), len(l.Edges), scherr.ErrInvalidLoop)
 	}
 	all := make([]int, l.NumOps())
 	for i := range all {
 		all[i] = i
 	}
-	return searchSCC(l, delays, all, start, maxIIBound(delays), c)
+	return searchSCC(nil, l, delays, all, start, maxIIBound(delays), c)
 }
 
 // RecMIIByCircuits computes the recurrence bound by enumerating elementary

@@ -1,0 +1,36 @@
+// Package scherr defines the sentinel errors shared across the compilation
+// pipeline. They live in a leaf package so that the parser, the MII
+// analysis, and the scheduler can all classify failures consistently
+// without import cycles; the root modsched package re-exports them.
+//
+// Every failure returned by an exported entry point wraps exactly the
+// sentinels that describe it, so callers dispatch with errors.Is:
+//
+//	ErrNoSchedule      — no legal schedule exists within the search bounds
+//	                     (MaxII exhausted, or the dependence graph admits no
+//	                     schedule at any II).
+//	ErrBudgetExhausted — at least one candidate II was abandoned because the
+//	                     scheduling-step budget ran out (accompanies
+//	                     ErrNoSchedule; raising BudgetRatio or MaxII may
+//	                     still find a schedule).
+//	ErrInvalidLoop     — the loop failed structural validation.
+//	ErrInvalidMachine  — the machine description failed validation.
+//	ErrInternal        — an internal invariant was violated (including
+//	                     recovered panics); a bug in this package, never the
+//	                     caller's input.
+package scherr
+
+import "errors"
+
+var (
+	// ErrNoSchedule reports that no legal schedule was found.
+	ErrNoSchedule = errors.New("no schedule found")
+	// ErrBudgetExhausted reports that the scheduling-step budget ran out.
+	ErrBudgetExhausted = errors.New("scheduling budget exhausted")
+	// ErrInvalidLoop reports a loop that failed validation.
+	ErrInvalidLoop = errors.New("invalid loop")
+	// ErrInvalidMachine reports a machine description that failed validation.
+	ErrInvalidMachine = errors.New("invalid machine description")
+	// ErrInternal reports a violated internal invariant (scheduler bug).
+	ErrInternal = errors.New("internal scheduler error")
+)

@@ -28,6 +28,8 @@
 package modsched
 
 import (
+	"context"
+
 	"modsched/internal/backsub"
 	"modsched/internal/codegen"
 	"modsched/internal/core"
@@ -189,6 +191,76 @@ func Compile(l *Loop, m *Machine, opts Options) (*Schedule, error) {
 func CompileSlack(l *Loop, m *Machine, opts Options) (*Schedule, error) {
 	return core.ModuloScheduleSlack(l, m, opts)
 }
+
+// CompileContext is Compile with cancellation: the scheduler polls ctx
+// between scheduling steps, at every II bump, and inside the MinDist
+// recurrence analysis, and returns an error wrapping ctx.Err() once the
+// context is done. A nil ctx behaves like context.Background().
+func CompileContext(ctx context.Context, l *Loop, m *Machine, opts Options) (*Schedule, error) {
+	return core.ModuloScheduleContext(ctx, l, m, opts)
+}
+
+// CompileSlackContext is CompileSlack with cancellation (see
+// CompileContext).
+func CompileSlackContext(ctx context.Context, l *Loop, m *Machine, opts Options) (*Schedule, error) {
+	return core.ModuloScheduleSlackContext(ctx, l, m, opts)
+}
+
+// CompileBestEffort is the graceful-degradation entry point: iterative
+// modulo scheduling, then slack scheduling, then an acyclic list schedule
+// reinterpreted as a degenerate modulo schedule (II = schedule length, no
+// overlap). Every returned schedule is verified by CheckSchedule; the
+// Degradation report names the stage that produced it and carries the
+// earlier stages' failures.
+func CompileBestEffort(l *Loop, m *Machine, opts Options) (*Schedule, *Degradation, error) {
+	return core.ModuloScheduleBestEffort(nil, l, m, opts)
+}
+
+// CompileBestEffortContext is CompileBestEffort with cancellation:
+// cancellation is respected, not degraded around — once ctx is done the
+// fallback chain stops and the cancellation error is returned.
+func CompileBestEffortContext(ctx context.Context, l *Loop, m *Machine, opts Options) (*Schedule, *Degradation, error) {
+	return core.ModuloScheduleBestEffort(ctx, l, m, opts)
+}
+
+// Sentinel errors for dispatching on compilation failures with errors.Is.
+// Structured details (attempt counts, the panicking II, parse positions)
+// travel on the concrete types below, reachable with errors.As.
+var (
+	// ErrNoSchedule: the scheduler exhausted every II up to MaxII.
+	ErrNoSchedule = core.ErrNoSchedule
+	// ErrBudgetExhausted: at least one II attempt stopped on its operation
+	// budget rather than on proven infeasibility (matched alongside
+	// ErrNoSchedule on the same error).
+	ErrBudgetExhausted = core.ErrBudgetExhausted
+	// ErrInvalidLoop: the input loop fails validation.
+	ErrInvalidLoop = core.ErrInvalidLoop
+	// ErrInvalidMachine: the machine description fails validation.
+	ErrInvalidMachine = core.ErrInvalidMachine
+	// ErrInternal: an internal invariant was violated; the failure was
+	// contained at the API boundary and converted into this error.
+	ErrInternal = core.ErrInternal
+)
+
+// Error detail types.
+type (
+	// NoScheduleError reports a scheduling failure with the searched II
+	// range and effort counters; wraps ErrNoSchedule (and
+	// ErrBudgetExhausted when the budget cut off any attempt).
+	NoScheduleError = core.NoScheduleError
+	// InternalError carries the recovered panic (or failed verification)
+	// with the loop name, II, and counters at the point of failure; wraps
+	// ErrInternal.
+	InternalError = core.InternalError
+	// Degradation reports which best-effort stage produced a schedule and
+	// why the earlier stages failed.
+	Degradation = core.Degradation
+	// StageFailure is one failed stage inside a Degradation report.
+	StageFailure = core.StageFailure
+	// ParseError is a loop-format syntax error with a 1-based line and
+	// (where known) column; every ParseLoop error is or wraps one.
+	ParseError = looplang.ParseError
+)
 
 // CheckSchedule re-verifies a schedule against all dependence and modulo
 // resource constraints.
