@@ -12,6 +12,7 @@
 package modsched_test
 
 import (
+	"context"
 	"testing"
 
 	"modsched"
@@ -96,14 +97,28 @@ func BenchmarkTable4Complexity(b *testing.B) {
 }
 
 // BenchmarkSummaryHeadline regenerates the Section 4.3/5 headline numbers
-// (BudgetRatio 2).
+// (BudgetRatio 2). RunCorpus schedules on the worker pool (one worker per
+// CPU) by default; BenchmarkSummaryHeadlineSeq pins workers to 1, so the
+// pair measures the harness's parallel speedup. Quality metrics must not
+// differ between the two — the pool merges results in input order.
 func BenchmarkSummaryHeadline(b *testing.B) {
+	benchSummaryHeadline(b, 0)
+}
+
+// BenchmarkSummaryHeadlineSeq is the sequential (workers=1) baseline for
+// BenchmarkSummaryHeadline.
+func BenchmarkSummaryHeadlineSeq(b *testing.B) {
+	benchSummaryHeadline(b, 1)
+}
+
+func benchSummaryHeadline(b *testing.B, workers int) {
 	m := machine.Cydra5()
 	loops := benchCorpus(b, m)
+	ctx := context.Background()
 	var cr *experiments.CorpusResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		cr, err = experiments.RunCorpus(loops, m, 2, false)
+		cr, err = experiments.RunCorpusWorkers(ctx, loops, m, 2, false, workers)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,69 @@
+// Command benchgate is the benchmark-regression gate: it runs the
+// headline benchmarks (internal/benchrun), writes the fresh numbers, and
+// compares them against a checked-in baseline. Timing and allocation
+// counts may regress up to -ns-tol (default 20%); the schedule-quality
+// metrics must be bit-identical — any drift there means the scheduler's
+// output changed, which is a correctness question, not noise.
+//
+//	benchgate -baseline BENCH_PR2.json -out bench_current.json
+//	benchgate -baseline BENCH_PR2.json -update   # record a new baseline
+//
+// Exits 1 when the comparison fails, so CI can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"modsched/internal/benchrun"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_PR2.json", "baseline report to compare against")
+		out      = flag.String("out", "bench_current.json", "where to write the fresh report ('' to skip)")
+		update   = flag.Bool("update", false, "write the fresh report to -baseline and exit (records a new baseline)")
+		tol      = flag.Float64("ns-tol", 0.20, "allowed fractional regression for ns/op and allocs/op")
+		workers  = flag.Int("workers", 0, "worker count for the parallel benchmarks (0 = one per CPU)")
+	)
+	flag.Parse()
+
+	rep, err := benchrun.Run(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Format())
+
+	if *update {
+		if err := benchrun.Save(*baseline, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("baseline updated:", *baseline)
+		return
+	}
+	if *out != "" {
+		if err := benchrun.Save(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+	}
+
+	base, err := benchrun.Load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: cannot load baseline:", err)
+		fmt.Fprintln(os.Stderr, "benchgate: run with -update to record one")
+		os.Exit(1)
+	}
+	problems := benchrun.Compare(base, rep, *tol)
+	if len(problems) == 0 {
+		fmt.Println("benchgate: OK (within tolerance of", *baseline+")")
+		return
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "benchgate: REGRESSION:", p)
+	}
+	os.Exit(1)
+}

@@ -17,10 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"modsched/internal/benchrun"
 	"modsched/internal/core"
 	"modsched/internal/experiments"
 	"modsched/internal/ir"
@@ -30,27 +34,62 @@ import (
 
 func main() {
 	var (
-		doTable3  = flag.Bool("table3", false, "reproduce Table 3")
-		doFig6    = flag.Bool("fig6", false, "reproduce Figure 6")
-		doTable4  = flag.Bool("table4", false, "reproduce Table 4")
-		doSummary = flag.Bool("summary", false, "headline numbers (Sections 4.3, 5)")
-		doFig1    = flag.Bool("fig1", false, "print the Figure 1 reservation tables")
-		doTable2  = flag.Bool("table2", false, "print the Table 2 machine model")
-		doUnroll  = flag.Bool("unroll", false, "Section 5 baseline: unroll-before-scheduling vs modulo")
-		doPress   = flag.Bool("pressure", false, "register-pressure study (extension)")
-		doAll     = flag.Bool("all", false, "run everything")
-		n         = flag.Int("n", 0, "synthetic corpus size (default: the paper's 1300)")
-		seed      = flag.Int64("seed", 0, "corpus seed (default: built-in)")
-		machName  = flag.String("machine", "cydra5", "machine model: cydra5 (the paper's), generic, tiny")
+		doTable3   = flag.Bool("table3", false, "reproduce Table 3")
+		doFig6     = flag.Bool("fig6", false, "reproduce Figure 6")
+		doTable4   = flag.Bool("table4", false, "reproduce Table 4")
+		doSummary  = flag.Bool("summary", false, "headline numbers (Sections 4.3, 5)")
+		doFig1     = flag.Bool("fig1", false, "print the Figure 1 reservation tables")
+		doTable2   = flag.Bool("table2", false, "print the Table 2 machine model")
+		doUnroll   = flag.Bool("unroll", false, "Section 5 baseline: unroll-before-scheduling vs modulo")
+		doPress    = flag.Bool("pressure", false, "register-pressure study (extension)")
+		doAll      = flag.Bool("all", false, "run everything")
+		doBench    = flag.Bool("bench", false, "run the headline benchmarks and emit JSON (see -benchout)")
+		benchOut   = flag.String("benchout", "BENCH_PR2.json", "where -bench writes its JSON report")
+		n          = flag.Int("n", 0, "synthetic corpus size (default: the paper's 1300)")
+		seed       = flag.Int64("seed", 0, "corpus seed (default: built-in)")
+		machName   = flag.String("machine", "cydra5", "machine model: cydra5 (the paper's), generic, tiny")
+		workers    = flag.Int("workers", 0, "parallel scheduling workers (0 = one per CPU, 1 = sequential)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	if *doAll {
 		*doTable3, *doFig6, *doTable4, *doSummary = true, true, true, true
 		*doFig1, *doTable2, *doUnroll, *doPress = true, true, true, true
 	}
-	if !(*doTable3 || *doFig6 || *doTable4 || *doSummary || *doFig1 || *doTable2 || *doUnroll || *doPress) {
+	if !(*doTable3 || *doFig6 || *doTable4 || *doSummary || *doFig1 || *doTable2 || *doUnroll || *doPress || *doBench) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			check(err)
+			runtime.GC() // materialize the final live set
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
+	ctx := context.Background()
+
+	if *doBench {
+		rep, err := benchrun.Run(*workers)
+		check(err)
+		fmt.Print(rep.Format())
+		if *benchOut != "" {
+			check(benchrun.Save(*benchOut, rep))
+			fmt.Println("wrote", *benchOut)
+		}
 	}
 
 	var m *machine.Machine
@@ -83,15 +122,15 @@ func main() {
 	fmt.Printf("corpus: %d loops on %s\n\n", len(loops), m.Name)
 
 	if *doTable3 {
-		cr := must(experiments.RunCorpus(loops, m, 6, true))
+		cr := must(experiments.RunCorpusWorkers(ctx, loops, m, 6, true, *workers))
 		fmt.Println(experiments.FormatTable3(experiments.Table3(cr)))
 	}
 	if *doFig6 {
-		pts := must(experiments.Fig6Sweep(loops, m, experiments.DefaultFig6Ratios()))
+		pts := must(experiments.Fig6SweepWorkers(ctx, loops, m, experiments.DefaultFig6Ratios(), *workers))
 		fmt.Println(experiments.FormatFig6(pts))
 	}
 	if *doTable4 {
-		cr := must(experiments.RunCorpus(loops, m, 2, false))
+		cr := must(experiments.RunCorpusWorkers(ctx, loops, m, 2, false, *workers))
 		fmt.Println(experiments.ComputeTable4(cr).Format())
 	}
 	if *doUnroll {
@@ -101,7 +140,7 @@ func main() {
 		if len(sub) > 300 {
 			sub = sub[:300]
 		}
-		pts, err := experiments.UnrollStudy(sub, m, []int{1, 2, 4, 8, 16})
+		pts, err := experiments.UnrollStudyWorkers(ctx, sub, m, []int{1, 2, 4, 8, 16}, *workers)
 		check(err)
 		fmt.Println(experiments.FormatUnrollStudy(pts))
 	}
@@ -110,16 +149,16 @@ func main() {
 		if len(sub) > 400 {
 			sub = sub[:400]
 		}
-		early := must(experiments.RegPressureStudy(sub, m, core.DefaultOptions(), "early"))
+		early := must(experiments.RegPressureStudyWorkers(ctx, sub, m, core.DefaultOptions(), "early", *workers))
 		lateOpts := core.DefaultOptions()
 		lateOpts.PlaceLate = true
-		late := must(experiments.RegPressureStudy(sub, m, lateOpts, "late"))
+		late := must(experiments.RegPressureStudyWorkers(ctx, sub, m, lateOpts, "late", *workers))
 		fmt.Println(experiments.FormatPressure([]*experiments.PressurePoint{early, late}))
 	}
 	if *doSummary {
-		cr := must(experiments.RunCorpus(loops, m, 2, false))
+		cr := must(experiments.RunCorpusWorkers(ctx, loops, m, 2, false, *workers))
 		fmt.Println(experiments.Summarize(cr).Format())
-		listSteps, modSteps, modUnsch, err := experiments.ListVsModulo(loops, m, 2)
+		listSteps, modSteps, modUnsch, err := experiments.ListVsModuloWorkers(ctx, loops, m, 2, *workers)
 		check(err)
 		fmt.Printf("Section 5 cost comparison: list %d steps, modulo %d steps + %d unschedules => %.2fx (paper 2.18x)\n",
 			listSteps, modSteps, modUnsch, float64(modSteps+modUnsch)/float64(listSteps))

@@ -5,7 +5,8 @@
 //	msched [-machine cydra5|generic|tiny] [-algo iterative|slack]
 //	       [-budget 2] [-priority heightr|fifo|depth|recfirst]
 //	       [-delays vliw|conservative] [-timeout 0] [-besteffort]
-//	       [-verbose] [-mrt] [-gantt N] [-backsub] [-flat] file.loop
+//	       [-verbose] [-mrt] [-gantt N] [-backsub] [-flat]
+//	       [-cpuprofile f] [-memprofile f] file.loop
 //
 // With no file it reads standard input. -mrt prints the schedule's modulo
 // reservation table, -gantt N a pipeline diagram of N overlapped
@@ -27,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"modsched/internal/backsub"
@@ -81,6 +84,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		backsubF   = fs.Bool("backsub", false, "back-substitute closed-form inductions before scheduling")
 		mrt        = fs.Bool("mrt", false, "print the schedule's modulo reservation table")
 		gantt      = fs.Int("gantt", 0, "print a pipeline diagram with N overlapped iterations")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
+		memProf    = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage // the flag package already printed the diagnostic
@@ -88,6 +93,34 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	fail := func(code int, format string, args ...any) int {
 		fmt.Fprintf(stderr, "msched: "+format+"\n", args...)
 		return code
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(exitUsage, "%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(exitOther, "%v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(stderr, "msched: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "msched: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var m *machine.Machine

@@ -1,0 +1,193 @@
+// Package benchrun runs the repository's headline benchmarks outside `go
+// test` and serializes the results, so the same measurement code backs
+// the `experiments -bench` emitter, the checked-in BENCH_PR2.json
+// baseline, and the CI regression gate (cmd/benchgate). It reuses
+// testing.Benchmark, so numbers are directly comparable with the
+// bench_test.go suite.
+package benchrun
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"modsched/internal/core"
+	"modsched/internal/experiments"
+	"modsched/internal/ir"
+	"modsched/internal/kernels"
+	"modsched/internal/machine"
+	"modsched/internal/mii"
+)
+
+// Result is one benchmark's measurements. Metrics carries the custom
+// schedule-quality metrics (deltaII/loop, dilation%, steps/op); these are
+// deterministic functions of the seeded corpus, so the gate requires them
+// to be exactly equal between baseline and current, while the timing
+// numbers get a tolerance.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is a full benchmark run plus the environment it ran in.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Workers   int      `json:"workers"`
+	Results   []Result `json:"results"`
+}
+
+// corpusSize matches bench_test.go's benchCorpus, so ns/op here and there
+// measure the same work.
+const corpusSize = 200
+
+func fromBenchmark(name string, r testing.BenchmarkResult) Result {
+	out := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		out.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			out.Metrics[k] = v
+		}
+	}
+	return out
+}
+
+func reportQuality(b *testing.B, cr *experiments.CorpusResult) {
+	var delta int64
+	for _, r := range cr.Loops {
+		delta += int64(r.II - r.MII)
+	}
+	b.ReportMetric(float64(delta)/float64(len(cr.Loops)), "deltaII/loop")
+	b.ReportMetric(100*cr.AggregateDilation(), "dilation%")
+	b.ReportMetric(cr.AggregateInefficiency(), "steps/op")
+}
+
+// Run executes the headline benchmarks: the Section 4.3/5 summary corpus
+// run sequentially and on the worker pool (workers <= 0 means one per
+// CPU), the Livermore suite compile, and the MII lower bounds.
+func Run(workers int) (*Report, error) {
+	if workers <= 0 {
+		workers = experiments.DefaultWorkers()
+	}
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   workers,
+	}
+
+	m := machine.Cydra5()
+	loops, err := experiments.SmallCorpus(m, corpusSize)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	var benchErr error
+	summary := func(name string, w int) {
+		if benchErr != nil {
+			return
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var cr *experiments.CorpusResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				cr, err = experiments.RunCorpusWorkers(ctx, loops, m, 2, false, w)
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				_ = experiments.Summarize(cr)
+			}
+			reportQuality(b, cr)
+		})
+		rep.Results = append(rep.Results, fromBenchmark(name, r))
+	}
+	summary("SummaryHeadline/seq", 1)
+	summary("SummaryHeadline/par", workers)
+	if benchErr != nil {
+		return nil, benchErr
+	}
+
+	ks, err := kernels.All(m)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, l := range ks {
+				if _, err := core.ModuloSchedule(l, m, opts); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	rep.Results = append(rep.Results, fromBenchmark("ScheduleLivermore", r))
+
+	delays := make([][]int, len(loops))
+	for i, l := range loops {
+		d, err := ir.Delays(l, m, ir.VLIWDelays)
+		if err != nil {
+			return nil, err
+		}
+		delays[i] = d
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, l := range loops {
+				if _, err := mii.Compute(l, m, delays[j], nil); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	rep.Results = append(rep.Results, fromBenchmark("MII", r))
+	return rep, nil
+}
+
+// Format renders a report as the familiar `go test -bench` style lines.
+func (rep *Report) Format() string {
+	out := fmt.Sprintf("goos: %s goarch: %s cpus: %d workers: %d (%s)\n",
+		rep.GOOS, rep.GOARCH, rep.NumCPU, rep.Workers, rep.GoVersion)
+	for _, r := range rep.Results {
+		out += fmt.Sprintf("%-24s %10d iters %14.0f ns/op %10d B/op %8d allocs/op",
+			r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out += fmt.Sprintf(" %12.5f %s", r.Metrics[k], k)
+		}
+		out += "\n"
+	}
+	return out
+}

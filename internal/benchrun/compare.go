@@ -1,0 +1,80 @@
+package benchrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Load reads a Report from a JSON file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchrun: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Save writes a Report as indented JSON.
+func Save(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare checks current against baseline and returns one message per
+// violation. Timing (ns/op) and allocation counts (allocs/op) regress
+// only beyond tol (e.g. 0.20 for 20%) — machine noise is real, exact
+// equality is not expected. The schedule-quality metrics, in contrast,
+// are deterministic functions of the seeded corpus: any drift there
+// means the scheduler's output changed, so they must match exactly.
+// Benchmarks present on only one side are reported (a removed benchmark
+// silently passing would defeat the gate); improved numbers never fail.
+func Compare(baseline, current *Report, tol float64) []string {
+	var problems []string
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current.Results))
+	for _, cur := range current.Results {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from baseline (run with -update to record it)", cur.Name))
+			continue
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+tol) {
+			problems = append(problems, fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				cur.Name, b.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp/b.NsPerOp-1), 100*tol))
+		}
+		if b.AllocsPerOp > 0 && float64(cur.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
+			problems = append(problems, fmt.Sprintf("%s: allocs/op regressed %d -> %d (+%.1f%%, tolerance %.0f%%)",
+				cur.Name, b.AllocsPerOp, cur.AllocsPerOp, 100*(float64(cur.AllocsPerOp)/float64(b.AllocsPerOp)-1), 100*tol))
+		}
+		for k, bv := range b.Metrics {
+			cv, ok := cur.Metrics[k]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: quality metric %q disappeared", cur.Name, k))
+				continue
+			}
+			if cv != bv && !(math.IsNaN(cv) && math.IsNaN(bv)) {
+				problems = append(problems, fmt.Sprintf("%s: quality metric %q changed %v -> %v (must be bit-identical)",
+					cur.Name, k, bv, cv))
+			}
+		}
+	}
+	for _, b := range baseline.Results {
+		if !seen[b.Name] {
+			problems = append(problems, fmt.Sprintf("%s: present in baseline but not measured", b.Name))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,66 @@
+package benchrun
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rep(ns float64, allocs int64, dilation float64) *Report {
+	return &Report{
+		Results: []Result{{
+			Name:        "SummaryHeadline/par",
+			NsPerOp:     ns,
+			AllocsPerOp: allocs,
+			Metrics:     map[string]float64{"dilation%": dilation},
+		}},
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := rep(1000, 500, 0.3367)
+
+	if p := Compare(base, rep(1100, 540, 0.3367), 0.20); len(p) != 0 {
+		t.Fatalf("within tolerance flagged: %v", p)
+	}
+	if p := Compare(base, rep(900, 100, 0.3367), 0.20); len(p) != 0 {
+		t.Fatalf("improvement flagged: %v", p)
+	}
+	if p := Compare(base, rep(1300, 500, 0.3367), 0.20); len(p) != 1 || !strings.Contains(p[0], "ns/op") {
+		t.Fatalf("ns/op regression not flagged: %v", p)
+	}
+	if p := Compare(base, rep(1000, 700, 0.3367), 0.20); len(p) != 1 || !strings.Contains(p[0], "allocs/op") {
+		t.Fatalf("allocs/op regression not flagged: %v", p)
+	}
+	// Quality metrics are exact: even a tiny drift is a failure.
+	if p := Compare(base, rep(1000, 500, 0.33671), 0.20); len(p) != 1 || !strings.Contains(p[0], "bit-identical") {
+		t.Fatalf("quality drift not flagged: %v", p)
+	}
+	// Disappearing benchmarks fail in both directions.
+	empty := &Report{}
+	if p := Compare(base, empty, 0.20); len(p) != 1 {
+		t.Fatalf("missing current not flagged: %v", p)
+	}
+	if p := Compare(empty, base, 0.20); len(p) != 1 {
+		t.Fatalf("missing baseline not flagged: %v", p)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := rep(1234, 42, 0.5)
+	want.GoVersion, want.Workers = "go-test", 4
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Compare(want, got, 0); len(p) != 0 {
+		t.Fatalf("round trip drifted: %v", p)
+	}
+	if got.GoVersion != "go-test" || got.Workers != 4 {
+		t.Fatalf("environment fields lost: %+v", got)
+	}
+}

@@ -21,15 +21,23 @@ import (
 //
 // Ops with no path to STOP (impossible in well-formed loops, where STOP
 // succeeds everything) would keep height 0.
+//
+// Only the edge weights Delay - II*Distance depend on II; the graph
+// topology — and therefore the SCC condensation — is fixed, so it is
+// computed once per problem (condensation) and reused by every II
+// attempt. The height vector itself lives in the pooled scratch when one
+// is attached.
 func (p *problem) heightR(ii int) ([]int, error) {
 	n := p.loop.NumOps()
-	h := make([]int, n)
-
-	g := graph.New(n)
-	for _, e := range p.loop.Edges {
-		g.AddEdge(e.From, e.To)
+	var h []int
+	if p.scratch != nil {
+		p.scratch.h = resetInts(p.scratch.h, n, 0)
+		h = p.scratch.h
+	} else {
+		h = make([]int, n)
 	}
-	comps := g.SCCs() // reverse topological: successors appear earlier
+
+	comps := p.condensation() // reverse topological: successors appear earlier
 
 	relax := func(v int) bool {
 		changed := false
@@ -46,7 +54,7 @@ func (p *problem) heightR(ii int) ([]int, error) {
 	}
 
 	for _, comp := range comps {
-		if len(comp) == 1 && !hasSelfEdge(p, comp[0]) {
+		if len(comp) == 1 && !p.hasSelf[comp[0]] {
 			relax(comp[0])
 			continue
 		}
@@ -73,12 +81,8 @@ func (p *problem) heightR(ii int) ([]int, error) {
 // recurrenceComponents lists the non-trivial SCCs (more than one op) of
 // the dependence graph, for the recurrence-first priority ablation.
 func recurrenceComponents(p *problem) [][]int {
-	g := graph.New(p.loop.NumOps())
-	for _, e := range p.loop.Edges {
-		g.AddEdge(e.From, e.To)
-	}
 	var out [][]int
-	for _, comp := range g.SCCs() {
+	for _, comp := range p.condensation() {
 		if len(comp) > 1 {
 			out = append(out, comp)
 		}
@@ -86,22 +90,24 @@ func recurrenceComponents(p *problem) [][]int {
 	return out
 }
 
-func hasSelfEdge(p *problem, v int) bool {
-	for _, ei := range p.succ[v] {
-		if p.loop.Edges[ei].To == v {
-			return true
-		}
-	}
-	return false
-}
-
 // depthPriority is the ablation priority: heights computed with the
 // distance terms dropped (inter-iteration edges ignored), i.e. the plain
-// acyclic list-scheduling height over the distance-0 subgraph.
+// acyclic list-scheduling height over the distance-0 subgraph. It is
+// II-independent and cached per problem.
 func (p *problem) depthPriority() []int {
+	if p.depthPrio != nil {
+		return p.depthPrio
+	}
 	n := p.loop.NumOps()
 	h := make([]int, n)
-	g := graph.New(n)
+	p.depthPrio = h
+	deg := make([]int, n)
+	for _, e := range p.loop.Edges {
+		if e.Distance == 0 {
+			deg[e.From]++
+		}
+	}
+	g := graph.NewDegreed(n, deg)
 	for _, e := range p.loop.Edges {
 		if e.Distance == 0 {
 			g.AddEdge(e.From, e.To)

@@ -18,11 +18,24 @@ type mrt struct {
 }
 
 func newMRT(ii, nres int) *mrt {
-	m := &mrt{ii: ii, nres: nres, owner: make([]int, ii*nres)}
+	m := &mrt{}
+	m.reset(ii, nres)
+	return m
+}
+
+// reset re-dimensions the table for a new II attempt, reusing the owner
+// buffer when it is large enough (the pooled-scratch fast path).
+func (m *mrt) reset(ii, nres int) {
+	m.ii, m.nres = ii, nres
+	cells := ii * nres
+	if cap(m.owner) < cells {
+		m.owner = make([]int, cells)
+	} else {
+		m.owner = m.owner[:cells]
+	}
 	for i := range m.owner {
 		m.owner[i] = -1
 	}
-	return m
 }
 
 func (m *mrt) cell(t int, r machine.Resource) int {
@@ -70,7 +83,8 @@ func (m *mrt) selfConsistent(tab machine.ReservationTable) bool {
 }
 
 // conflicts returns the distinct ops whose reservations collide with tab
-// placed at t.
+// placed at t. This allocating version backs tests and states without a
+// scratch; the scheduler's hot path uses state.conflictVictims.
 func (m *mrt) conflicts(t int, tab machine.ReservationTable) []int {
 	var out []int
 	seen := map[int]bool{}

@@ -1,0 +1,102 @@
+package core
+
+// The ready structure: a binary max-heap over unscheduled operations,
+// keyed by (priority desc, op index asc) — exactly the total order the
+// linear scan of highestPriorityOperation uses, so both pickers choose
+// identical operations and produce bit-identical schedules.
+//
+// The heap uses lazy deletion: picking pops, evicting pushes, and an
+// operation scheduled without being picked (START, placed directly)
+// simply leaves a stale entry behind that readyPop discards when it
+// surfaces. Duplicate live entries are possible after a direct placement
+// followed by an eviction, and are harmless for the same reason: the
+// first pop schedules the op, turning the remainder stale.
+//
+// Cost: O(log n) per pick/evict against the scan's O(n) per pick. At the
+// paper's median loop size (12 ops) the two are comparable — the scan's
+// single cache-resident pass is hard to beat — but the heap wins on the
+// corpus tail (the paper's max is 163 ops) and degrades gracefully on
+// the production-scale loops the roadmap targets. BenchmarkPickOp covers
+// both pickers across sizes.
+
+// readyLess reports whether heap entry a must surface before b.
+func (s *state) readyLess(a, b int) bool {
+	if pa, pb := s.prio[a], s.prio[b]; pa != pb {
+		return pa > pb
+	}
+	return a < b
+}
+
+// readyInit builds the heap over all operations. It must run after the
+// attempt's priority vector is assigned and before any placement.
+func (s *state) readyInit() {
+	n := s.p.loop.NumOps()
+	if cap(s.ready) < n {
+		s.ready = make([]int, n)
+	} else {
+		s.ready = s.ready[:n]
+	}
+	for i := range s.ready {
+		s.ready[i] = i
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.heapLive = true
+}
+
+// readyPush registers op as unscheduled again (after an eviction).
+func (s *state) readyPush(op int) {
+	if !s.heapLive {
+		return // slack scheduler: picks by minimum slack, not the heap
+	}
+	s.ready = append(s.ready, op)
+	s.siftUp(len(s.ready) - 1)
+}
+
+// readyPop returns the unscheduled operation with the highest priority,
+// discarding stale entries, or -1 if none remains.
+func (s *state) readyPop() int {
+	for len(s.ready) > 0 {
+		top := s.ready[0]
+		last := len(s.ready) - 1
+		s.ready[0] = s.ready[last]
+		s.ready = s.ready[:last]
+		if last > 0 {
+			s.siftDown(0)
+		}
+		if s.times[top] == -1 {
+			return top
+		}
+	}
+	return -1
+}
+
+func (s *state) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.readyLess(s.ready[i], s.ready[parent]) {
+			return
+		}
+		s.ready[i], s.ready[parent] = s.ready[parent], s.ready[i]
+		i = parent
+	}
+}
+
+func (s *state) siftDown(i int) {
+	n := len(s.ready)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && s.readyLess(s.ready[l], s.ready[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && s.readyLess(s.ready[r], s.ready[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		s.ready[i], s.ready[best] = s.ready[best], s.ready[i]
+		i = best
+	}
+}

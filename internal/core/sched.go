@@ -66,7 +66,13 @@ func scheduleLoop(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Opti
 	if err != nil {
 		return nil, err
 	}
-	bounds, err := mii.ComputeContext(ctx, l, m, p.delays, &c.MII)
+	// The pooled scratch holds every per-attempt buffer (state, MRT,
+	// HeightR, MinDist matrices); II attempts and subsequent loops reuse
+	// it instead of reallocating their working set.
+	sc := getScratch()
+	defer putScratch(sc)
+	p.scratch = sc
+	bounds, err := mii.ComputeScratch(ctx, l, m, p.delays, &c.MII, &sc.mii)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +90,7 @@ func scheduleLoop(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Opti
 		if err := p.ctxErr(); err != nil {
 			return nil, err
 		}
-		s := newState(p, ii)
+		s := sc.newState(p, ii)
 		outcome, err := s.runAttempt(algo, budget)
 		if err != nil {
 			return nil, err
@@ -96,6 +102,10 @@ func scheduleLoop(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Opti
 		case attemptInfeasible:
 			continue
 		}
+		// Detach the result from the pooled scratch: the state's buffers
+		// are reused by the next scheduling call.
+		times := append(make([]int, 0, len(s.times)), s.times...)
+		alts := append(make([]int, 0, len(s.alts)), s.alts...)
 		sched := &Schedule{
 			Loop:    l,
 			Machine: m,
@@ -103,9 +113,9 @@ func scheduleLoop(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Opti
 			II:      ii,
 			MII:     bounds.MII,
 			ResMII:  bounds.ResMII,
-			Times:   s.times,
-			Alts:    s.alts,
-			Length:  s.times[l.Stop()],
+			Times:   times,
+			Alts:    alts,
+			Length:  times[l.Stop()],
 			Delays:  p.delays,
 			Stats:   c,
 		}
@@ -164,7 +174,9 @@ func safeMaxII(p *problem) int {
 	return s
 }
 
-// state is the mutable scheduling state for one candidate II.
+// state is the mutable scheduling state for one candidate II. Its
+// buffers belong to a scratch (see scratch.go) and are reused across II
+// attempts and loops.
 type state struct {
 	p  *problem
 	ii int
@@ -176,29 +188,20 @@ type state struct {
 	never []bool
 	prio  []int // priority value per op
 
+	// ready is the lazy-deletion max-heap over unscheduled operations
+	// (see ready.go); heapLive gates it to the iterative scheduler.
+	ready    []int
+	heapLive bool
+
 	unscheduled int  // count of unscheduled ops
 	forceEarly  bool // late placement disabled for the rest of the attempt
 }
 
+// newState builds a standalone state for one II attempt. Production
+// scheduling goes through scratch.newState, which reuses pooled buffers;
+// this allocating variant serves tests that construct state directly.
 func newState(p *problem, ii int) *state {
-	n := p.loop.NumOps()
-	s := &state{
-		p:     p,
-		ii:    ii,
-		mrt:   newMRT(ii, p.mach.NumResources()),
-		times: make([]int, n),
-		alts:  make([]int, n),
-		prev:  make([]int, n),
-		never: make([]bool, n),
-	}
-	for i := range s.times {
-		s.times[i] = -1
-		s.alts[i] = -1
-		s.prev[i] = -1
-		s.never[i] = true
-	}
-	s.unscheduled = n
-	return s
+	return new(scratch).newState(p, ii)
 }
 
 // iterativeSchedule is Figure 3: schedule operations highest-priority
@@ -226,10 +229,7 @@ func (s *state) iterativeSchedule(budget int) (attemptOutcome, error) {
 	case PriorityDepth:
 		s.prio = p.depthPriority()
 	case PriorityFIFO:
-		s.prio = make([]int, p.loop.NumOps())
-		for i := range s.prio {
-			s.prio[i] = -i // earlier ops first
-		}
+		s.prio = p.fifoPriority()
 	case PriorityRecFirst:
 		h, err := p.heightR(s.ii)
 		if err != nil {
@@ -254,6 +254,10 @@ func (s *state) iterativeSchedule(budget int) (attemptOutcome, error) {
 
 	stepsAtEntry := p.counters.SchedSteps
 
+	// The ready heap must see the final priority vector; START's entry
+	// goes stale when it is placed directly below and is skipped later.
+	s.readyInit()
+
 	// Schedule START at time 0.
 	s.scheduleAt(p.loop.Start(), 0, 0)
 	budget--
@@ -272,7 +276,11 @@ func (s *state) iterativeSchedule(budget int) (attemptOutcome, error) {
 		if p.opts.PlaceLate && !s.forceEarly && budget <= p.loop.NumOps() {
 			s.forceEarly = true
 		}
-		op := s.highestPriorityOperation()
+		op := s.readyPop()
+		if op < 0 {
+			// unscheduled > 0 guarantees a live heap entry exists.
+			panic(InvariantViolation("core: ready heap empty with unscheduled operations"))
+		}
 		estart := s.calculateEarlyStart(op)
 		minTime := estart
 		maxTime := minTime + s.ii - 1
@@ -311,7 +319,10 @@ func (s *state) hasConsistentAlt(op int) bool {
 
 // highestPriorityOperation returns the unscheduled operation with the
 // highest priority; ties break toward the smaller operation index, which
-// keeps the scheduler deterministic.
+// keeps the scheduler deterministic. This linear scan is the reference
+// picker; production picking goes through the ready heap (ready.go),
+// which realizes the same total order in O(log n) per pick.
+// BenchmarkPickOp compares the two.
 func (s *state) highestPriorityOperation() int {
 	best := -1
 	for i, t := range s.times {
@@ -440,7 +451,7 @@ func (s *state) forcedAlternative(op, slot int) int {
 		if chosen == -1 {
 			chosen = ai
 		}
-		for _, victim := range s.mrt.conflicts(slot, alt.Table) {
+		for _, victim := range s.conflictVictims(slot, alt.Table) {
 			s.unschedule(victim)
 		}
 	}
@@ -462,7 +473,7 @@ func (s *state) scheduleAt(op, slot, alt int) {
 	tab := p.opcode[op].Alternatives[alt].Table
 
 	// Resource displacement (no-ops if findTimeSlot found a free slot).
-	for _, victim := range s.mrt.conflicts(slot, tab) {
+	for _, victim := range s.conflictVictims(slot, tab) {
 		s.unschedule(victim)
 	}
 	s.mrt.place(op, slot, tab)
@@ -501,6 +512,7 @@ func (s *state) unschedule(op int) {
 	s.times[op] = -1
 	s.alts[op] = -1
 	s.unscheduled++
+	s.readyPush(op)
 	s.p.counters.Unschedules++
 }
 

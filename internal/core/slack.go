@@ -41,7 +41,15 @@ func (s *state) slackSchedule(budget int) (attemptOutcome, error) {
 	}
 
 	// The full-graph MinDist matrix drives Estart/Lstart maintenance.
-	md, err := mii.ComputeMinDistContext(p.ctx, p.loop, p.delays, s.ii, mii.AllNodes(p.loop), &p.counters.MII)
+	// Each II attempt rebuilds the same-shape matrix, so attempts share
+	// the pooled scratch's buffers when one is attached.
+	var md *mii.MinDist
+	var err error
+	if p.scratch != nil {
+		md, err = p.scratch.mii.MinDist(p.ctx, p.loop, p.delays, s.ii, p.allNodes(), &p.counters.MII)
+	} else {
+		md, err = mii.ComputeMinDistContext(p.ctx, p.loop, p.delays, s.ii, p.allNodes(), &p.counters.MII)
+	}
 	if err != nil {
 		return attemptInfeasible, err
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"modsched/internal/core"
@@ -85,23 +86,38 @@ func SmallCorpus(m *machine.Machine, n int) ([]*ir.Loop, error) {
 
 // RunCorpus schedules every loop and collects the per-loop measurements.
 // exactRecMII additionally computes the true RecMII (needed by the
-// max(0, RecMII-ResMII) row of Table 3) at extra cost.
+// max(0, RecMII-ResMII) row of Table 3) at extra cost. Loops are
+// scheduled in parallel on DefaultWorkers workers; use RunCorpusWorkers
+// to control the worker count or to cancel.
 func RunCorpus(loops []*ir.Loop, m *machine.Machine, budgetRatio float64, exactRecMII bool) (*CorpusResult, error) {
-	res := &CorpusResult{Machine: m.Name, BudgetRatio: budgetRatio}
+	return RunCorpusWorkers(context.Background(), loops, m, budgetRatio, exactRecMII, 0)
+}
+
+// RunCorpusWorkers is RunCorpus over a worker pool. Each loop is an
+// independent scheduling problem; results are written into their input
+// slot, so the CorpusResult — and every statistic derived from it — is
+// byte-identical to a sequential run regardless of workers. workers <= 0
+// means one per CPU; workers == 1 is fully sequential.
+func RunCorpusWorkers(ctx context.Context, loops []*ir.Loop, m *machine.Machine, budgetRatio float64, exactRecMII bool, workers int) (*CorpusResult, error) {
+	res := &CorpusResult{Machine: m.Name, BudgetRatio: budgetRatio, Loops: make([]LoopResult, len(loops))}
 	opts := core.DefaultOptions()
 	opts.BudgetRatio = budgetRatio
-	for _, l := range loops {
-		lr, err := runOne(l, m, opts, exactRecMII)
+	err := ParallelFor(ctx, len(loops), workers, func(ctx context.Context, i int) error {
+		lr, err := runOne(ctx, loops[i], m, opts, exactRecMII)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: loop %s: %w", l.Name, err)
+			return fmt.Errorf("experiments: loop %s: %w", loops[i].Name, err)
 		}
-		res.Loops = append(res.Loops, *lr)
+		res.Loops[i] = *lr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
-func runOne(l *ir.Loop, m *machine.Machine, opts core.Options, exactRecMII bool) (*LoopResult, error) {
-	s, err := core.ModuloSchedule(l, m, opts)
+func runOne(ctx context.Context, l *ir.Loop, m *machine.Machine, opts core.Options, exactRecMII bool) (*LoopResult, error) {
+	s, err := core.ModuloScheduleContext(ctx, l, m, opts)
 	if err != nil {
 		return nil, err
 	}

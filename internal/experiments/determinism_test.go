@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"modsched/internal/machine"
+)
+
+// TestParallelDeterminism is the contract of the worker-pool harness: a
+// parallel run must be deep-equal to a sequential one — same per-loop
+// results in the same order, and (because the aggregates fold in input
+// order) bit-identical floating-point statistics. Running under -race in
+// CI, it also exercises the pool for data races.
+func TestParallelDeterminism(t *testing.T) {
+	m := machine.Cydra5()
+	n := 60
+	if testing.Short() {
+		n = 25
+	}
+	loops, err := SmallCorpus(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	seq, err := RunCorpusWorkers(ctx, loops, m, 2, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := RunCorpusWorkers(ctx, loops, m, 2, true, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			for i := range seq.Loops {
+				if !reflect.DeepEqual(seq.Loops[i], par.Loops[i]) {
+					t.Fatalf("workers=%d: loop %s differs:\nseq: %+v\npar: %+v",
+						workers, seq.Loops[i].Name, seq.Loops[i], par.Loops[i])
+				}
+			}
+			t.Fatalf("workers=%d: corpus results differ outside Loops", workers)
+		}
+		if s1, s2 := Summarize(seq), Summarize(par); !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("workers=%d: summaries differ:\nseq: %+v\npar: %+v", workers, s1, s2)
+		}
+	}
+
+	ratios := []float64{1.0, 2.0, 3.0}
+	fseq, err := Fig6SweepWorkers(ctx, loops, m, ratios, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpar, err := Fig6SweepWorkers(ctx, loops, m, ratios, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-level equality of the float aggregates, not approximate equality:
+	// the ordered folds must make parallelism invisible.
+	if !reflect.DeepEqual(fseq, fpar) {
+		t.Fatalf("Fig6 sweep differs:\nseq: %+v\npar: %+v", fseq, fpar)
+	}
+}
+
+// TestParallelForErrors pins the pool's error contract: the lowest
+// failing index is reported regardless of worker interleaving, and
+// cancellation surfaces as the context's error.
+func TestParallelForErrors(t *testing.T) {
+	ctx := context.Background()
+	errAt := func(bad int) error {
+		return ParallelFor(ctx, 64, 8, func(ctx context.Context, i int) error {
+			if i == bad || i == bad+7 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+	}
+	for _, bad := range []int{0, 13, 40} {
+		err := errAt(bad)
+		if err == nil || err.Error() != fmt.Sprintf("boom at %d", bad) {
+			t.Fatalf("bad=%d: got error %v, want boom at %d", bad, err, bad)
+		}
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	err := ParallelFor(canceled, 16, 4, func(ctx context.Context, i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled context: got %v, want context.Canceled", err)
+	}
+
+	// A worker seeing its sibling's cancellation must not mask the cause:
+	// with 8 workers and 8 items, indexes 0-6 block until the failure at
+	// index 7 cancels them, recording context.Canceled at lower indexes.
+	err = ParallelFor(ctx, 8, 8, func(ctx context.Context, i int) error {
+		if i == 7 {
+			return fmt.Errorf("real failure")
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err == nil || err.Error() != "real failure" {
+		t.Fatalf("collateral cancellation masked the real error: got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,9 +22,17 @@ type Fig6Point struct {
 // Fig6Sweep runs the corpus at each BudgetRatio. The paper sweeps 1.0-4.0
 // and reads the knee at BudgetRatio 2 (dilation 2.8%, inefficiency 1.59).
 func Fig6Sweep(loops []*ir.Loop, m *machine.Machine, ratios []float64) ([]Fig6Point, error) {
+	return Fig6SweepWorkers(context.Background(), loops, m, ratios, 0)
+}
+
+// Fig6SweepWorkers is Fig6Sweep with an explicit worker count. The sweep
+// points run in sequence; within each point the corpus is scheduled in
+// parallel, and the aggregates fold over the ordered per-loop results, so
+// every point is byte-identical to a sequential run.
+func Fig6SweepWorkers(ctx context.Context, loops []*ir.Loop, m *machine.Machine, ratios []float64, workers int) ([]Fig6Point, error) {
 	var out []Fig6Point
 	for _, br := range ratios {
-		cr, err := RunCorpus(loops, m, br, false)
+		cr, err := RunCorpusWorkers(ctx, loops, m, br, false, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment drivers share one parallel-execution primitive: a
+// worker pool over an index space, merging results by writing out[i]
+// from worker i's slot. Scheduling one loop is independent of every
+// other loop, so the corpus drivers are embarrassingly parallel; what
+// requires care is keeping the outputs byte-identical to a sequential
+// run. Two rules achieve that:
+//
+//  1. workers communicate only through per-index slots (no shared
+//     accumulators), so the result layout is independent of the
+//     interleaving; and
+//  2. every floating-point reduction folds over those slots in input
+//     order after the pool drains, so sums associate exactly as the
+//     sequential code's did.
+//
+// Errors are deterministic too: every failing index records its error,
+// and the lowest index wins after the pool drains (cancellation stops
+// the remaining work early, but cannot change which error is reported).
+
+// DefaultWorkers is the worker count used when a driver is given
+// workers <= 0: one per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// normalizeWorkers clamps a requested worker count to [1, n].
+func normalizeWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ParallelFor runs fn(ctx, i) for every i in [0, n) on up to workers
+// goroutines. Iterations are handed out through an atomic counter, so
+// uneven per-item cost load-balances naturally. The first failing index
+// (lowest i whose fn returned an error) determines the returned error;
+// an error or context cancellation stops the remaining iterations.
+// workers <= 0 means DefaultWorkers; workers == 1 runs inline with no
+// goroutines.
+func ParallelFor(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = normalizeWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if cctx.Err() != nil {
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Lowest-index real error wins. A sibling canceled as collateral of
+	// someone else's failure may have recorded a context.Canceled at a
+	// lower index; that must not mask the actual cause.
+	var collateral error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			if collateral == nil {
+				collateral = err
+			}
+			continue
+		}
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return collateral
+}

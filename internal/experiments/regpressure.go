@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,24 +29,39 @@ type PressurePoint struct {
 
 // RegPressureStudy measures register demand under the given options.
 func RegPressureStudy(loops []*ir.Loop, m *machine.Machine, opts core.Options, label string) (*PressurePoint, error) {
-	var rot, rotPerOp, us, delta []float64
-	for _, l := range loops {
-		s, err := core.ModuloSchedule(l, m, opts)
+	return RegPressureStudyWorkers(context.Background(), loops, m, opts, label, 0)
+}
+
+// RegPressureStudyWorkers is RegPressureStudy with an explicit worker
+// count. Per-loop measurements land in input-order slots before the
+// distributions are described, so the study is independent of workers.
+func RegPressureStudyWorkers(ctx context.Context, loops []*ir.Loop, m *machine.Machine, opts core.Options, label string, workers int) (*PressurePoint, error) {
+	rot := make([]float64, len(loops))
+	rotPerOp := make([]float64, len(loops))
+	us := make([]float64, len(loops))
+	delta := make([]float64, len(loops))
+	err := ParallelFor(ctx, len(loops), workers, func(ctx context.Context, i int) error {
+		l := loops[i]
+		s, err := core.ModuloScheduleContext(ctx, l, m, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		k, err := codegen.GenerateKernel(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rot = append(rot, float64(k.Alloc.Size))
-		rotPerOp = append(rotPerOp, float64(k.Alloc.Size)/float64(l.NumRealOps()))
+		rot[i] = float64(k.Alloc.Size)
+		rotPerOp[i] = float64(k.Alloc.Size) / float64(l.NumRealOps())
 		u, err := modvar.PlanUnroll(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		us = append(us, float64(u))
-		delta = append(delta, float64(s.II-s.MII))
+		us[i] = float64(u)
+		delta[i] = float64(s.II - s.MII)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &PressurePoint{
 		Label:       label,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -83,7 +84,14 @@ func (s Summary) Format() string {
 // acyclic list-scheduling baseline (always one step per op) against
 // iterative modulo scheduling — the Section 5 cost comparison.
 func ListVsModulo(loops []*ir.Loop, m *machine.Machine, budgetRatio float64) (listSteps, modSteps, modUnscheds int64, err error) {
-	cr, err := RunCorpus(loops, m, budgetRatio, false)
+	return ListVsModuloWorkers(context.Background(), loops, m, budgetRatio, 0)
+}
+
+// ListVsModuloWorkers is ListVsModulo with an explicit worker count.
+// Both sides run per loop in parallel; the step totals are integer sums
+// folded in input order, so they match a sequential run exactly.
+func ListVsModuloWorkers(ctx context.Context, loops []*ir.Loop, m *machine.Machine, budgetRatio float64, workers int) (listSteps, modSteps, modUnscheds int64, err error) {
+	cr, err := RunCorpusWorkers(ctx, loops, m, budgetRatio, false, workers)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -91,16 +99,24 @@ func ListVsModulo(loops []*ir.Loop, m *machine.Machine, budgetRatio float64) (li
 		modSteps += r.StepsTotal
 		modUnscheds += r.Counters.Unschedules
 	}
-	for _, l := range loops {
-		delays, derr := ir.Delays(l, m, ir.VLIWDelays)
+	perLoop := make([]int64, len(loops))
+	err = ParallelFor(ctx, len(loops), workers, func(ctx context.Context, i int) error {
+		delays, derr := ir.Delays(loops[i], m, ir.VLIWDelays)
 		if derr != nil {
-			return 0, 0, 0, derr
+			return derr
 		}
-		ls, lerr := listsched.Schedule(l, m, delays)
+		ls, lerr := listsched.Schedule(loops[i], m, delays)
 		if lerr != nil {
-			return 0, 0, 0, lerr
+			return lerr
 		}
-		listSteps += ls.Steps
+		perLoop[i] = ls.Steps
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, s := range perLoop {
+		listSteps += s
 	}
 	return listSteps, modSteps, modUnscheds, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,44 +29,68 @@ type UnrollPoint struct {
 
 // UnrollStudy runs the comparison over the executed loops of a corpus.
 func UnrollStudy(loops []*ir.Loop, m *machine.Machine, ks []int) ([]UnrollPoint, error) {
+	return UnrollStudyWorkers(context.Background(), loops, m, ks, 0)
+}
+
+// UnrollStudyWorkers is UnrollStudy with an explicit worker count. Both
+// phases (modulo-schedule the executed loops; list-schedule each unrolled
+// body) parallelize per loop; the weighted aggregates fold over the
+// ordered per-loop values, so every point matches a sequential run.
+func UnrollStudyWorkers(ctx context.Context, loops []*ir.Loop, m *machine.Machine, ks []int, workers int) ([]UnrollPoint, error) {
 	type base struct {
 		l  *ir.Loop
 		ii int
 		w  float64
 	}
-	var bases []base
+	var executed []*ir.Loop
 	for _, l := range loops {
-		if l.LoopFreq <= 0 {
-			continue
+		if l.LoopFreq > 0 {
+			executed = append(executed, l)
 		}
-		s, err := core.ModuloSchedule(l, m, core.DefaultOptions())
+	}
+	bases := make([]base, len(executed))
+	err := ParallelFor(ctx, len(executed), workers, func(ctx context.Context, i int) error {
+		l := executed[i]
+		s, err := core.ModuloScheduleContext(ctx, l, m, core.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bases = append(bases, base{l: l, ii: s.II, w: float64(l.LoopFreq)})
+		bases[i] = base{l: l, ii: s.II, w: float64(l.LoopFreq)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []UnrollPoint
+	lengths := make([]int, len(bases))
 	for _, k := range ks {
 		var pt UnrollPoint
 		pt.K = k
-		var wsum, expSum float64
-		for _, b := range bases {
-			u, err := unroll.Unroll(b.l, k)
+		err := ParallelFor(ctx, len(bases), workers, func(ctx context.Context, i int) error {
+			u, err := unroll.Unroll(bases[i].l, k)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			delays, err := ir.Delays(u, m, ir.VLIWDelays)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ls, err := listsched.Schedule(u, m, delays)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			eff := float64(ls.Length) / float64(k)
+			lengths[i] = ls.Length
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var wsum, expSum float64
+		for i, b := range bases {
+			eff := float64(lengths[i]) / float64(k)
 			pt.CyclesPerIter += b.w * eff
 			pt.ModuloCyclesPerIter += b.w * float64(b.ii)
-			expSum += float64(ls.Length) / float64(b.ii)
+			expSum += float64(lengths[i]) / float64(b.ii)
 			wsum += b.w
 		}
 		if wsum > 0 {

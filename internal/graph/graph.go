@@ -17,6 +17,26 @@ func New(n int) *Graph {
 	return &Graph{N: n, Adj: make([][]int, n)}
 }
 
+// NewDegreed creates a graph on n vertices whose adjacency lists are
+// pre-carved from one shared backing array according to the given
+// out-degrees (CSR layout). Subsequent AddEdge calls fill the lists
+// without reallocating, as long as each vertex receives exactly its
+// declared degree. deg is not retained.
+func NewDegreed(n int, deg []int) *Graph {
+	g := &Graph{N: n, Adj: make([][]int, n)}
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	back := make([]int, total)
+	o := 0
+	for i, d := range deg {
+		g.Adj[i] = back[o:o : o+d]
+		o += d
+	}
+	return g
+}
+
 // AddEdge appends the edge from -> to.
 func (g *Graph) AddEdge(from, to int) {
 	g.Adj[from] = append(g.Adj[from], to)
@@ -44,21 +64,25 @@ func (g *Graph) SCCs() [][]int {
 	for i := range index {
 		index[i] = unvisited
 	}
-	var (
-		stack   []int
-		comps   [][]int
-		counter int
-	)
-
 	type frame struct {
 		v    int
 		edge int // next adjacency index to explore
 	}
+	// Every vertex belongs to exactly one component, so all component
+	// slices are carved out of one shared backing array; the stacks are
+	// likewise bounded by N, so everything here is allocated exactly once.
+	var (
+		stack     = make([]int, 0, g.N)
+		callStack = make([]frame, 0, g.N)
+		compBack  = make([]int, 0, g.N)
+		comps     = make([][]int, 0, g.N)
+		counter   int
+	)
 	for root := 0; root < g.N; root++ {
 		if index[root] != unvisited {
 			continue
 		}
-		callStack := []frame{{v: root}}
+		callStack = append(callStack[:0], frame{v: root})
 		index[root] = counter
 		low[root] = counter
 		counter++
@@ -92,17 +116,17 @@ func (g *Graph) SCCs() [][]int {
 				}
 			}
 			if low[v] == index[v] {
-				var comp []int
+				start := len(compBack)
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					onStack[w] = false
-					comp = append(comp, w)
+					compBack = append(compBack, w)
 					if w == v {
 						break
 					}
 				}
-				comps = append(comps, comp)
+				comps = append(comps, compBack[start:len(compBack):len(compBack)])
 			}
 		}
 	}

@@ -34,11 +34,18 @@ func Compute(l *ir.Loop, m *machine.Machine, delays []int, c *Counters) (*Result
 // the MinDist closures of the recurrence search (the only super-linear part
 // of the analysis). A nil ctx disables the checks.
 func ComputeContext(ctx context.Context, l *ir.Loop, m *machine.Machine, delays []int, c *Counters) (*Result, error) {
+	return ComputeScratch(ctx, l, m, delays, c, nil)
+}
+
+// ComputeScratch is ComputeContext with caller-owned MinDist buffers,
+// reused across the recurrence search's feasibility probes. A nil ws uses
+// a call-local scratch.
+func ComputeScratch(ctx context.Context, l *ir.Loop, m *machine.Machine, delays []int, c *Counters, ws *Scratch) (*Result, error) {
 	resMII, choice, err := ResMII(l, m, c)
 	if err != nil {
 		return nil, err
 	}
-	miiVal, err := RecurrenceMIIContext(ctx, l, delays, resMII, c)
+	miiVal, err := RecurrenceMIIScratch(ctx, l, delays, resMII, c, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -63,8 +70,15 @@ func ExactRecMII(l *ir.Loop, delays []int, c *Counters) (int, error) {
 // (pseudo-ops excluded, matching the paper's loop statistics).
 func realSCCs(l *ir.Loop) (sizes []int, nonTrivial [][]int) {
 	n := l.NumOps()
-	g := graph.New(n)
 	start, stop := l.Start(), l.Stop()
+	deg := make([]int, n)
+	for _, e := range l.Edges {
+		if e.From == start || e.To == stop || e.From == stop || e.To == start {
+			continue
+		}
+		deg[e.From]++
+	}
+	g := graph.NewDegreed(n, deg)
 	for _, e := range l.Edges {
 		if e.From == start || e.To == stop || e.From == stop || e.To == start {
 			continue

@@ -1,0 +1,143 @@
+package mii
+
+import (
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// benchRecurrenceLoop builds a loop dominated by one long recurrence
+// circuit, the shape that makes the RecMII search probe many candidate
+// IIs over the same SCC.
+func benchRecurrenceLoop(b testing.TB, n int) (*ir.Loop, []int) {
+	b.Helper()
+	m := machine.Cydra5()
+	bl := ir.NewBuilder("mindist-bench", m)
+	f := bl.Future()
+	prev := f
+	for i := 0; i < n-1; i++ {
+		prev = bl.Define("fadd", prev, prev)
+	}
+	bl.DefineAs(f, "fadd", prev, f.Back(1))
+	bl.Effect("brtop")
+	l, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	delays, err := ir.Delays(l, m, ir.VLIWDelays)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l, delays
+}
+
+// BenchmarkMinDistAt measures the dense op->row translation on the At
+// fast path (previously a map[int]int with two lookups per call).
+func BenchmarkMinDistAt(b *testing.B) {
+	l, delays := benchRecurrenceLoop(b, 40)
+	md := ComputeMinDist(l, delays, 10, AllNodes(l), nil)
+	nodes := md.Nodes
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, r := range nodes {
+			for _, c := range nodes {
+				sink += md.At(r, c)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkMinDistAtMap is the pre-optimization baseline for At: the same
+// access pattern through a map index, for comparison with the dense
+// translation above.
+func BenchmarkMinDistAtMap(b *testing.B) {
+	l, delays := benchRecurrenceLoop(b, 40)
+	md := ComputeMinDist(l, delays, 10, AllNodes(l), nil)
+	nodes := md.Nodes
+	index := make(map[int]int, len(nodes))
+	for r, v := range nodes {
+		index[v] = r
+	}
+	n := md.n
+	at := func(i, j int) int { return md.d[index[i]*n+index[j]] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, r := range nodes {
+			for _, c := range nodes {
+				sink += at(r, c)
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkMinDistProbeChain measures the II probe sequence of the RecMII
+// search (increment, doubling, binary search all recompute the same-shape
+// matrix): fresh allocations per probe versus one reused Scratch.
+func BenchmarkMinDistProbeChain(b *testing.B) {
+	l, delays := benchRecurrenceLoop(b, 40)
+	nodes := AllNodes(l)
+	iis := []int{1, 2, 4, 8, 16, 12, 10, 11}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, ii := range iis {
+				ComputeMinDist(l, delays, ii, nodes, nil)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		var ws Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, ii := range iis {
+				if _, err := ws.MinDist(nil, l, delays, ii, nodes, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// TestScratchMatchesFresh pins the scratch-reuse path to the allocating
+// path across loops of different sizes, including shrink-then-grow
+// sequences that would expose stale dense-index entries.
+func TestScratchMatchesFresh(t *testing.T) {
+	sizes := []int{12, 40, 6, 25}
+	var ws Scratch
+	for _, n := range sizes {
+		l, delays := benchRecurrenceLoop(t, n)
+		for _, ii := range []int{1, 3, 9, 2} {
+			want := ComputeMinDist(l, delays, ii, AllNodes(l), nil)
+			got, err := ws.MinDist(nil, l, delays, ii, AllNodes(l), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.n != want.n || got.II != want.II {
+				t.Fatalf("n=%d ii=%d: shape mismatch", n, ii)
+			}
+			for i := 0; i < l.NumOps(); i++ {
+				for j := 0; j < l.NumOps(); j++ {
+					if got.At(i, j) != want.At(i, j) {
+						t.Fatalf("n=%d ii=%d: At(%d,%d) = %d, want %d", n, ii, i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		}
+	}
+	ws.Reset()
+	l, delays := benchRecurrenceLoop(t, 8)
+	got, err := ws.MinDist(nil, l, delays, 5, AllNodes(l), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ComputeMinDist(l, delays, 5, AllNodes(l), nil); got.At(0, l.Stop()) != want.At(0, l.Stop()) {
+		t.Fatalf("post-Reset scratch diverged")
+	}
+}

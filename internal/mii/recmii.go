@@ -12,7 +12,11 @@ import (
 // depGraph builds the dependence graph over all loop operations
 // (pseudo-ops included; they can never be on circuits).
 func depGraph(l *ir.Loop) *graph.Graph {
-	g := graph.New(l.NumOps())
+	deg := make([]int, l.NumOps())
+	for _, e := range l.Edges {
+		deg[e.From]++
+	}
+	g := graph.NewDegreed(l.NumOps(), deg)
 	for _, e := range l.Edges {
 		g.AddEdge(e.From, e.To)
 	}
@@ -48,8 +52,9 @@ func selfEdgeRecMII(l *ir.Loop, delays []int, op int) (int, error) {
 
 // sccFeasible reports whether the recurrences within one multi-node SCC
 // admit a schedule at the candidate II (no positive MinDist diagonal).
-func sccFeasible(ctx context.Context, l *ir.Loop, delays []int, ii int, scc []int, c *Counters) (bool, error) {
-	md, err := ComputeMinDistContext(ctx, l, delays, ii, scc, c)
+// The matrix is built into ws's reusable buffers.
+func sccFeasible(ctx context.Context, l *ir.Loop, delays []int, ii int, scc []int, c *Counters, ws *Scratch) (bool, error) {
+	md, err := ws.MinDist(ctx, l, delays, ii, scc, c)
 	if err != nil {
 		return false, err
 	}
@@ -60,12 +65,16 @@ func sccFeasible(ctx context.Context, l *ir.Loop, delays []int, ii int, scc []in
 // at start (known-infeasible values below start are not revisited). The
 // strategy follows Section 2.2: increment with doubling until feasible,
 // then binary search between the last unsuccessful and first successful
-// candidates.
-func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, maxII int, c *Counters) (int, error) {
+// candidates. Every probe rebuilds a matrix of the same shape, so the
+// whole chain shares ws's buffers.
+func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, maxII int, c *Counters, ws *Scratch) (int, error) {
+	if ws == nil {
+		ws = &Scratch{}
+	}
 	if start < 1 {
 		start = 1
 	}
-	if ok, err := sccFeasible(ctx, l, delays, start, scc, c); err != nil {
+	if ok, err := sccFeasible(ctx, l, delays, start, scc, c, ws); err != nil {
 		return 0, err
 	} else if ok {
 		return start, nil
@@ -77,7 +86,7 @@ func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, 
 		cand += inc
 		inc *= 2
 		if cand > maxII {
-			ok, err := sccFeasible(ctx, l, delays, maxII, scc, c)
+			ok, err := sccFeasible(ctx, l, delays, maxII, scc, c, ws)
 			if err != nil {
 				return 0, err
 			}
@@ -88,7 +97,7 @@ func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, 
 			cand = maxII
 			break
 		}
-		ok, err := sccFeasible(ctx, l, delays, cand, scc, c)
+		ok, err := sccFeasible(ctx, l, delays, cand, scc, c, ws)
 		if err != nil {
 			return 0, err
 		}
@@ -101,7 +110,7 @@ func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, 
 	lo, hi := lastBad, cand
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		ok, err := sccFeasible(ctx, l, delays, mid, scc, c)
+		ok, err := sccFeasible(ctx, l, delays, mid, scc, c, ws)
 		if err != nil {
 			return 0, err
 		}
@@ -142,8 +151,18 @@ func RecurrenceMII(l *ir.Loop, delays []int, start int, c *Counters) (int, error
 // checked inside every MinDist closure of the per-SCC search. A nil ctx
 // disables the checks.
 func RecurrenceMIIContext(ctx context.Context, l *ir.Loop, delays []int, start int, c *Counters) (int, error) {
+	return RecurrenceMIIScratch(ctx, l, delays, start, c, nil)
+}
+
+// RecurrenceMIIScratch is RecurrenceMIIContext with caller-owned MinDist
+// buffers: every feasibility probe of every SCC shares ws. A nil ws uses
+// a call-local scratch (one allocation set for the whole search).
+func RecurrenceMIIScratch(ctx context.Context, l *ir.Loop, delays []int, start int, c *Counters, ws *Scratch) (int, error) {
 	if len(delays) != len(l.Edges) {
 		return 0, fmt.Errorf("mii: loop %s: %d delays for %d edges: %w", l.Name, len(delays), len(l.Edges), scherr.ErrInvalidLoop)
+	}
+	if ws == nil {
+		ws = &Scratch{}
 	}
 	g := depGraph(l)
 	comps := g.SCCs()
@@ -163,7 +182,7 @@ func RecurrenceMIIContext(ctx context.Context, l *ir.Loop, delays []int, start i
 			}
 			continue
 		}
-		r, err := searchSCC(ctx, l, delays, scc, running, maxII, c)
+		r, err := searchSCC(ctx, l, delays, scc, running, maxII, c, ws)
 		if err != nil {
 			return 0, err
 		}
@@ -186,7 +205,7 @@ func RecurrenceMIIWholeGraph(l *ir.Loop, delays []int, start int, c *Counters) (
 	for i := range all {
 		all[i] = i
 	}
-	return searchSCC(nil, l, delays, all, start, maxIIBound(delays), c)
+	return searchSCC(nil, l, delays, all, start, maxIIBound(delays), c, nil)
 }
 
 // RecMIIByCircuits computes the recurrence bound by enumerating elementary

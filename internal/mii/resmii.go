@@ -62,6 +62,11 @@ func ResMII(l *ir.Loop, m *machine.Machine, c *Counters) (int, []int, error) {
 	})
 
 	usage := make([]int, m.NumResources())
+	// perRes is a dense per-alternative usage count, reused across all
+	// inspections; touched lists the entries to zero afterwards so the
+	// inner loop stays allocation-free regardless of table size.
+	perRes := make([]int, m.NumResources())
+	touched := make([]machine.Resource, 0, 8)
 	maxUsage := 0
 	for _, e := range entries {
 		bestAlt, bestPeak := -1, -1
@@ -71,14 +76,18 @@ func ResMII(l *ir.Loop, m *machine.Machine, c *Counters) (int, []int, error) {
 			}
 			peak := maxUsage
 			// Peak usage if this alternative were committed.
-			perRes := make(map[machine.Resource]int, len(alt.Table.Uses))
+			touched = touched[:0]
 			for _, u := range alt.Table.Uses {
+				if perRes[u.Resource] == 0 {
+					touched = append(touched, u.Resource)
+				}
 				perRes[u.Resource]++
 			}
-			for r, n := range perRes {
-				if t := usage[r] + n; t > peak {
+			for _, r := range touched {
+				if t := usage[r] + perRes[r]; t > peak {
 					peak = t
 				}
+				perRes[r] = 0
 			}
 			if bestAlt == -1 || peak < bestPeak {
 				bestAlt, bestPeak = ai, peak
