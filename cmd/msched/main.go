@@ -14,11 +14,14 @@
 // -flat also reports the explicit prologue/kernel/epilogue schema.
 // -timeout bounds the whole compilation; -besteffort falls back to slack
 // scheduling and then to an unpipelined degenerate schedule rather than
-// failing.
+// failing. When -timeout expires under -besteffort, the degenerate
+// schedule is still produced (the acyclic stage needs no deadline), the
+// degradation report is flushed to stderr, and the exit code is 0.
 //
-// Exit codes: 0 success; 2 usage, flag, or input errors; 3 loop parse
-// error; 4 no schedule found (including deadline expiry); 5 internal
-// scheduler error; 1 anything else. Diagnostics are one line on stderr.
+// Exit codes: 0 success (including a degraded -besteffort result); 2
+// usage, flag, or input errors; 3 loop parse error; 4 no schedule found
+// (including deadline expiry without -besteffort); 5 internal scheduler
+// error; 1 anything else. Diagnostics are one line on stderr.
 package main
 
 import (
@@ -214,7 +217,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	case *besteffort:
 		var deg *core.Degradation
 		sched, deg, err = core.ModuloScheduleBestEffort(ctx, loop, m, opts)
+		if err != nil && ctx.Err() != nil &&
+			!errors.Is(err, core.ErrInvalidLoop) && !errors.Is(err, core.ErrInvalidMachine) {
+			// The deadline killed the pipelined stages mid-chain. -besteffort
+			// promises a schedule anyway: the degenerate acyclic stage needs
+			// no II search, so run it without a deadline and report the
+			// degradation deterministically — the report must not race the
+			// timer.
+			fallback, aerr := core.ModuloScheduleAcyclic(context.Background(), loop, m, opts)
+			if aerr != nil {
+				return fail(schedExit(err), "deadline of %v expired and acyclic fallback failed: %v (deadline error: %v)", *timeout, aerr, err)
+			}
+			sched = fallback
+			deg = &core.Degradation{
+				Stage:    core.StageAcyclic,
+				Failures: []core.StageFailure{{Stage: "pipelined stages", Err: err}},
+			}
+			err = nil
+		}
 		if err == nil && deg.Degraded() {
+			// Flush the report before any schedule output, so it is emitted
+			// even if a later lowering step fails.
 			fmt.Fprintf(stderr, "msched: warning: %s\n", deg)
 		}
 	case *algo == "slack":

@@ -62,6 +62,7 @@ func TestRunExitCodes(t *testing.T) {
 		{"empty input", nil, "", exitParse, "missing 'loop NAME' header"},
 		{"no schedule", nil, impossibleLoop, exitNoSched, ""},
 		{"deadline", []string{"-timeout", "1ns"}, goodLoop, exitNoSched, "deadline"},
+		{"besteffort deadline", []string{"-besteffort", "-timeout", "1ns"}, goodLoop, exitOK, "schedule produced by acyclic stage"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -114,6 +115,28 @@ func TestBestEffortWarnsOnDegradation(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "II=") {
 		t.Errorf("no schedule printed:\n%s", stdout)
+	}
+}
+
+// TestBestEffortDeadlineIsDeterministic: an expired deadline under
+// -besteffort must not race the degradation report — every run produces
+// the degenerate schedule, flushes the one-line warning, and exits 0.
+func TestBestEffortDeadlineIsDeterministic(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		code, stdout, stderr := runCase(t, []string{"-besteffort", "-timeout", "1ns"}, goodLoop)
+		if code != exitOK {
+			t.Fatalf("run %d: exit = %d, want %d\nstderr: %s", i, code, exitOK, stderr)
+		}
+		if !strings.Contains(stdout, "II=") {
+			t.Fatalf("run %d: no schedule printed:\n%s", i, stdout)
+		}
+		if !strings.Contains(stderr, "schedule produced by acyclic stage") {
+			t.Fatalf("run %d: degradation report missing from stderr: %q", i, stderr)
+		}
+		warn := strings.TrimRight(stderr, "\n")
+		if strings.Contains(warn, "\n") {
+			t.Fatalf("run %d: degradation warning not one line: %q", i, stderr)
+		}
 	}
 }
 

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestDeterministicAcrossWorkers pins the acceptance criterion end to
+// end: same -seed and -duration must produce byte-identical JSON for
+// any -workers value, and the current schedulers must come out clean.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	var outputs []string
+	for _, workers := range []string{"1", "2", "5"} {
+		code, stdout, stderr := runCLI(t,
+			"-seed", "1", "-duration", "250ms", "-workers", workers)
+		if code != exitOK {
+			t.Fatalf("workers=%s: exit %d, stderr: %s", workers, code, stderr)
+		}
+		outputs = append(outputs, stdout)
+	}
+	if outputs[0] != outputs[1] || outputs[0] != outputs[2] {
+		t.Error("JSON report differs across -workers values")
+	}
+	if !strings.Contains(outputs[0], `"seed": 1`) {
+		t.Errorf("report missing seed field:\n%s", outputs[0])
+	}
+}
+
+func TestDurationMapsToDeterministicCases(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-seed", "3", "-duration", "120ms")
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"cases": 12`) {
+		t.Errorf("120ms should map to exactly 12 cases:\n%s", stdout)
+	}
+}
+
+func TestExplicitCasesOverrideDuration(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-seed", "3", "-duration", "10s", "-cases", "2")
+	if code != exitOK {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, `"cases": 2`) {
+		t.Errorf("-cases 2 not honored:\n%s", stdout)
+	}
+}
+
+func TestOutFileAndSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	code, stdout, stderr := runCLI(t, "-seed", "2", "-cases", "3", "-out", path)
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if stdout != "" {
+		t.Error("-out should leave stdout empty")
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"machine": "cydra5"`) {
+		t.Errorf("report file incomplete:\n%s", b)
+	}
+	if !strings.Contains(stderr, "stress: seed=2 cases=3") {
+		t.Errorf("summary missing from stderr: %s", stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-machine", "pdp11"},
+		{"-badflag"},
+		{"positional"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != exitUsage {
+			t.Errorf("args %v: exit %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestOtherMachines(t *testing.T) {
+	for _, m := range []string{"generic", "tiny"} {
+		code, stdout, stderr := runCLI(t, "-seed", "5", "-cases", "5", "-machine", m)
+		if code != exitOK {
+			t.Fatalf("machine %s: exit %d, stderr: %s", m, code, stderr)
+		}
+		if !strings.Contains(stdout, fmt.Sprintf("%q: %q", "machine", m)) &&
+			!strings.Contains(stdout, fmt.Sprintf(`"machine": %q`, m)) {
+			t.Errorf("machine %s not recorded in report", m)
+		}
+	}
+}

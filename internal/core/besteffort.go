@@ -92,6 +92,21 @@ func ModuloScheduleBestEffort(ctx context.Context, l *ir.Loop, m *machine.Machin
 	return nil, nil, fmt.Errorf("core: loop %s: every best-effort stage failed: %w", l.Name, errors.Join(joined...))
 }
 
+// ModuloScheduleAcyclic runs only the final fallback stage: the acyclic
+// list schedule of one iteration reinterpreted as a degenerate modulo
+// schedule (II = schedule length, no iteration overlap). It exists for
+// callers that must deliver *some* verified schedule even after a
+// deadline has killed the real schedulers — the stage is deterministic,
+// allocation-light, and needs no II search, so it is safe to run without
+// a deadline of its own (cmd/msched's -besteffort does exactly that).
+// The stress harness also uses it as the differential baseline.
+func ModuloScheduleAcyclic(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return acyclicDegenerate(ctx, l, m, opts)
+}
+
 // acyclicDegenerate turns the acyclic list schedule of one iteration into
 // a legal (if entirely unpipelined) modulo schedule by choosing an II
 // large enough that (a) no reservation wraps around the MRT — so the

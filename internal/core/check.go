@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"modsched/internal/ir"
 )
 
 // Check verifies a Schedule against the definition of a legal modulo
@@ -11,6 +13,13 @@ import (
 // II cycles (verified by replaying all reservations into a fresh MRT).
 // ModuloSchedule runs this on every schedule it returns; tests and the
 // experiment harness also call it directly.
+//
+// The dependence rule is evaluated against delays recomputed here from
+// the machine model (opcode latencies, the Table 1 formulas, and per-edge
+// overrides) — never against the stored s.Delays vector alone. The stored
+// vector must agree with the recomputation; a scheduler bug that writes
+// stale or shrunken delays therefore cannot self-certify a schedule that
+// only satisfies its own corrupted view of the timing constraints.
 func Check(s *Schedule) error {
 	l := s.Loop
 	if s.II < 1 {
@@ -22,6 +31,7 @@ func Check(s *Schedule) error {
 	if s.Times[l.Start()] != 0 {
 		return fmt.Errorf("check %s: START scheduled at %d, want 0", l.Name, s.Times[l.Start()])
 	}
+	lat := make([]int, l.NumOps())
 	for i, op := range l.Ops {
 		if s.Times[i] < 0 {
 			return fmt.Errorf("check %s: op %d (%s) unscheduled", l.Name, i, op.Opcode)
@@ -33,21 +43,31 @@ func Check(s *Schedule) error {
 		if s.Alts[i] < 0 || s.Alts[i] >= len(oc.Alternatives) {
 			return fmt.Errorf("check %s: op %d selects alternative %d of %d", l.Name, i, s.Alts[i], len(oc.Alternatives))
 		}
+		lat[i] = oc.Latency
 	}
 	if want := s.Times[l.Stop()]; s.Length != want {
 		return fmt.Errorf("check %s: Length=%d but STOP at %d", l.Name, s.Length, want)
 	}
 
-	// Dependence constraints: t(to) >= t(from) + delay - II*distance.
+	// Dependence constraints: t(to) >= t(from) + delay - II*distance, with
+	// the delay recomputed from the machine model rather than trusted.
 	if len(s.Delays) != len(l.Edges) {
 		return fmt.Errorf("check %s: %d delays for %d edges", l.Name, len(s.Delays), len(l.Edges))
 	}
 	for ei, e := range l.Edges {
+		delay := ir.EdgeDelay(e.Kind, lat[e.From], lat[e.To], s.Options.DelayModel)
+		if e.DelayOverride != nil {
+			delay = *e.DelayOverride
+		}
+		if s.Delays[ei] != delay {
+			return fmt.Errorf("check %s: edge %d->%d (%s, dist %d) carries stale delay %d, machine model requires %d",
+				l.Name, e.From, e.To, e.Kind, e.Distance, s.Delays[ei], delay)
+		}
 		lhs := s.Times[e.To]
-		rhs := s.Times[e.From] + s.Delays[ei] - s.II*e.Distance
+		rhs := s.Times[e.From] + delay - s.II*e.Distance
 		if lhs < rhs {
 			return fmt.Errorf("check %s: edge %d->%d (%s, dist %d, delay %d) violated: t(%d)=%d < %d",
-				l.Name, e.From, e.To, e.Kind, e.Distance, s.Delays[ei], e.To, lhs, rhs)
+				l.Name, e.From, e.To, e.Kind, e.Distance, delay, e.To, lhs, rhs)
 		}
 	}
 

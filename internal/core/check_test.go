@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// TestCheckRecomputesDelays: a scheduler bug that records shrunken or
+// otherwise stale edge delays must not be able to self-certify. The
+// schedule below is legal, but its stored delay vector claims the fmul's
+// result is ready earlier than the machine model says — Check must reject
+// the schedule on the stale vector alone, even though the times satisfy
+// the (corrupted) stored delays.
+func TestCheckRecomputesDelays(t *testing.T) {
+	m := machine.Cydra5()
+	l := build(t, m, func(b *ir.Builder) {
+		x := b.Define("load", b.Invariant("p"))
+		y := b.Define("fmul", x, x)
+		b.Effect("store", b.Invariant("q"), y)
+		b.Effect("brtop")
+	})
+	s, err := ModuloSchedule(l, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s); err != nil {
+		t.Fatalf("pristine schedule rejected: %v", err)
+	}
+
+	for ei := range l.Edges {
+		bad := *s
+		bad.Delays = append([]int(nil), s.Delays...)
+		bad.Delays[ei]--
+		err := Check(&bad)
+		if err == nil {
+			t.Errorf("edge %d: shrunken stored delay self-certified", ei)
+			continue
+		}
+		if !strings.Contains(err.Error(), "stale delay") {
+			t.Errorf("edge %d: rejected for the wrong reason: %v", ei, err)
+		}
+	}
+}
+
+// TestCheckHonorsDelayOverrides: edges with an explicit DelayOverride are
+// recomputed from the override, not the Table 1 formula, so a legal
+// schedule over an overridden memory edge still passes — and a stored
+// delay disagreeing with the override still fails.
+func TestCheckHonorsDelayOverrides(t *testing.T) {
+	m := machine.Cydra5()
+	l := build(t, m, func(b *ir.Builder) {
+		x := b.Define("load", b.Invariant("p"))
+		st := b.Effect("store", b.Invariant("q"), x)
+		y := b.Define("load", b.Invariant("r"))
+		b.DepDelay(st, b.OpOf(y), ir.Mem, 0, 3)
+		b.Effect("brtop")
+	})
+	s, err := ModuloSchedule(l, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s); err != nil {
+		t.Fatalf("schedule with overridden edge rejected: %v", err)
+	}
+	// Find the overridden edge and corrupt its stored delay.
+	for ei, e := range l.Edges {
+		if e.DelayOverride == nil {
+			continue
+		}
+		bad := *s
+		bad.Delays = append([]int(nil), s.Delays...)
+		bad.Delays[ei] = *e.DelayOverride - 1
+		if err := Check(&bad); err == nil || !strings.Contains(err.Error(), "stale delay") {
+			t.Errorf("override edge %d: stale delay not caught: %v", ei, err)
+		}
+	}
+}
+
+// TestCheckDelayModelRespected: the recomputation must use the schedule's
+// own delay model; a conservative-model schedule is judged by conservative
+// delays, and swapping the model without recomputing the vector is caught.
+func TestCheckDelayModelRespected(t *testing.T) {
+	m := machine.Cydra5()
+	l := build(t, m, func(b *ir.Builder) {
+		x := b.Define("load", b.Invariant("p"))
+		y := b.Define("fadd", x, x)
+		b.Effect("store", b.Invariant("q"), y)
+		b.Effect("brtop")
+	})
+	opts := DefaultOptions()
+	opts.DelayModel = ir.ConservativeDelays
+	s, err := ModuloSchedule(l, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s); err != nil {
+		t.Fatalf("conservative-model schedule rejected: %v", err)
+	}
+
+	// The two models disagree on anti/output delays; build a loop with an
+	// anti dependence and verify a model swap is detected.
+	l2 := build(t, m, func(b *ir.Builder) {
+		x := b.Define("load", b.Invariant("p"))
+		st := b.Effect("store", b.Invariant("q"), x)
+		y := b.Define("load", b.Invariant("r"))
+		// Anti edge into the 20-cycle load: VLIW delay 1-20, conservative 0.
+		b.Dep(st, b.OpOf(y), ir.Anti, 1)
+		b.Effect("brtop")
+	})
+	s2, err := ModuloSchedule(l2, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *s2
+	bad.Options.DelayModel = ir.VLIWDelays
+	if err := Check(&bad); err == nil {
+		t.Error("delay-model swap with stale vector not caught")
+	}
+}

@@ -1,0 +1,372 @@
+// Package fault injects targeted, seeded corruptions into modulo
+// schedules, machine descriptions, and dependence graphs. Each fault
+// kind models a concrete class of scheduler bug — an operation placed
+// too early, a forgotten reservation, a stale latency — and is
+// constructed so that the corrupted schedule is guaranteed to be
+// illegal: applying the verification oracles (core.Check, the VLIW
+// simulator) to an injection and seeing it pass would prove the oracle
+// broken. This is mutation testing of the safety nets themselves.
+//
+// Injections never mutate the input schedule: the corrupted copy shares
+// nothing mutable with the original (loop, machine, and slices are all
+// deep-copied as needed). Kinds that cannot apply to a given schedule —
+// e.g. swapping an alternative on a machine where every alternative
+// fits — report ErrNotApplicable so harnesses can distinguish "no
+// injection possible" from "injection survived".
+//
+// Non-equivalence is established by an independent legality predicate
+// (moduloConflict, illegalAt below) rather than by core.Check, so the
+// oracle under test never certifies its own test inputs.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// Kind names one fault class. The string form appears in reports and
+// regression-case comments.
+type Kind string
+
+const (
+	// ShiftTime moves an operation one cycle before the earliest time a
+	// dependence edge permits (a scheduler that mis-evaluated Estart).
+	ShiftTime Kind = "shift-time"
+	// SwapAlt changes an operation's chosen alternative to one whose
+	// reservation table collides in the modulo reservation table (a
+	// scheduler that recorded the wrong functional-unit choice).
+	SwapAlt Kind = "swap-alt"
+	// DropReservation re-places an operation directly on top of another
+	// operation's reserved resource cell (a scheduler that forgot to
+	// consult the MRT when placing).
+	DropReservation Kind = "drop-reservation"
+	// ShrinkLatency decrements an opcode latency in a cloned machine
+	// while leaving the schedule's stored delay vector stale (a machine
+	// description drifting out from under a cached schedule).
+	ShrinkLatency Kind = "shrink-latency"
+	// DeleteEdge re-places an operation as if one of its incoming
+	// dependence edges did not exist, then validates against the true
+	// graph (a dependence-graph construction bug).
+	DeleteEdge Kind = "delete-edge"
+	// PerturbII changes the initiation interval to one at which the
+	// unchanged times/alternatives are illegal (an II bookkeeping bug).
+	PerturbII Kind = "perturb-ii"
+)
+
+// Catalog lists every fault kind. TestFaultCatalogCovered in the stress
+// package fails if a kind listed here has no detection assertion.
+func Catalog() []Kind {
+	return []Kind{ShiftTime, SwapAlt, DropReservation, ShrinkLatency, DeleteEdge, PerturbII}
+}
+
+// ErrNotApplicable reports that a fault kind has no way to corrupt the
+// given schedule (e.g. no two operations share a resource). It is a
+// per-(schedule, kind) outcome, not a failure.
+var ErrNotApplicable = errors.New("fault: kind not applicable to this schedule")
+
+// Injection is one applied corruption.
+type Injection struct {
+	Kind Kind
+	// Detail describes the specific corruption for reports.
+	Detail string
+	// Schedule is the corrupted deep copy; the original is untouched.
+	Schedule *core.Schedule
+}
+
+// Inject applies one corruption of the given kind to a copy of s, using
+// rng to pick among the applicable corruption sites. The input schedule
+// must be legal (oracles are asserted against the injection being the
+// only illegality). Returns ErrNotApplicable when the kind cannot
+// corrupt this schedule.
+func Inject(s *core.Schedule, kind Kind, rng *rand.Rand) (*Injection, error) {
+	var (
+		bad    *core.Schedule
+		detail string
+		err    error
+	)
+	switch kind {
+	case ShiftTime:
+		bad, detail, err = shiftTime(s, rng)
+	case SwapAlt:
+		bad, detail, err = swapAlt(s, rng)
+	case DropReservation:
+		bad, detail, err = dropReservation(s, rng)
+	case ShrinkLatency:
+		bad, detail, err = shrinkLatency(s, rng)
+	case DeleteEdge:
+		bad, detail, err = deleteEdge(s, rng)
+	case PerturbII:
+		bad, detail, err = perturbII(s, rng)
+	default:
+		return nil, fmt.Errorf("fault: unknown kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Injection{Kind: kind, Detail: detail, Schedule: bad}, nil
+}
+
+// clone deep-copies the mutable parts of a schedule. The machine is
+// shared (it is treated as immutable everywhere); shrinkLatency swaps in
+// its own machine.Clone.
+func clone(s *core.Schedule) *core.Schedule {
+	c := *s
+	c.Loop = s.Loop.Clone()
+	c.Times = append([]int(nil), s.Times...)
+	c.Alts = append([]int(nil), s.Alts...)
+	c.Delays = append([]int(nil), s.Delays...)
+	return &c
+}
+
+// shiftTime picks a non-self dependence edge and moves its sink one
+// cycle before the edge's earliest legal time. The edge is violated by
+// construction: t(to) = rhs-1 < rhs.
+func shiftTime(s *core.Schedule, rng *rand.Rand) (*core.Schedule, string, error) {
+	l := s.Loop
+	var cands []int
+	for ei, e := range l.Edges {
+		if e.From != e.To && e.To != l.Start() {
+			cands = append(cands, ei)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, "", ErrNotApplicable
+	}
+	ei := cands[rng.Intn(len(cands))]
+	e := l.Edges[ei]
+	rhs := s.Times[e.From] + s.Delays[ei] - s.II*e.Distance
+	bad := clone(s)
+	bad.Times[e.To] = rhs - 1
+	if e.To == l.Stop() {
+		bad.Length = rhs - 1
+	}
+	return bad, fmt.Sprintf("op %d moved %d -> %d, violating edge %d->%d (%s, dist %d, delay %d)",
+		e.To, s.Times[e.To], rhs-1, e.From, e.To, e.Kind, e.Distance, s.Delays[ei]), nil
+}
+
+// swapAlt looks for an (operation, alternative) pair whose swapped-in
+// reservation table collides in the replayed MRT; applicability is
+// decided by the independent moduloConflict predicate, never by the
+// oracle under test.
+func swapAlt(s *core.Schedule, rng *rand.Rand) (*core.Schedule, string, error) {
+	l := s.Loop
+	type cand struct{ op, alt int }
+	var cands []cand
+	for i, op := range l.Ops {
+		oc := s.Machine.MustOpcode(op.Opcode)
+		for a := range oc.Alternatives {
+			if a != s.Alts[i] {
+				cands = append(cands, cand{i, a})
+			}
+		}
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	alts := append([]int(nil), s.Alts...)
+	for _, c := range cands {
+		alts[c.op] = c.alt
+		if moduloConflict(s.Machine, l, s.Times, alts, s.II) {
+			bad := clone(s)
+			bad.Alts[c.op] = c.alt
+			return bad, fmt.Sprintf("op %d (%s) alternative %d -> %d collides in the MRT",
+				c.op, l.Ops[c.op].Opcode, s.Alts[c.op], c.alt), nil
+		}
+		alts[c.op] = s.Alts[c.op]
+	}
+	return nil, "", ErrNotApplicable
+}
+
+// dropReservation finds two operations whose reservation tables share a
+// resource and re-places the second so one of its uses lands exactly on
+// a cell the first holds. Because the original schedule was
+// conflict-free, the new time is a genuine change, and the replayed MRT
+// is oversubscribed by construction.
+func dropReservation(s *core.Schedule, rng *rand.Rand) (*core.Schedule, string, error) {
+	l := s.Loop
+	type cand struct {
+		a, b, newT int
+		res        machine.Resource
+	}
+	var cands []cand
+	for a := range l.Ops {
+		ta := s.ResourceTable(a)
+		if len(ta.Uses) == 0 {
+			continue
+		}
+		for b := range l.Ops {
+			if b == a {
+				continue
+			}
+			tb := s.ResourceTable(b)
+			for _, ua := range ta.Uses {
+				for _, ub := range tb.Uses {
+					if ua.Resource != ub.Resource {
+						continue
+					}
+					// Want (newT + ub.Time) ≡ (Times[a] + ua.Time)  (mod II).
+					newT := ((s.Times[a]+ua.Time-ub.Time)%s.II + s.II) % s.II
+					cands = append(cands, cand{a, b, newT, ua.Resource})
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, "", ErrNotApplicable
+	}
+	c := cands[rng.Intn(len(cands))]
+	bad := clone(s)
+	bad.Times[c.b] = c.newT
+	if c.b == l.Stop() {
+		bad.Length = c.newT
+	}
+	return bad, fmt.Sprintf("op %d moved %d -> %d onto op %d's reservation of %s",
+		c.b, s.Times[c.b], c.newT, c.a, s.Machine.ResourceName(c.res)), nil
+}
+
+// shrinkLatency clones the machine, decrements the latency of an opcode
+// the loop uses, and leaves the stored delay vector stale. Applicability
+// requires that the recomputed delay vector actually changes (Mem edges
+// and overrides are latency-independent), which guarantees the
+// hardened Check's stale-delay rule fires.
+func shrinkLatency(s *core.Schedule, rng *rand.Rand) (*core.Schedule, string, error) {
+	l := s.Loop
+	seen := map[string]bool{}
+	var names []string
+	for _, op := range l.Ops {
+		oc := s.Machine.MustOpcode(op.Opcode)
+		if !seen[op.Opcode] && oc.Latency >= 1 {
+			seen[op.Opcode] = true
+			names = append(names, op.Opcode)
+		}
+	}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	for _, name := range names {
+		cm := s.Machine.Clone()
+		oc := cm.MustOpcode(name)
+		oc.Latency--
+		newDelays, err := ir.Delays(l, cm, s.Options.DelayModel)
+		if err != nil {
+			continue
+		}
+		changed := false
+		for i := range newDelays {
+			if newDelays[i] != s.Delays[i] {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		bad := clone(s)
+		bad.Machine = cm
+		return bad, fmt.Sprintf("opcode %q latency %d -> %d with stale delay vector",
+			name, oc.Latency+1, oc.Latency), nil
+	}
+	return nil, "", ErrNotApplicable
+}
+
+// deleteEdge models a scheduler that never saw one incoming dependence
+// edge: its sink is re-placed at the earliest time every OTHER incoming
+// edge allows, and the result is validated against the true graph. The
+// edge is applicable only when ignoring it genuinely moves the sink
+// before its earliest legal time, so the violation is guaranteed; the
+// other incoming edges stay satisfied and earlier placement can only
+// slacken outgoing edges.
+func deleteEdge(s *core.Schedule, rng *rand.Rand) (*core.Schedule, string, error) {
+	l := s.Loop
+	type cand struct{ ei, newT int }
+	var cands []cand
+	for ei, e := range l.Edges {
+		if e.From == e.To || e.To == l.Start() {
+			continue
+		}
+		rhs := s.Times[e.From] + s.Delays[ei] - s.II*e.Distance
+		newT := 0
+		for oi, o := range l.Edges {
+			if oi == ei || o.To != e.To || o.From == o.To {
+				continue
+			}
+			if r := s.Times[o.From] + s.Delays[oi] - s.II*o.Distance; r > newT {
+				newT = r
+			}
+		}
+		if newT < rhs {
+			cands = append(cands, cand{ei, newT})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, "", ErrNotApplicable
+	}
+	c := cands[rng.Intn(len(cands))]
+	e := l.Edges[c.ei]
+	bad := clone(s)
+	bad.Times[e.To] = c.newT
+	if e.To == l.Stop() {
+		bad.Length = c.newT
+	}
+	return bad, fmt.Sprintf("op %d re-placed %d -> %d as if edge %d->%d (%s, dist %d) did not exist",
+		e.To, s.Times[e.To], c.newT, e.From, e.To, e.Kind, e.Distance), nil
+}
+
+// perturbII scans initiation intervals near the schedule's own and picks
+// one at which the unchanged times/alternatives are illegal, judged by
+// the independent predicate. Schedules loose enough to be legal at every
+// nearby II report ErrNotApplicable.
+func perturbII(s *core.Schedule, rng *rand.Rand) (*core.Schedule, string, error) {
+	var cands []int
+	lo := s.II - 3
+	if lo < 1 {
+		lo = 1
+	}
+	for ii := lo; ii <= s.II+3; ii++ {
+		if ii != s.II && illegalAt(s, ii) {
+			cands = append(cands, ii)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, "", ErrNotApplicable
+	}
+	ii := cands[rng.Intn(len(cands))]
+	bad := clone(s)
+	bad.II = ii
+	return bad, fmt.Sprintf("II %d -> %d with times unchanged", s.II, ii), nil
+}
+
+// moduloConflict is the independent resource-legality predicate: it
+// reports whether any two reservations (including two uses of one
+// table) land on the same (cycle mod ii, resource) cell.
+func moduloConflict(m *machine.Machine, l *ir.Loop, times, alts []int, ii int) bool {
+	occupied := make(map[[2]int]bool)
+	for i, op := range l.Ops {
+		tab := m.MustOpcode(op.Opcode).Alternatives[alts[i]].Table
+		for _, u := range tab.Uses {
+			t := ((times[i]+u.Time)%ii + ii) % ii
+			cell := [2]int{t, int(u.Resource)}
+			if occupied[cell] {
+				return true
+			}
+			occupied[cell] = true
+		}
+	}
+	return false
+}
+
+// illegalAt is the independent whole-schedule legality predicate at an
+// alternative initiation interval: some dependence edge violated, or
+// some resource cell oversubscribed.
+func illegalAt(s *core.Schedule, ii int) bool {
+	if ii < 1 {
+		return true
+	}
+	for ei, e := range s.Loop.Edges {
+		if s.Times[e.To] < s.Times[e.From]+s.Delays[ei]-ii*e.Distance {
+			return true
+		}
+	}
+	return moduloConflict(s.Machine, s.Loop, s.Times, s.Alts, ii)
+}

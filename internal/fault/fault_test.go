@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// denseLoop builds a loop that saturates the Cydra 5 memory ports (five
+// port reservations over two ports), so every fault kind — including
+// alternative swaps, which need a crowded MRT to collide — has at least
+// one applicable corruption site.
+func denseLoop(t *testing.T, m *machine.Machine) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("dense", m)
+	x1 := b.Define("load", b.Invariant("p1"))
+	x2 := b.Define("load", b.Invariant("p2"))
+	x3 := b.Define("load", b.Invariant("p3"))
+	x4 := b.Define("load", b.Invariant("p4"))
+	s1 := b.Define("fadd", x1, x2)
+	s2 := b.Define("fadd", x3, x4)
+	s3 := b.Define("fadd", s1, s2)
+	b.Effect("store", b.Invariant("q"), s3)
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func schedule(t *testing.T, l *ir.Loop, m *machine.Machine) *core.Schedule {
+	t.Helper()
+	s, err := core.ModuloSchedule(l, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Check(s); err != nil {
+		t.Fatalf("pristine schedule rejected: %v", err)
+	}
+	return s
+}
+
+// TestInjectionsAreDetectedByCheck is the package-local slice of the
+// mutation gate (the ≥1000-trial version over random loops lives in
+// internal/stress): every applied injection must be rejected by
+// core.Check, and every kind must apply at least once on the dense loop.
+func TestInjectionsAreDetectedByCheck(t *testing.T) {
+	m := machine.Cydra5()
+	s := schedule(t, denseLoop(t, m), m)
+	for _, kind := range Catalog() {
+		applied := 0
+		for seed := int64(0); seed < 50; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			inj, err := Inject(s, kind, rng)
+			if errors.Is(err, ErrNotApplicable) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", kind, seed, err)
+			}
+			applied++
+			if cerr := core.Check(inj.Schedule); cerr == nil {
+				t.Errorf("%s seed %d: injection passed Check: %s", kind, seed, inj.Detail)
+			}
+		}
+		if applied == 0 {
+			t.Errorf("%s: never applicable on the dense loop", kind)
+		}
+	}
+}
+
+// TestInjectDoesNotMutateInputs: the corrupted schedule must share no
+// mutable state with the original — times, alternatives, delays, loop
+// edges, and the machine description all stay intact.
+func TestInjectDoesNotMutateInputs(t *testing.T) {
+	m := machine.Cydra5()
+	s := schedule(t, denseLoop(t, m), m)
+
+	times := append([]int(nil), s.Times...)
+	alts := append([]int(nil), s.Alts...)
+	delays := append([]int(nil), s.Delays...)
+	edges := len(s.Loop.Edges)
+	loadLat := m.MustOpcode("load").Latency
+
+	for _, kind := range Catalog() {
+		for seed := int64(0); seed < 20; seed++ {
+			if _, err := Inject(s, kind, rand.New(rand.NewSource(seed))); err != nil && !errors.Is(err, ErrNotApplicable) {
+				t.Fatalf("%s: %v", kind, err)
+			}
+		}
+	}
+
+	for i := range times {
+		if s.Times[i] != times[i] || s.Alts[i] != alts[i] {
+			t.Fatalf("op %d placement mutated by injection", i)
+		}
+	}
+	for i := range delays {
+		if s.Delays[i] != delays[i] {
+			t.Fatalf("delay %d mutated by injection", i)
+		}
+	}
+	if len(s.Loop.Edges) != edges {
+		t.Fatal("loop edge set mutated by injection")
+	}
+	if m.MustOpcode("load").Latency != loadLat {
+		t.Fatal("machine description mutated by injection (shrink-latency must clone)")
+	}
+	if err := core.Check(s); err != nil {
+		t.Fatalf("original schedule no longer legal after injections: %v", err)
+	}
+}
+
+// TestInjectionDetailNamesTheKind: reports embed enough context to act
+// on — a non-empty detail and the corrupted schedule.
+func TestInjectionDetailNamesTheKind(t *testing.T) {
+	m := machine.Cydra5()
+	s := schedule(t, denseLoop(t, m), m)
+	for _, kind := range Catalog() {
+		inj, err := Inject(s, kind, rand.New(rand.NewSource(7)))
+		if errors.Is(err, ErrNotApplicable) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if inj.Kind != kind || inj.Detail == "" || inj.Schedule == nil {
+			t.Errorf("%s: incomplete injection record %+v", kind, inj)
+		}
+	}
+}
+
+func TestInjectUnknownKind(t *testing.T) {
+	m := machine.Cydra5()
+	s := schedule(t, denseLoop(t, m), m)
+	if _, err := Inject(s, Kind("melt-cpu"), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCatalogIsDistinct(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, k := range Catalog() {
+		if seen[k] {
+			t.Errorf("kind %s listed twice", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("catalog has %d kinds, want 6", len(seen))
+	}
+}
+
+// TestIndependentPredicateAgreesOnLegalSchedule: the applicability
+// predicate must call the pristine schedule legal at its own II —
+// otherwise every injection would be vacuous.
+func TestIndependentPredicateAgreesOnLegalSchedule(t *testing.T) {
+	m := machine.Cydra5()
+	s := schedule(t, denseLoop(t, m), m)
+	if illegalAt(s, s.II) {
+		t.Error("independent predicate rejects a legal schedule at its own II")
+	}
+}

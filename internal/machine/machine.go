@@ -298,6 +298,35 @@ func (m *Machine) Opcodes() []*Opcode {
 	return out
 }
 
+// Clone returns a deep copy of the machine: mutating the copy's
+// resources, opcodes, alternatives, or reservation tables never affects
+// the original. The fault injector uses this to corrupt machine
+// descriptions without poisoning the shared singletons (Cydra5 etc.).
+func (m *Machine) Clone() *Machine {
+	c := &Machine{
+		Name:      m.Name,
+		Resources: append([]string(nil), m.Resources...),
+		opcodes:   make(map[string]*Opcode, len(m.opcodes)),
+		order:     append([]string(nil), m.order...),
+	}
+	for name, op := range m.opcodes {
+		alts := make([]Alternative, len(op.Alternatives))
+		for i, a := range op.Alternatives {
+			alts[i] = Alternative{
+				Name:  a.Name,
+				Table: ReservationTable{Uses: append([]ResourceUse(nil), a.Table.Uses...)},
+			}
+		}
+		c.opcodes[name] = &Opcode{
+			Name:         op.Name,
+			Latency:      op.Latency,
+			Alternatives: alts,
+			Class:        op.Class,
+		}
+	}
+	return c
+}
+
 // NumResources is the number of machine resources.
 func (m *Machine) NumResources() int { return len(m.Resources) }
 

@@ -270,3 +270,42 @@ func TestBlockTableProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestClone: the copy is deep — corrupting the clone's latencies,
+// tables, resources, or opcode set never leaks into the original.
+func TestClone(t *testing.T) {
+	m := Cydra5()
+	c := m.Clone()
+
+	origLat := m.MustOpcode("fadd").Latency
+	c.MustOpcode("fadd").Latency = origLat + 7
+	if m.MustOpcode("fadd").Latency != origLat {
+		t.Error("clone shares Opcode structs with the original")
+	}
+
+	alt := &c.MustOpcode("fadd").Alternatives[0]
+	if len(alt.Table.Uses) == 0 {
+		t.Fatal("fadd alternative 0 has an empty table")
+	}
+	origRes := m.MustOpcode("fadd").Alternatives[0].Table.Uses[0].Resource
+	alt.Table.Uses[0].Resource = origRes + 1
+	if m.MustOpcode("fadd").Alternatives[0].Table.Uses[0].Resource != origRes {
+		t.Error("clone shares reservation-table backing arrays")
+	}
+
+	c.AddResource("extra")
+	if m.NumResources() == c.NumResources() {
+		t.Error("clone shares the Resources slice")
+	}
+
+	c.MustAddOpcode(&Opcode{Name: "cloneonly", Latency: 1,
+		Alternatives: []Alternative{{Name: "x", Table: SimpleTable(0)}}})
+	if _, ok := m.Opcode("cloneonly"); ok {
+		t.Error("clone shares the opcode map")
+	}
+	// Registration order must be copied too, for deterministic iteration.
+	if len(c.Opcodes()) != len(m.Opcodes())+1 {
+		t.Errorf("clone order slice inconsistent: %d vs %d opcodes",
+			len(c.Opcodes()), len(m.Opcodes()))
+	}
+}

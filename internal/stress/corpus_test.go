@@ -1,0 +1,99 @@
+package stress
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"modsched/internal/core"
+	"modsched/internal/looplang"
+	"modsched/internal/machine"
+)
+
+// corpusDir holds the checked-in regression corpus: hand-minimized
+// looplang cases (and any shrunken reproducers promoted from stress
+// runs) that every scheduler must keep handling.
+const corpusDir = "../../testdata/regressions"
+
+// corpusMachine resolves the `; machine: NAME` header of a corpus file.
+func corpusMachine(t *testing.T, src string) (*machine.Machine, string) {
+	t.Helper()
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, ";") {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+		if !strings.HasPrefix(rest, "machine:") {
+			continue
+		}
+		name := strings.TrimSpace(strings.TrimPrefix(rest, "machine:"))
+		switch name {
+		case "cydra5":
+			return machine.Cydra5(), name
+		case "generic":
+			return machine.Generic(machine.DefaultUnitConfig()), name
+		case "tiny":
+			return machine.Tiny(), name
+		default:
+			t.Fatalf("unknown `; machine:` header %q", name)
+		}
+	}
+	return machine.Cydra5(), "cydra5"
+}
+
+// TestRegressionCorpus replays every checked-in case through the full
+// oracle stack: all three schedulers, core.Check, kernel simulation
+// against the reference semantics, and the flat schema.
+func TestRegressionCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("regression corpus has %d cases, want at least 3", len(files))
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, _ := corpusMachine(t, string(src))
+			loop, err := looplang.Parse(string(src), m)
+			if err != nil {
+				t.Fatalf("corpus case does not parse: %v", err)
+			}
+
+			spec := Spec(loop, 6)
+			ref, err := runRef(loop, spec)
+			if err != nil {
+				t.Fatalf("reference semantics: %v", err)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for _, sch := range DefaultSchedulers() {
+				sched, err := sch.Fn(ctx, loop, m, core.DefaultOptions())
+				if err != nil {
+					t.Errorf("%s: no schedule: %v", sch.Name, err)
+					continue
+				}
+				if err := core.Check(sched); err != nil {
+					t.Errorf("%s: Check rejects: %v", sch.Name, err)
+					continue
+				}
+				if msg := simulateKernel(sched, m, spec, ref); msg != "" {
+					t.Errorf("%s: %s", sch.Name, msg)
+				}
+				if msg := simulateFlat(sched, loop, m, spec, ref); msg != "" {
+					t.Errorf("%s: %s", sch.Name, msg)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package stress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"modsched/internal/codegen"
+	"modsched/internal/core"
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/vliw"
+)
+
+// This file holds the oracle layers the harness applies to every
+// schedule, in escalation order:
+//
+//  1. core.Check   — structural legality (dependences, modulo resources);
+//  2. RunKernel    — cycle-accurate simulation of kernel-only code,
+//     compared against the sequential reference interpreter;
+//  3. RunFlatAnyTrips — the explicit prologue/kernel/epilogue schema,
+//     on a subset of cases (it shares most machinery with 2).
+//
+// Check catches schedules that violate their own invariants; simulation
+// catches schedules that are internally consistent but semantically
+// wrong (e.g. scheduled against a dependence graph missing an edge —
+// see TestSimulatorCatchesLostFlowEdge).
+
+// Spec builds a deterministic run specification for any loop: every
+// register referenced anywhere gets an initial value spaced 32768 words
+// apart, so concurrently-live address streams walk disjoint memory
+// regions (loopgen assumes, but does not encode, that separate arrays
+// do not alias). Memory starts empty; loads of untouched addresses read
+// zero identically in both interpreters.
+func Spec(l *ir.Loop, trips int64) vliw.RunSpec {
+	init := make(map[ir.Reg]vliw.Word)
+	add := func(r ir.Reg) {
+		if r == ir.NoReg {
+			return
+		}
+		if _, ok := init[r]; !ok {
+			init[r] = float64(1<<16 + int(r)*32768)
+		}
+	}
+	for _, op := range l.Ops {
+		add(op.Dest)
+		for _, r := range op.Srcs {
+			add(r)
+		}
+		add(op.Pred)
+	}
+	return vliw.RunSpec{Init: init, Mem: map[int64]vliw.Word{}, Trips: trips}
+}
+
+// equalWord compares machine words NaN-tolerantly: both sides perform
+// the identical float64 operations in the identical dataflow order, so
+// agreement is normally bitwise, but overflow chains (Inf - Inf) may
+// produce NaN on both sides and must compare equal.
+func equalWord(a, b vliw.Word) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// diffResults compares a simulated execution against the reference,
+// returning "" on agreement or a description of the first divergence
+// (lowest memory address, then lowest register, for determinism).
+func diffResults(ref, got *vliw.Result) string {
+	addrs := make([]int64, 0, len(ref.Mem)+len(got.Mem))
+	seen := make(map[int64]bool, len(ref.Mem)+len(got.Mem))
+	for a := range ref.Mem {
+		if !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	for a := range got.Mem {
+		if !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		if rv, gv := ref.Mem[a], got.Mem[a]; !equalWord(rv, gv) {
+			return fmt.Sprintf("mem[%d] = %v, reference %v", a, gv, rv)
+		}
+	}
+
+	regs := make([]int, 0, len(ref.Final))
+	for r := range ref.Final {
+		regs = append(regs, int(r))
+	}
+	sort.Ints(regs)
+	for _, ri := range regs {
+		r := ir.Reg(ri)
+		gv, ok := got.Final[r]
+		if !ok {
+			return fmt.Sprintf("final r%d missing (reference %v)", r, ref.Final[r])
+		}
+		if !equalWord(ref.Final[r], gv) {
+			return fmt.Sprintf("final r%d = %v, reference %v", r, gv, ref.Final[r])
+		}
+	}
+	return ""
+}
+
+// simulateKernel runs kernel-only code for the schedule and compares it
+// against the reference result. Returns "" on agreement.
+func simulateKernel(s *core.Schedule, m *machine.Machine, spec vliw.RunSpec, ref *vliw.Result) string {
+	kern, err := codegen.GenerateKernel(s)
+	if err != nil {
+		return fmt.Sprintf("codegen: %v", err)
+	}
+	got, err := vliw.RunKernel(kern, m, spec)
+	if err != nil {
+		return fmt.Sprintf("simulate: %v", err)
+	}
+	if d := diffResults(ref, got); d != "" {
+		return fmt.Sprintf("kernel(trips=%d): %s", spec.Trips, d)
+	}
+	return ""
+}
+
+// simulateFlat runs the explicit prologue/kernel/epilogue schema (with
+// preconditioning for arbitrary trip counts) and compares it against
+// the reference result. Returns "" on agreement.
+func simulateFlat(s *core.Schedule, l *ir.Loop, m *machine.Machine, spec vliw.RunSpec, ref *vliw.Result) string {
+	got, err := vliw.RunFlatAnyTrips(l, m, s, spec)
+	if err != nil {
+		return fmt.Sprintf("flat: %v", err)
+	}
+	if d := diffResults(ref, got); d != "" {
+		return fmt.Sprintf("flat(trips=%d): %s", spec.Trips, d)
+	}
+	return ""
+}

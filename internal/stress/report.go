@@ -1,0 +1,130 @@
+package stress
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// NominalCaseCost converts a -duration budget into a deterministic case
+// count: the report for a given (seed, duration) pair is a pure function
+// of those inputs, independent of the worker count, host speed, or wall
+// clock. 10ms per case is calibrated generously against the corpus
+// median so a duration budget overstates, never understates, the real
+// runtime by much.
+const NominalCaseCost = 10 * time.Millisecond
+
+// CasesForDuration maps a duration budget to the deterministic number of
+// stress cases it pays for (at least 1).
+func CasesForDuration(d time.Duration) int {
+	n := int(d / NominalCaseCost)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// MutationStat aggregates fault-injection outcomes for one fault kind.
+// The mutation-testing gate requires Survived == 0: every injected
+// corruption must be rejected by an oracle.
+type MutationStat struct {
+	Kind          string `json:"kind"`
+	Injected      int    `json:"injected"`
+	NotApplicable int    `json:"not_applicable"`
+	Detected      int    `json:"detected"`
+	Survived      int    `json:"survived"`
+}
+
+// DiffStat aggregates the differential-validation phase.
+type DiffStat struct {
+	// Cases is the number of generated loops.
+	Cases int `json:"cases"`
+	// Scheduled counts (scheduler, loop) pairs that produced a schedule.
+	Scheduled int `json:"scheduled"`
+	// Simulated counts kernel simulations compared against the reference.
+	Simulated int `json:"simulated"`
+	// FlatSimulated counts the subset also run through the explicit
+	// prologue/kernel/epilogue schema.
+	FlatSimulated int `json:"flat_simulated"`
+}
+
+// Failure is one detected problem: a scheduler error, an oracle
+// rejection of a production schedule, a semantics divergence, or a
+// mutation that survived all oracles. Every field is a deterministic
+// function of (seed, case index), so reports are reproducible.
+type Failure struct {
+	Case      int    `json:"case"`
+	Seed      int64  `json:"seed"`
+	Loop      string `json:"loop"`
+	Scheduler string `json:"scheduler,omitempty"`
+	// Oracle names the detecting (or, for mutation survivors, the
+	// failing) layer: schedule, check, simulate, reference, watchdog,
+	// mutation, panic.
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+	// Reproducer is the path of the shrunken looplang case, when one was
+	// written.
+	Reproducer string `json:"reproducer,omitempty"`
+}
+
+// Report is the complete outcome of one stress run. It deliberately
+// excludes wall-clock time, worker count, and host identity so that the
+// same (seed, cases) inputs serialize byte-identically anywhere; that
+// property is pinned by a test and is what lets CI diff reports.
+type Report struct {
+	Seed       int64          `json:"seed"`
+	Machine    string         `json:"machine"`
+	Cases      int            `json:"cases"`
+	Schedulers []string       `json:"schedulers"`
+	Mutation   []MutationStat `json:"mutation"`
+	Diff       DiffStat       `json:"differential"`
+	Failures   []Failure      `json:"failures"`
+}
+
+// Clean reports whether the run found nothing: no failures and no
+// surviving mutants.
+func (r *Report) Clean() bool {
+	if len(r.Failures) > 0 {
+		return false
+	}
+	for _, m := range r.Mutation {
+		if m.Survived > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// JSON serializes the report with stable formatting (indented, sorted
+// failures) for artifact diffing.
+func (r *Report) JSON() ([]byte, error) {
+	sort.SliceStable(r.Failures, func(i, j int) bool {
+		if r.Failures[i].Case != r.Failures[j].Case {
+			return r.Failures[i].Case < r.Failures[j].Case
+		}
+		if r.Failures[i].Scheduler != r.Failures[j].Scheduler {
+			return r.Failures[i].Scheduler < r.Failures[j].Scheduler
+		}
+		return r.Failures[i].Oracle < r.Failures[j].Oracle
+	})
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Summary renders a one-paragraph human digest for CLI stderr.
+func (r *Report) Summary() string {
+	survived := 0
+	injected := 0
+	for _, m := range r.Mutation {
+		injected += m.Injected
+		survived += m.Survived
+	}
+	return fmt.Sprintf(
+		"stress: seed=%d cases=%d machine=%s: %d schedules, %d simulations (%d flat); %d injections, %d survived; %d failures",
+		r.Seed, r.Cases, r.Machine, r.Diff.Scheduled, r.Diff.Simulated, r.Diff.FlatSimulated,
+		injected, survived, len(r.Failures))
+}

@@ -1,0 +1,186 @@
+package stress
+
+import (
+	"fmt"
+	"os"
+
+	"modsched/internal/ir"
+	"modsched/internal/looplang"
+	"modsched/internal/machine"
+)
+
+// This file minimizes failing loops into small looplang reproducers
+// (ddmin-lite): first remove operations in halving chunks, then remove
+// explicit dependence edges one at a time, re-running the failure
+// predicate after every candidate edit. Candidates are normalized by a
+// looplang Print/Parse round trip so the reproducer written to disk is
+// guaranteed to be the exact loop the predicate last saw failing —
+// derived flow/control edges, register classes, everything.
+
+// Shrink returns a minimized loop that still satisfies pred ("still
+// fails"). If the loop does not round-trip through looplang or pred
+// does not hold on the normalized form, the input is returned
+// unchanged. START, STOP, and the loop-closing branch are never
+// removed.
+func Shrink(l *ir.Loop, m *machine.Machine, pred func(*ir.Loop) bool) *ir.Loop {
+	best, ok := normalize(l, m)
+	if !ok || !pred(best) {
+		return l
+	}
+
+	// Phase 1: ddmin-lite over real operations, chunk size halving.
+	chunk := len(removableOps(best))
+	for chunk >= 1 {
+		ids := removableOps(best)
+		if chunk > len(ids) {
+			chunk = len(ids)
+		}
+		if chunk < 1 {
+			break
+		}
+		shrunk := false
+		for start := 0; start < len(ids); start += chunk {
+			end := start + chunk
+			if end > len(ids) {
+				end = len(ids)
+			}
+			cand, ok := normalize(removeOps(best, ids[start:end]), m)
+			if ok && pred(cand) {
+				best = cand
+				shrunk = true
+				break // op indices are stale; rescan at the same chunk size
+			}
+		}
+		if !shrunk {
+			chunk /= 2
+		}
+	}
+
+	// Phase 2: drop explicit (mem/anti/output) edges one at a time.
+	for {
+		dropped := false
+		for i, e := range best.Edges {
+			if e.Kind != ir.Mem && e.Kind != ir.Anti && e.Kind != ir.Output {
+				continue
+			}
+			cand, ok := normalize(removeEdge(best, i), m)
+			if ok && pred(cand) {
+				best = cand
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+	return best
+}
+
+// normalize round-trips a loop through the looplang text format so the
+// candidate tested by the predicate is structurally identical to the
+// reproducer eventually written to disk.
+func normalize(l *ir.Loop, m *machine.Machine) (*ir.Loop, bool) {
+	nl, err := looplang.Parse(looplang.Print(l), m)
+	if err != nil {
+		return nil, false
+	}
+	return nl, true
+}
+
+// removableOps lists the candidate indices for removal: every real
+// operation except the loop-closing branch (START/STOP are pseudo-ops
+// re-created by the builder).
+func removableOps(l *ir.Loop) []int {
+	var ids []int
+	for i, op := range l.Ops {
+		if op.IsPseudo() || op.Opcode == "brtop" {
+			continue
+		}
+		ids = append(ids, i)
+	}
+	return ids
+}
+
+// removeOps rebuilds the loop without the given operations. Edges with a
+// removed endpoint are dropped, surviving edges are reindexed, and
+// back-references (name@k) to registers whose defining operation was
+// removed are flattened to distance 0 — the register degrades to an
+// invariant, which is the only reading looplang accepts for an
+// undefined name.
+func removeOps(l *ir.Loop, ids []int) *ir.Loop {
+	drop := make(map[int]bool, len(ids))
+	for _, i := range ids {
+		drop[i] = true
+	}
+	nl := &ir.Loop{Name: l.Name, EntryFreq: l.EntryFreq, LoopFreq: l.LoopFreq}
+	remap := make(map[int]int, len(l.Ops))
+	defined := make(map[ir.Reg]bool)
+	for i, op := range l.Ops {
+		if drop[i] {
+			continue
+		}
+		c := *op
+		c.Srcs = append([]ir.Reg(nil), op.Srcs...)
+		if op.SrcDists != nil {
+			c.SrcDists = append([]int(nil), op.SrcDists...)
+		}
+		c.ID = len(nl.Ops)
+		remap[i] = c.ID
+		nl.Ops = append(nl.Ops, &c)
+		if c.Dest != ir.NoReg {
+			defined[c.Dest] = true
+		}
+	}
+	for _, op := range nl.Ops {
+		for si := range op.SrcDists {
+			if op.SrcDists[si] != 0 && !defined[op.Srcs[si]] {
+				op.SrcDists[si] = 0
+			}
+		}
+		if op.PredDist != 0 && !defined[op.Pred] {
+			op.PredDist = 0
+		}
+	}
+	for _, e := range l.Edges {
+		f, okF := remap[e.From]
+		t, okT := remap[e.To]
+		if !okF || !okT {
+			continue
+		}
+		ne := e
+		ne.From, ne.To = f, t
+		if e.DelayOverride != nil {
+			d := *e.DelayOverride
+			ne.DelayOverride = &d
+		}
+		nl.Edges = append(nl.Edges, ne)
+	}
+	return nl
+}
+
+// removeEdge clones the loop without edge i.
+func removeEdge(l *ir.Loop, i int) *ir.Loop {
+	nl := l.Clone()
+	nl.Edges = append(nl.Edges[:i:i], nl.Edges[i+1:]...)
+	return nl
+}
+
+// RealOps counts the loop's operations excluding START and STOP — the
+// size metric for reproducers.
+func RealOps(l *ir.Loop) int {
+	n := 0
+	for _, op := range l.Ops {
+		if !op.IsPseudo() {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteReproducer writes a looplang reproducer with a provenance header
+// (seed, machine, oracle — everything needed to replay the failure).
+func WriteReproducer(path, header string, l *ir.Loop) error {
+	body := fmt.Sprintf("%s\n%s", header, looplang.Print(l))
+	return os.WriteFile(path, []byte(body), 0o644)
+}

@@ -1,0 +1,406 @@
+// Package stress is the repository's adversarial validation harness. It
+// does two jobs, both organized around the oracle hierarchy described
+// in docs/robustness.md:
+//
+//   - Mutation testing of the oracles: internal/fault applies targeted,
+//     guaranteed-illegal corruptions to real schedules, and the harness
+//     asserts the oracles reject every single one. An injection that
+//     survives is a hole in the safety net, reported as a failure.
+//
+//   - Differential validation of the schedulers: thousands of seeded
+//     loopgen loops are scheduled by the iterative, slack, and acyclic
+//     baseline schedulers; every schedule is verified by core.Check and
+//     replayed through the VLIW simulator against the sequential
+//     reference semantics, under a per-case watchdog deadline reusing
+//     the core cancellation plumbing.
+//
+// Every result is a deterministic function of (seed, case count): work
+// is distributed with experiments.ParallelFor over per-case slots and
+// folded in case order, so the JSON report is byte-identical for any
+// worker count. Failing cases are shrunk to minimal looplang
+// reproducers and written to a regression directory with the seed
+// recorded.
+package stress
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"modsched/internal/core"
+	"modsched/internal/experiments"
+	"modsched/internal/fault"
+	"modsched/internal/ir"
+	"modsched/internal/loopgen"
+	"modsched/internal/machine"
+	"modsched/internal/vliw"
+)
+
+// SchedFunc is the scheduler signature under test.
+type SchedFunc func(ctx context.Context, l *ir.Loop, m *machine.Machine, opts core.Options) (*core.Schedule, error)
+
+// Scheduler is a named scheduler entry in the differential lineup.
+type Scheduler struct {
+	Name string
+	Fn   SchedFunc
+}
+
+// DefaultSchedulers is the production lineup: the paper's iterative
+// scheduler, Huff's slack scheduler, and the unpipelined acyclic list
+// baseline. All three must produce verified schedules that agree with
+// the sequential reference semantics.
+func DefaultSchedulers() []Scheduler {
+	return []Scheduler{
+		{Name: "iterative", Fn: core.ModuloScheduleContext},
+		{Name: "slack", Fn: core.ModuloScheduleSlackContext},
+		{Name: "acyclic", Fn: core.ModuloScheduleAcyclic},
+	}
+}
+
+// Config parameterizes a stress run. The zero value is completed by
+// defaults (Cydra 5, production schedulers, 30s watchdog, 1 case).
+type Config struct {
+	// Seed drives every random choice; same seed, same report.
+	Seed int64
+	// Cases is the number of generated loops (use CasesForDuration to
+	// derive it from a time budget deterministically).
+	Cases int
+	// Workers bounds the parallelism (<=0 = GOMAXPROCS). It never
+	// affects the report contents.
+	Workers int
+	// Machine is the target (default Cydra5); MachineName labels it in
+	// reports and reproducers.
+	Machine     *machine.Machine
+	MachineName string
+	// Timeout is the per-case watchdog deadline for each scheduler call
+	// (default 30s — cases normally take milliseconds, so expiry means a
+	// hang, which is itself a reportable failure).
+	Timeout time.Duration
+	// Schedulers overrides the lineup (tests plant bugs by wrapping the
+	// real scheduler with a corrupting post-pass).
+	Schedulers []Scheduler
+	// NoMutation skips the fault-injection phase (the zero value runs
+	// everything).
+	NoMutation bool
+	// RegressionDir, when non-empty, receives shrunken looplang
+	// reproducers for every failing case.
+	RegressionDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cases < 1 {
+		c.Cases = 1
+	}
+	if c.Machine == nil {
+		c.Machine = machine.Cydra5()
+		c.MachineName = "cydra5"
+	}
+	if c.MachineName == "" {
+		c.MachineName = c.Machine.Name
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Schedulers == nil {
+		c.Schedulers = DefaultSchedulers()
+	}
+	return c
+}
+
+// caseSeed derives the per-case seed. Nonzero by construction
+// (loopgen treats seed 0 as "use the default corpus seed").
+func caseSeed(seed int64, i int) int64 {
+	s := seed + int64(i)*0x9E3779B9 + 1
+	if s == 0 {
+		s = 42
+	}
+	return s
+}
+
+// caseResult is one case's slot: workers communicate only through these,
+// and Run folds them in case order, which is what makes the report
+// independent of scheduling interleavings.
+type caseResult struct {
+	mutation  []MutationStat
+	failures  []Failure
+	scheduled int
+	simulated int
+	flat      int
+}
+
+// Run executes the stress campaign and returns its report. The error is
+// non-nil only for harness-level problems (context canceled, unwritable
+// regression directory); detected scheduler/oracle problems are data,
+// reported in Report.Failures.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.RegressionDir != "" {
+		if err := os.MkdirAll(cfg.RegressionDir, 0o755); err != nil {
+			return nil, fmt.Errorf("stress: %w", err)
+		}
+	}
+
+	slots := make([]caseResult, cfg.Cases)
+	err := experiments.ParallelFor(ctx, cfg.Cases, cfg.Workers, func(ctx context.Context, i int) error {
+		slots[i] = runCase(ctx, cfg, i)
+		return ctx.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Seed:    cfg.Seed,
+		Machine: cfg.MachineName,
+		Cases:   cfg.Cases,
+		Diff:    DiffStat{Cases: cfg.Cases},
+	}
+	for _, s := range cfg.Schedulers {
+		rep.Schedulers = append(rep.Schedulers, s.Name)
+	}
+	kinds := fault.Catalog()
+	rep.Mutation = make([]MutationStat, len(kinds))
+	for k, kind := range kinds {
+		rep.Mutation[k].Kind = string(kind)
+	}
+	for _, slot := range slots {
+		rep.Diff.Scheduled += slot.scheduled
+		rep.Diff.Simulated += slot.simulated
+		rep.Diff.FlatSimulated += slot.flat
+		rep.Failures = append(rep.Failures, slot.failures...)
+		for k := range slot.mutation {
+			rep.Mutation[k].Injected += slot.mutation[k].Injected
+			rep.Mutation[k].NotApplicable += slot.mutation[k].NotApplicable
+			rep.Mutation[k].Detected += slot.mutation[k].Detected
+			rep.Mutation[k].Survived += slot.mutation[k].Survived
+		}
+	}
+	if rep.Failures == nil {
+		rep.Failures = []Failure{}
+	}
+	return rep, nil
+}
+
+// runCase executes one end-to-end case: generate, schedule with every
+// lineup entry, verify, simulate, inject faults, and shrink anything
+// that failed. It never fails the harness; everything it finds becomes
+// Failure records in its slot.
+func runCase(ctx context.Context, cfg Config, idx int) (res caseResult) {
+	seed := caseSeed(cfg.Seed, idx)
+	res.mutation = make([]MutationStat, len(fault.Catalog()))
+
+	loop, err := genLoop(seed, cfg.Machine)
+	if err != nil {
+		res.failures = append(res.failures, Failure{
+			Case: idx, Seed: seed, Oracle: "generate", Detail: err.Error()})
+		return res
+	}
+	trips := 1 + (seed>>3)&7 // 1..8, deterministic per case
+	spec := Spec(loop, trips)
+	ref, err := runRef(loop, spec)
+	if err != nil {
+		res.failures = append(res.failures, Failure{
+			Case: idx, Seed: seed, Loop: loop.Name, Oracle: "reference", Detail: err.Error()})
+		return res
+	}
+
+	opts := core.DefaultOptions()
+	var mutTarget *core.Schedule
+	for _, sch := range cfg.Schedulers {
+		fail := func(oracle, detail string) {
+			res.failures = append(res.failures, Failure{
+				Case: idx, Seed: seed, Loop: loop.Name,
+				Scheduler: sch.Name, Oracle: oracle, Detail: detail,
+			})
+		}
+		sched, err := runSchedulerGuarded(ctx, cfg.Timeout, sch, loop, cfg.Machine, opts)
+		if err != nil {
+			switch {
+			case ctx.Err() != nil:
+				// Whole-run cancellation, not a finding.
+			case errors.Is(err, context.DeadlineExceeded):
+				fail("watchdog", fmt.Sprintf("no schedule within %v: %v", cfg.Timeout, err))
+			default:
+				fail("schedule", err.Error())
+			}
+			continue
+		}
+		res.scheduled++
+		if cerr := checkGuarded(sched); cerr != nil {
+			fail("check", cerr.Error())
+			continue
+		}
+		if mutTarget == nil {
+			mutTarget = sched
+		}
+		if msg := simGuarded(func() string { return simulateKernel(sched, cfg.Machine, spec, ref) }); msg != "" {
+			fail("simulate", msg)
+			continue
+		}
+		res.simulated++
+		if idx%5 == 0 {
+			if msg := simGuarded(func() string { return simulateFlat(sched, loop, cfg.Machine, spec, ref) }); msg != "" {
+				fail("simulate", msg)
+				continue
+			}
+			res.flat++
+		}
+	}
+
+	// Mutation phase: corrupt the first verified schedule six ways and
+	// demand the legality oracle rejects every applied injection.
+	if !cfg.NoMutation && mutTarget != nil {
+		for k, kind := range fault.Catalog() {
+			rng := rand.New(rand.NewSource(seed ^ int64(k+1)*104729))
+			inj, err := fault.Inject(mutTarget, kind, rng)
+			if errors.Is(err, fault.ErrNotApplicable) {
+				res.mutation[k].NotApplicable++
+				continue
+			}
+			if err != nil {
+				res.failures = append(res.failures, Failure{
+					Case: idx, Seed: seed, Loop: loop.Name, Oracle: "mutation",
+					Detail: fmt.Sprintf("%s: injector error: %v", kind, err)})
+				continue
+			}
+			res.mutation[k].Injected++
+			if checkGuarded(inj.Schedule) != nil {
+				res.mutation[k].Detected++
+			} else {
+				res.mutation[k].Survived++
+				res.failures = append(res.failures, Failure{
+					Case: idx, Seed: seed, Loop: loop.Name, Oracle: "mutation",
+					Detail: fmt.Sprintf("%s survived Check: %s", kind, inj.Detail)})
+			}
+		}
+	}
+
+	// Shrink the first differential failure to a minimal reproducer.
+	if cfg.RegressionDir != "" {
+		for fi := range res.failures {
+			f := &res.failures[fi]
+			if f.Oracle != "schedule" && f.Oracle != "check" && f.Oracle != "simulate" && f.Oracle != "watchdog" {
+				continue
+			}
+			path, err := shrinkToFile(cfg, loop, trips, *f)
+			if err == nil {
+				f.Reproducer = path
+			}
+			break
+		}
+	}
+	return res
+}
+
+// genLoop generates the idx-independent single loop for a case seed.
+func genLoop(seed int64, m *machine.Machine) (*ir.Loop, error) {
+	loops, err := loopgen.Generate(loopgen.Config{Seed: seed, N: 1}, m)
+	if err != nil {
+		return nil, err
+	}
+	return loops[0], nil
+}
+
+// runSchedulerGuarded runs one scheduler under the per-case watchdog,
+// converting panics (which the core schedulers already contain, but
+// test-planted wrappers may not) into errors.
+func runSchedulerGuarded(ctx context.Context, timeout time.Duration, sch Scheduler,
+	l *ir.Loop, m *machine.Machine, opts core.Options) (s *core.Schedule, err error) {
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			s, err = nil, fmt.Errorf("panic in scheduler %s: %v", sch.Name, r)
+		}
+	}()
+	return sch.Fn(cctx, l, m, opts)
+}
+
+// checkGuarded applies core.Check, containing panics on garbage
+// schedules (an injection can place reservations at wild times).
+func checkGuarded(s *core.Schedule) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic in Check: %v", r)
+		}
+	}()
+	return core.Check(s)
+}
+
+// runRef runs the reference interpreter with panic containment.
+func runRef(l *ir.Loop, spec vliw.RunSpec) (res *vliw.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("panic in reference: %v", r)
+		}
+	}()
+	return vliw.RunReference(l, spec)
+}
+
+// simGuarded contains panics from code generation or simulation.
+func simGuarded(f func() string) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprintf("panic in simulation: %v", r)
+		}
+	}()
+	return f()
+}
+
+// shrinkToFile minimizes the failing loop under "the same scheduler
+// still fails the same oracle" and writes the looplang reproducer.
+func shrinkToFile(cfg Config, loop *ir.Loop, trips int64, f Failure) (string, error) {
+	var sch Scheduler
+	for _, s := range cfg.Schedulers {
+		if s.Name == f.Scheduler {
+			sch = s
+		}
+	}
+	if sch.Fn == nil {
+		return "", fmt.Errorf("stress: unknown scheduler %q", f.Scheduler)
+	}
+	pred := func(cand *ir.Loop) bool {
+		return caseFails(cfg, sch, cand, trips, f.Oracle)
+	}
+	min := Shrink(loop, cfg.Machine, pred)
+	path := filepath.Join(cfg.RegressionDir, fmt.Sprintf("seed%d_case%d.loop", cfg.Seed, f.Case))
+	header := fmt.Sprintf("; machine: %s\n; seed: %d\n; case: %d\n; scheduler: %s\n; oracle: %s\n; detail: %s\n",
+		cfg.MachineName, f.Seed, f.Case, f.Scheduler, f.Oracle, f.Detail)
+	if err := WriteReproducer(path, header, min); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// caseFails replays the failure recipe on a candidate loop: schedule
+// with the named scheduler, then apply the oracle that originally
+// fired. Used as the shrinking predicate.
+func caseFails(cfg Config, sch Scheduler, l *ir.Loop, trips int64, oracle string) bool {
+	sched, err := runSchedulerGuarded(context.Background(), cfg.Timeout, sch, l, cfg.Machine, core.DefaultOptions())
+	if err != nil {
+		return oracle == "schedule" || oracle == "watchdog"
+	}
+	if oracle == "schedule" || oracle == "watchdog" {
+		return false
+	}
+	cerr := checkGuarded(sched)
+	if oracle == "check" {
+		return cerr != nil
+	}
+	if cerr != nil {
+		return false // different failure class; not the bug being minimized
+	}
+	spec := Spec(l, trips)
+	ref, err := runRef(l, spec)
+	if err != nil {
+		return false
+	}
+	return simGuarded(func() string { return simulateKernel(sched, cfg.Machine, spec, ref) }) != ""
+}

@@ -1,0 +1,404 @@
+package stress
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"modsched/internal/core"
+	"modsched/internal/fault"
+	"modsched/internal/ir"
+	"modsched/internal/looplang"
+	"modsched/internal/machine"
+)
+
+func TestCasesForDuration(t *testing.T) {
+	if got := CasesForDuration(0); got != 1 {
+		t.Errorf("CasesForDuration(0) = %d, want 1", got)
+	}
+	if got := CasesForDuration(10 * time.Second); got != 1000 {
+		t.Errorf("CasesForDuration(10s) = %d, want 1000", got)
+	}
+	if got := CasesForDuration(25 * time.Millisecond); got != 2 {
+		t.Errorf("CasesForDuration(25ms) = %d, want 2", got)
+	}
+}
+
+// TestRunCleanOnCurrentSchedulers is the core differential claim: on a
+// seeded corpus, every production scheduler produces schedules that pass
+// Check and agree with the reference semantics, and every injected fault
+// is caught. Zero real failures expected.
+func TestRunCleanOnCurrentSchedulers(t *testing.T) {
+	rep, err := Run(context.Background(), Config{Seed: 1, Cases: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		b, _ := rep.JSON()
+		t.Fatalf("stress run not clean:\n%s", b)
+	}
+	if want := 40 * len(DefaultSchedulers()); rep.Diff.Scheduled != want {
+		t.Errorf("scheduled %d of %d (some scheduler failed silently)", rep.Diff.Scheduled, want)
+	}
+	if rep.Diff.Simulated != rep.Diff.Scheduled {
+		t.Errorf("simulated %d != scheduled %d", rep.Diff.Simulated, rep.Diff.Scheduled)
+	}
+	if rep.Diff.FlatSimulated == 0 {
+		t.Error("flat-schema simulation never ran")
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the byte-identical-JSON
+// acceptance criterion at the library level (cmd/stress pins it again
+// end to end): worker count must not influence the report.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	var reports [][]byte
+	for _, workers := range []int{1, 3, 8} {
+		rep, err := Run(context.Background(), Config{Seed: 7, Cases: 25, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, b)
+	}
+	if !bytes.Equal(reports[0], reports[1]) || !bytes.Equal(reports[0], reports[2]) {
+		t.Error("report JSON differs across worker counts")
+	}
+}
+
+// TestFaultCatalogCovered is the mutation-testing gate from the issue:
+// over at least 1000 seeded injection trials on random loops, every
+// fault kind must be applied and every applied injection must be
+// detected. The final loop over fault.Catalog() makes the test fail if
+// a newly added kind lacks a detection assertion here.
+func TestFaultCatalogCovered(t *testing.T) {
+	rep, err := Run(context.Background(), Config{Seed: 2, Cases: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		b, _ := rep.JSON()
+		t.Fatalf("stress run not clean:\n%s", b)
+	}
+	total := 0
+	byKind := map[string]MutationStat{}
+	for _, ms := range rep.Mutation {
+		byKind[ms.Kind] = ms
+		total += ms.Injected
+	}
+	if total < 1000 {
+		t.Errorf("only %d injections across the run, want >= 1000 (raise Cases)", total)
+	}
+	for _, kind := range fault.Catalog() {
+		ms, ok := byKind[string(kind)]
+		if !ok {
+			t.Errorf("fault kind %q has no detection assertion: missing from the report", kind)
+			continue
+		}
+		if ms.Injected == 0 {
+			t.Errorf("fault kind %q was never applicable on 300 random loops", kind)
+		}
+		if ms.Survived != 0 || ms.Detected != ms.Injected {
+			t.Errorf("fault kind %q: %d/%d detected, %d survived — oracle hole",
+				kind, ms.Detected, ms.Injected, ms.Survived)
+		}
+	}
+}
+
+// lostEdgeLoop builds load -> fadd -> store where the fadd truly
+// depends on the load.
+func lostEdgeLoop(t *testing.T, m *machine.Machine) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("lost_edge", m)
+	x := b.Define("load", b.Invariant("p"))
+	y := b.Define("fadd", x, b.Invariant("c"))
+	b.Effect("store", b.Invariant("q"), y)
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestSimulatorCatchesLostFlowEdge demonstrates why the simulator sits
+// above core.Check in the oracle hierarchy: schedule a loop whose
+// dependence graph lost a flow edge. The schedule is self-consistent —
+// Check passes, because Check can only verify a schedule against its
+// own graph — but replaying it against the reference semantics of the
+// true dataflow catches the early read.
+func TestSimulatorCatchesLostFlowEdge(t *testing.T) {
+	m := machine.Cydra5()
+	truth := lostEdgeLoop(t, m)
+
+	broken := truth.Clone()
+	var kept []ir.Edge
+	deleted := 0
+	for _, e := range broken.Edges {
+		if e.Kind == ir.Flow && broken.Ops[e.From].Opcode == "load" && broken.Ops[e.To].Opcode == "fadd" {
+			deleted++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	broken.Edges = kept
+	if deleted == 0 {
+		t.Fatal("no load->fadd flow edge to delete")
+	}
+
+	sched, err := core.ModuloSchedule(broken, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Check(sched); err != nil {
+		t.Fatalf("Check should accept the self-consistent schedule: %v", err)
+	}
+	var loadAt, faddAt int
+	for i, op := range broken.Ops {
+		switch op.Opcode {
+		case "load":
+			loadAt = sched.Times[i]
+		case "fadd":
+			faddAt = sched.Times[i]
+		}
+	}
+	if faddAt >= loadAt+m.MustOpcode("load").Latency {
+		t.Skip("scheduler did not exploit the missing edge; nothing to catch")
+	}
+
+	// Seed memory at the load's address: an empty memory would make the
+	// correctly-loaded value and the stale too-early read both zero.
+	spec := Spec(truth, 4)
+	for _, op := range truth.Ops {
+		if op.Opcode == "load" {
+			spec.Mem[int64(spec.Init[op.Srcs[0]])] = 7777
+		}
+	}
+	ref, err := runRef(truth, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := simulateKernel(sched, m, spec, ref); msg == "" {
+		t.Error("simulator agreed with reference despite a violated true dependence")
+	}
+}
+
+// plantSchedulers returns a lineup with one deliberately buggy entry: it
+// runs the real iterative scheduler, then shifts one operation to
+// violate a flow dependence between real operations.
+func plantSchedulers() []Scheduler {
+	corrupt := func(ctx context.Context, l *ir.Loop, m *machine.Machine, opts core.Options) (*core.Schedule, error) {
+		s, err := core.ModuloScheduleContext(ctx, l, m, opts)
+		if err != nil || s == nil {
+			return s, err
+		}
+		for i, e := range s.Loop.Edges {
+			if e.Kind != ir.Flow || e.From == e.To {
+				continue
+			}
+			if s.Loop.Ops[e.From].IsPseudo() || s.Loop.Ops[e.To].IsPseudo() {
+				continue
+			}
+			rhs := s.Times[e.From] + s.Delays[i] - s.II*e.Distance
+			if rhs-1 < 0 {
+				continue
+			}
+			s.Times[e.To] = rhs - 1
+			return s, nil
+		}
+		return s, nil
+	}
+	return []Scheduler{{Name: "planted", Fn: corrupt}}
+}
+
+// TestPlantedBugIsCaughtAndShrunk is the end-to-end shrinker criterion:
+// plant a scheduler bug, let the harness detect it, and require the
+// written reproducer to (a) have at most 12 real operations, (b) still
+// fail under the planted scheduler, and (c) pass under the real one.
+func TestPlantedBugIsCaughtAndShrunk(t *testing.T) {
+	m := machine.Cydra5()
+	dir := t.TempDir()
+	rep, err := Run(context.Background(), Config{
+		Seed:          11,
+		Cases:         5,
+		Schedulers:    plantSchedulers(),
+		NoMutation:    true,
+		RegressionDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("planted scheduler bug was not detected")
+	}
+
+	var repro string
+	for _, f := range rep.Failures {
+		if f.Oracle != "check" {
+			t.Errorf("planted bug reported as oracle %q, want check: %s", f.Oracle, f.Detail)
+		}
+		if f.Reproducer != "" {
+			repro = f.Reproducer
+		}
+	}
+	if repro == "" {
+		t.Fatal("no reproducer written for the planted bug")
+	}
+	src, err := os.ReadFile(repro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "; seed:") || !strings.Contains(string(src), "; machine: cydra5") {
+		t.Error("reproducer header missing seed or machine provenance")
+	}
+
+	min, err := looplang.Parse(string(src), m)
+	if err != nil {
+		t.Fatalf("reproducer does not re-parse: %v", err)
+	}
+	if n := RealOps(min); n > 12 {
+		t.Errorf("reproducer has %d real ops, want <= 12", n)
+	}
+
+	// Minimized case still fails under the planted scheduler...
+	planted := plantSchedulers()[0]
+	bad, err := planted.Fn(context.Background(), min, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("planted scheduler errored on minimized loop: %v", err)
+	}
+	if core.Check(bad) == nil {
+		t.Error("minimized reproducer no longer triggers the planted bug")
+	}
+	// ...and is clean once the bug is unplanted.
+	good, err := core.ModuloSchedule(min, m, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("real scheduler failed on minimized loop: %v", err)
+	}
+	if err := core.Check(good); err != nil {
+		t.Errorf("real scheduler fails on minimized loop: %v", err)
+	}
+}
+
+// TestWatchdogCatchesHang exercises the per-case deadline: a scheduler
+// that never returns until canceled becomes a watchdog failure, and the
+// run completes rather than hanging.
+func TestWatchdogCatchesHang(t *testing.T) {
+	hang := Scheduler{Name: "hang", Fn: func(ctx context.Context, l *ir.Loop, m *machine.Machine, opts core.Options) (*core.Schedule, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	rep, err := Run(context.Background(), Config{
+		Seed:       3,
+		Cases:      2,
+		Timeout:    30 * time.Millisecond,
+		Schedulers: []Scheduler{hang},
+		NoMutation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 2 {
+		t.Fatalf("got %d failures, want 2 watchdog failures", len(rep.Failures))
+	}
+	for _, f := range rep.Failures {
+		if f.Oracle != "watchdog" {
+			t.Errorf("oracle %q, want watchdog: %s", f.Oracle, f.Detail)
+		}
+	}
+}
+
+// TestPanicInSchedulerIsContained: a panicking scheduler is a failure
+// record, not a crashed harness.
+func TestPanicInSchedulerIsContained(t *testing.T) {
+	boom := Scheduler{Name: "boom", Fn: func(ctx context.Context, l *ir.Loop, m *machine.Machine, opts core.Options) (*core.Schedule, error) {
+		panic("kaboom")
+	}}
+	rep, err := Run(context.Background(), Config{
+		Seed: 4, Cases: 1, Schedulers: []Scheduler{boom}, NoMutation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0].Detail, "kaboom") {
+		t.Fatalf("panic not converted to failure: %+v", rep.Failures)
+	}
+}
+
+// TestRunCanceled: canceling the outer context aborts the campaign with
+// the context error rather than fabricating findings.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{Seed: 5, Cases: 50}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestShrinkIdentityWhenPredicateFailsOnNormalizedForm: a predicate the
+// normalized loop does not satisfy returns the input untouched.
+func TestShrinkIdentityWhenPredicateFails(t *testing.T) {
+	m := machine.Cydra5()
+	l := lostEdgeLoop(t, m)
+	if got := Shrink(l, m, func(*ir.Loop) bool { return false }); got != l {
+		t.Error("Shrink invented a failing loop from a passing one")
+	}
+}
+
+// TestShrinkRemovesIrrelevantOps: with a predicate that only needs the
+// store to survive, everything else except the branch is removed.
+func TestShrinkRemovesIrrelevantOps(t *testing.T) {
+	m := machine.Cydra5()
+	b := ir.NewBuilder("padded", m)
+	x := b.Define("load", b.Invariant("p"))
+	y := b.Define("fmul", x, x)
+	z := b.Define("fadd", y, y)
+	_ = z
+	b.Effect("store", b.Invariant("q"), b.Invariant("c"))
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasStore := func(cand *ir.Loop) bool {
+		for _, op := range cand.Ops {
+			if op.Opcode == "store" {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(l, m, hasStore)
+	if n := RealOps(min); n != 2 { // store + brtop
+		t.Errorf("shrunk to %d real ops, want 2:\n%s", n, looplang.Print(min))
+	}
+}
+
+// TestWriteReproducerRoundTrips: header comments plus printed loop must
+// re-parse to an equivalent scheduling problem.
+func TestWriteReproducerRoundTrips(t *testing.T) {
+	m := machine.Cydra5()
+	l := lostEdgeLoop(t, m)
+	path := filepath.Join(t.TempDir(), "case.loop")
+	if err := WriteReproducer(path, "; machine: cydra5\n; seed: 99\n", l); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := looplang.Parse(string(src), m)
+	if err != nil {
+		t.Fatalf("reproducer does not re-parse: %v", err)
+	}
+	if back.NumOps() != l.NumOps() {
+		t.Errorf("round trip changed op count: %d != %d", back.NumOps(), l.NumOps())
+	}
+}

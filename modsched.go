@@ -223,6 +223,16 @@ func CompileBestEffortContext(ctx context.Context, l *Loop, m *Machine, opts Opt
 	return core.ModuloScheduleBestEffort(ctx, l, m, opts)
 }
 
+// CompileAcyclic runs only the final best-effort stage: the acyclic list
+// schedule of one iteration reinterpreted as a degenerate modulo
+// schedule (II = schedule length, no iteration overlap). It needs no II
+// search or deadline, so it can deliver a verified schedule even after
+// cancellation has killed the real schedulers; the stress harness uses
+// it as the differential baseline.
+func CompileAcyclic(ctx context.Context, l *Loop, m *Machine, opts Options) (*Schedule, error) {
+	return core.ModuloScheduleAcyclic(ctx, l, m, opts)
+}
+
 // Sentinel errors for dispatching on compilation failures with errors.Is.
 // Structured details (attempt counts, the panicking II, parse positions)
 // travel on the concrete types below, reachable with errors.As.
