@@ -5,8 +5,8 @@
 // metrics must be bit-identical — any drift there means the scheduler's
 // output changed, which is a correctness question, not noise.
 //
-//	benchgate -baseline BENCH_PR2.json -out bench_current.json
-//	benchgate -baseline BENCH_PR2.json -update   # record a new baseline
+//	benchgate -baseline BENCH_PR4.json -out bench_current.json
+//	benchgate -baseline BENCH_PR4.json -update   # record a new baseline
 //
 // Exits 1 when the comparison fails, so CI can gate on it directly.
 package main
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		baseline = flag.String("baseline", "BENCH_PR2.json", "baseline report to compare against")
+		baseline = flag.String("baseline", "BENCH_PR4.json", "baseline report to compare against")
 		out      = flag.String("out", "bench_current.json", "where to write the fresh report ('' to skip)")
 		update   = flag.Bool("update", false, "write the fresh report to -baseline and exit (records a new baseline)")
 		tol      = flag.Float64("ns-tol", 0.20, "allowed fractional regression for ns/op and allocs/op")

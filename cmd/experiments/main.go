@@ -30,6 +30,7 @@ import (
 	"modsched/internal/ir"
 	"modsched/internal/loopgen"
 	"modsched/internal/machine"
+	"modsched/internal/schedcache"
 )
 
 func main() {
@@ -44,11 +45,12 @@ func main() {
 		doPress    = flag.Bool("pressure", false, "register-pressure study (extension)")
 		doAll      = flag.Bool("all", false, "run everything")
 		doBench    = flag.Bool("bench", false, "run the headline benchmarks and emit JSON (see -benchout)")
-		benchOut   = flag.String("benchout", "BENCH_PR2.json", "where -bench writes its JSON report")
+		benchOut   = flag.String("benchout", "BENCH_PR4.json", "where -bench writes its JSON report")
 		n          = flag.Int("n", 0, "synthetic corpus size (default: the paper's 1300)")
 		seed       = flag.Int64("seed", 0, "corpus seed (default: built-in)")
 		machName   = flag.String("machine", "cydra5", "machine model: cydra5 (the paper's), generic, tiny")
 		workers    = flag.Int("workers", 0, "parallel scheduling workers (0 = one per CPU, 1 = sequential)")
+		useCache   = flag.Bool("cache", false, "memoize compilations across corpus runs with a shared compile cache")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -121,16 +123,30 @@ func main() {
 	loops := corpus(m, *n, *seed)
 	fmt.Printf("corpus: %d loops on %s\n\n", len(loops), m.Name)
 
+	// One cache across every section: the BudgetRatio participates in the
+	// key, so sections at different ratios never mix, while repeated runs
+	// at the same ratio (Table 4, the Fig. 6 ratio-2 point, the summary)
+	// and the corpus's structural duplicates hit.
+	var cache *schedcache.Cache
+	if *useCache {
+		cache = schedcache.New(0)
+		defer func() {
+			st := cache.Stats()
+			fmt.Printf("compile cache: %d hits, %d misses, %d inflight joins, %d evictions\n",
+				st.Hits, st.Misses, st.Inflight, st.Evictions)
+		}()
+	}
+
 	if *doTable3 {
-		cr := must(experiments.RunCorpusWorkers(ctx, loops, m, 6, true, *workers))
+		cr := must(experiments.RunCorpusCached(ctx, loops, m, 6, true, *workers, cache))
 		fmt.Println(experiments.FormatTable3(experiments.Table3(cr)))
 	}
 	if *doFig6 {
-		pts := must(experiments.Fig6SweepWorkers(ctx, loops, m, experiments.DefaultFig6Ratios(), *workers))
+		pts := must(experiments.Fig6SweepCached(ctx, loops, m, experiments.DefaultFig6Ratios(), *workers, cache))
 		fmt.Println(experiments.FormatFig6(pts))
 	}
 	if *doTable4 {
-		cr := must(experiments.RunCorpusWorkers(ctx, loops, m, 2, false, *workers))
+		cr := must(experiments.RunCorpusCached(ctx, loops, m, 2, false, *workers, cache))
 		fmt.Println(experiments.ComputeTable4(cr).Format())
 	}
 	if *doUnroll {
@@ -156,7 +172,7 @@ func main() {
 		fmt.Println(experiments.FormatPressure([]*experiments.PressurePoint{early, late}))
 	}
 	if *doSummary {
-		cr := must(experiments.RunCorpusWorkers(ctx, loops, m, 2, false, *workers))
+		cr := must(experiments.RunCorpusCached(ctx, loops, m, 2, false, *workers, cache))
 		fmt.Println(experiments.Summarize(cr).Format())
 		listSteps, modSteps, modUnsch, err := experiments.ListVsModuloWorkers(ctx, loops, m, 2, *workers)
 		check(err)

@@ -5,18 +5,24 @@
 //	msched [-machine cydra5|generic|tiny] [-algo iterative|slack]
 //	       [-budget 2] [-priority heightr|fifo|depth|recfirst]
 //	       [-delays vliw|conservative] [-timeout 0] [-besteffort]
-//	       [-verbose] [-mrt] [-gantt N] [-backsub] [-flat]
-//	       [-cpuprofile f] [-memprofile f] file.loop
+//	       [-workers N] [-cache] [-verbose] [-mrt] [-gantt N]
+//	       [-backsub] [-flat] [-cpuprofile f] [-memprofile f]
+//	       file.loop [file2.loop ...]
 //
-// With no file it reads standard input. -mrt prints the schedule's modulo
-// reservation table, -gantt N a pipeline diagram of N overlapped
+// With no file it reads standard input; with several files it compiles
+// each in turn under a `== name ==` header. -mrt prints the schedule's
+// modulo reservation table, -gantt N a pipeline diagram of N overlapped
 // iterations, -backsub applies recurrence back-substitution first, and
 // -flat also reports the explicit prologue/kernel/epilogue schema.
-// -timeout bounds the whole compilation; -besteffort falls back to slack
-// scheduling and then to an unpipelined degenerate schedule rather than
-// failing. When -timeout expires under -besteffort, the degenerate
-// schedule is still produced (the acyclic stage needs no deadline), the
-// degradation report is flushed to stderr, and the exit code is 0.
+// -workers N races N candidate IIs speculatively (the result is
+// bit-identical to the sequential search); -cache memoizes compilations
+// across the input files, so structurally identical loops schedule once,
+// and reports hit/miss counters at the end. -timeout bounds the whole
+// compilation; -besteffort falls back to slack scheduling and then to an
+// unpipelined degenerate schedule rather than failing. When -timeout
+// expires under -besteffort, the degenerate schedule is still produced
+// (the acyclic stage needs no deadline), the degradation report is
+// flushed to stderr, and the exit code is 0.
 //
 // Exit codes: 0 success (including a degraded -besteffort result); 2
 // usage, flag, or input errors; 3 loop parse error; 4 no schedule found
@@ -31,9 +37,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"modsched/internal/backsub"
 	"modsched/internal/codegen"
@@ -44,6 +52,7 @@ import (
 	"modsched/internal/machine"
 	"modsched/internal/mii"
 	"modsched/internal/modvar"
+	"modsched/internal/schedcache"
 )
 
 // Exit codes, one per failure class, so scripts can dispatch without
@@ -82,6 +91,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		delays     = fs.String("delays", "vliw", "delay model: vliw, conservative")
 		timeout    = fs.Duration("timeout", 0, "abort compilation after this long (0 = no deadline)")
 		besteffort = fs.Bool("besteffort", false, "degrade through slack and unpipelined scheduling instead of failing")
+		workers    = fs.Int("workers", 0, "race this many candidate IIs concurrently (0/1 = sequential search)")
+		useCache   = fs.Bool("cache", false, "memoize compilations across input files and report hit/miss counters")
 		verbose    = fs.Bool("verbose", false, "print the parsed loop and per-op schedule")
 		flat       = fs.Bool("flat", false, "also emit explicit prologue/kernel/epilogue code (modulo variable expansion)")
 		backsubF   = fs.Bool("backsub", false, "back-substitute closed-form inductions before scheduling")
@@ -155,6 +166,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	if *algo != "iterative" && *algo != "slack" {
 		return fail(exitUsage, "unknown algorithm %q", *algo)
 	}
+	opts.SearchWorkers = *workers
 	switch *delays {
 	case "vliw":
 		opts.DelayModel = ir.VLIWDelays
@@ -164,16 +176,70 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		return fail(exitUsage, "unknown delay model %q", *delays)
 	}
 
-	src, err := readInput(fs, stdin)
+	srcs, err := readInputs(fs, stdin)
 	if err != nil {
 		return fail(exitUsage, "%v", err)
+	}
+	var cache *schedcache.Cache
+	if *useCache {
+		cache = schedcache.New(0)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	for i, in := range srcs {
+		if len(srcs) > 1 {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			fmt.Fprintf(stdout, "== %s ==\n", in.name)
+		}
+		if code := compileOne(ctx, in.src, m, opts, cache, flags{
+			algo: *algo, besteffort: *besteffort, verbose: *verbose,
+			flat: *flat, backsub: *backsubF, mrt: *mrt, gantt: *gantt,
+			timeout: *timeout,
+		}, stdout, stderr); code != exitOK {
+			return code
+		}
+	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(stdout, "\ncache: %d hits, %d misses, %d inflight joins, %d evictions\n",
+			st.Hits, st.Misses, st.Inflight, st.Evictions)
+	}
+	return exitOK
+}
+
+// flags carries the per-compilation options of the command line.
+type flags struct {
+	algo       string
+	besteffort bool
+	verbose    bool
+	flat       bool
+	backsub    bool
+	mrt        bool
+	gantt      int
+	timeout    time.Duration
+}
+
+// compileOne parses, schedules, and prints one loop, returning an exit
+// code. A non-nil cache memoizes the scheduling step across calls.
+func compileOne(ctx context.Context, src string, m *machine.Machine, opts core.Options, cache *schedcache.Cache, f flags, stdout, stderr io.Writer) int {
+	fail := func(code int, format string, args ...any) int {
+		fmt.Fprintf(stderr, "msched: "+format+"\n", args...)
+		return code
 	}
 	loop, err := looplang.Parse(src, m)
 	if err != nil {
 		return fail(exitParse, "%v", err)
 	}
 
-	if *backsubF {
+	if f.backsub {
 		transformed, rewrites, err := backsub.Apply(loop, m, 1)
 		if err != nil {
 			return fail(exitOther, "%v", err)
@@ -184,7 +250,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		loop = transformed
 	}
 
-	if *verbose {
+	if f.verbose {
 		fmt.Fprint(stdout, looplang.Print(loop))
 		fmt.Fprintln(stdout)
 	}
@@ -206,17 +272,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	fmt.Fprintf(stdout, "ResMII=%d MII=%d non-trivial SCCs=%d acyclic-list SL=%d\n",
 		bounds.ResMII, bounds.MII, len(bounds.NonTrivialSCCs), ls.Length)
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	// memo routes the scheduling step through the cache when one is
+	// enabled; errors are never cached, so the deadline fallback below
+	// still runs per input.
+	memo := func(compile schedcache.CompileFunc) (*core.Schedule, *core.Degradation, error) {
+		if cache == nil {
+			return compile()
+		}
+		return cache.Do(loop, m, opts, compile)
 	}
 	var sched *core.Schedule
 	switch {
-	case *besteffort:
+	case f.besteffort:
 		var deg *core.Degradation
-		sched, deg, err = core.ModuloScheduleBestEffort(ctx, loop, m, opts)
+		sched, deg, err = memo(func() (*core.Schedule, *core.Degradation, error) {
+			return core.ModuloScheduleBestEffort(ctx, loop, m, opts)
+		})
 		if err != nil && ctx.Err() != nil &&
 			!errors.Is(err, core.ErrInvalidLoop) && !errors.Is(err, core.ErrInvalidMachine) {
 			// The deadline killed the pipelined stages mid-chain. -besteffort
@@ -226,7 +297,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 			// timer.
 			fallback, aerr := core.ModuloScheduleAcyclic(context.Background(), loop, m, opts)
 			if aerr != nil {
-				return fail(schedExit(err), "deadline of %v expired and acyclic fallback failed: %v (deadline error: %v)", *timeout, aerr, err)
+				return fail(schedExit(err), "deadline of %v expired and acyclic fallback failed: %v (deadline error: %v)", f.timeout, aerr, err)
 			}
 			sched = fallback
 			deg = &core.Degradation{
@@ -240,31 +311,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 			// even if a later lowering step fails.
 			fmt.Fprintf(stderr, "msched: warning: %s\n", deg)
 		}
-	case *algo == "slack":
-		sched, err = core.ModuloScheduleSlackContext(ctx, loop, m, opts)
+	case f.algo == "slack":
+		sched, _, err = memo(func() (*core.Schedule, *core.Degradation, error) {
+			s, serr := core.ModuloScheduleSlackContext(ctx, loop, m, opts)
+			return s, nil, serr
+		})
 	default:
-		sched, err = core.ModuloScheduleContext(ctx, loop, m, opts)
+		sched, _, err = memo(func() (*core.Schedule, *core.Degradation, error) {
+			s, serr := core.ModuloScheduleContext(ctx, loop, m, opts)
+			return s, nil, serr
+		})
 	}
 	if err != nil {
 		if ctx.Err() != nil {
-			return fail(exitNoSched, "deadline of %v expired: %v", *timeout, err)
+			return fail(exitNoSched, "deadline of %v expired: %v", f.timeout, err)
 		}
 		return fail(schedExit(err), "%v", err)
 	}
 	fmt.Fprintf(stdout, "II=%d (DeltaII=%d) SL=%d stages=%d scheduling steps=%d\n\n",
 		sched.II, sched.II-sched.MII, sched.Length, sched.StageCount(), sched.Stats.SchedSteps)
 
-	if *verbose {
+	if f.verbose {
 		printScheduleTable(stdout, sched)
 		fmt.Fprintln(stdout)
 	}
 
-	if *mrt {
+	if f.mrt {
 		fmt.Fprint(stdout, sched.MRTString())
 		fmt.Fprintln(stdout)
 	}
-	if *gantt > 0 {
-		fmt.Fprint(stdout, sched.GanttString(*gantt))
+	if f.gantt > 0 {
+		fmt.Fprint(stdout, sched.GanttString(f.gantt))
 		fmt.Fprintln(stdout)
 	}
 
@@ -274,19 +351,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	}
 	fmt.Fprint(stdout, kern.String())
 
-	if *flat {
+	if f.flat {
 		u, err := modvar.PlanUnroll(sched)
 		if err != nil {
 			return fail(exitOther, "%v", err)
 		}
 		trips := modvar.ValidTrips(sched.StageCount(), u, 100)
-		f, err := modvar.Generate(sched, trips)
+		fl, err := modvar.Generate(sched, trips)
 		if err != nil {
 			return fail(exitOther, "%v", err)
 		}
 		fmt.Fprintf(stdout, "\nexplicit schema (for %d trips): unroll U=%d, %d instructions (prologue %d + kernel %d + epilogue %d)\n",
-			trips, f.U, f.CodeSize(), len(f.Prologue), len(f.Kernel), len(f.Epilogue))
-		for _, pi := range f.Preinit {
+			trips, fl.U, fl.CodeSize(), len(fl.Prologue), len(fl.Kernel), len(fl.Epilogue))
+		for _, pi := range fl.Preinit {
 			fmt.Fprintf(stdout, "  preinit %v = init(r%d, back %d)\n", pi.Dst, pi.Reg, pi.Back)
 		}
 	}
@@ -336,17 +413,27 @@ func printScheduleTable(w io.Writer, s *core.Schedule) {
 	}
 }
 
-func readInput(fs *flag.FlagSet, stdin io.Reader) (string, error) {
+// input is one loop source to compile, with the name shown in multi-file
+// headers.
+type input struct {
+	name, src string
+}
+
+func readInputs(fs *flag.FlagSet, stdin io.Reader) ([]input, error) {
 	if fs.NArg() == 0 {
 		b, err := io.ReadAll(stdin)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return string(b), nil
+		return []input{{name: "<stdin>", src: string(b)}}, nil
 	}
-	b, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		return "", err
+	ins := make([]input, 0, fs.NArg())
+	for _, arg := range fs.Args() {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, input{name: filepath.Base(arg), src: string(b)})
 	}
-	return string(b), nil
+	return ins, nil
 }

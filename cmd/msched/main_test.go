@@ -140,6 +140,58 @@ func TestBestEffortDeadlineIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestWorkersMatchSequential: the speculative II race must not change
+// any observable output of the CLI.
+func TestWorkersMatchSequential(t *testing.T) {
+	_, seqOut, _ := runCase(t, nil, goodLoop)
+	for _, w := range []string{"2", "4"} {
+		code, out, stderr := runCase(t, []string{"-workers", w}, goodLoop)
+		if code != exitOK {
+			t.Fatalf("-workers %s: exit = %d, stderr: %s", w, code, stderr)
+		}
+		if out != seqOut {
+			t.Errorf("-workers %s output differs from sequential:\n%s\nwant:\n%s", w, out, seqOut)
+		}
+	}
+}
+
+// TestCacheAcrossFiles: compiling two structurally identical loops under
+// different names with -cache schedules once and serves the second from
+// the cache, with identical per-loop output.
+func TestCacheAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	renamed := strings.Replace(goodLoop, "loop daxpy", "loop saxpy", 1)
+	fileA := filepath.Join(dir, "a.loop")
+	fileB := filepath.Join(dir, "b.loop")
+	if err := os.WriteFile(fileA, []byte(goodLoop), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fileB, []byte(renamed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, stderr := runCase(t, []string{"-cache", fileA, fileB}, "")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"== a.loop ==", "== b.loop ==", "cache: 1 hits, 1 misses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both loops must report the same II line: the hit is the miss's
+	// schedule.
+	var iiLines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "II=") {
+			iiLines = append(iiLines, line)
+		}
+	}
+	if len(iiLines) != 2 || iiLines[0] != iiLines[1] {
+		t.Errorf("II lines differ across cached duplicates: %q", iiLines)
+	}
+}
+
 // TestBinary builds the real binary once and exercises it end to end,
 // asserting process-level exit codes and that failures never print a
 // stack trace.

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"modsched/internal/mii"
+)
+
+// Speculative parallel II search.
+//
+// The Figure 2 search probes candidate IIs from MII upward and stops at
+// the first feasible one. Each probe is independent given the problem
+// (the scheduler restarts from an empty partial schedule per candidate),
+// so the probes can race: K workers claim successive IIs off a shared
+// counter, each schedules on its own pooled scratch with its own counter
+// set, and the driver folds the outcomes back in II order.
+//
+// Equivalence with the sequential search is by construction:
+//
+//   - Every candidate attempt is a deterministic function of (problem,
+//     II, budget) — it shares only immutable problem state (prewarm
+//     forces the lazy caches before the fork), so its outcome and
+//     counter deltas equal the sequential attempt's at that II.
+//   - Folding walks II order and stops at the first decisive outcome
+//     (schedule found, or an error), exactly where the sequential loop
+//     stops; counters folded up to that point sum the same per-attempt
+//     deltas the sequential loop accumulated in one shared struct.
+//   - Candidates above the first decisive II are cancelled the moment it
+//     lands and their results discarded, so over-approximated work never
+//     leaks into the returned schedule, counters, or error.
+//
+// The determinism suite (internal/experiments) pins schedules, counters,
+// and rendered kernels bit-identical across worker counts, under -race.
+
+// candidate is the outcome of one speculative II attempt.
+type candidate struct {
+	outcome attemptOutcome
+	err     error
+	c       Counters // this attempt's counter deltas alone
+	times   []int    // detached schedule, only when outcome == attemptScheduled
+	alts    []int
+}
+
+// searchParallel races up to workers candidate IIs over [bounds.MII,
+// maxII] and returns the same (schedule, error) the sequential search
+// would. c already holds the MII-computation counters; the fold
+// accumulates per-candidate deltas into it in II order.
+func (p *problem) searchParallel(bounds *mii.Result, maxII, budget int, algo string, workers int, c *Counters) (*Schedule, error) {
+	// Fork-time invariant: candidate goroutines treat the problem as
+	// read-only, so every lazily-built cache must exist before the fork.
+	p.prewarm(algo)
+
+	if window := maxII - bounds.MII + 1; workers > window {
+		workers = window
+	}
+
+	pctx := p.ctx
+	if pctx == nil {
+		pctx = context.Background()
+	}
+	base, cancelAll := context.WithCancel(pctx)
+	defer cancelAll()
+
+	var (
+		next atomic.Int64 // next II to claim
+		stop atomic.Int64 // lowest decisive II so far; claims above it are pointless
+		mu   sync.Mutex
+		// results is keyed by II; running maps in-flight IIs to their
+		// cancel functions so a decisive outcome can interrupt exactly
+		// the candidates it obsoletes.
+		results = make(map[int]*candidate, maxII-bounds.MII+1)
+		running = make(map[int]context.CancelFunc, workers)
+	)
+	next.Store(int64(bounds.MII))
+	stop.Store(int64(maxII + 1))
+
+	// decideAt records that the search outcome is settled at ii (a
+	// schedule landed or an attempt errored) and cancels every in-flight
+	// candidate above it. Candidates below ii keep running: a lower II
+	// may still land a schedule, and the fold needs their deltas.
+	decideAt := func(ii int) {
+		for {
+			cur := stop.Load()
+			if int64(ii) >= cur {
+				return
+			}
+			if stop.CompareAndSwap(cur, int64(ii)) {
+				break
+			}
+		}
+		mu.Lock()
+		for k, cancel := range running {
+			if k > ii {
+				cancel()
+			}
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := getScratch()
+			defer putScratch(ws)
+			wlabel := strconv.Itoa(w)
+			for {
+				ii := int(next.Add(1) - 1)
+				if ii > maxII || int64(ii) > stop.Load() {
+					return
+				}
+				cctx, ccancel := context.WithCancel(base)
+				mu.Lock()
+				running[ii] = ccancel
+				mu.Unlock()
+				if int64(ii) > stop.Load() {
+					ccancel() // decided while registering; don't burn the attempt
+				}
+
+				var cand *candidate
+				pprof.Do(cctx, pprof.Labels("ii", strconv.Itoa(ii), "worker", wlabel), func(ctx context.Context) {
+					cand = p.runCandidate(ctx, ii, budget, algo, ws)
+				})
+
+				mu.Lock()
+				delete(running, ii)
+				results[ii] = cand
+				mu.Unlock()
+				ccancel()
+
+				if cand.outcome == attemptScheduled || cand.err != nil {
+					decideAt(ii)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Fold in II order, reproducing the sequential loop's control flow
+	// over the recorded outcomes.
+	exhausted := false
+	for ii := bounds.MII; ii <= maxII; ii++ {
+		cand := results[ii]
+		if cand == nil {
+			// Only possible when the parent context died before this II
+			// was claimed; surface the cancellation like the sequential
+			// loop's per-II check would.
+			if err := p.ctxErr(); err != nil {
+				return nil, err
+			}
+			panic(InvariantViolation("core: speculative II search lost a candidate outcome"))
+		}
+		c.Add(&cand.c)
+		if cand.err != nil {
+			// An InternalError carries the counters at the moment of
+			// failure; the candidate only saw its own deltas, so patch in
+			// the folded view the sequential run would have reported.
+			if ie, ok := cand.err.(*InternalError); ok {
+				ie.Counters = *c
+			}
+			return nil, cand.err
+		}
+		switch cand.outcome {
+		case attemptScheduled:
+			return finishSchedule(p, bounds, ii, cand.times, cand.alts, c)
+		case attemptBudgetExhausted:
+			exhausted = true
+		}
+	}
+	return nil, &NoScheduleError{
+		Loop:            p.loop.Name,
+		Algorithm:       algo,
+		MII:             bounds.MII,
+		MaxII:           maxII,
+		Attempts:        c.IIAttempts,
+		BudgetExhausted: exhausted,
+	}
+}
+
+// runCandidate runs one II attempt on a candidate-private problem view:
+// same immutable inputs, but its own context, counters, and scratch. The
+// deferred recover mirrors runAttempt's containment for the construction
+// work outside it — a panicking goroutine would otherwise crash the
+// process rather than surface as an *InternalError.
+func (p *problem) runCandidate(ctx context.Context, ii, budget int, algo string, ws *scratch) (cand *candidate) {
+	cand = &candidate{outcome: attemptInfeasible}
+	defer func() {
+		if r := recover(); r != nil {
+			cand.err = &InternalError{
+				Loop: p.loop.Name, II: ii, Counters: cand.c,
+				Panic: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	cp := *p
+	cp.ctx = ctx
+	cp.counters = &cand.c
+	cp.scratch = ws
+	s := ws.newState(&cp, ii)
+	cand.outcome, cand.err = s.runAttempt(algo, budget)
+	if cand.outcome == attemptScheduled && cand.err == nil {
+		cand.times = append(make([]int, 0, len(s.times)), s.times...)
+		cand.alts = append(make([]int, 0, len(s.alts)), s.alts...)
+	}
+	return cand
+}

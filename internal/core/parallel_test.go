@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/loopgen"
+	"modsched/internal/looplang"
+	"modsched/internal/machine"
+)
+
+// detCase is one loop of the determinism corpus.
+type detCase struct {
+	name string
+	loop *ir.Loop
+	mach *machine.Machine
+}
+
+// determinismCorpus assembles the checked-in regression cases plus a
+// seeded synthetic batch (200 loops, reduced under -short).
+func determinismCorpus(t *testing.T) []detCase {
+	t.Helper()
+	var cases []detCase
+
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "regressions", "*.loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machine.Cydra5()
+		for _, line := range strings.Split(string(src), "\n") {
+			rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), ";"))
+			if !strings.HasPrefix(rest, "machine:") {
+				continue
+			}
+			switch strings.TrimSpace(strings.TrimPrefix(rest, "machine:")) {
+			case "generic":
+				m = machine.Generic(machine.DefaultUnitConfig())
+			case "tiny":
+				m = machine.Tiny()
+			}
+			break
+		}
+		l, err := looplang.Parse(string(src), m)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		cases = append(cases, detCase{name: filepath.Base(file), loop: l, mach: m})
+	}
+
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	gm := machine.Generic(machine.DefaultUnitConfig())
+	loops, err := loopgen.Generate(loopgen.Config{Seed: 8061994, N: n, MaxOps: 40}, gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range loops {
+		cases = append(cases, detCase{name: l.Name, loop: l, mach: gm})
+	}
+	return cases
+}
+
+// normalizeSchedule strips the one field that legitimately differs
+// across worker counts (the worker count itself) so the rest of the
+// Schedule can be compared with DeepEqual.
+func normalizeSchedule(s *Schedule) *Schedule {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	cp.Options.SearchWorkers = 0
+	return &cp
+}
+
+// TestParallelSearchDeterminism pins the speculative II race's core
+// contract: for every loop, every algorithm, and every worker count, the
+// schedule (times, alternatives, II), the counters, the rendered kernel,
+// and any error are identical to the sequential search's. Run under
+// -race in CI, this doubles as the race check on the shared problem
+// state.
+func TestParallelSearchDeterminism(t *testing.T) {
+	cases := determinismCorpus(t)
+	workerCounts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+
+	algos := []struct {
+		name string
+		run  func(l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error)
+	}{
+		{"iterative", func(l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error) {
+			return ModuloScheduleContext(context.Background(), l, m, opts)
+		}},
+		{"slack", func(l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error) {
+			return ModuloScheduleSlackContext(context.Background(), l, m, opts)
+		}},
+	}
+
+	for _, algo := range algos {
+		t.Run(algo.name, func(t *testing.T) {
+			for _, tc := range cases {
+				opts := DefaultOptions()
+				want, wantErr := algo.run(tc.loop, tc.mach, opts)
+				wantRender := ""
+				if want != nil {
+					wantRender = want.MRTString()
+				}
+
+				for _, w := range workerCounts {
+					opts := DefaultOptions()
+					opts.SearchWorkers = w
+					got, gotErr := algo.run(tc.loop, tc.mach, opts)
+
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("%s workers=%d: err = %v, sequential err = %v", tc.name, w, gotErr, wantErr)
+					}
+					if wantErr != nil {
+						if gotErr.Error() != wantErr.Error() {
+							t.Fatalf("%s workers=%d: err %q, sequential %q", tc.name, w, gotErr, wantErr)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(normalizeSchedule(got), normalizeSchedule(want)) {
+						t.Fatalf("%s workers=%d: schedule diverges from sequential\n got: II=%d times=%v stats=%+v\nwant: II=%d times=%v stats=%+v",
+							tc.name, w, got.II, got.Times, got.Stats, want.II, want.Times, want.Stats)
+					}
+					if r := got.MRTString(); r != wantRender {
+						t.Fatalf("%s workers=%d: MRT render diverges:\n%s\nwant:\n%s", tc.name, w, r, wantRender)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSearchNoSchedule pins that the race reproduces the
+// sequential failure shape — same NoScheduleError fields — when no II in
+// the window works.
+func TestParallelSearchNoSchedule(t *testing.T) {
+	m := machine.Tiny()
+	l, err := looplang.Parse(`
+loop impossible
+
+v0 = load p
+v1 = load p
+v2 = load p
+store q, v0
+brtop
+`, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MaxII = 2 // three loads on one port need II >= 3
+	_, wantErr := ModuloSchedule(l, m, opts)
+	if wantErr == nil {
+		t.Fatal("sequential search unexpectedly found a schedule")
+	}
+
+	opts.SearchWorkers = 4
+	_, gotErr := ModuloSchedule(l, m, opts)
+	if gotErr == nil {
+		t.Fatal("parallel search unexpectedly found a schedule")
+	}
+	if !errors.Is(gotErr, ErrNoSchedule) {
+		t.Fatalf("parallel failure is not ErrNoSchedule: %v", gotErr)
+	}
+	var gotNS, wantNS *NoScheduleError
+	if !errors.As(gotErr, &gotNS) || !errors.As(wantErr, &wantNS) {
+		t.Fatalf("missing *NoScheduleError: got %T, want %T", gotErr, wantErr)
+	}
+	if !reflect.DeepEqual(gotNS, wantNS) {
+		t.Fatalf("NoScheduleError diverges: got %+v, want %+v", gotNS, wantNS)
+	}
+}
+
+// TestParallelSearchPanicContainment proves a panic inside a candidate
+// goroutine surfaces as an *InternalError with the folded counters, not
+// a crashed process. The pre-attempt hook corrupts the state exactly as
+// the sequential containment test does.
+func TestParallelSearchPanicContainment(t *testing.T) {
+	m := machine.Cydra5()
+	b := ir.NewBuilder("contain", m)
+	p := b.Invariant("p")
+	x := b.Define("load", p)
+	y := b.Define("fadd", x, x)
+	b.Effect("store", p, y)
+	b.Effect("brtop")
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	testHookPreAttempt = func(s *state) {
+		panic(InvariantViolation("injected candidate panic"))
+	}
+	defer func() { testHookPreAttempt = nil }()
+
+	opts := DefaultOptions()
+	opts.SearchWorkers = 4
+	_, gotErr := ModuloSchedule(l, m, opts)
+	if gotErr == nil {
+		t.Fatal("injected panic did not surface")
+	}
+	var ie *InternalError
+	if !errors.As(gotErr, &ie) {
+		t.Fatalf("panic surfaced as %T, want *InternalError: %v", gotErr, gotErr)
+	}
+	if ie.Panic == nil || ie.II < 0 {
+		t.Fatalf("InternalError missing panic payload or II: %+v", ie)
+	}
+}
+
+// TestParallelSearchCancellation checks a dead parent context aborts the
+// race with a wrapped context error, like the sequential per-II check.
+func TestParallelSearchCancellation(t *testing.T) {
+	m := machine.Generic(machine.DefaultUnitConfig())
+	loops, err := loopgen.Generate(loopgen.Config{Seed: 11, N: 1, MinOps: 30, MaxOps: 40}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.SearchWorkers = 4
+	_, gotErr := ModuloScheduleContext(ctx, loops[0], m, opts)
+	if gotErr == nil {
+		t.Fatal("canceled context did not abort the parallel search")
+	}
+	if !errors.Is(gotErr, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", gotErr)
+	}
+}

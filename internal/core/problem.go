@@ -73,6 +73,12 @@ type Options struct {
 	// explores (placing producers later shortens their values'
 	// lifetimes). Exists for the register-pressure ablation.
 	PlaceLate bool
+	// SearchWorkers, when greater than 1, races that many candidate IIs
+	// concurrently instead of probing them one at a time (see
+	// parallel.go). The result — schedule, counters, and error — is
+	// identical to the sequential search for any worker count; only
+	// wall-clock time changes. 0 and 1 mean sequential.
+	SearchWorkers int
 }
 
 // DefaultOptions returns the configuration recommended by the paper's
@@ -108,6 +114,8 @@ func (c *Counters) Add(other *Counters) {
 	c.MII.MinDistInner += other.MII.MinDistInner
 	c.MII.MinDistCalls += other.MII.MinDistCalls
 	c.MII.ResMIIInspections += other.MII.ResMIIInspections
+	c.MII.ProfileBuilds += other.MII.ProfileBuilds
+	c.MII.ProfileProbes += other.MII.ProfileProbes
 	c.HeightRRelax += other.HeightRRelax
 	c.EstartPredExams += other.EstartPredExams
 	c.FindTimeSlotIters += other.FindTimeSlotIters
@@ -138,12 +146,41 @@ type problem struct {
 	// Lazily computed caches, II-independent: the dependence graph's SCC
 	// condensation (the graph topology never changes across II attempts,
 	// only the edge weights Delay - II*Distance do), self-edge flags, the
-	// static priority vectors, and the all-ops node list.
+	// static priority vectors, the all-ops node list, and the cross-II
+	// MinDist coefficient profile. All of them must be forced via prewarm
+	// before candidate goroutines fork (parallel.go) so the race shares
+	// them read-only.
 	comps     [][]int
 	hasSelf   []bool
 	fifoPrio  []int
 	depthPrio []int
 	nodesAll  []int
+	prof      *mii.Profile
+}
+
+// profile returns the whole-graph cross-II MinDist profile, built once
+// per problem. A !OK() result (coefficient cap hit) tells the caller to
+// fall back to the scalar per-II Floyd-Warshall.
+func (p *problem) profile() *mii.Profile {
+	if p.prof == nil {
+		p.prof = mii.BuildProfile(p.loop, p.delays, p.allNodes(), &p.counters.MII)
+	}
+	return p.prof
+}
+
+// prewarm forces every lazily-built II-independent cache so the
+// speculative II race can share the problem read-only across candidate
+// goroutines. The profile is only needed by the slack algorithm's
+// per-attempt MinDist closure; building it for the iterative scheduler
+// would be pure waste.
+func (p *problem) prewarm(algo string) {
+	p.condensation()
+	p.fifoPriority()
+	p.depthPriority()
+	p.allNodes()
+	if algo == AlgoSlack {
+		p.profile()
+	}
 }
 
 // condensation returns the SCCs of the dependence graph in reverse

@@ -41,12 +41,21 @@ func (s *state) slackSchedule(budget int) (attemptOutcome, error) {
 	}
 
 	// The full-graph MinDist matrix drives Estart/Lstart maintenance.
-	// Each II attempt rebuilds the same-shape matrix, so attempts share
-	// the pooled scratch's buffers when one is attached.
+	// The cross-II profile factors the O(n^3) closure out of the per-II
+	// path: the first attempt builds the coefficient sets, every attempt
+	// (this one included) evaluates them in O(n^2 * s). Graphs that blow
+	// the coefficient cap fall back to the scalar closure per II.
 	var md *mii.MinDist
 	var err error
 	if p.scratch != nil {
-		md, err = p.scratch.mii.MinDist(p.ctx, p.loop, p.delays, s.ii, p.allNodes(), &p.counters.MII)
+		if prof := p.profile(); prof.OK() {
+			if err = p.ctxErr(); err != nil {
+				return attemptInfeasible, err
+			}
+			md = prof.Eval(&p.scratch.mii, s.ii, &p.counters.MII)
+		} else {
+			md, err = p.scratch.mii.MinDist(p.ctx, p.loop, p.delays, s.ii, p.allNodes(), &p.counters.MII)
+		}
 	} else {
 		md, err = mii.ComputeMinDistContext(p.ctx, p.loop, p.delays, s.ii, p.allNodes(), &p.counters.MII)
 	}

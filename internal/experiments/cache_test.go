@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"modsched/internal/machine"
+	"modsched/internal/schedcache"
+)
+
+// TestRunCorpusCachedIdentical pins the memoizing cache's quality
+// contract: a cached corpus run produces a CorpusResult deep-equal to an
+// uncached one, while actually serving hits — the synthetic corpus is
+// full of structurally identical loops under different names, so a cache
+// that never hit would be as wrong as one that changed a result.
+func TestRunCorpusCachedIdentical(t *testing.T) {
+	m := machine.Cydra5()
+	n := 60
+	if testing.Short() {
+		n = 25
+	}
+	loops, err := SmallCorpus(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	plain, err := RunCorpusWorkers(ctx, loops, m, 2, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		cache := schedcache.New(0)
+		cached, err := RunCorpusCached(ctx, loops, m, 2, true, workers, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, cached) {
+			for i := range plain.Loops {
+				if !reflect.DeepEqual(plain.Loops[i], cached.Loops[i]) {
+					t.Fatalf("workers=%d: loop %s differs with cache:\nplain:  %+v\ncached: %+v",
+						workers, plain.Loops[i].Name, plain.Loops[i], cached.Loops[i])
+				}
+			}
+			t.Fatalf("workers=%d: corpus results differ outside Loops", workers)
+		}
+		st := cache.Stats()
+		if st.Hits+st.Inflight == 0 {
+			t.Fatalf("workers=%d: cache never hit over a corpus with duplicate structures: %+v", workers, st)
+		}
+		if st.Misses+st.Hits+st.Inflight != int64(len(loops)) {
+			t.Fatalf("workers=%d: stats don't account for every loop: %+v vs %d loops", workers, st, len(loops))
+		}
+	}
+}
+
+// TestFig6SweepCachedIdentical: the sweep's float aggregates must be
+// bit-identical with and without a cache shared across the ratio points.
+func TestFig6SweepCachedIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	m := machine.Cydra5()
+	loops, err := SmallCorpus(m, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ratios := []float64{1.0, 2.0, 3.0}
+
+	plain, err := Fig6SweepWorkers(ctx, loops, m, ratios, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := schedcache.New(0)
+	cached, err := Fig6SweepCached(ctx, loops, m, ratios, 1, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cached) {
+		t.Fatalf("Fig6 sweep differs with cache:\nplain:  %+v\ncached: %+v", plain, cached)
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("sweep cache never hit: %+v", st)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"modsched/internal/loopgen"
 	"modsched/internal/machine"
 	"modsched/internal/mii"
+	"modsched/internal/schedcache"
 )
 
 // LoopResult is everything the evaluation needs about one scheduled loop.
@@ -99,11 +100,22 @@ func RunCorpus(loops []*ir.Loop, m *machine.Machine, budgetRatio float64, exactR
 // byte-identical to a sequential run regardless of workers. workers <= 0
 // means one per CPU; workers == 1 is fully sequential.
 func RunCorpusWorkers(ctx context.Context, loops []*ir.Loop, m *machine.Machine, budgetRatio float64, exactRecMII bool, workers int) (*CorpusResult, error) {
+	return RunCorpusCached(ctx, loops, m, budgetRatio, exactRecMII, workers, nil)
+}
+
+// RunCorpusCached is RunCorpusWorkers with an optional memoizing compile
+// cache. The corpus generator emits many structurally identical loops
+// under different names (initialization loops especially); with a cache,
+// each distinct structure is scheduled once and later occurrences hit.
+// Scheduling is deterministic in the loop structure, so the CorpusResult
+// is byte-identical to an uncached run — TestRunCorpusCachedIdentical
+// pins this. A nil cache compiles every loop.
+func RunCorpusCached(ctx context.Context, loops []*ir.Loop, m *machine.Machine, budgetRatio float64, exactRecMII bool, workers int, cache *schedcache.Cache) (*CorpusResult, error) {
 	res := &CorpusResult{Machine: m.Name, BudgetRatio: budgetRatio, Loops: make([]LoopResult, len(loops))}
 	opts := core.DefaultOptions()
 	opts.BudgetRatio = budgetRatio
 	err := ParallelFor(ctx, len(loops), workers, func(ctx context.Context, i int) error {
-		lr, err := runOne(ctx, loops[i], m, opts, exactRecMII)
+		lr, err := runOne(ctx, loops[i], m, opts, exactRecMII, cache)
 		if err != nil {
 			return fmt.Errorf("experiments: loop %s: %w", loops[i].Name, err)
 		}
@@ -116,8 +128,17 @@ func RunCorpusWorkers(ctx context.Context, loops []*ir.Loop, m *machine.Machine,
 	return res, nil
 }
 
-func runOne(ctx context.Context, l *ir.Loop, m *machine.Machine, opts core.Options, exactRecMII bool) (*LoopResult, error) {
-	s, err := core.ModuloScheduleContext(ctx, l, m, opts)
+func runOne(ctx context.Context, l *ir.Loop, m *machine.Machine, opts core.Options, exactRecMII bool, cache *schedcache.Cache) (*LoopResult, error) {
+	var s *core.Schedule
+	var err error
+	if cache != nil {
+		s, _, err = cache.Do(l, m, opts, func() (*core.Schedule, *core.Degradation, error) {
+			sched, cerr := core.ModuloScheduleContext(ctx, l, m, opts)
+			return sched, nil, cerr
+		})
+	} else {
+		s, err = core.ModuloScheduleContext(ctx, l, m, opts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"modsched/internal/ir"
 	"modsched/internal/machine"
+	"modsched/internal/schedcache"
 )
 
 // Fig6Point is one point of the Figure 6 sweep: aggregate execution-time
@@ -30,9 +31,18 @@ func Fig6Sweep(loops []*ir.Loop, m *machine.Machine, ratios []float64) ([]Fig6Po
 // parallel, and the aggregates fold over the ordered per-loop results, so
 // every point is byte-identical to a sequential run.
 func Fig6SweepWorkers(ctx context.Context, loops []*ir.Loop, m *machine.Machine, ratios []float64, workers int) ([]Fig6Point, error) {
+	return Fig6SweepCached(ctx, loops, m, ratios, workers, nil)
+}
+
+// Fig6SweepCached is Fig6SweepWorkers with an optional compile cache
+// shared across the sweep points. Each BudgetRatio participates in the
+// cache key, so the cache never mixes results across points; within a
+// point it dedupes the corpus's structurally identical loops. A nil
+// cache disables memoization.
+func Fig6SweepCached(ctx context.Context, loops []*ir.Loop, m *machine.Machine, ratios []float64, workers int, cache *schedcache.Cache) ([]Fig6Point, error) {
 	var out []Fig6Point
 	for _, br := range ratios {
-		cr, err := RunCorpusWorkers(ctx, loops, m, br, false, workers)
+		cr, err := RunCorpusCached(ctx, loops, m, br, false, workers, cache)
 		if err != nil {
 			return nil, err
 		}

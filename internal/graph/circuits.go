@@ -1,5 +1,7 @@
 package graph
 
+import "context"
+
 // Elementary-circuit enumeration, used by the circuit-enumeration variant
 // of the RecMII computation (the approach the Cydra 5 compiler took,
 // Section 2.2) and as a cross-check for the MinDist-based computation.
@@ -18,11 +20,32 @@ package graph
 // result reports whether enumeration was truncated by the limit. A limit
 // of 0 or less means no cap.
 func (g *Graph) ElementaryCircuits(limit int) ([][]int, bool) {
+	circuits, truncated, _ := g.ElementaryCircuitsContext(nil, limit)
+	return circuits, truncated
+}
+
+// ElementaryCircuitsContext is ElementaryCircuits with cancellation:
+// ctx.Err() is polled at every root vertex and at every emitted circuit,
+// so a deadline interrupts even an exponential enumeration promptly. A
+// nil ctx disables the checks. On cancellation the partial circuit list
+// gathered so far is returned alongside the context's error.
+func (g *Graph) ElementaryCircuitsContext(ctx context.Context, limit int) ([][]int, bool, error) {
 	var (
 		circuits  [][]int
 		truncated bool
+		ctxErr    error
 	)
+	canceled := func() bool {
+		if ctx == nil || ctxErr != nil {
+			return ctxErr != nil
+		}
+		ctxErr = ctx.Err()
+		return ctxErr != nil
+	}
 	emit := func(c []int) bool {
+		if canceled() {
+			return false
+		}
 		if limit > 0 && len(circuits) >= limit {
 			truncated = true
 			return false
@@ -38,7 +61,7 @@ func (g *Graph) ElementaryCircuits(limit int) ([][]int, bool) {
 			if w == v && !selfLoop[v] {
 				selfLoop[v] = true
 				if !emit([]int{v}) {
-					return circuits, truncated
+					return circuits, truncated, ctxErr
 				}
 			}
 		}
@@ -57,6 +80,9 @@ func (g *Graph) ElementaryCircuits(limit int) ([][]int, bool) {
 		// vertex in turn; vertices less than the root are excluded to
 		// avoid duplicates.
 		for ri, root := range comp {
+			if canceled() {
+				return circuits, truncated, ctxErr
+			}
 			allowed := make(map[int]bool, len(comp)-ri)
 			for _, v := range comp[ri:] {
 				allowed[v] = true
@@ -71,11 +97,14 @@ func (g *Graph) ElementaryCircuits(limit int) ([][]int, bool) {
 			}
 			j.circuit(root)
 			if j.stop {
-				return circuits, true
+				if ctxErr != nil {
+					return circuits, truncated, ctxErr
+				}
+				return circuits, true, nil
 			}
 		}
 	}
-	return circuits, truncated
+	return circuits, truncated, ctxErr
 }
 
 type johnson struct {

@@ -327,6 +327,31 @@ func (m *Machine) Clone() *Machine {
 	return c
 }
 
+// Fingerprint returns a canonical string covering everything about the
+// machine that affects scheduling: resources in index order and opcodes
+// in registration order with latency, class, and per-alternative
+// reservation tables. Two machines with equal fingerprints schedule
+// every loop identically, so the fingerprint (not the pointer) is the
+// machine's identity in the compile cache key. Clone preserves it:
+// m.Clone().Fingerprint() == m.Fingerprint().
+func (m *Machine) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s\nresources %s\n", m.Name, strings.Join(m.Resources, ","))
+	for _, name := range m.order {
+		op := m.opcodes[name]
+		fmt.Fprintf(&b, "op %s lat=%d class=%d", op.Name, op.Latency, int(op.Class))
+		for _, alt := range op.Alternatives {
+			fmt.Fprintf(&b, " alt %s[", alt.Name)
+			for _, u := range alt.Table.Uses {
+				fmt.Fprintf(&b, "%d@%d;", int(u.Resource), u.Time)
+			}
+			b.WriteString("]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // NumResources is the number of machine resources.
 func (m *Machine) NumResources() int { return len(m.Resources) }
 

@@ -65,8 +65,17 @@ func sccFeasible(ctx context.Context, l *ir.Loop, delays []int, ii int, scc []in
 // at start (known-infeasible values below start are not revisited). The
 // strategy follows Section 2.2: increment with doubling until feasible,
 // then binary search between the last unsuccessful and first successful
-// candidates. Every probe rebuilds a matrix of the same shape, so the
-// whole chain shares ws's buffers.
+// candidates.
+//
+// The first probe runs the scalar Floyd-Warshall (in the common case it
+// is feasible outright and the search ends after one closure). Once a
+// second probe becomes necessary, the II-independent path coefficients
+// are factored once into a Profile and every further candidate is a
+// cheap affine-max diagonal evaluation — exactly equal to the scalar
+// closure at every II (see profile.go) — with the scalar path as the
+// fallback when the profile exceeds its size cap. The decision depends
+// only on probe outcomes, never on the caller's worker configuration, so
+// counters stay deterministic.
 func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, maxII int, c *Counters, ws *Scratch) (int, error) {
 	if ws == nil {
 		ws = &Scratch{}
@@ -79,6 +88,21 @@ func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, 
 	} else if ok {
 		return start, nil
 	}
+	// A chain of probes follows (doubling, then binary search): amortize
+	// them through the cross-II coefficient profile.
+	prof := BuildProfile(l, delays, scc, c)
+	probe := func(ii int) (bool, error) {
+		if !prof.OK() {
+			return sccFeasible(ctx, l, delays, ii, scc, c, ws)
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return false, fmt.Errorf("mii: loop %s: MinDist aborted: %w", l.Name, err)
+			}
+		}
+		positive, _ := prof.Diagonal(ii, c)
+		return !positive, nil
+	}
 	lastBad := start
 	inc := 1
 	cand := start
@@ -86,7 +110,7 @@ func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, 
 		cand += inc
 		inc *= 2
 		if cand > maxII {
-			ok, err := sccFeasible(ctx, l, delays, maxII, scc, c, ws)
+			ok, err := probe(maxII)
 			if err != nil {
 				return 0, err
 			}
@@ -97,7 +121,7 @@ func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, 
 			cand = maxII
 			break
 		}
-		ok, err := sccFeasible(ctx, l, delays, cand, scc, c, ws)
+		ok, err := probe(cand)
 		if err != nil {
 			return 0, err
 		}
@@ -110,7 +134,7 @@ func searchSCC(ctx context.Context, l *ir.Loop, delays []int, scc []int, start, 
 	lo, hi := lastBad, cand
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		ok, err := sccFeasible(ctx, l, delays, mid, scc, c, ws)
+		ok, err := probe(mid)
 		if err != nil {
 			return 0, err
 		}
@@ -215,6 +239,15 @@ func RecurrenceMIIWholeGraph(l *ir.Loop, delays []int, start int, c *Counters) (
 // circuitLimit circuits (0 = unlimited). The boolean result reports
 // whether the answer is exact (not truncated).
 func RecMIIByCircuits(l *ir.Loop, delays []int, circuitLimit int) (int, bool, error) {
+	return RecMIIByCircuitsContext(nil, l, delays, circuitLimit)
+}
+
+// RecMIIByCircuitsContext is RecMIIByCircuits with cancellation: ctx.Err()
+// is polled inside the circuit enumeration (every root vertex and every
+// emitted circuit) and between circuit evaluations, so a -timeout style
+// deadline reaches the potentially exponential enumeration just as it
+// already reaches the MinDist closures. A nil ctx disables the checks.
+func RecMIIByCircuitsContext(ctx context.Context, l *ir.Loop, delays []int, circuitLimit int) (int, bool, error) {
 	g := depGraph(l)
 	// Collapse parallel edges by keeping, per (from,to,distance), the max
 	// delay; Johnson enumerates vertex sequences, so for correctness with
@@ -228,9 +261,17 @@ func RecMIIByCircuits(l *ir.Loop, delays []int, circuitLimit int) (int, bool, er
 		k := [2]int{e.From, e.To}
 		hops[k] = append(hops[k], hop{delay: delays[ei], distance: e.Distance})
 	}
-	circuits, truncated := g.ElementaryCircuits(circuitLimit)
+	circuits, truncated, err := g.ElementaryCircuitsContext(ctx, circuitLimit)
+	if err != nil {
+		return 0, false, fmt.Errorf("mii: loop %s: circuit enumeration aborted: %w", l.Name, err)
+	}
 	rec := 0
-	for _, circ := range circuits {
+	for ci, circ := range circuits {
+		if ctx != nil && ci&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, false, fmt.Errorf("mii: loop %s: circuit evaluation aborted: %w", l.Name, err)
+			}
+		}
 		// For each hop, among the parallel edges the binding constraint at
 		// a given II is max(delay - II*distance); a conservative and exact
 		// treatment enumerates combinations, which explodes. Instead we
@@ -245,11 +286,10 @@ func RecMIIByCircuits(l *ir.Loop, delays []int, circuitLimit int) (int, bool, er
 			rec = best
 		}
 	}
-	var err error
 	if rec == 0 {
 		rec = 1
 	}
-	return rec, !truncated, err
+	return rec, !truncated, nil
 }
 
 // evalCircuit returns max over parallel-edge choices of

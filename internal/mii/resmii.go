@@ -24,6 +24,12 @@ type Counters struct {
 	// ResMIIInspections counts alternative reservation-table inspections
 	// during the ResMII computation.
 	ResMIIInspections int64
+	// ProfileBuilds counts BuildProfile invocations (the one-time
+	// II-independent coefficient factoring); ProfileProbes counts per-II
+	// evaluations served from a Profile instead of a scalar
+	// Floyd-Warshall closure.
+	ProfileBuilds int64
+	ProfileProbes int64
 }
 
 // ResMII computes the resource-constrained lower bound on the II

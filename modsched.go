@@ -42,6 +42,7 @@ import (
 	"modsched/internal/machine"
 	"modsched/internal/mii"
 	"modsched/internal/modvar"
+	"modsched/internal/schedcache"
 	"modsched/internal/unroll"
 	"modsched/internal/vliw"
 )
@@ -221,6 +222,34 @@ func CompileBestEffort(l *Loop, m *Machine, opts Options) (*Schedule, *Degradati
 // fallback chain stops and the cancellation error is returned.
 func CompileBestEffortContext(ctx context.Context, l *Loop, m *Machine, opts Options) (*Schedule, *Degradation, error) {
 	return core.ModuloScheduleBestEffort(ctx, l, m, opts)
+}
+
+// Memoizing compile cache (see internal/schedcache). Keys are
+// structural — canonical loop text, machine fingerprint, options — so
+// clones, re-parses, and renamed copies of a loop all share one entry.
+type (
+	// CompileCache memoizes compilation results with LRU eviction and
+	// singleflight de-duplication of concurrent identical compiles.
+	CompileCache = schedcache.Cache
+	// CacheStats reports a cache's hit/miss/inflight/eviction counters.
+	CacheStats = schedcache.Stats
+)
+
+// NewCompileCache returns a compile cache holding at most capacity
+// entries (a default capacity if capacity <= 0).
+func NewCompileCache(capacity int) *CompileCache { return schedcache.New(capacity) }
+
+// CompileBestEffortCached is CompileBestEffortContext through a
+// memoizing cache: a repeated compilation of a structurally identical
+// loop returns a deep copy of the cached schedule instead of re-running
+// the II search. A nil cache is the uncached call.
+func CompileBestEffortCached(cache *CompileCache, ctx context.Context, l *Loop, m *Machine, opts Options) (*Schedule, *Degradation, error) {
+	if cache == nil {
+		return core.ModuloScheduleBestEffort(ctx, l, m, opts)
+	}
+	return cache.Do(l, m, opts, func() (*Schedule, *Degradation, error) {
+		return core.ModuloScheduleBestEffort(ctx, l, m, opts)
+	})
 }
 
 // CompileAcyclic runs only the final best-effort stage: the acyclic list
