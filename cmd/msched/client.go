@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"modsched/internal/server"
+)
+
+// runServed compiles the inputs against a running mschedd instead of
+// in-process: one input posts to /compile, several post as one
+// /compile/batch request. The printed output is byte-identical to the
+// local path for every outcome the server can express — the CI smoke
+// test diffs the two — and error kinds map back onto the same exit
+// codes local compilation uses.
+func runServed(addr string, srcs []input, cf clientFlags, stdout, stderr io.Writer) int {
+	fail := func(code int, format string, args ...any) int {
+		fmt.Fprintf(stderr, "msched: "+format+"\n", args...)
+		return code
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	// The HTTP client deadline covers transport only. Compile deadlines
+	// travel inside the request (timeout_ms) so the server can enforce
+	// them per loop; the transport allowance on top is generous because a
+	// queued request may wait out the server's waiting room first.
+	httpTimeout := 5 * time.Minute
+	client := &http.Client{Timeout: httpTimeout}
+
+	items, err := postCompile(client, base, srcs, cf)
+	if err != nil {
+		return fail(exitOther, "%v", err)
+	}
+
+	for i, item := range items {
+		if len(srcs) > 1 {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			fmt.Fprintf(stdout, "== %s ==\n", srcs[i].name)
+		}
+		if code := renderItem(item, cf, stdout, stderr); code != exitOK {
+			return code
+		}
+	}
+	return exitOK
+}
+
+// clientFlags carries the flag subset that travels to the server.
+type clientFlags struct {
+	machine    string
+	budget     float64
+	priority   string
+	delays     string
+	workers    int
+	timeout    time.Duration
+	besteffort bool
+}
+
+func (cf clientFlags) request(in input) server.CompileRequest {
+	req := server.CompileRequest{
+		Name:    in.name,
+		Source:  in.src,
+		Machine: cf.machine,
+		Options: &server.OptionsSpec{
+			Budget:   cf.budget,
+			Priority: cf.priority,
+			Delays:   cf.delays,
+			Workers:  cf.workers,
+		},
+	}
+	if cf.timeout > 0 {
+		req.TimeoutMS = cf.timeout.Milliseconds()
+	}
+	return req
+}
+
+// postCompile sends the inputs and returns one BatchItem per input, in
+// input order, whichever endpoint served them.
+func postCompile(client *http.Client, base string, srcs []input, cf clientFlags) ([]server.BatchItem, error) {
+	if len(srcs) == 1 {
+		status, body, err := postJSON(client, base+"/compile", cf.request(srcs[0]))
+		if err != nil {
+			return nil, err
+		}
+		item := server.BatchItem{Status: status}
+		if status == http.StatusOK {
+			item.Result = new(server.CompileResponse)
+			if err := json.Unmarshal(body, item.Result); err != nil {
+				return nil, fmt.Errorf("malformed response from %s: %v", base, err)
+			}
+		} else {
+			item.Error = new(server.ErrorResponse)
+			if err := json.Unmarshal(body, item.Error); err != nil {
+				return nil, fmt.Errorf("server returned HTTP %d with an unreadable body", status)
+			}
+		}
+		return []server.BatchItem{item}, nil
+	}
+
+	breq := server.BatchRequest{Loops: make([]server.CompileRequest, len(srcs))}
+	for i, in := range srcs {
+		breq.Loops[i] = cf.request(in)
+	}
+	status, body, err := postJSON(client, base+"/compile/batch", breq)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		var eresp server.ErrorResponse
+		if json.Unmarshal(body, &eresp) == nil && eresp.Error != "" {
+			return nil, fmt.Errorf("batch rejected (%s): %s", eresp.Kind, eresp.Error)
+		}
+		return nil, fmt.Errorf("batch rejected with HTTP %d", status)
+	}
+	var bresp server.BatchResponse
+	if err := json.Unmarshal(body, &bresp); err != nil {
+		return nil, fmt.Errorf("malformed batch response from %s: %v", base, err)
+	}
+	if len(bresp.Results) != len(srcs) {
+		return nil, fmt.Errorf("batch response carries %d results for %d inputs", len(bresp.Results), len(srcs))
+	}
+	return bresp.Results, nil
+}
+
+func postJSON(client *http.Client, url string, v any) (int, []byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// renderItem prints one loop's outcome exactly as the local pipeline
+// would and returns its exit code.
+func renderItem(item server.BatchItem, cf clientFlags, stdout, stderr io.Writer) int {
+	fail := func(code int, format string, args ...any) int {
+		fmt.Fprintf(stderr, "msched: "+format+"\n", args...)
+		return code
+	}
+	if item.Error != nil {
+		return fail(kindExit(item.Error.Kind), "%s", item.Error.Error)
+	}
+	r := item.Result
+	if r.Degradation != nil {
+		if !cf.besteffort {
+			// The server always compiles best-effort (its cache admits one
+			// entry point), but without -besteffort the contract is
+			// fail-don't-degrade: surface the first stage failure as the
+			// local pipeline would have.
+			if fs := r.Degradation.Failures; len(fs) > 0 {
+				return fail(exitNoSched, "%s", fs[0].Error)
+			}
+			return fail(exitNoSched, "schedule degraded to %s stage", r.Degradation.Stage)
+		}
+		// Same channel and wording as the local -besteffort path.
+		fmt.Fprintf(stderr, "msched: warning: %s\n", r.Degradation.Message)
+	}
+	r.RenderText(stdout)
+	return exitOK
+}
+
+// kindExit maps a wire error kind onto the CLI's exit codes, mirroring
+// schedExit's classification of the underlying sentinels.
+func kindExit(kind string) int {
+	switch kind {
+	case server.KindParse:
+		return exitParse
+	case server.KindInvalid, server.KindBadRequest:
+		return exitUsage
+	case server.KindNoSchedule, server.KindBudget, server.KindDeadline:
+		return exitNoSched
+	case server.KindInternal:
+		return exitInternal
+	default: // overloaded, draining, transport oddities
+		return exitOther
+	}
+}

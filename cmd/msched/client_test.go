@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modsched/internal/server"
+)
+
+// startDaemon serves a fresh in-process mschedd and returns its URL.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func writeLoops(t *testing.T, sources map[string]string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	// Deterministic CLI argument order.
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	paths := make([]string, len(names))
+	for i, name := range names {
+		paths[i] = filepath.Join(dir, name)
+		if err := os.WriteFile(paths[i], []byte(sources[name]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+// TestServerModeMatchesLocal: the same inputs through -server and
+// through local compilation must produce byte-identical stdout and
+// stderr and the same exit code — for multi-file, single-file, and
+// stdin invocations.
+func TestServerModeMatchesLocal(t *testing.T) {
+	url := startDaemon(t)
+	paths := writeLoops(t, map[string]string{
+		"a_daxpy.loop": goodLoop,
+		"b_tiny.loop":  goodLoop,
+	})
+
+	run2 := func(args []string, stdin string) (int, string, string) {
+		var out, errb bytes.Buffer
+		code := run(args, strings.NewReader(stdin), &out, &errb)
+		return code, out.String(), errb.String()
+	}
+
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+	}{
+		{"multi-file", paths, ""},
+		{"single-file", paths[:1], ""},
+		{"stdin", nil, goodLoop},
+		{"machine and options", append([]string{"-machine", "tiny", "-priority", "fifo", "-budget", "4"}, paths[0]), ""},
+		{"parse error", nil, "loop broken\nnonsense\n"},
+		{"infeasible", nil, impossibleLoop},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lCode, lOut, lErr := run2(tc.args, tc.stdin)
+			sCode, sOut, sErr := run2(append([]string{"-server", url}, tc.args...), tc.stdin)
+			if sCode != lCode {
+				t.Errorf("exit = %d served, %d local (served stderr: %s)", sCode, lCode, sErr)
+			}
+			if sOut != lOut {
+				t.Errorf("stdout diverges:\n-- local --\n%s\n-- served --\n%s", lOut, sOut)
+			}
+			if sErr != lErr {
+				t.Errorf("stderr diverges:\n-- local --\n%s\n-- served --\n%s", lErr, sErr)
+			}
+		})
+	}
+}
+
+// TestServerModeRejectsLocalFlags: flags that cannot travel to the
+// daemon are usage errors, not silent no-ops.
+func TestServerModeRejectsLocalFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-server", "localhost:1", "-verbose"},
+		{"-server", "localhost:1", "-mrt"},
+		{"-server", "localhost:1", "-gantt", "3"},
+		{"-server", "localhost:1", "-flat"},
+		{"-server", "localhost:1", "-backsub"},
+		{"-server", "localhost:1", "-cache"},
+		{"-server", "localhost:1", "-algo", "slack"},
+	} {
+		var out, errb bytes.Buffer
+		code := run(args, strings.NewReader(goodLoop), &out, &errb)
+		if code != exitUsage {
+			t.Errorf("%v: exit = %d, want %d (stderr: %s)", args, code, exitUsage, errb.String())
+		}
+		if !strings.Contains(errb.String(), "not supported with -server") {
+			t.Errorf("%v: stderr lacks rejection notice: %s", args, errb.String())
+		}
+	}
+}
+
+// TestServerModeTransportError: an unreachable daemon is exit 1.
+func TestServerModeTransportError(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", "127.0.0.1:1"}, strings.NewReader(goodLoop), &out, &errb)
+	if code != exitOther {
+		t.Errorf("exit = %d, want %d (stderr: %s)", code, exitOther, errb.String())
+	}
+}

@@ -7,7 +7,7 @@
 //	       [-delays vliw|conservative] [-timeout 0] [-besteffort]
 //	       [-workers N] [-cache] [-verbose] [-mrt] [-gantt N]
 //	       [-backsub] [-flat] [-cpuprofile f] [-memprofile f]
-//	       file.loop [file2.loop ...]
+//	       [-server addr] file.loop [file2.loop ...]
 //
 // With no file it reads standard input; with several files it compiles
 // each in turn under a `== name ==` header. -mrt prints the schedule's
@@ -23,6 +23,11 @@
 // expires under -besteffort, the degenerate schedule is still produced
 // (the acyclic stage needs no deadline), the degradation report is
 // flushed to stderr, and the exit code is 0.
+//
+// -server addr ships the sources to a running mschedd (docs/serving.md)
+// instead of compiling in-process; the printed output is byte-identical
+// to local compilation. Local-only flags (-verbose, -mrt, -gantt, -flat,
+// -backsub, -cache, profiling, -algo) are rejected in this mode.
 //
 // Exit codes: 0 success (including a degraded -besteffort result); 2
 // usage, flag, or input errors; 3 loop parse error; 4 no schedule found
@@ -100,6 +105,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		gantt      = fs.Int("gantt", 0, "print a pipeline diagram with N overlapped iterations")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
 		memProf    = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+		serverAddr = fs.String("server", "", "compile via a running mschedd at this address instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage // the flag package already printed the diagnostic
@@ -107,6 +113,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	fail := func(code int, format string, args ...any) int {
 		fmt.Fprintf(stderr, "msched: "+format+"\n", args...)
 		return code
+	}
+
+	if *serverAddr != "" {
+		// Served compilation ships sources to mschedd; only the flags that
+		// travel on the wire are allowed. Everything local-only — output
+		// decorations, transforms, the per-process cache, profiling — is an
+		// error rather than a silent no-op.
+		for flagName, set := range map[string]bool{
+			"-verbose": *verbose, "-mrt": *mrt, "-gantt": *gantt > 0,
+			"-flat": *flat, "-backsub": *backsubF, "-cache": *useCache,
+			"-cpuprofile": *cpuProf != "", "-memprofile": *memProf != "",
+			"-algo": *algo != "iterative",
+		} {
+			if set {
+				return fail(exitUsage, "%s is not supported with -server (the daemon compiles best-effort with its own cache)", flagName)
+			}
+		}
+		srcs, err := readInputs(fs, stdin)
+		if err != nil {
+			return fail(exitUsage, "%v", err)
+		}
+		return runServed(*serverAddr, srcs, clientFlags{
+			machine: *machName, budget: *budget, priority: *priority,
+			delays: *delays, workers: *workers, timeout: *timeout,
+			besteffort: *besteffort,
+		}, stdout, stderr)
 	}
 
 	if *cpuProf != "" {
@@ -185,13 +217,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		cache = schedcache.New(0)
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-
 	for i, in := range srcs {
 		if len(srcs) > 1 {
 			if i > 0 {
@@ -199,11 +224,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 			}
 			fmt.Fprintf(stdout, "== %s ==\n", in.name)
 		}
-		if code := compileOne(ctx, in.src, m, opts, cache, flags{
+		// The deadline is per input: each file gets the full -timeout
+		// budget. (A single context around the whole loop would hand later
+		// files whatever earlier files left over — possibly nothing — and
+		// spuriously degrade them.)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		code := compileOne(ctx, in.src, m, opts, cache, flags{
 			algo: *algo, besteffort: *besteffort, verbose: *verbose,
 			flat: *flat, backsub: *backsubF, mrt: *mrt, gantt: *gantt,
 			timeout: *timeout,
-		}, stdout, stderr); code != exitOK {
+		}, stdout, stderr)
+		cancel()
+		if code != exitOK {
 			return code
 		}
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -137,6 +138,81 @@ func TestBestEffortDeadlineIsDeterministic(t *testing.T) {
 		if strings.Contains(warn, "\n") {
 			t.Fatalf("run %d: degradation warning not one line: %q", i, stderr)
 		}
+	}
+}
+
+// burnLoopSource returns a loop whose compilation reliably takes much
+// longer than the timeouts used in tests: a long fadd chain is cheap to
+// schedule but expensive to lower (codegen is superlinear in the
+// operation count), so wall-clock time passes without the deadline
+// killing the compile itself.
+func burnLoopSource(n int) string {
+	var b strings.Builder
+	b.WriteString("loop burn\nx0 = fadd a, a\n")
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "x%d = fadd x%d, a\n", i, i-1)
+	}
+	b.WriteString("brtop\n")
+	return b.String()
+}
+
+// TestTimeoutAppliesPerInput: -timeout is a per-input budget, not one
+// deadline shared by the whole multi-file run. The first input burns far
+// more wall-clock time than the timeout; the second must still compile
+// with a full, fresh budget and produce exactly the output of a solo
+// run. (Under the old shared-context behavior the second file inherited
+// an expired deadline and failed — or, with -besteffort, spuriously
+// degraded to the acyclic fallback.)
+func TestTimeoutAppliesPerInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping multi-second compile")
+	}
+	_, soloOut, _ := runCase(t, nil, goodLoop)
+	soloII := ""
+	for _, line := range strings.Split(soloOut, "\n") {
+		if strings.HasPrefix(line, "II=") {
+			soloII = line
+			break
+		}
+	}
+	if soloII == "" {
+		t.Fatalf("solo run printed no II line:\n%s", soloOut)
+	}
+
+	dir := t.TempDir()
+	burnFile := filepath.Join(dir, "burn.loop")
+	goodFile := filepath.Join(dir, "good.loop")
+	if err := os.WriteFile(burnFile, []byte(burnLoopSource(800)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goodFile, []byte(goodLoop), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// -besteffort keeps the run alive even if a slow machine lets the
+	// deadline kill the burn loop's own scheduling phase; what matters is
+	// the second file, which must come out non-degraded and identical to
+	// the solo run.
+	code, out, stderr := runCase(t, []string{"-besteffort", "-timeout", "500ms", burnFile, goodFile}, "")
+	if code != exitOK {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, exitOK, stderr)
+	}
+	_, second, ok := strings.Cut(out, "== good.loop ==")
+	if !ok {
+		t.Fatalf("output missing second file section:\n%s", out)
+	}
+	gotII := ""
+	for _, line := range strings.Split(second, "\n") {
+		if strings.HasPrefix(line, "II=") {
+			gotII = line
+			break
+		}
+	}
+	if gotII != soloII {
+		t.Errorf("second input II line = %q, want solo run's %q (stale deadline leaked across inputs?)", gotII, soloII)
+	}
+	if strings.Contains(stderr, "loop daxpy") {
+		t.Errorf("second input degraded despite per-input deadline:\nstderr: %s", stderr)
 	}
 }
 

@@ -1,0 +1,123 @@
+// Command mschedd serves the modulo scheduler over HTTP: looplang
+// sources in (one at a time on /compile, many at once on
+// /compile/batch), schedules and kernel code out as JSON, with one
+// process-wide memoizing compile cache behind every request. See
+// docs/serving.md for the API, the error-to-status mapping, the metrics
+// catalog, and the capacity model.
+//
+//	mschedd [-addr :8437] [-cache-cap N] [-max-inflight N] [-queue N]
+//	        [-queue-wait 5s] [-compile-timeout 30s] [-batch-workers N]
+//	        [-drain-timeout 30s]
+//
+// On SIGTERM or SIGINT the daemon drains: /healthz flips to 503, new
+// compile requests are refused with 503 "draining", in-flight requests
+// run to completion (bounded by -drain-timeout), the final /metrics
+// exposition is flushed to stderr, and the process exits 0. A second
+// signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"modsched/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the daemon behind an exit code so tests can drive it
+// in-process: 0 after a clean drain, 2 for flag or listen errors, 1 for
+// a serve failure or a forced shutdown.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr           = fs.String("addr", ":8437", "listen address")
+		cacheCap       = fs.Int("cache-cap", 0, "compile cache capacity in entries (0 = default)")
+		maxInFlight    = fs.Int("max-inflight", 0, "concurrently executing requests (0 = 2*GOMAXPROCS)")
+		queueDepth     = fs.Int("queue", 0, "waiting-room depth beyond the in-flight bound (0 = 4*max-inflight)")
+		queueWait      = fs.Duration("queue-wait", 0, "longest a request may wait for a slot before 429 (0 = 5s)")
+		compileTimeout = fs.Duration("compile-timeout", 0, "per-compile deadline ceiling and default (0 = 30s)")
+		batchWorkers   = fs.Int("batch-workers", 0, "workers fanning one batch across the pool (0 = GOMAXPROCS)")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "mschedd: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		CacheCapacity:  *cacheCap,
+		MaxInFlight:    *maxInFlight,
+		QueueDepth:     *queueDepth,
+		QueueWait:      *queueWait,
+		CompileTimeout: *compileTimeout,
+		BatchWorkers:   *batchWorkers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "mschedd: %v\n", err)
+		return 2
+	}
+	// Print the resolved address (":0" is useful in tests and scripts).
+	fmt.Fprintf(stdout, "mschedd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "mschedd: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stderr, "mschedd: %v received, draining\n", s)
+	}
+
+	// Drain: stop admitting work first so the load balancer and retrying
+	// clients move on, then let Shutdown wait out the in-flight requests.
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sig
+		fmt.Fprintln(stderr, "mschedd: second signal, aborting")
+		cancel()
+	}()
+	code := 0
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "mschedd: drain incomplete: %v\n", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "mschedd: %v\n", err)
+		code = 1
+	}
+	// The final counters go to stderr so operators keep the last word on
+	// what the process served.
+	fmt.Fprint(stderr, srv.MetricsText())
+	fmt.Fprintln(stderr, "mschedd: drained")
+	return code
+}

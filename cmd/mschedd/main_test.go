@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"modsched/internal/server"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the daemon writes from
+// its own goroutines while the test polls.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+const daxpySource = `
+loop daxpy
+profile 5 10000
+
+xi = aadd xi@1, #8
+x  = load xi
+yi = aadd yi@1, #8
+y  = load yi
+t1 = fmul a, x
+t2 = fadd y, t1
+si = aadd si@1, #8
+st: store si, t2
+brtop
+`
+
+// TestDaemonServesAndDrains boots the daemon in-process on an ephemeral
+// port, serves real requests, then delivers SIGTERM and verifies the
+// clean-drain contract: exit 0, the final metrics flushed to stderr, and
+// the served requests present in them.
+func TestDaemonServesAndDrains(t *testing.T) {
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0"}, &stdout, &stderr) }()
+
+	addrRE := regexp.MustCompile(`mschedd: listening on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout: %q stderr: %q", stdout.String(), stderr.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	payload, err := json.Marshal(server.CompileRequest{Source: daxpySource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(base+"/compile", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile %d: status = %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	select {
+	case code = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain within 30s; stderr: %q", stderr.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %q", code, stderr.String())
+	}
+
+	errText := stderr.String()
+	for _, want := range []string{
+		"draining",
+		"mschedd: drained",
+		`mschedd_requests_total{endpoint="compile",code="200"} 3`,
+		`mschedd_loops_total{outcome="ok"} 3`,
+		"mschedd_cache_misses_total 1",
+		"mschedd_cache_hits_total 2",
+	} {
+		if !strings.Contains(errText, want) {
+			t.Errorf("drain stderr lacks %q:\n%s", want, errText)
+		}
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit = %d, want 2", code)
+	}
+	if code := run([]string{"stray-arg"}, &stdout, &stderr); code != 2 {
+		t.Errorf("stray argument: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:bad"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unusable address: exit = %d, want 2", code)
+	}
+}

@@ -37,13 +37,21 @@ type Result struct {
 }
 
 // Report is a full benchmark run plus the environment it ran in.
+//
+// NumCPU records the physical CPU count and GOMAXPROCS the scheduler's
+// actual concurrency bound; under cgroup CPU limits (a containerized
+// daemon) the two disagree, and every worker-count default in this
+// repository follows GOMAXPROCS (see experiments.DefaultWorkers). Both
+// are recorded so a baseline measured on one topology is interpretable
+// on another.
 type Report struct {
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Workers   int      `json:"workers"`
-	Results   []Result `json:"results"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	Workers    int      `json:"workers"`
+	Results    []Result `json:"results"`
 }
 
 // corpusSize matches bench_test.go's benchCorpus, so ns/op here and there
@@ -93,11 +101,12 @@ func Run(workers int) (*Report, error) {
 		workers = experiments.DefaultWorkers()
 	}
 	rep := &Report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Workers:   workers,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
 	}
 
 	m := machine.Cydra5()
@@ -312,8 +321,8 @@ func Run(workers int) (*Report, error) {
 
 // Format renders a report as the familiar `go test -bench` style lines.
 func (rep *Report) Format() string {
-	out := fmt.Sprintf("goos: %s goarch: %s cpus: %d workers: %d (%s)\n",
-		rep.GOOS, rep.GOARCH, rep.NumCPU, rep.Workers, rep.GoVersion)
+	out := fmt.Sprintf("goos: %s goarch: %s cpus: %d gomaxprocs: %d workers: %d (%s)\n",
+		rep.GOOS, rep.GOARCH, rep.NumCPU, rep.GOMAXPROCS, rep.Workers, rep.GoVersion)
 	for _, r := range rep.Results {
 		out += fmt.Sprintf("%-24s %10d iters %14.0f ns/op %10d B/op %8d allocs/op",
 			r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// errShed is returned by acquire when the request cannot be admitted:
+// every in-flight slot is busy and either the waiting room is full or
+// the caller waited out its patience. The handler turns it into a 429
+// with a Retry-After hint.
+var errShed = errors.New("server overloaded")
+
+// admission bounds the number of concurrently executing compile
+// requests. Capacity slots run; up to queueDepth more wait in a waiting
+// room for at most maxWait; everything beyond that is shed immediately.
+// Bounding both tiers keeps the daemon's latency distribution honest
+// under overload — a request either runs soon or is told to come back,
+// it is never parked on an unbounded queue whose wait dwarfs the
+// compile.
+type admission struct {
+	slots   chan struct{} // filled while a request is executing
+	waiting chan struct{} // filled while a request sits in the waiting room
+	maxWait time.Duration
+}
+
+func newAdmission(capacity, queueDepth int, maxWait time.Duration) *admission {
+	return &admission{
+		slots:   make(chan struct{}, capacity),
+		waiting: make(chan struct{}, queueDepth),
+		maxWait: maxWait,
+	}
+}
+
+// acquire admits the caller or reports why not: nil (admitted — caller
+// must release), errShed (capacity and waiting room exhausted, or the
+// wait timed out), or the context's error. The fast path takes a free
+// slot without queueing.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.waiting <- struct{}{}:
+	default:
+		return errShed
+	}
+	defer func() { <-a.waiting }()
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees the slot taken by a successful acquire.
+func (a *admission) release() { <-a.slots }
+
+// inFlight and queued are the live gauges exported on /metrics.
+func (a *admission) inFlight() int { return len(a.slots) }
+func (a *admission) queued() int   { return len(a.waiting) }
+func (a *admission) capacity() int { return cap(a.slots) }

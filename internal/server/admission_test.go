@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(2, 1, time.Second)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.inFlight(); got != 2 {
+		t.Errorf("inFlight = %d, want 2", got)
+	}
+	a.release()
+	if got := a.inFlight(); got != 1 {
+		t.Errorf("inFlight after release = %d, want 1", got)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Errorf("acquire after release: %v", err)
+	}
+}
+
+// TestAdmissionShedsWhenSaturated: with the slot held and the waiting
+// room full, further acquires shed immediately (no wait).
+func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	a := newAdmission(1, 1, time.Minute)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Park one waiter in the waiting room.
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- a.acquire(context.Background()) }()
+	waitFor(t, func() bool { return a.queued() == 1 })
+
+	start := time.Now()
+	if err := a.acquire(context.Background()); !errors.Is(err, errShed) {
+		t.Fatalf("acquire = %v, want errShed", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("shed took %v, want immediate", elapsed)
+	}
+
+	// Releasing the slot admits the parked waiter.
+	a.release()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("parked waiter: %v", err)
+	}
+	if got := a.queued(); got != 0 {
+		t.Errorf("queued = %d, want 0", got)
+	}
+}
+
+// TestAdmissionWaitTimeout: a queued request sheds once maxWait passes
+// without a slot freeing.
+func TestAdmissionWaitTimeout(t *testing.T) {
+	a := newAdmission(1, 4, 10*time.Millisecond)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background()); !errors.Is(err, errShed) {
+		t.Fatalf("acquire = %v, want errShed after maxWait", err)
+	}
+	if got := a.queued(); got != 0 {
+		t.Errorf("queued = %d after timeout, want 0 (ticket leaked)", got)
+	}
+}
+
+// TestAdmissionContextCancel: a queued request returns the context's
+// error when the caller gives up first.
+func TestAdmissionContextCancel(t *testing.T) {
+	a := newAdmission(1, 4, time.Minute)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- a.acquire(ctx) }()
+	waitFor(t, func() bool { return a.queued() == 1 })
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire = %v, want context.Canceled", err)
+	}
+	if gotQ := a.queued(); gotQ != 0 {
+		t.Errorf("queued = %d after cancel, want 0 (ticket leaked)", gotQ)
+	}
+}

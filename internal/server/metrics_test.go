@@ -1,0 +1,83 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExposition pins the exposition's shape: every family
+// present, label sets sorted, histogram buckets cumulative.
+func TestPrometheusExposition(t *testing.T) {
+	m := newMetrics()
+	m.countRequest("compile", 200, 0.002)
+	m.countRequest("compile", 422, 0.0001)
+	m.countRequest("batch", 200, 0.3)
+	m.countLoop("ok")
+	m.countLoop("ok")
+	m.countLoop("parse")
+	m.countShed()
+
+	var b strings.Builder
+	m.writePrometheus(&b, gauges{inFlight: 3, queued: 1, draining: true, cacheLen: 7})
+	text := b.String()
+
+	for _, want := range []string{
+		`mschedd_requests_total{endpoint="batch",code="200"} 1`,
+		`mschedd_requests_total{endpoint="compile",code="200"} 1`,
+		`mschedd_requests_total{endpoint="compile",code="422"} 1`,
+		`mschedd_loops_total{outcome="ok"} 2`,
+		`mschedd_loops_total{outcome="parse"} 1`,
+		"mschedd_shed_total 1",
+		"mschedd_in_flight 3",
+		"mschedd_queue_depth 1",
+		"mschedd_draining 1",
+		"mschedd_cache_entries 7",
+		"mschedd_request_duration_seconds_count 3",
+		`mschedd_request_duration_seconds_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+
+	// Sorted label sets: batch sorts before compile.
+	if strings.Index(text, `endpoint="batch"`) > strings.Index(text, `endpoint="compile"`) {
+		t.Error("requests_total series not sorted by endpoint")
+	}
+
+	// Buckets must be cumulative: 0.0001 lands in the first bucket, 0.002
+	// by le=0.0025, 0.3 by le=0.5.
+	for _, want := range []string{
+		`mschedd_request_duration_seconds_bucket{le="0.0005"} 1`,
+		`mschedd_request_duration_seconds_bucket{le="0.0025"} 2`,
+		`mschedd_request_duration_seconds_bucket{le="0.5"} 3`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("histogram wrong, want %q:\n%s", want, text)
+		}
+	}
+
+	// Two renders with no intervening traffic are byte-identical.
+	var b2 strings.Builder
+	m.writePrometheus(&b2, gauges{inFlight: 3, queued: 1, draining: true, cacheLen: 7})
+	if b2.String() != text {
+		t.Error("repeated render differs")
+	}
+}
+
+func TestRetryAfterClamps(t *testing.T) {
+	m := newMetrics()
+	// No observations yet: minimum hint.
+	if got := m.retryAfterSec(100, 4); got != 1 {
+		t.Errorf("cold retryAfter = %d, want 1", got)
+	}
+	// 2s EWMA, 7 queued ahead, 4 slots -> ceil(2*8/4) = 4.
+	m.countRequest("compile", 200, 2.0)
+	if got := m.retryAfterSec(7, 4); got != 4 {
+		t.Errorf("retryAfter = %d, want 4", got)
+	}
+	// Huge backlog clamps to 60.
+	if got := m.retryAfterSec(100000, 1); got != 60 {
+		t.Errorf("clamped retryAfter = %d, want 60", got)
+	}
+}

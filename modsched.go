@@ -243,7 +243,10 @@ func NewCompileCache(capacity int) *CompileCache { return schedcache.New(capacit
 // memoizing cache: a repeated compilation of a structurally identical
 // loop returns a deep copy of the cached schedule instead of re-running
 // the II search. A nil cache is the uncached call.
-func CompileBestEffortCached(cache *CompileCache, ctx context.Context, l *Loop, m *Machine, opts Options) (*Schedule, *Degradation, error) {
+//
+// The context is the first parameter, per Go convention. (Earlier
+// releases took the cache first; that argument order is gone.)
+func CompileBestEffortCached(ctx context.Context, cache *CompileCache, l *Loop, m *Machine, opts Options) (*Schedule, *Degradation, error) {
 	if cache == nil {
 		return core.ModuloScheduleBestEffort(ctx, l, m, opts)
 	}

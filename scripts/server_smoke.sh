@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the mschedd serving path (docs/serving.md):
+# build the daemon and the CLI, serve the regression loops through both
+# the local and the served pipeline, require byte-identical output,
+# reconcile /metrics exactly, then drain on SIGTERM and require a clean
+# exit. CI runs this on every push; it is also runnable by hand from the
+# repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/msched" ./cmd/msched
+go build -o "$workdir/mschedd" ./cmd/mschedd
+
+echo "== start daemon"
+"$workdir/mschedd" -addr 127.0.0.1:0 >"$workdir/daemon.out" 2>"$workdir/daemon.err" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^mschedd: listening on //p' "$workdir/daemon.out")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "daemon never announced its address" >&2
+  cat "$workdir/daemon.err" >&2
+  exit 1
+fi
+echo "   listening on $addr"
+
+loops=(testdata/regressions/*.loop)
+echo "== batch: ${#loops[@]} loops, local vs served must be byte-identical"
+"$workdir/msched" "${loops[@]}" >"$workdir/local.out" 2>"$workdir/local.err"
+"$workdir/msched" -server "$addr" "${loops[@]}" >"$workdir/served.out" 2>"$workdir/served.err"
+diff -u "$workdir/local.out" "$workdir/served.out"
+diff -u "$workdir/local.err" "$workdir/served.err"
+
+echo "== single compile (cache hit expected)"
+"$workdir/msched" "${loops[0]}" >"$workdir/local1.out"
+"$workdir/msched" -server "$addr" "${loops[0]}" >"$workdir/served1.out"
+diff -u "$workdir/local1.out" "$workdir/served1.out"
+
+echo "== /healthz"
+[ "$(curl -fsS "http://$addr/healthz")" = "ok" ]
+
+echo "== /metrics reconcile exactly"
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
+expect() {
+  if ! grep -qF "$1" "$workdir/metrics.txt"; then
+    echo "metrics missing exactly: $1" >&2
+    cat "$workdir/metrics.txt" >&2
+    exit 1
+  fi
+}
+# One batch request, one single request, all loops scheduled OK; the
+# single request re-compiles a loop the batch already cached, so it is
+# the one cache hit and the batch's loops are the only misses.
+expect 'mschedd_requests_total{endpoint="batch",code="200"} 1'
+expect 'mschedd_requests_total{endpoint="compile",code="200"} 1'
+expect "mschedd_loops_total{outcome=\"ok\"} $(( ${#loops[@]} + 1 ))"
+expect "mschedd_cache_misses_total ${#loops[@]}"
+expect 'mschedd_cache_hits_total 1'
+expect 'mschedd_shed_total 0'
+expect 'mschedd_in_flight 0'
+expect 'mschedd_draining 0'
+
+echo "== drain on SIGTERM"
+kill -TERM "$daemon_pid"
+drain_code=0
+wait "$daemon_pid" || drain_code=$?
+if [ "$drain_code" -ne 0 ]; then
+  echo "daemon exited $drain_code, want 0" >&2
+  cat "$workdir/daemon.err" >&2
+  exit 1
+fi
+daemon_pid=""
+grep -qF "mschedd: drained" "$workdir/daemon.err"
+grep -qF 'mschedd_draining 1' "$workdir/daemon.err"
+
+echo "server smoke: OK"
