@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"modsched/internal/server"
 )
@@ -113,11 +117,118 @@ func TestServerModeRejectsLocalFlags(t *testing.T) {
 	}
 }
 
-// TestServerModeTransportError: an unreachable daemon is exit 1.
+// TestServerModeTransportError: an unreachable daemon falls back to
+// local compilation with a one-line warning — output and exit code
+// otherwise identical to a plain local run.
 func TestServerModeTransportError(t *testing.T) {
+	var lOut, lErr bytes.Buffer
+	lCode := run(nil, strings.NewReader(goodLoop), &lOut, &lErr)
+
 	var out, errb bytes.Buffer
 	code := run([]string{"-server", "127.0.0.1:1"}, strings.NewReader(goodLoop), &out, &errb)
+	if code != lCode {
+		t.Errorf("exit = %d, want %d (stderr: %s)", code, lCode, errb.String())
+	}
+	if out.String() != lOut.String() {
+		t.Errorf("fallback stdout diverges from local:\n-- local --\n%s\n-- fallback --\n%s", lOut.String(), out.String())
+	}
+	if !strings.Contains(errb.String(), "warning: cannot reach server") ||
+		!strings.Contains(errb.String(), "compiling locally") {
+		t.Errorf("stderr lacks the fallback warning: %s", errb.String())
+	}
+}
+
+// TestServerModeFallbackOnDrain: a draining tier (503 + Retry-After)
+// triggers the same local fallback, multi-file included.
+func TestServerModeFallbackOnDrain(t *testing.T) {
+	s := server.New(server.Config{})
+	s.StartDrain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	paths := writeLoops(t, map[string]string{
+		"a_daxpy.loop": goodLoop,
+		"b_tiny.loop":  goodLoop,
+	})
+
+	var lOut, lErr bytes.Buffer
+	lCode := run(paths, strings.NewReader(""), &lOut, &lErr)
+
+	var out, errb bytes.Buffer
+	code := run(append([]string{"-server", ts.URL}, paths...), strings.NewReader(""), &out, &errb)
+	if code != lCode || out.String() != lOut.String() {
+		t.Errorf("drain fallback diverges: exit %d/%d\n-- local --\n%s\n-- fallback --\n%s",
+			code, lCode, lOut.String(), out.String())
+	}
+	if !strings.Contains(errb.String(), "draining") || !strings.Contains(errb.String(), "compiling locally") {
+		t.Errorf("stderr lacks the drain fallback warning: %s", errb.String())
+	}
+}
+
+// shrinkShedWaits makes the 429 retry budget test-sized and restores it.
+func shrinkShedWaits(t *testing.T) {
+	t.Helper()
+	oldCap, oldTotal := shedWaitCap, shedTotalWait
+	shedWaitCap, shedTotalWait = 20*time.Millisecond, 50*time.Millisecond
+	t.Cleanup(func() { shedWaitCap, shedTotalWait = oldCap, oldTotal })
+}
+
+// TestServerModeShedRetry: 429 + Retry-After is retried, the eventual
+// answer is rendered exactly as if the shed never happened.
+func TestServerModeShedRetry(t *testing.T) {
+	shrinkShedWaits(t)
+	real := server.New(server.Config{}).Handler()
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"kind":"overloaded","error":"server overloaded; retry later","retry_after_sec":1}`+"\n")
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var lOut, lErr bytes.Buffer
+	lCode := run(nil, strings.NewReader(goodLoop), &lOut, &lErr)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", ts.URL}, strings.NewReader(goodLoop), &out, &errb)
+	if code != lCode || out.String() != lOut.String() || errb.String() != lErr.String() {
+		t.Errorf("shed retry output diverges: exit %d/%d\nstdout:\n%s\nvs\n%s\nstderr: %q vs %q",
+			code, lCode, out.String(), lOut.String(), errb.String(), lErr.String())
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3 (two sheds, one success)", got)
+	}
+}
+
+// TestServerModeShedBounded: an always-shedding server exhausts the
+// bounded wait and the client errors — it must not retry forever and
+// must not silently fall back (overload is not absence).
+func TestServerModeShedBounded(t *testing.T) {
+	shrinkShedWaits(t)
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		io.WriteString(w, `{"kind":"overloaded","error":"server overloaded; retry later","retry_after_sec":1}`+"\n")
+	}))
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-server", ts.URL}, strings.NewReader(goodLoop), &out, &errb)
 	if code != exitOther {
 		t.Errorf("exit = %d, want %d (stderr: %s)", code, exitOther, errb.String())
+	}
+	if !strings.Contains(errb.String(), "overloaded") {
+		t.Errorf("stderr lacks the overload diagnostic: %s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected stdout on overload: %s", out.String())
+	}
+	if got := calls.Load(); got < 2 {
+		t.Errorf("server saw %d requests, want at least one retry", got)
 	}
 }

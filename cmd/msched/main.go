@@ -24,10 +24,15 @@
 // (the acyclic stage needs no deadline), the degradation report is
 // flushed to stderr, and the exit code is 0.
 //
-// -server addr ships the sources to a running mschedd (docs/serving.md)
-// instead of compiling in-process; the printed output is byte-identical
-// to local compilation. Local-only flags (-verbose, -mrt, -gantt, -flat,
-// -backsub, -cache, profiling, -algo) are rejected in this mode.
+// -server addr ships the sources to a running mschedd — or an
+// mschedfront fleet — (docs/serving.md) instead of compiling
+// in-process; the printed output is byte-identical to local
+// compilation. Local-only flags (-verbose, -mrt, -gantt, -flat,
+// -backsub, -cache, profiling, -algo) are rejected in this mode. A
+// shedding server (429) is retried honoring its Retry-After hint, with
+// a bounded total wait; an unreachable or fully-drained serving tier
+// falls back to local compilation with a one-line warning instead of
+// failing.
 //
 // Exit codes: 0 success (including a degraded -besteffort result); 2
 // usage, flag, or input errors; 3 loop parse error; 4 no schedule found
@@ -119,7 +124,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		// Served compilation ships sources to mschedd; only the flags that
 		// travel on the wire are allowed. Everything local-only — output
 		// decorations, transforms, the per-process cache, profiling — is an
-		// error rather than a silent no-op.
+		// error rather than a silent no-op. (The serving branch itself is
+		// below, after the machine and options are built: the client falls
+		// back to local compilation when the serving tier is gone, so it
+		// needs the whole local pipeline on standby.)
 		for flagName, set := range map[string]bool{
 			"-verbose": *verbose, "-mrt": *mrt, "-gantt": *gantt > 0,
 			"-flat": *flat, "-backsub": *backsubF, "-cache": *useCache,
@@ -130,15 +138,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 				return fail(exitUsage, "%s is not supported with -server (the daemon compiles best-effort with its own cache)", flagName)
 			}
 		}
-		srcs, err := readInputs(fs, stdin)
-		if err != nil {
-			return fail(exitUsage, "%v", err)
-		}
-		return runServed(*serverAddr, srcs, clientFlags{
-			machine: *machName, budget: *budget, priority: *priority,
-			delays: *delays, workers: *workers, timeout: *timeout,
-			besteffort: *besteffort,
-		}, stdout, stderr)
 	}
 
 	if *cpuProf != "" {
@@ -212,6 +211,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		return fail(exitUsage, "%v", err)
 	}
+
+	if *serverAddr != "" {
+		// localOne is the graceful-degradation path: when the serving tier
+		// is unreachable (or every replica is ejected), the client compiles
+		// the input itself, exactly as it would have without -server.
+		lf := flags{algo: *algo, besteffort: *besteffort, timeout: *timeout}
+		localOne := func(in input) int {
+			ctx := context.Background()
+			cancel := context.CancelFunc(func() {})
+			if *timeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, *timeout)
+			}
+			defer cancel()
+			return compileOne(ctx, in.src, m, opts, nil, lf, stdout, stderr)
+		}
+		return runServed(*serverAddr, srcs, clientFlags{
+			machine: *machName, budget: *budget, priority: *priority,
+			delays: *delays, workers: *workers, timeout: *timeout,
+			besteffort: *besteffort,
+		}, localOne, stdout, stderr)
+	}
+
 	var cache *schedcache.Cache
 	if *useCache {
 		cache = schedcache.New(0)

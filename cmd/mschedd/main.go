@@ -7,7 +7,12 @@
 //
 //	mschedd [-addr :8437] [-cache-cap N] [-max-inflight N] [-queue N]
 //	        [-queue-wait 5s] [-compile-timeout 30s] [-batch-workers N]
-//	        [-drain-timeout 30s]
+//	        [-drain-timeout 30s] [-persist-cache DIR]
+//
+// -persist-cache DIR mounts a crash-safe content-addressed schedule
+// cache under the in-memory one (internal/diskcache): compiles write
+// through, restarts serve warm, and corrupt or torn entries are
+// deleted and recompiled, never served.
 //
 // On SIGTERM or SIGINT the daemon drains: /healthz flips to 503, new
 // compile requests are refused with 503 "draining", in-flight requests
@@ -51,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		compileTimeout = fs.Duration("compile-timeout", 0, "per-compile deadline ceiling and default (0 = 30s)")
 		batchWorkers   = fs.Int("batch-workers", 0, "workers fanning one batch across the pool (0 = GOMAXPROCS)")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests on shutdown")
+		persistCache   = fs.String("persist-cache", "", "directory for the crash-safe persistent schedule cache (empty = memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +74,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CompileTimeout: *compileTimeout,
 		BatchWorkers:   *batchWorkers,
 	})
+	if *persistCache != "" {
+		// Mount the disk tier before the listener: a replica restarted
+		// over a warm directory must serve its very first repeat request
+		// as a cache hit. Opening scans the directory and quarantines
+		// malformed files; the counters land on /metrics.
+		if err := srv.EnablePersistentCache(*persistCache); err != nil {
+			fmt.Fprintf(stderr, "mschedd: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "mschedd: persistent cache at %s (%d entries)\n", *persistCache, srv.DiskCacheStats().Entries)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -125,6 +125,88 @@ func TestDaemonServesAndDrains(t *testing.T) {
 	}
 }
 
+// bootDaemon starts run() in-process and waits for the announced
+// address; stop() delivers SIGTERM and returns the exit code.
+func bootDaemon(t *testing.T, args []string) (base string, stderr *syncBuffer, stop func() int) {
+	t.Helper()
+	var out syncBuffer
+	errb := new(syncBuffer)
+	done := make(chan int, 1)
+	go func() { done <- run(args, &out, errb) }()
+	addrRE := regexp.MustCompile(`mschedd: listening on (\S+)`)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout: %q stderr: %q", out.String(), errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return base, errb, func() int {
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		select {
+		case code := <-done:
+			return code
+		case <-time.After(30 * time.Second):
+			t.Fatalf("daemon did not drain; stderr: %q", errb.String())
+			return -1
+		}
+	}
+}
+
+// TestDaemonPersistCacheWarmRestart drives the -persist-cache flag end
+// to end: daemon one compiles and is terminated; daemon two over the
+// same directory serves the identical request from disk — its drain
+// metrics must show one disk hit and zero compiles.
+func TestDaemonPersistCacheWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	payload, err := json.Marshal(server.CompileRequest{Source: daxpySource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postOnce := func(base string) []byte {
+		t.Helper()
+		resp, err := http.Post(base+"/compile", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile status = %d (%s)", resp.StatusCode, body)
+		}
+		return body
+	}
+
+	base1, _, stop1 := bootDaemon(t, []string{"-addr", "127.0.0.1:0", "-persist-cache", dir})
+	first := postOnce(base1)
+	if code := stop1(); code != 0 {
+		t.Fatalf("first daemon exit = %d", code)
+	}
+
+	base2, stderr2, stop2 := bootDaemon(t, []string{"-addr", "127.0.0.1:0", "-persist-cache", dir})
+	second := postOnce(base2)
+	if code := stop2(); code != 0 {
+		t.Fatalf("second daemon exit = %d", code)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("warm restart served different bytes:\nbefore %s\nafter  %s", first, second)
+	}
+	errText := stderr2.String()
+	for _, want := range []string{
+		"mschedd_diskcache_hits_total 1",
+		"mschedd_cache_misses_total 0",
+		"mschedd_diskcache_entries 1",
+	} {
+		if !strings.Contains(errText, want) {
+			t.Errorf("restarted daemon metrics lack %q:\n%s", want, errText)
+		}
+	}
+}
+
 func TestDaemonFlagErrors(t *testing.T) {
 	var stdout, stderr syncBuffer
 	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {

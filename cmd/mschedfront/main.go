@@ -1,0 +1,145 @@
+// Command mschedfront fronts a fleet of mschedd replicas: it
+// consistent-hashes each request's compile digest so every cache key
+// has one home replica, health-checks the fleet and ejects the dead,
+// retries transient failures with capped jittered backoff (honoring
+// Retry-After), and hedges stragglers after a P99-derived delay. The
+// bytes it serves are the replicas' bytes — the front never rewrites a
+// response body. See docs/serving.md ("Topology & failure modes").
+//
+//	mschedfront -replicas http://h1:8437,http://h2:8437 [-addr :8436]
+//	            [-vnodes 64] [-health-interval 250ms] [-eject-after 3]
+//	            [-readmit-after 2] [-max-attempts 4] [-backoff 10ms]
+//	            [-backoff-cap 1s] [-hedge-delay 0] [-no-hedge]
+//	            [-drain-timeout 30s]
+//
+// On SIGTERM or SIGINT the front drains exactly like a replica:
+// /healthz flips to 503, new requests are refused with 503 + a
+// Retry-After hint, in-flight forwards run to completion, the final
+// /metrics exposition goes to stderr, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"modsched/internal/proxy"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the daemon behind an exit code so tests can drive it
+// in-process: 0 after a clean drain, 2 for flag or listen errors, 1 for
+// a serve failure or a forced shutdown.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mschedfront", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr           = fs.String("addr", ":8436", "listen address")
+		replicas       = fs.String("replicas", "", "comma-separated mschedd base URLs (required)")
+		vnodes         = fs.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = 64)")
+		healthInterval = fs.Duration("health-interval", 0, "health probe period (0 = 250ms)")
+		ejectAfter     = fs.Int("eject-after", 0, "consecutive failures that eject a replica (0 = 3)")
+		readmitAfter   = fs.Int("readmit-after", 0, "consecutive good probes that readmit (0 = 2)")
+		maxAttempts    = fs.Int("max-attempts", 0, "tries per request, first included (0 = 4)")
+		backoff        = fs.Duration("backoff", 0, "base retry backoff, doubled per attempt with jitter (0 = 10ms)")
+		backoffCap     = fs.Duration("backoff-cap", 0, "cap on one backoff sleep and on honored Retry-After (0 = 1s)")
+		hedgeDelay     = fs.Duration("hedge-delay", 0, "fixed hedge delay (0 = derive from observed P99)")
+		noHedge        = fs.Bool("no-hedge", false, "disable hedged requests")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "mschedfront: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(stderr, "mschedfront: -replicas is required")
+		return 2
+	}
+
+	p, err := proxy.New(proxy.Config{
+		Replicas:       urls,
+		VirtualNodes:   *vnodes,
+		HealthInterval: *healthInterval,
+		EjectAfter:     *ejectAfter,
+		ReadmitAfter:   *readmitAfter,
+		MaxAttempts:    *maxAttempts,
+		BackoffBase:    *backoff,
+		BackoffCap:     *backoffCap,
+		HedgeDelay:     *hedgeDelay,
+		DisableHedge:   *noHedge,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mschedfront: %v\n", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "mschedfront: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "mschedfront: listening on %s, %d replicas\n", ln.Addr(), len(urls))
+
+	p.Start()
+	defer p.Close()
+
+	hs := &http.Server{
+		Handler:           p.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "mschedfront: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stderr, "mschedfront: %v received, draining\n", s)
+	}
+
+	p.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sig
+		fmt.Fprintln(stderr, "mschedfront: second signal, aborting")
+		cancel()
+	}()
+	code := 0
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "mschedfront: drain incomplete: %v\n", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "mschedfront: %v\n", err)
+		code = 1
+	}
+	fmt.Fprint(stderr, p.MetricsText())
+	fmt.Fprintln(stderr, "mschedfront: drained")
+	return code
+}

@@ -1,0 +1,372 @@
+// Command schedbomb is the serving tier's load generator and
+// correctness oracle in one: it fires a deterministic mixed workload of
+// single (/compile) and batch (/compile/batch) requests at an mschedd
+// replica or an mschedfront fleet, and — because Rau's iterative modulo
+// scheduler is deterministic for a given (loop, machine, options) key —
+// verifies every completed compile outcome byte-for-byte against an
+// independent in-process compilation. Any divergence is a wrong answer,
+// no matter what failures the tier weathered while producing it.
+//
+//	schedbomb -target http://host:port [-requests 200] [-workers 8]
+//	          [-batch-frac 0.4] [-batch-max 5] [-seed 1]
+//	          [-retries 8] [-retry-wait-cap 2s] [-json]
+//
+// The workload derives entirely from -seed, so two runs against
+// different topologies exercise identical keys (keeping replica caches
+// comparable). Requests that the tier refuses outright (429 after the
+// bounded retry budget, 503 draining/no_backends) are tallied as
+// refused, never verified — refusal is a capacity answer, not a compile
+// answer. Transport failures are tallied as failed.
+//
+// The tally goes to stdout, as JSON with -json (the chaos harness
+// parses it), else as a one-line summary. Exit codes: 0 all completed
+// responses verified; 1 transport failures occurred (but no wrong
+// bytes); 2 usage errors; 3 at least one completed response diverged
+// from local compilation — the one unacceptable outcome.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modsched/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const (
+	exitOK       = 0
+	exitFailed   = 1
+	exitUsage    = 2
+	exitMismatch = 3
+)
+
+// workItem is one pool entry: a request and its precomputed reference
+// outcome (exact status and body bytes a correct replica must serve).
+type workItem struct {
+	req        server.CompileRequest
+	item       server.BatchItem
+	itemJSON   []byte // marshal(BatchItem) — one batch slot's bytes
+	status     int
+	singleBody []byte // the exact /compile response body
+}
+
+// tally is the machine-readable run summary.
+type tally struct {
+	Requests   int64 `json:"requests"`
+	Singles    int64 `json:"singles"`
+	Batches    int64 `json:"batches"`
+	Loops      int64 `json:"loops"`
+	VerifiedOK int64 `json:"verified_ok"`
+	// Refused counts loops the tier answered with a capacity refusal
+	// (overloaded/draining/no_backends) after retries.
+	Refused int64 `json:"refused"`
+	// Failed counts loops lost to transport errors or malformed bodies.
+	Failed int64 `json:"failed"`
+	// Mismatched counts completed compile answers whose bytes diverge
+	// from local compilation. Must be zero, always.
+	Mismatched int64 `json:"mismatched"`
+	Retries    int64 `json:"retries"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedbomb", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target       = fs.String("target", "", "base URL of the mschedd replica or mschedfront fleet (required)")
+		requests     = fs.Int("requests", 200, "total requests to send")
+		workers      = fs.Int("workers", 8, "concurrent client goroutines")
+		batchFrac    = fs.Float64("batch-frac", 0.4, "fraction of requests that are batches")
+		batchMax     = fs.Int("batch-max", 5, "largest batch (loops per batch request drawn from [2, batch-max])")
+		seed         = fs.Int64("seed", 1, "workload seed; the same seed replays the same keys")
+		retries      = fs.Int("retries", 8, "retry budget per request for 429/503 refusals")
+		retryWaitCap = fs.Duration("retry-wait-cap", 2*time.Second, "cap on one honored Retry-After wait")
+		jsonOut      = fs.Bool("json", false, "emit the tally as JSON on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *target == "" || fs.NArg() != 0 || *requests <= 0 || *workers <= 0 {
+		fmt.Fprintln(stderr, "schedbomb: -target is required; see -h")
+		return exitUsage
+	}
+	base := strings.TrimRight(*target, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	pool := buildPool(stderr)
+	if pool == nil {
+		return exitUsage
+	}
+
+	var t tally
+	client := &http.Client{Timeout: 2 * time.Minute}
+	rng := rand.New(rand.NewSource(*seed))
+	type job struct {
+		batch []int // pool indices; len 1 = single request
+	}
+	jobs := make([]job, *requests)
+	for i := range jobs {
+		if rng.Float64() < *batchFrac {
+			n := 2 + rng.Intn(*batchMax-1)
+			b := make([]int, n)
+			for j := range b {
+				b[j] = rng.Intn(len(pool))
+			}
+			jobs[i] = job{batch: b}
+		} else {
+			jobs[i] = job{batch: []int{rng.Intn(len(pool))}}
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				fire(client, base, pool, jobs[i].batch, *retries, *retryWaitCap, &t)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if *jsonOut {
+		data, _ := json.Marshal(&t)
+		fmt.Fprintln(stdout, string(data))
+	} else {
+		fmt.Fprintf(stdout, "schedbomb: %d requests (%d singles, %d batches), %d loops: %d verified, %d refused, %d failed, %d MISMATCHED, %d retries\n",
+			t.Requests, t.Singles, t.Batches, t.Loops, t.VerifiedOK, t.Refused, t.Failed, t.Mismatched, t.Retries)
+	}
+	switch {
+	case atomic.LoadInt64(&t.Mismatched) > 0:
+		fmt.Fprintln(stderr, "schedbomb: WRONG ANSWERS SERVED — completed responses diverged from local compilation")
+		return exitMismatch
+	case atomic.LoadInt64(&t.Failed) > 0:
+		return exitFailed
+	default:
+		return exitOK
+	}
+}
+
+// buildPool compiles the reference corpus locally. The pool mixes fast
+// successes across machines and options with deterministic failures
+// (infeasible loop, unknown machine), so error passthrough is verified
+// too.
+func buildPool(stderr io.Writer) []workItem {
+	chain := func(n int) string {
+		var b strings.Builder
+		b.WriteString("loop chain\n")
+		b.WriteString("x0 = fadd a, a\n")
+		for i := 1; i < n; i++ {
+			fmt.Fprintf(&b, "x%d = fadd x%d, a\n", i, i-1)
+		}
+		b.WriteString("brtop\n")
+		return b.String()
+	}
+	const daxpy = `
+loop daxpy
+profile 5 10000
+
+xi = aadd xi@1, #8
+x  = load xi
+yi = aadd yi@1, #8
+y  = load yi
+t1 = fmul a, x
+t2 = fadd y, t1
+si = aadd si@1, #8
+st: store si, t2
+brtop
+`
+	const impossible = `
+loop impossible
+a: x = add p
+b: y = add x
+brtop
+!mem b -> a dist 0
+`
+	reqs := []server.CompileRequest{
+		{Source: daxpy},
+		{Source: daxpy, Machine: "tiny"},
+		{Source: daxpy, Options: &server.OptionsSpec{Priority: "fifo"}},
+		{Source: impossible},
+		{Source: daxpy, Machine: "pdp11"},
+	}
+	for n := 3; n <= 10; n++ {
+		reqs = append(reqs, server.CompileRequest{Source: chain(n)})
+	}
+	reqs = append(reqs, server.CompileRequest{Source: chain(6), Machine: "generic", Options: &server.OptionsSpec{Delays: "conservative"}})
+
+	ref := server.New(server.Config{})
+	pool := make([]workItem, 0, len(reqs))
+	for _, req := range reqs {
+		item := ref.CompileLocal(context.Background(), &req)
+		itemJSON, err := json.Marshal(&item)
+		if err != nil {
+			fmt.Fprintf(stderr, "schedbomb: reference marshal: %v\n", err)
+			return nil
+		}
+		var body []byte
+		if item.Error != nil {
+			body, err = json.Marshal(item.Error)
+		} else {
+			body, err = json.Marshal(item.Result)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "schedbomb: reference marshal: %v\n", err)
+			return nil
+		}
+		pool = append(pool, workItem{
+			req:        req,
+			item:       item,
+			itemJSON:   itemJSON,
+			status:     item.Status,
+			singleBody: append(body, '\n'),
+		})
+	}
+	return pool
+}
+
+// refusalKind reports whether a wire error kind is a capacity refusal
+// rather than a compile outcome.
+func refusalKind(kind string) bool {
+	switch kind {
+	case server.KindOverloaded, server.KindDraining, server.KindNoBackends:
+		return true
+	}
+	return false
+}
+
+// fire sends one request (single or batch), retrying refusals within
+// the budget, and verifies whatever completed against the references.
+func fire(client *http.Client, base string, pool []workItem, idxs []int, retries int, waitCap time.Duration, t *tally) {
+	atomic.AddInt64(&t.Requests, 1)
+	atomic.AddInt64(&t.Loops, int64(len(idxs)))
+	single := len(idxs) == 1
+
+	var payload []byte
+	var path string
+	if single {
+		atomic.AddInt64(&t.Singles, 1)
+		path = "/compile"
+		payload, _ = json.Marshal(&pool[idxs[0]].req)
+	} else {
+		atomic.AddInt64(&t.Batches, 1)
+		path = "/compile/batch"
+		breq := server.BatchRequest{Loops: make([]server.CompileRequest, len(idxs))}
+		for i, pi := range idxs {
+			breq.Loops[i] = pool[pi].req
+		}
+		payload, _ = json.Marshal(&breq)
+	}
+
+	status, body, hdr, err := postRetry(client, base+path, payload, retries, waitCap, t)
+	if err != nil {
+		atomic.AddInt64(&t.Failed, int64(len(idxs)))
+		return
+	}
+	_ = hdr
+
+	if single {
+		verifySingle(&pool[idxs[0]], status, body, t)
+		return
+	}
+	verifyBatch(pool, idxs, status, body, t)
+}
+
+// postRetry posts payload, retrying 429/503 refusals with the server's
+// Retry-After hint (capped) until the budget runs out; the last refusal
+// is returned as a normal response.
+func postRetry(client *http.Client, url string, payload []byte, budget int, waitCap time.Duration, t *tally) (int, []byte, http.Header, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		s := resp.StatusCode
+		if (s != http.StatusTooManyRequests && s != http.StatusServiceUnavailable) || attempt >= budget {
+			return s, body, resp.Header, nil
+		}
+		atomic.AddInt64(&t.Retries, 1)
+		wait := 25 * time.Millisecond
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			wait = time.Duration(sec) * time.Second
+		}
+		if wait > waitCap {
+			wait = waitCap
+		}
+		time.Sleep(wait)
+	}
+}
+
+func verifySingle(w *workItem, status int, body []byte, t *tally) {
+	var eresp server.ErrorResponse
+	if status != http.StatusOK && json.Unmarshal(body, &eresp) == nil && refusalKind(eresp.Kind) {
+		atomic.AddInt64(&t.Refused, 1)
+		return
+	}
+	if status == w.status && bytes.Equal(body, w.singleBody) {
+		atomic.AddInt64(&t.VerifiedOK, 1)
+		return
+	}
+	atomic.AddInt64(&t.Mismatched, 1)
+}
+
+func verifyBatch(pool []workItem, idxs []int, status int, body []byte, t *tally) {
+	if status != http.StatusOK {
+		var eresp server.ErrorResponse
+		if json.Unmarshal(body, &eresp) == nil && refusalKind(eresp.Kind) {
+			atomic.AddInt64(&t.Refused, int64(len(idxs)))
+		} else {
+			atomic.AddInt64(&t.Mismatched, int64(len(idxs)))
+		}
+		return
+	}
+	var rr struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &rr); err != nil || len(rr.Results) != len(idxs) {
+		atomic.AddInt64(&t.Failed, int64(len(idxs)))
+		return
+	}
+	for i, raw := range rr.Results {
+		want := pool[idxs[i]].itemJSON
+		if bytes.Equal(bytes.TrimSpace(raw), want) {
+			atomic.AddInt64(&t.VerifiedOK, 1)
+			continue
+		}
+		// Not the reference bytes: a tier refusal for this slot is
+		// legitimate under failure; anything else is a wrong answer.
+		var item server.BatchItem
+		if json.Unmarshal(raw, &item) == nil && item.Error != nil && refusalKind(item.Error.Kind) {
+			atomic.AddInt64(&t.Refused, 1)
+			continue
+		}
+		atomic.AddInt64(&t.Mismatched, 1)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"modsched/internal/server"
+)
+
+func runBomb(t *testing.T, args ...string) (int, tally, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(append(args, "-json"), &out, &errb)
+	var tl tally
+	if err := json.Unmarshal(out.Bytes(), &tl); err != nil {
+		t.Fatalf("tally unparseable (%v): %q (stderr %q)", err, out.String(), errb.String())
+	}
+	return code, tl, errb.String()
+}
+
+// TestBombVerifiesHealthyServer: against a correct replica every loop
+// verifies and nothing is refused, failed, or mismatched.
+func TestBombVerifiesHealthyServer(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+
+	code, tl, stderr := runBomb(t, "-target", ts.URL, "-requests", "40", "-workers", "4", "-seed", "7")
+	if code != exitOK {
+		t.Fatalf("exit = %d, want 0 (stderr %q)", code, stderr)
+	}
+	if tl.Requests != 40 || tl.Singles+tl.Batches != 40 {
+		t.Errorf("tally requests = %+v, want 40 total", tl)
+	}
+	if tl.Mismatched != 0 || tl.Failed != 0 || tl.Refused != 0 {
+		t.Errorf("unexpected non-clean tally: %+v", tl)
+	}
+	if tl.VerifiedOK != tl.Loops || tl.Loops < 40 {
+		t.Errorf("verified %d of %d loops", tl.VerifiedOK, tl.Loops)
+	}
+}
+
+// TestBombDeterministicWorkload: the same seed produces the same
+// request mix (the property that makes chaos runs comparable).
+func TestBombDeterministicWorkload(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	_, tl1, _ := runBomb(t, "-target", ts.URL, "-requests", "30", "-seed", "3")
+	_, tl2, _ := runBomb(t, "-target", ts.URL, "-requests", "30", "-seed", "3")
+	if tl1.Singles != tl2.Singles || tl1.Batches != tl2.Batches || tl1.Loops != tl2.Loops {
+		t.Errorf("same seed diverged: %+v vs %+v", tl1, tl2)
+	}
+}
+
+// TestBombDetectsWrongAnswer: a replica that serves byte-level
+// plausible but wrong compile results must be caught — that is the
+// whole point of the oracle.
+func TestBombDetectsWrongAnswer(t *testing.T) {
+	real := server.New(server.Config{}).Handler()
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		real.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		// Flip a digit inside any "ii": field — a subtly wrong schedule.
+		body = bytes.Replace(body, []byte(`"ii":`), []byte(`"ii":9`), 1)
+		for k, vs := range rec.Header() {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(body)
+	}))
+	defer corrupt.Close()
+
+	code, tl, _ := runBomb(t, "-target", corrupt.URL, "-requests", "20", "-seed", "5")
+	if code != exitMismatch {
+		t.Fatalf("exit = %d, want %d (tally %+v)", code, exitMismatch, tl)
+	}
+	if tl.Mismatched == 0 {
+		t.Fatalf("no mismatches recorded against a corrupting server: %+v", tl)
+	}
+}
+
+// TestBombRetriesShedding: 429s are retried with Retry-After honored;
+// the run still verifies clean.
+func TestBombRetriesShedding(t *testing.T) {
+	real := server.New(server.Config{}).Handler()
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%4 == 0 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"kind":"overloaded","error":"shed","retry_after_sec":1}`+"\n")
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	code, tl, stderr := runBomb(t, "-target", ts.URL, "-requests", "30", "-workers", "3", "-seed", "9")
+	if code != exitOK {
+		t.Fatalf("exit = %d, want 0 (stderr %q, tally %+v)", code, stderr, tl)
+	}
+	if tl.Retries == 0 {
+		t.Errorf("no retries recorded against a shedding server: %+v", tl)
+	}
+	if tl.Mismatched != 0 || tl.Failed != 0 {
+		t.Errorf("non-clean tally under shedding: %+v", tl)
+	}
+}
+
+// TestBombUsage: missing -target is a usage error.
+func TestBombUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != exitUsage {
+		t.Errorf("exit = %d, want %d", code, exitUsage)
+	}
+	if !strings.Contains(errb.String(), "-target") {
+		t.Errorf("stderr lacks usage hint: %q", errb.String())
+	}
+}

@@ -1,0 +1,363 @@
+// Package diskcache is a crash-safe, content-addressed blob store: the
+// persistent tier under the in-memory compile cache. Entries are keyed
+// by the schedcache SHA-256 hex key and hold an opaque payload (the
+// serialized schedule); the store guarantees that a reader either gets
+// exactly the bytes a writer stored or a miss — never a torn, truncated,
+// or bit-flipped payload.
+//
+// Three mechanisms carry that guarantee:
+//
+//   - Writes are atomic: the payload is written to a temp file in the
+//     entry's own shard directory, fsynced, and renamed into place (the
+//     directory is fsynced too, best effort). A crash at any instant
+//     leaves either the old state or the new entry, plus possibly a
+//     temp file the startup scan sweeps away.
+//   - Every entry embeds its key and a SHA-256 checksum of the payload.
+//     Get verifies both; an entry that fails verification is deleted,
+//     counted in Stats.Corrupt, and reported as a miss — corrupt bytes
+//     are never returned.
+//   - Open scans the tree: well-formed entries are counted, anything
+//     else (temp leftovers, truncated entries, stray files) is moved to
+//     a quarantine/ subdirectory for the operator to inspect.
+//
+// The store is safe for concurrent use within a process. Multiple
+// processes sharing a directory are safe for reads and same-content
+// writes (keys are content-addressed, so concurrent writers of one key
+// write identical bytes and the atomic rename makes either copy fine).
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// magic opens every entry file; the version byte gates format changes.
+// Bump formatVersion whenever the payload codec changes incompatibly —
+// old entries then verify-fail and are evicted rather than misdecoded.
+var magic = [4]byte{'M', 'S', 'C', '1'}
+
+const (
+	// entrySuffix names completed entries; temp files use tmpPrefix and
+	// never match an entry name, so a crash mid-write can never leave a
+	// file that Get would open.
+	entrySuffix = ".sch"
+	tmpPrefix   = ".tmp-"
+	// QuarantineDir collects files the startup scan rejected.
+	QuarantineDir = "quarantine"
+	// headerSize is magic + key (32 bytes) + payload length (8 bytes).
+	headerSize = 4 + sha256.Size + 8
+	// maxPayload bounds a single entry (a schedule blob is a few KiB;
+	// anything near this is garbage and treated as corrupt).
+	maxPayload = 64 << 20
+)
+
+// Stats reports store traffic since Open. Entries is a live count.
+type Stats struct {
+	// Hits returned a verified payload; Misses found no entry.
+	Hits, Misses int64
+	// Writes completed an atomic entry write; WriteErrors failed one
+	// (the compile result is still served from memory — persistence is
+	// best effort).
+	Writes, WriteErrors int64
+	// Corrupt counts entries deleted because verification failed at read
+	// time or a caller proved the payload undecodable (MarkCorrupt).
+	Corrupt int64
+	// Quarantined counts files the startup scan moved aside.
+	Quarantined int64
+	// Entries is the current number of well-formed entries.
+	Entries int64
+}
+
+// Store is one cache directory. Construct with Open.
+type Store struct {
+	root string
+	// wmu serializes writers: without it, two concurrent Puts of one
+	// missing key would both pass the existence check and double-count
+	// the entry. Writes happen once per compile miss, so contention is
+	// nil next to the compile itself.
+	wmu sync.Mutex
+
+	hits, misses, writes, writeErrs atomic.Int64
+	corrupt, quarantined, entries   atomic.Int64
+}
+
+// Open prepares dir (creating it if needed) and scans it: well-formed
+// entries are counted, everything else is quarantined. The scan is
+// proportional to the number of entries but reads only headers and
+// checksums — no decoding.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("diskcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	s := &Store{root: dir}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrs.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Quarantined: s.quarantined.Load(),
+		Entries:     s.entries.Load(),
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// validKey reports whether key is a 64-digit lowercase hex string (the
+// schedcache key shape). Everything else is rejected outright so a
+// hostile or buggy key can never escape the cache tree.
+func validKey(key string) bool {
+	if len(key) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// entryPath shards entries by the first key byte: root/ab/abcdef….sch.
+func (s *Store) entryPath(key string) string {
+	return filepath.Join(s.root, key[:2], key+entrySuffix)
+}
+
+// Get returns the payload stored under key. ok is false on a miss —
+// including an entry that existed but failed verification, which is
+// deleted and counted in Stats.Corrupt, never returned.
+func (s *Store) Get(key string) (payload []byte, ok bool) {
+	if !validKey(key) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	path := s.entryPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err = decodeEntry(key, data)
+	if err != nil {
+		// Torn or bit-flipped: evict so the next writer can heal it, and
+		// report a miss. The caller recompiles; wrong bytes never escape.
+		s.evictCorrupt(path)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Put stores payload under key with an atomic, fsynced write. Entries
+// are content-addressed and immutable: if key already exists, Put is a
+// no-op. Errors are counted and returned, but callers treat persistence
+// as best effort — a failed Put never fails the compile.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: invalid key %q", key)
+	}
+	if len(payload) > maxPayload {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("diskcache: payload of %d bytes exceeds the %d limit", len(payload), maxPayload)
+	}
+	path := s.entryPath(key)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if _, err := os.Stat(path); err == nil {
+		return nil // already present; identical by content addressing
+	}
+	if err := s.writeEntry(path, key, payload); err != nil {
+		s.writeErrs.Add(1)
+		return err
+	}
+	s.writes.Add(1)
+	s.entries.Add(1)
+	return nil
+}
+
+func (s *Store) writeEntry(path, key string, payload []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	// The temp file lives in the destination directory so the rename is
+	// within one filesystem and atomic.
+	f, err := os.CreateTemp(dir, tmpPrefix+key+"-*")
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	if _, err := f.Write(encodeEntry(key, payload)); err != nil {
+		cleanup()
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	// fsync before rename: the entry must be durable before it becomes
+	// visible, or a crash could leave a named entry with unwritten tails.
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	// Make the rename itself durable. Not all platforms support dir
+	// fsync; failure here cannot corrupt anything (worst case the entry
+	// vanishes on crash, which is a miss), so it is best effort.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// MarkCorrupt deletes key's entry and counts it corrupt. Callers use it
+// when an entry passed the checksum but proved undecodable at a higher
+// layer (a format drift, a payload for a different loop shape) — the
+// contract is the same: delete, count, treat as a miss.
+func (s *Store) MarkCorrupt(key string) {
+	if !validKey(key) {
+		return
+	}
+	s.evictCorrupt(s.entryPath(key))
+}
+
+func (s *Store) evictCorrupt(path string) {
+	if err := os.Remove(path); err == nil {
+		s.corrupt.Add(1)
+		s.entries.Add(-1)
+	}
+}
+
+// Len returns the current entry count.
+func (s *Store) Len() int { return int(s.entries.Load()) }
+
+// scan walks the tree: counts verified entries, quarantines everything
+// else (temp leftovers from a crash mid-write, truncated or corrupt
+// entries, stray files).
+func (s *Store) scan() error {
+	qdir := filepath.Join(s.root, QuarantineDir)
+	quarantine := func(path string) {
+		if err := os.MkdirAll(qdir, 0o755); err != nil {
+			os.Remove(path) // cannot quarantine; deleting still protects reads
+			s.quarantined.Add(1)
+			return
+		}
+		dst := filepath.Join(qdir, filepath.Base(path))
+		for i := 1; ; i++ {
+			if _, err := os.Lstat(dst); errors.Is(err, fs.ErrNotExist) {
+				break
+			}
+			dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(path), i))
+		}
+		if err := os.Rename(path, dst); err != nil {
+			os.Remove(path)
+		}
+		s.quarantined.Add(1)
+	}
+
+	return filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Never descend into the quarantine.
+			if path != s.root && filepath.Base(path) == QuarantineDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		key, isEntry := strings.CutSuffix(name, entrySuffix)
+		if !isEntry || !validKey(key) || filepath.Base(filepath.Dir(path)) != key[:2] {
+			quarantine(path)
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			quarantine(path)
+			return nil
+		}
+		if _, err := decodeEntry(key, data); err != nil {
+			quarantine(path)
+			return nil
+		}
+		s.entries.Add(1)
+		return nil
+	})
+}
+
+// encodeEntry frames a payload: magic, the 32-byte key, the payload
+// length, the payload, and a SHA-256 checksum over everything before it.
+// Binding the key into the frame (and the checksum) catches a file
+// renamed or hard-linked across keys, not just bit rot.
+func encodeEntry(key string, payload []byte) []byte {
+	rawKey, _ := hex.DecodeString(key) // validKey guaranteed upstream
+	buf := make([]byte, 0, headerSize+len(payload)+sha256.Size)
+	buf = append(buf, magic[:]...)
+	buf = append(buf, rawKey...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// decodeEntry verifies a frame and returns its payload.
+func decodeEntry(key string, data []byte) ([]byte, error) {
+	if len(data) < headerSize+sha256.Size {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return nil, errors.New("bad magic")
+	}
+	rawKey, err := hex.DecodeString(key)
+	if err != nil || !bytes.Equal(data[4:4+sha256.Size], rawKey) {
+		return nil, errors.New("key mismatch")
+	}
+	n := binary.BigEndian.Uint64(data[4+sha256.Size : headerSize])
+	if n > maxPayload || headerSize+int(n)+sha256.Size != len(data) {
+		return nil, errors.New("length mismatch")
+	}
+	body := data[:headerSize+int(n)]
+	var sum [sha256.Size]byte
+	copy(sum[:], data[headerSize+int(n):])
+	if sha256.Sum256(body) != sum {
+		return nil, errors.New("checksum mismatch")
+	}
+	// Return a copy detached from the read buffer.
+	return append([]byte(nil), body[headerSize:]...), nil
+}

@@ -1,0 +1,358 @@
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// keyOf derives a valid store key from any seed string.
+func keyOf(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return hex.EncodeToString(sum[:])
+}
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir())
+	key := keyOf("a")
+	payload := []byte("schedule bytes")
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	// Idempotent second Put: content-addressed entries are immutable.
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 write, 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestReopenServesWarm(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	key := keyOf("warm")
+	payload := []byte("persisted across restart")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Store over the same directory — a restarted replica — must
+	// serve the entry without recompiling.
+	s2 := open(t, dir)
+	if got := s2.Len(); got != 1 {
+		t.Fatalf("reopened store has %d entries, want 1", got)
+	}
+	got, ok := s2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened Get = %q, %v; want %q, true", got, ok, payload)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s := open(t, t.TempDir())
+	for _, key := range []string{
+		"", "short", strings.Repeat("z", 64), strings.Repeat("A", 64),
+		"../" + strings.Repeat("a", 61), strings.Repeat("a", 63) + "/",
+	} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit on an invalid key", key)
+		}
+	}
+}
+
+// TestCorruptEntryNeverServed flips, truncates, and rewrites an entry in
+// every way a torn write or bit rot could, and asserts Get never returns
+// bytes that differ from what was stored — each corruption is a counted
+// eviction and a miss.
+func TestCorruptEntryNeverServed(t *testing.T) {
+	payload := []byte("the one true schedule")
+	corruptions := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:headerSize-3] }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-sha256.Size-2] }},
+		{"truncated checksum", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"flipped payload bit", func(b []byte) []byte { b[headerSize] ^= 1; return b }},
+		{"flipped checksum bit", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"oversized length field", func(b []byte) []byte {
+			for i := 4 + sha256.Size; i < headerSize; i++ {
+				b[i] = 0xff
+			}
+			return b
+		}},
+	}
+	for i, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			s := open(t, t.TempDir())
+			key := keyOf(fmt.Sprint("corrupt", i))
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := s.entryPath(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, c.mut(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("Get served a corrupted entry: %q", got)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("stats = %+v, want Corrupt=1", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry still on disk after eviction")
+			}
+			// The slot heals: a fresh Put serves again.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("healed Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestEntryBoundToKey: an entry renamed onto another key (cross-linked
+// blobs after an operator mishap) fails verification even though its
+// checksum is internally consistent.
+func TestEntryBoundToKey(t *testing.T) {
+	s := open(t, t.TempDir())
+	keyA, keyB := keyOf("A"), keyOf("B")
+	if err := s.Put(keyA, []byte("payload A")); err != nil {
+		t.Fatal(err)
+	}
+	dst := s.entryPath(keyB)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.entryPath(keyA), dst); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(keyB); ok {
+		t.Fatalf("Get(keyB) served keyA's payload: %q", got)
+	}
+}
+
+// TestScanQuarantines: a startup scan sweeps temp leftovers (the residue
+// of a crash mid-write, simulated here by truncating a temp file into
+// the shard directory), truncated entries, and stray garbage into
+// quarantine/, and none of it is ever served.
+func TestScanQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	goodKey, badKey := keyOf("good"), keyOf("bad")
+	if err := s.Put(goodKey, []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(badKey, []byte("to be torn")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A mid-write crash: the temp file exists, truncated, never renamed.
+	shard := filepath.Dir(s.entryPath(goodKey))
+	tmp := filepath.Join(shard, tmpPrefix+goodKey+"-123456")
+	if err := os.WriteFile(tmp, encodeEntry(goodKey, []byte("half"))[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A torn completed entry (power loss after rename, before data made
+	// it — only possible without fsync, but the scan must still catch it).
+	badPath := s.entryPath(badKey)
+	data, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(badPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stray garbage at the root and a misfiled entry.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	misfiled := filepath.Join(dir, "zz", goodKey+entrySuffix)
+	if err := os.MkdirAll(filepath.Dir(misfiled), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(misfiled, encodeEntry(goodKey, []byte("misfiled")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	if got := s2.Len(); got != 1 {
+		t.Fatalf("scan kept %d entries, want 1 (only the good one)", got)
+	}
+	if st := s2.Stats(); st.Quarantined != 4 {
+		t.Fatalf("stats = %+v, want Quarantined=4", st)
+	}
+	if got, ok := s2.Get(goodKey); !ok || !bytes.Equal(got, []byte("good payload")) {
+		t.Fatalf("good entry lost in scan: %q, %v", got, ok)
+	}
+	if _, ok := s2.Get(badKey); ok {
+		t.Fatal("torn entry served after scan")
+	}
+	// Quarantined files are preserved for inspection, not deleted.
+	qfiles, err := os.ReadDir(filepath.Join(dir, QuarantineDir))
+	if err != nil || len(qfiles) != 4 {
+		t.Fatalf("quarantine holds %d files (%v), want 4", len(qfiles), err)
+	}
+	// A second scan is stable: quarantine content is not rescanned.
+	s3 := open(t, dir)
+	if st := s3.Stats(); st.Quarantined != 0 || s3.Len() != 1 {
+		t.Fatalf("rescan stats = %+v len=%d, want no new quarantines, 1 entry", st, s3.Len())
+	}
+}
+
+// TestHammer is the -race soak of satellite 4: concurrent readers and
+// writers over overlapping keys while a saboteur goroutine tears entries
+// mid-flight (truncations and bit flips, the residue of simulated
+// crashes). Invariants: a Get either misses or returns exactly the bytes
+// Put stored for that key (never torn data), and the counters reconcile
+// exactly — every Get is a hit or a miss, every Put a write, a skip, or
+// a counted error.
+func TestHammer(t *testing.T) {
+	s := open(t, t.TempDir())
+	const (
+		workers = 8
+		keys    = 16
+		rounds  = 120
+	)
+	payloadFor := func(k int) []byte {
+		return bytes.Repeat([]byte{byte('a' + k)}, 256+k)
+	}
+	keyList := make([]string, keys)
+	for k := range keyList {
+		keyList[k] = keyOf(fmt.Sprint("hammer", k))
+	}
+
+	var wg sync.WaitGroup
+	var gets, puts atomic64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (w*7 + i) % keys
+				key := keyList[k]
+				switch i % 3 {
+				case 0:
+					puts.add(1)
+					if err := s.Put(key, payloadFor(k)); err != nil {
+						t.Errorf("Put: %v", err)
+					}
+				default:
+					gets.add(1)
+					if got, ok := s.Get(key); ok && !bytes.Equal(got, payloadFor(k)) {
+						t.Errorf("Get(%d) returned torn payload: %d bytes", k, len(got))
+					}
+				}
+			}
+		}(w)
+	}
+	// The saboteur: tears entries under the readers' feet. Every Get
+	// racing a tear must come back as a miss, never as mangled bytes.
+	sabotage := make(chan struct{})
+	go func() {
+		defer close(sabotage)
+		for i := 0; i < rounds; i++ {
+			key := keyList[i%keys]
+			path := s.entryPath(key)
+			data, err := os.ReadFile(path)
+			if err != nil || len(data) < headerSize {
+				continue
+			}
+			if i%2 == 0 {
+				os.WriteFile(path, data[:len(data)-7], 0o644)
+			} else {
+				data[headerSize] ^= 0xff
+				os.WriteFile(path, data, 0o644)
+			}
+		}
+	}()
+	wg.Wait()
+	<-sabotage
+
+	st := s.Stats()
+	if st.Hits+st.Misses != gets.load() {
+		t.Errorf("hits(%d)+misses(%d) = %d, want %d gets", st.Hits, st.Misses, st.Hits+st.Misses, gets.load())
+	}
+	if st.WriteErrors != 0 {
+		t.Errorf("write errors = %d, want 0", st.WriteErrors)
+	}
+	if st.Writes > puts.load() {
+		t.Errorf("writes = %d > %d puts", st.Writes, puts.load())
+	}
+	// After the dust settles every key must be servable again.
+	for k, key := range keyList {
+		if err := s.Put(key, payloadFor(k)); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get(key); !ok || !bytes.Equal(got, payloadFor(k)) {
+			t.Fatalf("post-hammer Get(%d) = %v", k, ok)
+		}
+	}
+}
+
+// atomic64 is a tiny test counter (sync/atomic.Int64 spelled locally to
+// keep the assertion sites short).
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+func TestMarkCorrupt(t *testing.T) {
+	s := open(t, t.TempDir())
+	key := keyOf("undecodable")
+	if err := s.Put(key, []byte("checksum fine, payload meaningless")); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkCorrupt(key)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("entry served after MarkCorrupt")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want Corrupt=1 Entries=0", st)
+	}
+	// Idempotent: marking a missing entry counts nothing.
+	s.MarkCorrupt(key)
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("double MarkCorrupt counted twice: %+v", st)
+	}
+}

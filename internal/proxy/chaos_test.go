@@ -1,0 +1,459 @@
+package proxy
+
+// The chaos soak: a front over three real replica processes (in-process
+// http.Servers on real ports, so a "SIGKILL" is an abrupt listener and
+// connection teardown and a restart rebinds the same port), each with a
+// crash-safe persistent cache, under mixed single/batch traffic while
+// replicas are killed, restarted warm, and rolling-drained. The
+// invariant proved, phase by phase: every response that completes is
+// byte-identical to an independent local compilation — the serving tier
+// can refuse work under failure, but it can never serve a wrong answer.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"modsched/internal/server"
+)
+
+// chaosReplica is one replica "process": a server.Server over a
+// persistent cache directory, bound to a fixed real port so restarts
+// are transparent to the front's replica list.
+type chaosReplica struct {
+	t    *testing.T
+	dir  string
+	addr string // host:port, fixed across restarts
+
+	mu  sync.Mutex
+	srv *server.Server
+	hs  *http.Server
+}
+
+func startChaosReplica(t *testing.T, dir string) *chaosReplica {
+	t.Helper()
+	r := &chaosReplica{t: t, dir: dir}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.addr = ln.Addr().String()
+	r.serve(ln)
+	t.Cleanup(func() { r.kill() })
+	return r
+}
+
+func (r *chaosReplica) serve(ln net.Listener) {
+	srv := server.New(server.Config{})
+	if err := srv.EnablePersistentCache(r.dir); err != nil {
+		r.t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	r.mu.Lock()
+	r.srv, r.hs = srv, hs
+	r.mu.Unlock()
+	go hs.Serve(ln)
+}
+
+// kill tears the replica down abruptly: listener and all connections
+// close mid-flight, like a SIGKILL.
+func (r *chaosReplica) kill() {
+	r.mu.Lock()
+	hs := r.hs
+	r.mu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+}
+
+// drainAndStop is the graceful variant: refuse new work, finish what is
+// in flight, then stop.
+func (r *chaosReplica) drainAndStop() {
+	r.mu.Lock()
+	srv, hs := r.srv, r.hs
+	r.mu.Unlock()
+	srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		r.t.Errorf("replica %s drain incomplete: %v", r.addr, err)
+	}
+}
+
+// restart rebinds the same port over the same (warm) cache directory
+// with a fresh server — counters reset, disk contents survive.
+func (r *chaosReplica) restart() {
+	r.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", r.addr)
+		if err == nil {
+			r.serve(ln)
+			return
+		}
+		if time.Now().After(deadline) {
+			r.t.Fatalf("could not rebind %s: %v", r.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (r *chaosReplica) url() string { return "http://" + r.addr }
+
+// metricValue scrapes one series from the replica's /metrics; series
+// absent (or replica down) is -1.
+func metricTotal(t *testing.T, base, prefix string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	total := int64(-1)
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			continue
+		}
+		if total < 0 {
+			total = 0
+		}
+		total += v
+	}
+	return total
+}
+
+// chaosPool is the reference corpus: requests plus the exact bytes a
+// correct tier must serve for each, computed by independent local
+// compilation.
+type chaosEntry struct {
+	req        server.CompileRequest
+	status     int
+	singleBody []byte
+	itemJSON   []byte
+}
+
+func buildChaosPool(t *testing.T) []chaosEntry {
+	t.Helper()
+	reqs := []server.CompileRequest{
+		{Source: daxpySource},
+		{Source: daxpySource, Machine: "tiny"},
+		{Source: daxpySource, Options: &server.OptionsSpec{Priority: "fifo"}},
+		{Source: impossibleSource},
+		{Source: daxpySource, Machine: "pdp11"},
+	}
+	for n := 4; n <= 8; n++ {
+		reqs = append(reqs, server.CompileRequest{Source: chainSource(n)})
+	}
+	ref := server.New(server.Config{})
+	pool := make([]chaosEntry, 0, len(reqs))
+	for _, req := range reqs {
+		item := ref.CompileLocal(context.Background(), &req)
+		itemJSON, err := json.Marshal(&item)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body []byte
+		if item.Error != nil {
+			body, err = json.Marshal(item.Error)
+		} else {
+			body, err = json.Marshal(item.Result)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, chaosEntry{
+			req:        req,
+			status:     item.Status,
+			singleBody: append(body, '\n'),
+			itemJSON:   itemJSON,
+		})
+	}
+	return pool
+}
+
+// chaosCounts tallies one traffic phase. mismatched must stay zero in
+// every phase; what else is tolerated depends on the phase.
+type chaosCounts struct {
+	loops, verified, refused, failed, mismatched atomic.Int64
+}
+
+func (c *chaosCounts) String() string {
+	return fmt.Sprintf("loops=%d verified=%d refused=%d failed=%d mismatched=%d",
+		c.loops.Load(), c.verified.Load(), c.refused.Load(), c.failed.Load(), c.mismatched.Load())
+}
+
+func refusal(kind string) bool {
+	return kind == server.KindOverloaded || kind == server.KindDraining || kind == server.KindNoBackends
+}
+
+// fireChaos sends request i of the phase's deterministic mix (single or
+// batch by index parity cycle) and verifies the completed bytes.
+func fireChaos(t *testing.T, client *http.Client, frontURL string, pool []chaosEntry, i int, c *chaosCounts) {
+	// Deterministic mix without a shared RNG: every third request is a
+	// batch of 2-4 loops walking the pool, the rest are singles.
+	if i%3 != 0 {
+		e := &pool[i%len(pool)]
+		c.loops.Add(1)
+		payload, _ := json.Marshal(&e.req)
+		status, body, err := chaosPost(client, frontURL+"/compile", payload)
+		if err != nil {
+			c.failed.Add(1)
+			return
+		}
+		var eresp server.ErrorResponse
+		if status != http.StatusOK && json.Unmarshal(body, &eresp) == nil && refusal(eresp.Kind) {
+			c.refused.Add(1)
+			return
+		}
+		if status == e.status && bytes.Equal(body, e.singleBody) {
+			c.verified.Add(1)
+			return
+		}
+		c.mismatched.Add(1)
+		t.Errorf("single %d diverged (status %d):\ngot  %s\nwant %s", i, status, body, e.singleBody)
+		return
+	}
+
+	n := 2 + i%3
+	idxs := make([]int, n)
+	breq := server.BatchRequest{Loops: make([]server.CompileRequest, n)}
+	for j := 0; j < n; j++ {
+		idxs[j] = (i + j*j) % len(pool)
+		breq.Loops[j] = pool[idxs[j]].req
+	}
+	c.loops.Add(int64(n))
+	payload, _ := json.Marshal(&breq)
+	status, body, err := chaosPost(client, frontURL+"/compile/batch", payload)
+	if err != nil {
+		c.failed.Add(int64(n))
+		return
+	}
+	if status != http.StatusOK {
+		var eresp server.ErrorResponse
+		if json.Unmarshal(body, &eresp) == nil && refusal(eresp.Kind) {
+			c.refused.Add(int64(n))
+		} else {
+			c.mismatched.Add(int64(n))
+			t.Errorf("batch %d refused oddly (status %d): %s", i, status, body)
+		}
+		return
+	}
+	var rr struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &rr); err != nil || len(rr.Results) != n {
+		c.failed.Add(int64(n))
+		t.Errorf("batch %d malformed response: %s", i, body)
+		return
+	}
+	for j, raw := range rr.Results {
+		want := pool[idxs[j]].itemJSON
+		if bytes.Equal(bytes.TrimSpace(raw), want) {
+			c.verified.Add(1)
+			continue
+		}
+		var item server.BatchItem
+		if json.Unmarshal(raw, &item) == nil && item.Error != nil && refusal(item.Error.Kind) {
+			c.refused.Add(1)
+			continue
+		}
+		c.mismatched.Add(1)
+		t.Errorf("batch %d slot %d diverged:\ngot  %s\nwant %s", i, j, raw, want)
+	}
+}
+
+func chaosPost(client *http.Client, url string, payload []byte) (int, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// runPhase fires requests [start, start+n) across `workers` goroutines
+// and returns the phase tally.
+func runPhase(t *testing.T, client *http.Client, frontURL string, pool []chaosEntry, start, n, workers int, c *chaosCounts) {
+	var next atomic.Int64
+	next.Store(int64(start))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= start+n {
+					return
+				}
+				fireChaos(t, client, frontURL, pool, i, c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestChaosSoak is the acceptance test of the serving tier (run under
+// -race in CI): replicas are killed and restarted mid-traffic, warm
+// restarts must serve from disk without recompiling, a rolling drain
+// must drop nothing, and across all of it not one completed response
+// may diverge from local compilation.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not a -short test")
+	}
+	pool := buildChaosPool(t)
+
+	replicas := make([]*chaosReplica, 3)
+	addrs := make([]string, 3)
+	for i := range replicas {
+		replicas[i] = startChaosReplica(t, t.TempDir())
+		addrs[i] = replicas[i].url()
+	}
+	p, err := New(Config{
+		Replicas:       addrs,
+		HealthInterval: 20 * time.Millisecond,
+		EjectAfter:     2,
+		ReadmitAfter:   1,
+		MaxAttempts:    6,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffCap:     50 * time.Millisecond,
+		HedgeDelay:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Close()
+	front := httptest.NewServer(p.Handler())
+	defer front.Close()
+	client := &http.Client{Timeout: time.Minute}
+
+	// Phase 1 — calm traffic: everything verifies, nothing is refused,
+	// and the client-side loop tally reconciles exactly with the summed
+	// replica /metrics (no request vanished inside the tier).
+	var calm chaosCounts
+	runPhase(t, client, front.URL, pool, 0, 60, 4, &calm)
+	if calm.verified.Load() != calm.loops.Load() || calm.mismatched.Load() != 0 ||
+		calm.refused.Load() != 0 || calm.failed.Load() != 0 {
+		t.Fatalf("calm phase not clean: %s", calm.String())
+	}
+	var served int64
+	for _, r := range replicas {
+		if v := metricTotal(t, r.url(), "mschedd_loops_total{"); v > 0 {
+			served += v
+		}
+	}
+	if served != calm.loops.Load() {
+		t.Fatalf("tier served %d loops, client sent %d — tally does not reconcile", served, calm.loops.Load())
+	}
+
+	// Phase 2 — kill/restart chaos: two cycles of SIGKILLing a replica
+	// mid-traffic and restarting it warm. Completed answers must all
+	// verify; refusals are tolerated (the tier may shed under failure),
+	// wrong bytes are not.
+	for cycle := 0; cycle < 2; cycle++ {
+		victim := replicas[cycle%len(replicas)]
+		var chaos chaosCounts
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runPhase(t, client, front.URL, pool, 1000*(cycle+1), 40, 4, &chaos)
+		}()
+		time.Sleep(30 * time.Millisecond)
+		victim.kill()
+		time.Sleep(150 * time.Millisecond)
+		victim.restart()
+		wg.Wait()
+		if chaos.mismatched.Load() != 0 {
+			t.Fatalf("kill cycle %d served wrong answers: %s", cycle, chaos.String())
+		}
+		if chaos.verified.Load() == 0 {
+			t.Fatalf("kill cycle %d verified nothing: %s", cycle, chaos.String())
+		}
+		// Let probes readmit the restarted replica before the next cycle.
+		waitFor(t, "readmission after kill", func() bool {
+			for _, up := range p.HealthySnapshot() {
+				if !up {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 3 — warm-restart proof: a replica restarted over its disk
+	// directory must serve its first repeat request as a cache hit — no
+	// recompile — with /metrics as the witness, and identical bytes.
+	warm := replicas[1]
+	warmReq, _ := json.Marshal(&server.CompileRequest{Source: chainSource(9)})
+	status, before, err := chaosPost(client, warm.url()+"/compile", warmReq)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("warm seed compile: status %d err %v", status, err)
+	}
+	warm.kill()
+	warm.restart()
+	// The client may still hold a keep-alive connection to the killed
+	// process; drop it rather than testing Go's transport retry policy.
+	client.CloseIdleConnections()
+	status, after, err := chaosPost(client, warm.url()+"/compile", warmReq)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("warm repeat compile: status %d err %v", status, err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("warm restart changed bytes:\nbefore %s\nafter  %s", before, after)
+	}
+	if hits := metricTotal(t, warm.url(), "mschedd_diskcache_hits_total"); hits != 1 {
+		t.Fatalf("restarted replica diskcache hits = %d, want 1 (first repeat must come from disk)", hits)
+	}
+	if misses := metricTotal(t, warm.url(), "mschedd_cache_misses_total"); misses != 0 {
+		t.Fatalf("restarted replica recompiled: %d cache misses, want 0", misses)
+	}
+
+	// Phase 4 — rolling drain: drain each replica in turn (graceful 503
+	// + Retry-After, in-flight completes), restart it, readmit. No
+	// request may be dropped or even refused — the front must absorb the
+	// whole roll.
+	var rolling chaosCounts
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runPhase(t, client, front.URL, pool, 5000, 60, 4, &rolling)
+	}()
+	for i, r := range replicas {
+		time.Sleep(25 * time.Millisecond)
+		r.drainAndStop()
+		r.restart()
+		waitFor(t, fmt.Sprintf("readmission of replica %d", i), func() bool {
+			return p.HealthySnapshot()[r.url()]
+		})
+	}
+	wg.Wait()
+	if rolling.verified.Load() != rolling.loops.Load() || rolling.mismatched.Load() != 0 ||
+		rolling.refused.Load() != 0 || rolling.failed.Load() != 0 {
+		t.Fatalf("rolling drain dropped or corrupted requests: %s", rolling.String())
+	}
+}

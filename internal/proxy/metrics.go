@@ -1,0 +1,125 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// frontMetrics is the proxy's instrumentation. Counter names are
+// prefixed mschedfront_ so a scrape of the whole cluster keeps the
+// front's series apart from the replicas'. Exposition order is
+// deterministic (sorted within each family) like the replicas'.
+type frontMetrics struct {
+	mu        sync.Mutex
+	requests  map[[2]string]int64 // {endpoint, status} -> count
+	forwards  map[[2]string]int64 // {replica, outcome} -> count
+	retries   int64
+	hedges    int64
+	hedgeWins int64
+	// splits counts batch requests fanned across more than one replica.
+	splits     int64
+	noBackends int64
+}
+
+func newFrontMetrics() *frontMetrics {
+	return &frontMetrics{
+		requests: make(map[[2]string]int64),
+		forwards: make(map[[2]string]int64),
+	}
+}
+
+func (m *frontMetrics) countRequest(endpoint string, status int) {
+	m.mu.Lock()
+	m.requests[[2]string{endpoint, fmt.Sprint(status)}]++
+	m.mu.Unlock()
+}
+
+// countForward records one upstream attempt's outcome: the HTTP status
+// as text, or "error" for a transport failure.
+func (m *frontMetrics) countForward(replica, outcome string) {
+	m.mu.Lock()
+	m.forwards[[2]string{replica, outcome}]++
+	m.mu.Unlock()
+}
+
+func (m *frontMetrics) add(field *int64, n int64) {
+	m.mu.Lock()
+	*field += n
+	m.mu.Unlock()
+}
+
+// frontGauges carries the live values rendered alongside the counters.
+type frontGauges struct {
+	healthy  map[string]bool // replica addr -> up
+	ejected  int64
+	readmits int64
+	draining bool
+}
+
+func (m *frontMetrics) writePrometheus(w io.Writer, g frontGauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprint(w, "# HELP mschedfront_requests_total Client requests by endpoint and status.\n# TYPE mschedfront_requests_total counter\n")
+	for _, k := range sortedPairs(m.requests) {
+		fmt.Fprintf(w, "mschedfront_requests_total{endpoint=%q,code=%q} %d\n", k[0], k[1], m.requests[k])
+	}
+
+	fmt.Fprint(w, "# HELP mschedfront_forwards_total Upstream attempts by replica and outcome (an HTTP status, or \"error\" for transport failure).\n# TYPE mschedfront_forwards_total counter\n")
+	for _, k := range sortedPairs(m.forwards) {
+		fmt.Fprintf(w, "mschedfront_forwards_total{replica=%q,outcome=%q} %d\n", k[0], k[1], m.forwards[k])
+	}
+
+	fmt.Fprint(w, "# HELP mschedfront_retries_total Attempts beyond the first, across all requests.\n# TYPE mschedfront_retries_total counter\n")
+	fmt.Fprintf(w, "mschedfront_retries_total %d\n", m.retries)
+	fmt.Fprint(w, "# HELP mschedfront_hedges_total Hedged second requests launched.\n# TYPE mschedfront_hedges_total counter\n")
+	fmt.Fprintf(w, "mschedfront_hedges_total %d\n", m.hedges)
+	fmt.Fprint(w, "# HELP mschedfront_hedge_wins_total Hedged requests that beat the primary.\n# TYPE mschedfront_hedge_wins_total counter\n")
+	fmt.Fprintf(w, "mschedfront_hedge_wins_total %d\n", m.hedgeWins)
+	fmt.Fprint(w, "# HELP mschedfront_batch_splits_total Batch requests fanned across more than one replica.\n# TYPE mschedfront_batch_splits_total counter\n")
+	fmt.Fprintf(w, "mschedfront_batch_splits_total %d\n", m.splits)
+	fmt.Fprint(w, "# HELP mschedfront_no_backends_total Requests failed because no healthy replica remained.\n# TYPE mschedfront_no_backends_total counter\n")
+	fmt.Fprintf(w, "mschedfront_no_backends_total %d\n", m.noBackends)
+
+	fmt.Fprint(w, "# HELP mschedfront_ejections_total Replicas ejected after consecutive health failures.\n# TYPE mschedfront_ejections_total counter\n")
+	fmt.Fprintf(w, "mschedfront_ejections_total %d\n", g.ejected)
+	fmt.Fprint(w, "# HELP mschedfront_readmissions_total Ejected replicas readmitted after passing probes.\n# TYPE mschedfront_readmissions_total counter\n")
+	fmt.Fprintf(w, "mschedfront_readmissions_total %d\n", g.readmits)
+
+	fmt.Fprint(w, "# HELP mschedfront_replica_healthy Whether each replica is in rotation (1) or ejected (0).\n# TYPE mschedfront_replica_healthy gauge\n")
+	addrs := make([]string, 0, len(g.healthy))
+	for a := range g.healthy {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		v := 0
+		if g.healthy[a] {
+			v = 1
+		}
+		fmt.Fprintf(w, "mschedfront_replica_healthy{replica=%q} %d\n", a, v)
+	}
+
+	fmt.Fprint(w, "# HELP mschedfront_draining Whether the front is draining (1) or serving (0).\n# TYPE mschedfront_draining gauge\n")
+	if g.draining {
+		fmt.Fprint(w, "mschedfront_draining 1\n")
+	} else {
+		fmt.Fprint(w, "mschedfront_draining 0\n")
+	}
+}
+
+func sortedPairs(m map[[2]string]int64) [][2]string {
+	keys := make([][2]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}

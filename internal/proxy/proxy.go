@@ -1,0 +1,852 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modsched/internal/server"
+)
+
+// Config tunes the front proxy. Zero fields take the defaults
+// documented on each; New never mutates the caller's value.
+type Config struct {
+	// Replicas are the mschedd base URLs ("http://host:port"). Required.
+	Replicas []string
+	// VirtualNodes per replica on the hash ring (64 when 0).
+	VirtualNodes int
+
+	// HealthInterval is the probe period (250ms when 0).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (1s when 0).
+	HealthTimeout time.Duration
+	// EjectAfter is the consecutive-failure count that ejects a replica
+	// (3 when 0). Both failed probes and transport errors on forwarded
+	// requests count.
+	EjectAfter int
+	// ReadmitAfter is the consecutive successful probes that readmit an
+	// ejected replica (2 when 0).
+	ReadmitAfter int
+
+	// MaxAttempts bounds tries per upstream call, first included (4
+	// when 0).
+	MaxAttempts int
+	// BackoffBase seeds the capped exponential backoff between attempts
+	// (10ms when 0); the wait before attempt k is base<<(k-1), jittered
+	// ±50%, capped at BackoffCap.
+	BackoffBase time.Duration
+	// BackoffCap caps one backoff sleep (1s when 0). A Retry-After hint
+	// from the replica overrides the exponential wait but is capped the
+	// same way — a front must not honor an hour-long hint.
+	BackoffCap time.Duration
+
+	// HedgeDelay, when positive, fixes the hedge delay. When 0 the delay
+	// is derived from the observed P99 forward latency, clamped to
+	// [2ms, 500ms]; until enough samples exist the hedge stays off.
+	HedgeDelay time.Duration
+	// DisableHedge turns hedging off entirely.
+	DisableHedge bool
+
+	// MaxBodyBytes bounds a client request body (8 MiB when 0).
+	MaxBodyBytes int64
+
+	// Seed fixes the jitter RNG for reproducible tests (wall-clock
+	// entropy is not needed; jitter only has to decorrelate replicas).
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.ReadmitAfter <= 0 {
+		c.ReadmitAfter = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// replica is one upstream's live state. healthy is the routing filter;
+// fails/oks are the consecutive counters driving ejection and
+// readmission.
+type replica struct {
+	addr    string // base URL
+	healthy atomic.Bool
+	fails   atomic.Int32
+	oks     atomic.Int32
+}
+
+// Proxy fronts a set of mschedd replicas. It is an http.Handler
+// factory like server.Server; the listener belongs to cmd/mschedfront.
+type Proxy struct {
+	cfg      Config
+	ring     *ring
+	replicas []*replica
+	client   *http.Client
+	metrics  *frontMetrics
+	lat      *latencySampler
+	draining atomic.Bool
+	ejected  atomic.Int64
+	readmits atomic.Int64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// errNoBackends means every replica was ejected or every attempt hit a
+// transport failure — nothing completed, so the client may safely retry
+// or fall back to local compilation.
+var errNoBackends = errors.New("no healthy replica")
+
+// New builds a Proxy over cfg.Replicas. All replicas start healthy
+// (optimistic: the first probe round corrects within HealthInterval).
+func New(cfg Config) (*Proxy, error) {
+	cfg.applyDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("proxy: no replicas configured")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	p := &Proxy{
+		cfg:     cfg,
+		ring:    newRing(cfg.Replicas, cfg.VirtualNodes),
+		metrics: newFrontMetrics(),
+		lat:     newLatencySampler(),
+		rng:     rand.New(rand.NewSource(seed)),
+		stop:    make(chan struct{}),
+		client: &http.Client{
+			Transport: &http.Transport{
+				DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+				MaxIdleConnsPerHost: 32,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}
+	for _, addr := range cfg.Replicas {
+		r := &replica{addr: addr}
+		r.healthy.Store(true)
+		p.replicas = append(p.replicas, r)
+	}
+	return p, nil
+}
+
+// Start launches the health-check loop. Pair with Close.
+func (p *Proxy) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.cfg.HealthInterval)
+		defer t.Stop()
+		p.probeAll()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.probeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the health loop and idle upstream connections.
+func (p *Proxy) Close() {
+	close(p.stop)
+	p.wg.Wait()
+	p.client.CloseIdleConnections()
+}
+
+// StartDrain flips the front into draining mode: /healthz turns 503 and
+// new compile requests are refused with the same 503 + Retry-After
+// contract the replicas use, so a front can be rotated out of a DNS or
+// L4 pool exactly like a replica.
+func (p *Proxy) StartDrain() { p.draining.Store(true) }
+
+// HealthySnapshot reports each replica's rotation state (tests and the
+// chaos harness read it).
+func (p *Proxy) HealthySnapshot() map[string]bool {
+	out := make(map[string]bool, len(p.replicas))
+	for _, r := range p.replicas {
+		out[r.addr] = r.healthy.Load()
+	}
+	return out
+}
+
+// probeAll health-checks every replica once, concurrently.
+func (p *Proxy) probeAll() {
+	var wg sync.WaitGroup
+	for _, r := range p.replicas {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			p.probe(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func (p *Proxy) probe(r *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.addr+"/healthz", nil)
+	if err != nil {
+		p.noteProbeFail(r)
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.noteProbeFail(r)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		p.noteProbeFail(r)
+		return
+	}
+	r.fails.Store(0)
+	if r.healthy.Load() {
+		r.oks.Store(0)
+		return
+	}
+	if int(r.oks.Add(1)) >= p.cfg.ReadmitAfter && r.healthy.CompareAndSwap(false, true) {
+		p.readmits.Add(1)
+		r.oks.Store(0)
+	}
+}
+
+func (p *Proxy) noteProbeFail(r *replica) {
+	r.oks.Store(0)
+	p.noteTransportFail(r)
+}
+
+// noteTransportFail counts one hard failure (failed probe or transport
+// error on a forwarded request) toward ejection.
+func (p *Proxy) noteTransportFail(r *replica) {
+	if int(r.fails.Add(1)) >= p.cfg.EjectAfter && r.healthy.CompareAndSwap(true, false) {
+		p.ejected.Add(1)
+	}
+}
+
+// noteServed resets the failure streak after a successful exchange (a
+// 2xx — a draining replica's 503s must not hold it in rotation).
+func (p *Proxy) noteServed(r *replica) { r.fails.Store(0) }
+
+// healthyCandidates filters the ring's failover order for key down to
+// replicas currently in rotation.
+func (p *Proxy) healthyCandidates(key string) []*replica {
+	order := p.ring.candidates(key)
+	out := make([]*replica, 0, len(order))
+	for _, i := range order {
+		if p.replicas[i].healthy.Load() {
+			out = append(out, p.replicas[i])
+		}
+	}
+	return out
+}
+
+// upstream is one completed upstream HTTP exchange.
+type upstream struct {
+	status     int
+	body       []byte
+	retryAfter string
+	replica    string
+}
+
+// retryableStatus: statuses worth trying elsewhere or later — load
+// shed (429) and server-side trouble (5xx). 4xx client errors and
+// compile outcomes (409) are deterministic; retrying them would only
+// burn another replica's time to produce identical bytes.
+func retryableStatus(s int) bool {
+	return s == http.StatusTooManyRequests || s >= 500
+}
+
+// forward sends body to the replicas in key's failover order until an
+// acceptable response, retrying transport errors and retryable statuses
+// with capped jittered backoff (honoring Retry-After), hedging the
+// first attempt. A non-nil upstream is the exact bytes a replica
+// produced; errNoBackends means nothing completed.
+func (p *Proxy) forward(ctx context.Context, path string, body []byte, key string) (*upstream, error) {
+	var last *upstream
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		healthy := p.healthyCandidates(key)
+		if len(healthy) == 0 {
+			break
+		}
+		if attempt > 0 {
+			p.metrics.add(&p.metrics.retries, 1)
+		}
+		target := healthy[attempt%len(healthy)]
+		hedge := (*replica)(nil)
+		if attempt == 0 && len(healthy) > 1 {
+			hedge = healthy[1]
+		}
+		res, err := p.send(ctx, target, hedge, path, body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			p.sleep(ctx, p.backoff(attempt, ""))
+			continue
+		}
+		if !retryableStatus(res.status) {
+			return res, nil
+		}
+		last = res
+		p.sleep(ctx, p.backoff(attempt, res.retryAfter))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if last != nil {
+		// Retries exhausted on a refusal (429/503/...): pass the replica's
+		// own answer through rather than inventing one.
+		return last, nil
+	}
+	return nil, errNoBackends
+}
+
+// send performs one attempt against target, optionally hedging to next
+// after the hedge delay. The faster acceptable response wins; the
+// slower request is cancelled. Transport failures mark the replica.
+func (p *Proxy) send(ctx context.Context, target, next *replica, path string, body []byte) (*upstream, error) {
+	delay := p.hedgeDelay()
+	if next == nil || delay <= 0 {
+		return p.sendOne(ctx, target, path, body)
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res  *upstream
+		err  error
+		from *replica
+	}
+	results := make(chan outcome, 2)
+	launched := 1
+	go func() {
+		res, err := p.sendOne(sctx, target, path, body)
+		results <- outcome{res, err, target}
+	}()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				p.metrics.add(&p.metrics.hedges, 1)
+				go func() {
+					res, err := p.sendOne(sctx, next, path, body)
+					results <- outcome{res, err, next}
+				}()
+			}
+		case o := <-results:
+			if o.err == nil {
+				if o.from == next {
+					p.metrics.add(&p.metrics.hedgeWins, 1)
+				}
+				return o.res, nil
+			}
+			if firstErr == nil && launched == 2 {
+				// One of two in flight failed; wait for the other.
+				firstErr = o.err
+				continue
+			}
+			if launched == 1 {
+				// Primary failed before the hedge fired: fail fast, the
+				// outer retry loop handles failover with backoff.
+				return nil, o.err
+			}
+			return nil, firstErr
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// sendOne is a single upstream POST. It owns the passive health
+// bookkeeping for its target.
+func (p *Proxy) sendOne(ctx context.Context, r *replica, path string, body []byte) (*upstream, error) {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.addr+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.metrics.countForward(r.addr, "error")
+		if ctx.Err() == nil {
+			// A cancelled hedge loser is not evidence of a dead replica.
+			p.noteTransportFail(r)
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		p.metrics.countForward(r.addr, "error")
+		if ctx.Err() == nil {
+			p.noteTransportFail(r)
+		}
+		return nil, err
+	}
+	p.metrics.countForward(r.addr, strconv.Itoa(resp.StatusCode))
+	if resp.StatusCode < 300 {
+		p.noteServed(r)
+		p.lat.record(time.Since(start))
+	}
+	return &upstream{
+		status:     resp.StatusCode,
+		body:       data,
+		retryAfter: resp.Header.Get("Retry-After"),
+		replica:    r.addr,
+	}, nil
+}
+
+// backoff computes the sleep before the attempt after `attempt`: the
+// capped exponential with ±50% jitter, or the replica's Retry-After
+// hint (seconds) when present — itself capped, since honoring an
+// unbounded hint would stall the front.
+func (p *Proxy) backoff(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if sec, err := strconv.Atoi(retryAfter); err == nil && sec >= 0 {
+			d := time.Duration(sec) * time.Second
+			if d > p.cfg.BackoffCap {
+				d = p.cfg.BackoffCap
+			}
+			return d
+		}
+	}
+	d := p.cfg.BackoffBase << uint(attempt)
+	if d > p.cfg.BackoffCap {
+		d = p.cfg.BackoffCap
+	}
+	p.rngMu.Lock()
+	jitter := 0.5 + p.rng.Float64()
+	p.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+func (p *Proxy) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// hedgeDelay is the wait before launching a second request: the fixed
+// configured delay, or the observed P99 clamped to [2ms, 500ms]. Zero
+// disables hedging (also before enough latency samples exist — hedging
+// on no data would double load exactly when it is least understood).
+func (p *Proxy) hedgeDelay() time.Duration {
+	if p.cfg.DisableHedge {
+		return 0
+	}
+	if p.cfg.HedgeDelay > 0 {
+		return p.cfg.HedgeDelay
+	}
+	p99, ok := p.lat.p99()
+	if !ok {
+		return 0
+	}
+	const lo, hi = 2 * time.Millisecond, 500 * time.Millisecond
+	if p99 < lo {
+		return lo
+	}
+	if p99 > hi {
+		return hi
+	}
+	return p99
+}
+
+// latencySampler keeps a ring of recent successful forward latencies
+// for the P99-derived hedge delay.
+type latencySampler struct {
+	mu      sync.Mutex
+	samples [256]time.Duration
+	n       int // total recorded
+}
+
+func newLatencySampler() *latencySampler { return &latencySampler{} }
+
+func (l *latencySampler) record(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.n%len(l.samples)] = d
+	l.n++
+	l.mu.Unlock()
+}
+
+// p99 reports the 99th percentile of the retained window; ok is false
+// until 20 samples exist.
+func (l *latencySampler) p99() (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n < 20 {
+		return 0, false
+	}
+	k := l.n
+	if k > len(l.samples) {
+		k = len(l.samples)
+	}
+	buf := make([]time.Duration, k)
+	copy(buf, l.samples[:k])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(k*99)/100], true
+}
+
+// Handler returns the front's routing table. /compile and
+// /compile/batch mirror the replica API byte for byte; /metrics and
+// /healthz are the front's own.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", p.handleCompile)
+	mux.HandleFunc("/compile/batch", p.handleBatch)
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/healthz", p.handleHealthz)
+	return mux
+}
+
+// frontRetryAfterSec mirrors the replicas' drain hint.
+const frontRetryAfterSec = 1
+
+// refuse writes one front-originated error (drain, no backends). These
+// are the only responses the front authors itself.
+func (p *Proxy) refuse(w http.ResponseWriter, endpoint string, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(frontRetryAfterSec))
+	w.WriteHeader(status)
+	data, _ := json.Marshal(&server.ErrorResponse{Kind: kind, Error: msg, RetryAfterSec: frontRetryAfterSec})
+	w.Write(append(data, '\n'))
+	p.metrics.countRequest(endpoint, status)
+}
+
+// relay copies an upstream response to the client unmodified.
+func (p *Proxy) relay(w http.ResponseWriter, endpoint string, res *upstream) {
+	w.Header().Set("Content-Type", "application/json")
+	if res.retryAfter != "" {
+		w.Header().Set("Retry-After", res.retryAfter)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+	p.metrics.countRequest(endpoint, res.status)
+}
+
+// readBody slurps one bounded client body; on failure it has written
+// the 400.
+func (p *Proxy) readBody(w http.ResponseWriter, r *http.Request, endpoint string) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		p.metrics.countRequest(endpoint, http.StatusMethodNotAllowed)
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, "body read failed: "+err.Error(), http.StatusBadRequest)
+		p.metrics.countRequest(endpoint, http.StatusBadRequest)
+		return nil, false
+	}
+	return body, true
+}
+
+func (p *Proxy) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if p.draining.Load() {
+		p.refuse(w, "compile", http.StatusServiceUnavailable, server.KindDraining, "front is draining")
+		return
+	}
+	body, ok := p.readBody(w, r, "compile")
+	if !ok {
+		return
+	}
+	// Route by the compile digest so the key lands on its home replica.
+	// A body that does not strictly decode still gets forwarded — to a
+	// deterministic replica — so the client receives the replica's
+	// canonical 400, not a front-invented one.
+	key := ""
+	var req server.CompileRequest
+	if err := strictUnmarshal(body, &req); err == nil {
+		if k, ok := server.RouteKey(&req); ok {
+			key = k
+		} else {
+			key = server.FallbackKey(&req)
+		}
+	} else {
+		key = server.FallbackKey(&server.CompileRequest{Source: string(body)})
+	}
+	res, err := p.forward(r.Context(), "/compile", body, key)
+	if err != nil {
+		p.metrics.add(&p.metrics.noBackends, 1)
+		p.refuse(w, "compile", http.StatusServiceUnavailable, server.KindNoBackends, "no healthy replica: "+err.Error())
+		return
+	}
+	p.relay(w, "compile", res)
+}
+
+// rawBatch mirrors server.BatchRequest/BatchResponse with the loop and
+// result bodies kept as raw JSON, so splitting a batch across replicas
+// and reassembling the answers is a byte-level cut-and-paste — the
+// reassembled response is byte-identical to any single replica's.
+type rawBatch struct {
+	Loops []json.RawMessage `json:"loops"`
+}
+
+type rawResults struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if p.draining.Load() {
+		p.refuse(w, "batch", http.StatusServiceUnavailable, server.KindDraining, "front is draining")
+		return
+	}
+	body, ok := p.readBody(w, r, "batch")
+	if !ok {
+		return
+	}
+
+	groups, splittable := p.splitBatch(body)
+	if !splittable {
+		// Malformed or oversized-for-splitting bodies go to one replica
+		// whole, which produces the canonical error (or answer).
+		res, err := p.forward(r.Context(), "/compile/batch", body, server.FallbackKey(&server.CompileRequest{Source: string(body)}))
+		if err != nil {
+			p.metrics.add(&p.metrics.noBackends, 1)
+			p.refuse(w, "batch", http.StatusServiceUnavailable, server.KindNoBackends, "no healthy replica: "+err.Error())
+			return
+		}
+		p.relay(w, "batch", res)
+		return
+	}
+	if len(groups) > 1 {
+		p.metrics.add(&p.metrics.splits, 1)
+	}
+
+	// Fan the groups out concurrently; each group lands on its keys'
+	// home replica (all loops in a group share it by construction).
+	type groupResult struct {
+		res *upstream
+		err error
+	}
+	results := make([]groupResult, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g batchGroup) {
+			defer wg.Done()
+			sub, err := json.Marshal(&rawBatch{Loops: g.loops})
+			if err != nil {
+				results[i] = groupResult{nil, err}
+				return
+			}
+			res, err := p.forward(r.Context(), "/compile/batch", sub, g.key)
+			results[i] = groupResult{res, err}
+		}(i, g)
+	}
+	wg.Wait()
+
+	// Reassemble into input order. A group that failed outright turns
+	// into per-item errors; the others' result bytes pass through
+	// untouched.
+	total := 0
+	for _, g := range groups {
+		total += len(g.index)
+	}
+	items := make([]json.RawMessage, total)
+	for i, g := range groups {
+		gr := results[i]
+		if gr.err == nil && gr.res.status == http.StatusOK {
+			var rr rawResults
+			if err := json.Unmarshal(gr.res.body, &rr); err == nil && len(rr.Results) == len(g.index) {
+				for j, slot := range g.index {
+					items[slot] = rr.Results[j]
+				}
+				continue
+			}
+			gr.err = fmt.Errorf("replica %s returned a malformed batch response", gr.res.replica)
+		}
+		item := p.groupFailureItem(gr.res, gr.err)
+		for _, slot := range g.index {
+			items[slot] = item
+		}
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"results":[`)
+	for i, it := range items {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(it)
+	}
+	buf.WriteString("]}\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+	p.metrics.countRequest("batch", http.StatusOK)
+}
+
+// batchGroup is the slice of a batch bound for one home replica: the
+// raw loop bodies and their slots in the original request.
+type batchGroup struct {
+	key   string // routing key of the group's first loop
+	home  int    // ring home replica index
+	loops []json.RawMessage
+	index []int
+}
+
+// splitBatch partitions a batch body by home replica. ok is false when
+// the body (or any loop in it) does not strictly decode — then the
+// whole body must go to a single replica so the client sees the
+// replica's canonical error response.
+func (p *Proxy) splitBatch(body []byte) ([]batchGroup, bool) {
+	var rb rawBatch
+	if err := strictUnmarshal(body, &rb); err != nil || len(rb.Loops) == 0 {
+		return nil, false
+	}
+	byHome := make(map[int]*batchGroup)
+	order := make([]int, 0, 4)
+	for i, raw := range rb.Loops {
+		var req server.CompileRequest
+		if err := strictUnmarshal(raw, &req); err != nil {
+			return nil, false
+		}
+		key, ok := server.RouteKey(&req)
+		if !ok {
+			key = server.FallbackKey(&req)
+		}
+		home := p.ring.home(key)
+		g := byHome[home]
+		if g == nil {
+			g = &batchGroup{key: key, home: home}
+			byHome[home] = g
+			order = append(order, home)
+		}
+		g.loops = append(g.loops, raw)
+		g.index = append(g.index, i)
+	}
+	groups := make([]batchGroup, 0, len(order))
+	for _, h := range order {
+		groups = append(groups, *byHome[h])
+	}
+	return groups, true
+}
+
+// groupFailureItem renders one batch slot for a group whose sub-request
+// failed: the replica's own error body when one exists, else a
+// no_backends item.
+func (p *Proxy) groupFailureItem(res *upstream, err error) json.RawMessage {
+	status := http.StatusServiceUnavailable
+	var eresp server.ErrorResponse
+	if res != nil && json.Unmarshal(res.body, &eresp) == nil && eresp.Kind != "" {
+		status = res.status
+	} else {
+		msg := "no healthy replica"
+		if err != nil {
+			msg += ": " + err.Error()
+		}
+		eresp = server.ErrorResponse{Kind: server.KindNoBackends, Error: msg, RetryAfterSec: frontRetryAfterSec}
+		p.metrics.add(&p.metrics.noBackends, 1)
+	}
+	item, _ := json.Marshal(&server.BatchItem{Status: status, Error: &eresp})
+	return item
+}
+
+func (p *Proxy) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+	p.metrics.writePrometheus(&b, frontGauges{
+		healthy:  p.HealthySnapshot(),
+		ejected:  p.ejected.Load(),
+		readmits: p.readmits.Load(),
+		draining: p.draining.Load(),
+	})
+	w.Write(b.Bytes())
+}
+
+// MetricsText renders the current /metrics exposition.
+func (p *Proxy) MetricsText() string {
+	var b bytes.Buffer
+	p.metrics.writePrometheus(&b, frontGauges{
+		healthy:  p.HealthySnapshot(),
+		ejected:  p.ejected.Load(),
+		readmits: p.readmits.Load(),
+		draining: p.draining.Load(),
+	})
+	return b.String()
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if p.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	up := 0
+	for _, rep := range p.replicas {
+		if rep.healthy.Load() {
+			up++
+		}
+	}
+	if up == 0 {
+		http.Error(w, "no healthy replicas", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintf(w, "ok %d/%d replicas\n", up, len(p.replicas))
+}
+
+// strictUnmarshal decodes with DisallowUnknownFields and rejects
+// trailing data — the exact strictness the replicas apply, so the
+// front's routing decode never accepts what a replica would 400.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}

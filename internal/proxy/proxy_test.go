@@ -1,0 +1,472 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"modsched/internal/server"
+)
+
+const daxpySource = `
+loop daxpy
+profile 5 10000
+
+xi = aadd xi@1, #8
+x  = load xi
+yi = aadd yi@1, #8
+y  = load yi
+t1 = fmul a, x
+t2 = fadd y, t1
+si = aadd si@1, #8
+st: store si, t2
+brtop
+`
+
+const impossibleSource = `
+loop impossible
+a: x = add p
+b: y = add x
+brtop
+!mem b -> a dist 0
+`
+
+func chainSource(n int) string {
+	var b strings.Builder
+	b.WriteString("loop chain\n")
+	b.WriteString("x0 = fadd a, a\n")
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "x%d = fadd x%d, a\n", i, i-1)
+	}
+	b.WriteString("brtop\n")
+	return b.String()
+}
+
+// newReplicas starts n real mschedd serving stacks on test listeners.
+func newReplicas(t *testing.T, n int) (addrs []string, servers []*httptest.Server) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		s := server.New(server.Config{})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		addrs = append(addrs, ts.URL)
+		servers = append(servers, ts)
+	}
+	return addrs, servers
+}
+
+// newFront builds and serves a Proxy over addrs. Health checking is not
+// started unless the test needs it — replicas begin in rotation.
+func newFront(t *testing.T, cfg Config) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(p.Close)
+	return p, ts
+}
+
+func post(t *testing.T, url string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+func compileBody(t *testing.T, req server.CompileRequest) []byte {
+	t.Helper()
+	data, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFrontByteIdentity: for successes, compile failures, and malformed
+// bodies alike, the bytes the front serves are exactly the bytes a
+// replica would have served directly — the proxy never authors content
+// on the happy path.
+func TestFrontByteIdentity(t *testing.T) {
+	addrs, _ := newReplicas(t, 2)
+	_, front := newFront(t, Config{Replicas: addrs, DisableHedge: true})
+	refAddrs, _ := newReplicas(t, 1)
+
+	bodies := [][]byte{
+		compileBody(t, server.CompileRequest{Source: daxpySource}),
+		compileBody(t, server.CompileRequest{Source: chainSource(6), Machine: "tiny"}),
+		compileBody(t, server.CompileRequest{Source: impossibleSource}),
+		compileBody(t, server.CompileRequest{Source: daxpySource, Machine: "pdp11"}),
+		[]byte(`{"source": 42}`),
+		[]byte(`not json at all`),
+	}
+	for _, body := range bodies {
+		gotStatus, got, _ := post(t, front.URL+"/compile", body)
+		wantStatus, want, _ := post(t, refAddrs[0]+"/compile", body)
+		if gotStatus != wantStatus || !bytes.Equal(got, want) {
+			t.Errorf("front diverged for %.40s...:\nfront  %d %s\ndirect %d %s",
+				body, gotStatus, got, wantStatus, want)
+		}
+	}
+}
+
+// TestFrontBatchSplitByteIdentity: a batch split across replica homes
+// reassembles byte-identically to the same batch served by one replica.
+func TestFrontBatchSplitByteIdentity(t *testing.T) {
+	addrs, _ := newReplicas(t, 3)
+	p, front := newFront(t, Config{Replicas: addrs, DisableHedge: true})
+	refAddrs, _ := newReplicas(t, 1)
+
+	var loops []server.CompileRequest
+	loops = append(loops, server.CompileRequest{Source: daxpySource})
+	loops = append(loops, server.CompileRequest{Source: impossibleSource})
+	loops = append(loops, server.CompileRequest{Source: daxpySource, Machine: "pdp11"})
+	for n := 4; n < 10; n++ {
+		loops = append(loops, server.CompileRequest{Source: chainSource(n)})
+	}
+	body, err := json.Marshal(&server.BatchRequest{Loops: loops})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The split must partition the input slots and group only by ring
+	// home (checked directly — which homes fire depends on the ephemeral
+	// test ports, byte-identity must hold regardless).
+	groups, ok := p.splitBatch(body)
+	if !ok {
+		t.Fatal("splitBatch rejected a well-formed batch")
+	}
+	slots := map[int]bool{}
+	for _, g := range groups {
+		if got := p.ring.home(g.key); got != g.home {
+			t.Fatalf("group key %s homed at %d, recorded %d", g.key, got, g.home)
+		}
+		for _, s := range g.index {
+			if slots[s] {
+				t.Fatalf("slot %d appears in two groups", s)
+			}
+			slots[s] = true
+		}
+	}
+	if len(slots) != len(loops) {
+		t.Fatalf("groups cover %d slots, want %d", len(slots), len(loops))
+	}
+
+	gotStatus, got, _ := post(t, front.URL+"/compile/batch", body)
+	wantStatus, want, _ := post(t, refAddrs[0]+"/compile/batch", body)
+	if gotStatus != wantStatus || !bytes.Equal(got, want) {
+		t.Fatalf("batch diverged:\nfront  %d %s\ndirect %d %s", gotStatus, got, wantStatus, want)
+	}
+
+	// Malformed batches go to one replica whole and come back canonical.
+	for _, bad := range [][]byte{
+		[]byte(`{"loops": "nope"}`),
+		[]byte(`{"loops": [{"source": "loop x\nbrtop\n", "bogus": 1}]}`),
+		[]byte(`{"loops": []}`),
+	} {
+		gotStatus, got, _ := post(t, front.URL+"/compile/batch", bad)
+		wantStatus, want, _ := post(t, refAddrs[0]+"/compile/batch", bad)
+		if gotStatus != wantStatus || !bytes.Equal(got, want) {
+			t.Errorf("malformed batch diverged for %s:\nfront  %d %s\ndirect %d %s",
+				bad, gotStatus, got, wantStatus, want)
+		}
+	}
+}
+
+// TestFrontRetriesShedding: a replica shedding with 429 + Retry-After
+// is retried with the hint honored, and the request ultimately
+// succeeds without the client seeing the 429.
+func TestFrontRetriesShedding(t *testing.T) {
+	var calls atomic.Int32
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/compile" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"kind":"overloaded","error":"shed"}`+"\n")
+			return
+		}
+		io.WriteString(w, `{"ok":true}`+"\n")
+	}))
+	defer stub.Close()
+
+	_, front := newFront(t, Config{
+		Replicas:     []string{stub.URL},
+		MaxAttempts:  4,
+		BackoffBase:  time.Millisecond,
+		BackoffCap:   5 * time.Millisecond,
+		DisableHedge: true,
+	})
+	status, body, _ := post(t, front.URL+"/compile", compileBody(t, server.CompileRequest{Source: daxpySource}))
+	if status != http.StatusOK || !strings.Contains(string(body), `"ok":true`) {
+		t.Fatalf("status = %d body = %s, want the post-retry 200", status, body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("replica saw %d attempts, want 3", got)
+	}
+}
+
+// TestFrontRetriesExhaustedPassesRefusalThrough: when every attempt is
+// refused, the client receives the replica's own final refusal (with
+// its Retry-After), not a front-invented error.
+func TestFrontRetriesExhaustedPassesRefusalThrough(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		io.WriteString(w, `{"kind":"overloaded","error":"always shed"}`+"\n")
+	}))
+	defer stub.Close()
+	_, front := newFront(t, Config{
+		Replicas:     []string{stub.URL},
+		MaxAttempts:  3,
+		BackoffBase:  time.Millisecond,
+		BackoffCap:   2 * time.Millisecond,
+		DisableHedge: true,
+	})
+	status, body, hdr := post(t, front.URL+"/compile", compileBody(t, server.CompileRequest{Source: daxpySource}))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 passed through", status)
+	}
+	if !strings.Contains(string(body), "always shed") || hdr.Get("Retry-After") != "0" {
+		t.Fatalf("refusal not passed through verbatim: %s (Retry-After %q)", body, hdr.Get("Retry-After"))
+	}
+}
+
+// TestFrontFailoverOnDeadReplica: with one replica's process gone
+// (connection refused), every key still gets an answer from the
+// survivor, and the dead replica is ejected by the passive failure
+// streak alone — no probes running.
+func TestFrontFailoverOnDeadReplica(t *testing.T) {
+	addrs, servers := newReplicas(t, 2)
+	p, front := newFront(t, Config{
+		Replicas:     addrs,
+		EjectAfter:   2,
+		MaxAttempts:  4,
+		BackoffBase:  time.Millisecond,
+		BackoffCap:   5 * time.Millisecond,
+		DisableHedge: true,
+	})
+	refAddrs, _ := newReplicas(t, 1)
+	servers[0].Close() // the "SIGKILL"
+
+	for n := 4; n < 10; n++ {
+		body := compileBody(t, server.CompileRequest{Source: chainSource(n)})
+		gotStatus, got, _ := post(t, front.URL+"/compile", body)
+		wantStatus, want, _ := post(t, refAddrs[0]+"/compile", body)
+		if gotStatus != wantStatus || !bytes.Equal(got, want) {
+			t.Fatalf("failover answer diverged for chain(%d): front %d %s, direct %d %s",
+				n, gotStatus, got, wantStatus, want)
+		}
+	}
+	// Now force EjectAfter requests onto the dead replica's home slots
+	// (which chain keys land there depends on the ephemeral ports) and
+	// confirm the passive failure streak ejected it.
+	posted := 0
+	for i := 0; posted < 2; i++ {
+		body := fmt.Sprintf("eject probe %d", i)
+		if p.ring.home(server.FallbackKey(&server.CompileRequest{Source: body})) != 0 {
+			continue
+		}
+		post(t, front.URL+"/compile", []byte(body))
+		posted++
+	}
+	if snap := p.HealthySnapshot(); snap[addrs[0]] {
+		t.Fatalf("dead replica still in rotation: %v", snap)
+	}
+}
+
+// TestFrontDrainingReplicaFailover: a draining replica answers 503 +
+// Retry-After; the front fails over within the same request and the
+// client sees only the survivor's 200 — a rolling drain drops nothing.
+func TestFrontDrainingReplicaFailover(t *testing.T) {
+	s0 := server.New(server.Config{})
+	ts0 := httptest.NewServer(s0.Handler())
+	defer ts0.Close()
+	s1 := server.New(server.Config{})
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+	s0.StartDrain()
+	s1dup := server.New(server.Config{}) // reference
+
+	_, front := newFront(t, Config{
+		Replicas:     []string{ts0.URL, ts1.URL},
+		MaxAttempts:  4,
+		BackoffBase:  time.Millisecond,
+		BackoffCap:   5 * time.Millisecond, // caps the honored Retry-After: 1
+		DisableHedge: true,
+	})
+	for n := 4; n < 10; n++ {
+		req := server.CompileRequest{Source: chainSource(n)}
+		status, got, _ := post(t, front.URL+"/compile", compileBody(t, req))
+		if status != http.StatusOK {
+			t.Fatalf("chain(%d) through draining fleet: status %d body %s", n, status, got)
+		}
+		ref := s1dup.CompileLocal(t.Context(), &req)
+		refBytes, _ := json.Marshal(ref.Result)
+		if string(got) != string(refBytes)+"\n" {
+			t.Fatalf("chain(%d) bytes diverge from local compile:\nfront %s\nlocal %s", n, got, refBytes)
+		}
+	}
+}
+
+// TestFrontNoBackends: with every replica unreachable the front answers
+// its own 503 no_backends — the signal msched's client mode uses to
+// fall back to local compilation.
+func TestFrontNoBackends(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	_, front := newFront(t, Config{
+		Replicas:     []string{dead.URL},
+		EjectAfter:   1,
+		MaxAttempts:  2,
+		BackoffBase:  time.Millisecond,
+		BackoffCap:   2 * time.Millisecond,
+		DisableHedge: true,
+	})
+	status, body, hdr := post(t, front.URL+"/compile", compileBody(t, server.CompileRequest{Source: daxpySource}))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", status)
+	}
+	var eresp server.ErrorResponse
+	if err := json.Unmarshal(body, &eresp); err != nil || eresp.Kind != server.KindNoBackends {
+		t.Fatalf("body = %s, want kind no_backends", body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("no Retry-After on a no_backends refusal")
+	}
+}
+
+// TestFrontDrain: the front's own drain mirrors a replica's contract.
+func TestFrontDrain(t *testing.T) {
+	addrs, _ := newReplicas(t, 1)
+	p, front := newFront(t, Config{Replicas: addrs, DisableHedge: true})
+	p.StartDrain()
+
+	status, body, hdr := post(t, front.URL+"/compile", compileBody(t, server.CompileRequest{Source: daxpySource}))
+	var eresp server.ErrorResponse
+	if status != http.StatusServiceUnavailable || json.Unmarshal(body, &eresp) != nil ||
+		eresp.Kind != server.KindDraining || hdr.Get("Retry-After") != "1" {
+		t.Fatalf("drain refusal = %d %s (Retry-After %q)", status, body, hdr.Get("Retry-After"))
+	}
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHealthProbeEjectAndReadmit: active probes eject a replica whose
+// /healthz goes dark and readmit it after ReadmitAfter good probes.
+func TestHealthProbeEjectAndReadmit(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && !healthy.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	}))
+	defer stub.Close()
+
+	p, _ := newFront(t, Config{
+		Replicas:       []string{stub.URL},
+		HealthInterval: 5 * time.Millisecond,
+		EjectAfter:     2,
+		ReadmitAfter:   2,
+		DisableHedge:   true,
+	})
+	p.Start()
+
+	healthy.Store(false)
+	waitFor(t, "ejection", func() bool { return !p.HealthySnapshot()[stub.URL] })
+	healthy.Store(true)
+	waitFor(t, "readmission", func() bool { return p.HealthySnapshot()[stub.URL] })
+
+	text := p.MetricsText()
+	for _, want := range []string{"mschedfront_ejections_total 1", "mschedfront_readmissions_total 1"} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFrontHedgeWins: when the home replica stalls, the hedged second
+// request to the next candidate answers, and the stall never reaches
+// the client.
+func TestFrontHedgeWins(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server's background read can notice the
+		// hedge loser being cancelled (real replicas always decode it).
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"from":"fast"}`+"\n")
+	}))
+	defer fast.Close()
+
+	p, front := newFront(t, Config{
+		Replicas:    []string{slow.URL, fast.URL},
+		MaxAttempts: 1,
+		HedgeDelay:  5 * time.Millisecond,
+	})
+	// Find a body whose routing key homes on the slow replica. The body
+	// is non-JSON, so routing uses the fallback digest of the raw bytes.
+	body := ""
+	for i := 0; ; i++ {
+		body = fmt.Sprintf("hedge probe %d", i)
+		key := server.FallbackKey(&server.CompileRequest{Source: body})
+		if p.ring.home(key) == 0 {
+			break
+		}
+	}
+	status, got, _ := post(t, front.URL+"/compile", []byte(body))
+	if status != http.StatusOK || !strings.Contains(string(got), `"from":"fast"`) {
+		t.Fatalf("hedge did not win: %d %s", status, got)
+	}
+	text := p.MetricsText()
+	for _, want := range []string{"mschedfront_hedges_total 1", "mschedfront_hedge_wins_total 1"} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

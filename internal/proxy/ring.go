@@ -1,0 +1,87 @@
+// Package proxy is the fault-tolerant front tier of the compile
+// service: a consistent-hashing reverse proxy (cmd/mschedfront) that
+// spreads compile digests across mschedd replicas so each cache key has
+// exactly one home, health-checks the replicas and ejects the dead,
+// retries transient failures with capped backoff, and hedges stragglers
+// with a second request after a P99-derived delay. Responses are
+// byte-identical to what any single replica — or a local compile —
+// would have produced; the proxy never rewrites a replica's body.
+package proxy
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over replica indices. Each replica
+// contributes vnodes points; a key is served by the first point at or
+// after its hash, and the candidate order for failover is the walk
+// around the ring from there (distinct replicas, nearest first). The
+// ring is immutable after construction — liveness is the caller's
+// filter, not the ring's.
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int         // replica count
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// newRing builds the ring for n replicas named by addrs (the names only
+// seed the point hashes; equal addr sets give equal rings regardless of
+// process).
+func newRing(addrs []string, vnodes int) *ring {
+	r := &ring{n: len(addrs), points: make([]ringPoint, 0, len(addrs)*vnodes)}
+	for i, addr := range addrs {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(addr + "#" + strconv.Itoa(v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (vanishingly rare with 64-bit FNV) break by replica so
+		// the order is still deterministic across processes.
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+// candidates returns every replica index in failover order for key: the
+// key's home first, then each distinct replica encountered walking the
+// ring. All n replicas appear exactly once.
+func (r *ring) candidates(key string) []int {
+	out := make([]int, 0, r.n)
+	if len(r.points) == 0 {
+		return out
+	}
+	seen := make([]bool, r.n)
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; len(out) < r.n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}
+
+// home is the key's first candidate.
+func (r *ring) home(key string) int { return r.candidates(key)[0] }
+
+// hash64 is FNV-1a; stable across processes and Go versions, which is
+// what keeps replica caches hot across front restarts.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,89 @@
+package proxy
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingCandidatesComplete: every key's failover order visits each
+// replica exactly once, starting from its home.
+func TestRingCandidatesComplete(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(addrs, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := r.candidates(key)
+		if len(order) != len(addrs) {
+			t.Fatalf("candidates(%q) = %v, want all %d replicas", key, order, len(addrs))
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if seen[idx] {
+				t.Fatalf("candidates(%q) repeats replica %d: %v", key, idx, order)
+			}
+			seen[idx] = true
+		}
+		if order[0] != r.home(key) {
+			t.Fatalf("home(%q) = %d, first candidate = %d", key, r.home(key), order[0])
+		}
+	}
+}
+
+// TestRingDeterministicAcrossBuilds: rebuilding the ring from the same
+// replica set reproduces every routing decision — the property that
+// keeps replica caches hot across front restarts.
+func TestRingDeterministicAcrossBuilds(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r1, r2 := newRing(addrs, 64), newRing(addrs, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("digest-%d", i)
+		if !reflect.DeepEqual(r1.candidates(key), r2.candidates(key)) {
+			t.Fatalf("ring order diverged for %q", key)
+		}
+	}
+}
+
+// TestRingBalance: with enough virtual nodes no replica owns a wildly
+// disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(addrs, 64)
+	counts := make([]int, len(addrs))
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.home(fmt.Sprintf("key-%d", i))]++
+	}
+	for i, c := range counts {
+		if c < keys/len(addrs)/3 || c > keys*2/len(addrs) {
+			t.Fatalf("replica %d owns %d of %d keys (counts %v): badly unbalanced", i, c, keys, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderRemoval: keys not homed on a removed replica
+// keep their home — consistent hashing's point. Removal is simulated by
+// filtering candidates, exactly as the proxy filters unhealthy
+// replicas.
+func TestRingStabilityUnderRemoval(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(addrs, 64)
+	const dead = 1
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := r.candidates(key)
+		if order[0] == dead {
+			continue // this key must move, by construction
+		}
+		// First live candidate must still be the original home.
+		for _, idx := range order {
+			if idx == dead {
+				continue
+			}
+			if idx != order[0] {
+				t.Fatalf("key %q rehomed from %d to %d though its home is alive", key, order[0], idx)
+			}
+			break
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"modsched/internal/core"
+	"modsched/internal/diskcache"
 	"modsched/internal/ir"
 	"modsched/internal/machine"
 )
@@ -88,6 +89,9 @@ type Cache struct {
 	// with a cache.
 	fps   map[*machine.Machine][sha256.Size]byte
 	stats Stats
+	// disk is the optional persistent tier (AttachDisk); consulted on a
+	// memory miss before compiling, written through after one.
+	disk *diskcache.Store
 }
 
 // New returns a cache holding at most capacity entries (DefaultCapacity
@@ -125,6 +129,14 @@ func (c *Cache) Len() int {
 // same key with the machine fingerprint memoized; keep the two in sync.
 func Key(l *ir.Loop, m *machine.Machine, opts core.Options) string {
 	return keyWith(sha256.Sum256([]byte(m.Fingerprint())), l, opts)
+}
+
+// KeyWithFingerprint is Key with the machine's fingerprint digest
+// precomputed — the front proxy routes on cache keys at request rate,
+// and rendering a full opcode table per request would dwarf the routing
+// decision itself.
+func KeyWithFingerprint(fingerprint [sha256.Size]byte, l *ir.Loop, opts core.Options) string {
+	return keyWith(fingerprint, l, opts)
 }
 
 func keyWith(fingerprint [sha256.Size]byte, l *ir.Loop, opts core.Options) string {
@@ -249,10 +261,20 @@ func (c *Cache) Do(l *ir.Loop, m *machine.Machine, opts core.Options, compile Co
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
-	c.stats.Misses++
 	c.mu.Unlock()
 
-	sched, deg, err := compile()
+	// The persistent tier, when attached, intercepts the compile: a
+	// verified disk entry is promoted into memory without recompiling
+	// (Stats.Misses keeps meaning "compile executed" — the disk store
+	// counts its own hits). Latecomers joined the flight either way.
+	sched, deg, fromDisk := c.diskGet(key, l, m, opts)
+	var err error
+	if !fromDisk {
+		c.mu.Lock()
+		c.stats.Misses++
+		c.mu.Unlock()
+		sched, deg, err = compile()
+	}
 	if err == nil {
 		// The master copy is detached from the result handed to the miss
 		// caller, so their later mutations cannot reach the cache.
@@ -261,6 +283,11 @@ func (c *Cache) Do(l *ir.Loop, m *machine.Machine, opts core.Options, compile Co
 		f.err = err
 	}
 	close(f.done)
+	if err == nil && !fromDisk {
+		// Write-through, best effort: the compile is served from memory
+		// whether or not persistence succeeds.
+		c.diskPut(key, f.sched, f.deg)
+	}
 
 	c.mu.Lock()
 	delete(c.flights, key)

@@ -53,6 +53,11 @@ const (
 	KindOverloaded = "overloaded"
 	// KindDraining: the server is shutting down (HTTP 503).
 	KindDraining = "draining"
+	// KindNoBackends: emitted by the front proxy (cmd/mschedfront) when
+	// every replica is ejected or retries are exhausted (HTTP 503).
+	// Clients treat it like draining: fail over or fall back to local
+	// compilation.
+	KindNoBackends = "no_backends"
 )
 
 // CompileRequest asks the service to compile one loop.

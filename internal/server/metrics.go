@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"modsched/internal/core"
+	"modsched/internal/diskcache"
 	"modsched/internal/schedcache"
 )
 
@@ -126,6 +127,10 @@ type gauges struct {
 	draining   bool
 	cacheStats schedcache.Stats
 	cacheLen   int
+	// diskStats is non-nil when the persistent cache tier is enabled;
+	// its series are emitted only then, so a memory-only daemon's
+	// exposition is unchanged.
+	diskStats *diskcache.Stats
 }
 
 // writePrometheus renders the Prometheus text exposition format
@@ -184,6 +189,23 @@ func (m *metrics) writePrometheus(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "mschedd_cache_evictions_total %d\n", g.cacheStats.Evictions)
 	fmt.Fprint(w, "# HELP mschedd_cache_entries Entries currently cached.\n# TYPE mschedd_cache_entries gauge\n")
 	fmt.Fprintf(w, "mschedd_cache_entries %d\n", g.cacheLen)
+
+	if d := g.diskStats; d != nil {
+		fmt.Fprint(w, "# HELP mschedd_diskcache_hits_total Persistent-cache entries served (verified, no recompile).\n# TYPE mschedd_diskcache_hits_total counter\n")
+		fmt.Fprintf(w, "mschedd_diskcache_hits_total %d\n", d.Hits)
+		fmt.Fprint(w, "# HELP mschedd_diskcache_misses_total Persistent-cache lookups that found no entry.\n# TYPE mschedd_diskcache_misses_total counter\n")
+		fmt.Fprintf(w, "mschedd_diskcache_misses_total %d\n", d.Misses)
+		fmt.Fprint(w, "# HELP mschedd_diskcache_writes_total Entries written through to disk.\n# TYPE mschedd_diskcache_writes_total counter\n")
+		fmt.Fprintf(w, "mschedd_diskcache_writes_total %d\n", d.Writes)
+		fmt.Fprint(w, "# HELP mschedd_diskcache_write_errors_total Failed entry writes (persistence is best effort).\n# TYPE mschedd_diskcache_write_errors_total counter\n")
+		fmt.Fprintf(w, "mschedd_diskcache_write_errors_total %d\n", d.WriteErrors)
+		fmt.Fprint(w, "# HELP mschedd_diskcache_corrupt_evicted_total Corrupt or torn entries deleted instead of served.\n# TYPE mschedd_diskcache_corrupt_evicted_total counter\n")
+		fmt.Fprintf(w, "mschedd_diskcache_corrupt_evicted_total %d\n", d.Corrupt)
+		fmt.Fprint(w, "# HELP mschedd_diskcache_quarantined_total Files the startup scan moved to quarantine.\n# TYPE mschedd_diskcache_quarantined_total counter\n")
+		fmt.Fprintf(w, "mschedd_diskcache_quarantined_total %d\n", d.Quarantined)
+		fmt.Fprint(w, "# HELP mschedd_diskcache_entries Entries on disk now.\n# TYPE mschedd_diskcache_entries gauge\n")
+		fmt.Fprintf(w, "mschedd_diskcache_entries %d\n", d.Entries)
+	}
 
 	fmt.Fprint(w, "# HELP mschedd_ii_attempts_total Candidate-II attempts represented by served schedules (cache hits replay the original search's counters).\n# TYPE mschedd_ii_attempts_total counter\n")
 	fmt.Fprintf(w, "mschedd_ii_attempts_total %d\n", m.iiAttempts)

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"modsched/internal/looplang"
+	"modsched/internal/machine"
+	"modsched/internal/schedcache"
+)
+
+// routeMachines mirrors the per-server machine set for key derivation
+// outside a Server (the front proxy routes without owning one). The
+// fingerprint digests are computed once — machines are immutable after
+// construction.
+var routeMachines = sync.OnceValue(func() map[string][sha256.Size]byte {
+	ms := map[string]*machine.Machine{
+		"cydra5":  machine.Cydra5(),
+		"generic": machine.Generic(machine.DefaultUnitConfig()),
+		"tiny":    machine.Tiny(),
+	}
+	fps := make(map[string][sha256.Size]byte, len(ms)+1)
+	for name, m := range ms {
+		fps[name] = sha256.Sum256([]byte(m.Fingerprint()))
+	}
+	fps[""] = fps["cydra5"] // the request default
+	return fps
+})
+
+// routeParseMachines holds live machine instances for parsing (the
+// fingerprint map above is for hashing only).
+var routeParseMachines = sync.OnceValue(func() map[string]*machine.Machine {
+	return map[string]*machine.Machine{
+		"":        machine.Cydra5(),
+		"cydra5":  machine.Cydra5(),
+		"generic": machine.Generic(machine.DefaultUnitConfig()),
+		"tiny":    machine.Tiny(),
+	}
+})
+
+// RouteKey derives the schedcache key a request will occupy on whichever
+// replica serves it — the digest the front proxy consistent-hashes so
+// each key has exactly one home and replica caches stay hot and
+// disjoint. ok is false when the request cannot reach the cache at all
+// (unknown machine, invalid options, parse failure): such requests fail
+// identically on every replica, so the caller routes them by FallbackKey
+// instead.
+func RouteKey(req *CompileRequest) (key string, ok bool) {
+	fps := routeMachines()
+	fp, ok := fps[req.Machine]
+	if !ok {
+		return "", false
+	}
+	opts, errResp := buildOptions(req.Options)
+	if errResp != nil {
+		return "", false
+	}
+	m := routeParseMachines()[req.Machine]
+	loop, err := looplang.Parse(req.Source, m)
+	if err != nil {
+		return "", false
+	}
+	return schedcache.KeyWithFingerprint(fp, loop, opts), true
+}
+
+// FallbackKey is the routing key for requests RouteKey rejects: a plain
+// digest over the visible request fields. It spreads unroutable (always-
+// failing) requests across replicas deterministically; it never collides
+// with a compile key's semantics because such requests never reach a
+// cache.
+func FallbackKey(req *CompileRequest) string {
+	h := sha256.New()
+	h.Write([]byte(req.Machine))
+	h.Write([]byte{0})
+	h.Write([]byte(req.Source))
+	if o := req.Options; o != nil {
+		h.Write([]byte{0})
+		h.Write([]byte(o.Priority))
+		h.Write([]byte{0})
+		h.Write([]byte(o.Delays))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"modsched/internal/diskcache"
 	"modsched/internal/experiments"
 	"modsched/internal/machine"
 	"modsched/internal/schedcache"
@@ -80,6 +81,9 @@ type Server struct {
 	adm      *admission
 	machines map[string]*machine.Machine
 	draining atomic.Bool
+	// disk is the persistent cache tier (EnablePersistentCache); nil
+	// when the cache is memory-only.
+	disk *diskcache.Store
 
 	// testCompileHook, when set by a test, runs at the start of every
 	// loop compile while its admission slot is held. It lets tests hold
@@ -107,6 +111,39 @@ func New(cfg Config) *Server {
 // reconciles them against /metrics).
 func (s *Server) CacheStats() schedcache.Stats { return s.cache.Stats() }
 
+// EnablePersistentCache mounts a crash-safe disk tier under the compile
+// cache: compiles write through to dir, restarts serve warm, and corrupt
+// or torn entries are evicted and recompiled, never served
+// (internal/diskcache). Call before serving traffic. Opening scans dir
+// and quarantines anything malformed; the scan's findings show up on
+// /metrics.
+func (s *Server) EnablePersistentCache(dir string) error {
+	d, err := diskcache.Open(dir)
+	if err != nil {
+		return err
+	}
+	s.disk = d
+	s.cache.AttachDisk(d)
+	return nil
+}
+
+// DiskCacheStats exposes the persistent tier's counters (zero when
+// disabled).
+func (s *Server) DiskCacheStats() diskcache.Stats {
+	if s.disk == nil {
+		return diskcache.Stats{}
+	}
+	return s.disk.Stats()
+}
+
+// CompileLocal runs one request through the full compile pipeline
+// in-process, bypassing HTTP and admission control. Load generators and
+// the chaos harness use it to produce the reference outcome a served
+// response must be byte-identical to.
+func (s *Server) CompileLocal(ctx context.Context, req *CompileRequest) BatchItem {
+	return s.compileItem(ctx, req)
+}
+
 // StartDrain flips the server into draining mode: /healthz turns 503 so
 // load balancers stop routing, and new compile requests are refused.
 // In-flight requests are unaffected — finishing them is the caller's
@@ -124,14 +161,24 @@ func (s *Server) MetricsText() string {
 	return b.String()
 }
 
+// drainRetryAfterSec is the Retry-After hint on drain 503s: the peer
+// should fail over immediately and try this instance again only after
+// its replacement has had time to bind.
+const drainRetryAfterSec = 1
+
 func (s *Server) gauges() gauges {
-	return gauges{
+	g := gauges{
 		inFlight:   s.adm.inFlight(),
 		queued:     s.adm.queued(),
 		draining:   s.draining.Load(),
 		cacheStats: s.cache.Stats(),
 		cacheLen:   s.cache.Len(),
 	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		g.diskStats = &ds
+	}
+	return g
 }
 
 // Handler returns the service's routing table.
@@ -169,8 +216,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // request metric.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string, start time.Time) func() {
 	if s.draining.Load() {
+		// Retry-After tells proxies and retrying clients the refusal is
+		// momentary — fail over now, come back shortly — so a rolling
+		// drain surfaces as clean 503s, never connection errors.
 		status := http.StatusServiceUnavailable
-		writeJSON(w, status, &ErrorResponse{Kind: KindDraining, Error: "server is draining"})
+		w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfterSec))
+		writeJSON(w, status, &ErrorResponse{Kind: KindDraining, Error: "server is draining", RetryAfterSec: drainRetryAfterSec})
 		s.metrics.countRequest(endpoint, status, time.Since(start).Seconds())
 		return nil
 	}

@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# Chaos smoke test of the fault-tolerant serving tier (docs/serving.md):
+# build the CLI, the replica daemon, the front proxy, and the load
+# generator; run a front over three persistent-cache replicas; prove
+# byte-identity against the local CLI; SIGKILL and restart a replica
+# under schedbomb traffic with zero wrong answers; prove a warm restart
+# serves its first repeat request from disk without recompiling; and
+# roll a drain across every replica without dropping a single request.
+# CI runs this on every push; it is also runnable by hand from the
+# repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/msched" ./cmd/msched
+go build -o "$workdir/mschedd" ./cmd/mschedd
+go build -o "$workdir/mschedfront" ./cmd/mschedfront
+go build -o "$workdir/schedbomb" ./cmd/schedbomb
+
+# wait_announce LOGFILE PATTERN -> prints the announced address
+wait_announce() {
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n "s/^$2//p" "$1" | head -n1 | cut -d, -f1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "no announce line in $1:" >&2
+    cat "$1" >&2
+    return 1
+  fi
+  echo "$addr"
+}
+
+# start_replica IDX ADDR -> starts mschedd over its persistent cache
+# dir, records the pid in replica_pid[IDX] and address in replica[IDX].
+declare -a replica replica_pid
+start_replica() {
+  local i="$1" addr="$2"
+  mkdir -p "$workdir/cache$i"
+  "$workdir/mschedd" -addr "$addr" -persist-cache "$workdir/cache$i" \
+    >"$workdir/replica$i.out" 2>"$workdir/replica$i.err" &
+  replica_pid[$i]=$!
+  pids+=("${replica_pid[$i]}")
+  replica[$i]="$(wait_announce "$workdir/replica$i.out" "mschedd: listening on ")"
+}
+
+# restart_replica IDX -> rebinds the replica's original port over its
+# (warm) cache directory; retries while the old port drains.
+restart_replica() {
+  local i="$1"
+  : >"$workdir/replica$i.out"
+  for _ in $(seq 1 50); do
+    "$workdir/mschedd" -addr "${replica[$i]}" -persist-cache "$workdir/cache$i" \
+      >>"$workdir/replica$i.out" 2>>"$workdir/replica$i.err" &
+    replica_pid[$i]=$!
+    pids+=("${replica_pid[$i]}")
+    sleep 0.1
+    if kill -0 "${replica_pid[$i]}" 2>/dev/null &&
+       grep -q "mschedd: listening on" "$workdir/replica$i.out"; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "replica $i could not rebind ${replica[$i]}" >&2
+  cat "$workdir/replica$i.err" >&2
+  return 1
+}
+
+echo "== start 3 replicas with persistent caches"
+for i in 0 1 2; do
+  start_replica "$i" 127.0.0.1:0
+  echo "   replica $i on ${replica[$i]} (cache $workdir/cache$i)"
+done
+
+echo "== start front proxy"
+"$workdir/mschedfront" -addr 127.0.0.1:0 \
+  -replicas "http://${replica[0]},http://${replica[1]},http://${replica[2]}" \
+  -health-interval 50ms -eject-after 2 -readmit-after 1 \
+  >"$workdir/front.out" 2>"$workdir/front.err" &
+front_pid=$!
+pids+=("$front_pid")
+front="$(wait_announce "$workdir/front.out" "mschedfront: listening on ")"
+echo "   front on $front"
+
+loops=(testdata/regressions/*.loop)
+echo "== byte-identity: ${#loops[@]} loops, local CLI vs served through the front"
+"$workdir/msched" "${loops[@]}" >"$workdir/local.out" 2>"$workdir/local.err"
+"$workdir/msched" -server "$front" "${loops[@]}" >"$workdir/served.out" 2>"$workdir/served.err"
+diff -u "$workdir/local.out" "$workdir/served.out"
+diff -u "$workdir/local.err" "$workdir/served.err"
+
+echo "== chaos: schedbomb through the front while replica 1 is SIGKILLed and restarted"
+"$workdir/schedbomb" -target "http://$front" -requests 300 -workers 8 -seed 42 -json \
+  >"$workdir/bomb_chaos.json" 2>"$workdir/bomb_chaos.err" &
+bomb_pid=$!
+sleep 0.5
+kill -9 "${replica_pid[1]}" 2>/dev/null || true
+wait "${replica_pid[1]}" 2>/dev/null || true
+sleep 1
+restart_replica 1
+bomb_code=0
+wait "$bomb_pid" || bomb_code=$?
+cat "$workdir/bomb_chaos.json"
+if [ "$bomb_code" -ne 0 ]; then
+  echo "schedbomb exited $bomb_code under chaos (3 = WRONG ANSWERS SERVED)" >&2
+  cat "$workdir/bomb_chaos.err" >&2
+  exit 1
+fi
+grep -q '"mismatched": *0' "$workdir/bomb_chaos.json"
+grep -q '"failed": *0' "$workdir/bomb_chaos.json"
+
+echo "== warm restart: first repeat request must be a disk hit, not a recompile"
+"$workdir/msched" -server "${replica[2]}" "${loops[0]}" >/dev/null
+kill -9 "${replica_pid[2]}" 2>/dev/null || true
+wait "${replica_pid[2]}" 2>/dev/null || true
+sleep 0.5
+restart_replica 2
+"$workdir/msched" -server "${replica[2]}" "${loops[0]}" >"$workdir/warm.out"
+diff -u <("$workdir/msched" "${loops[0]}") "$workdir/warm.out"
+curl -fsS "http://${replica[2]}/metrics" >"$workdir/warm_metrics.txt"
+grep -qF 'mschedd_diskcache_hits_total 1' "$workdir/warm_metrics.txt" || {
+  echo "restarted replica did not serve from its warm disk cache:" >&2
+  cat "$workdir/warm_metrics.txt" >&2
+  exit 1
+}
+grep -qF 'mschedd_cache_misses_total 0' "$workdir/warm_metrics.txt" || {
+  echo "restarted replica recompiled instead of hitting disk:" >&2
+  cat "$workdir/warm_metrics.txt" >&2
+  exit 1
+}
+
+echo "== rolling drain: zero dropped, zero refused, zero wrong"
+"$workdir/schedbomb" -target "http://$front" -requests 300 -workers 6 -seed 7 -json \
+  >"$workdir/bomb_roll.json" 2>"$workdir/bomb_roll.err" &
+bomb_pid=$!
+for i in 0 1 2; do
+  sleep 0.3
+  kill -TERM "${replica_pid[$i]}"
+  drain_code=0
+  wait "${replica_pid[$i]}" || drain_code=$?
+  if [ "$drain_code" -ne 0 ]; then
+    echo "replica $i drain exited $drain_code, want 0" >&2
+    cat "$workdir/replica$i.err" >&2
+    exit 1
+  fi
+  restart_replica "$i"
+done
+bomb_code=0
+wait "$bomb_pid" || bomb_code=$?
+cat "$workdir/bomb_roll.json"
+if [ "$bomb_code" -ne 0 ]; then
+  echo "schedbomb exited $bomb_code during the rolling drain" >&2
+  cat "$workdir/bomb_roll.err" >&2
+  exit 1
+fi
+for want in '"mismatched": *0' '"failed": *0' '"refused": *0'; do
+  if ! grep -q "$want" "$workdir/bomb_roll.json"; then
+    echo "rolling drain tally violates $want" >&2
+    exit 1
+  fi
+done
+
+echo "== front drains clean"
+kill -TERM "$front_pid"
+front_code=0
+wait "$front_pid" || front_code=$?
+if [ "$front_code" -ne 0 ]; then
+  echo "front exited $front_code, want 0" >&2
+  cat "$workdir/front.err" >&2
+  exit 1
+fi
+grep -qF "mschedfront: drained" "$workdir/front.err"
+
+echo "chaos smoke: OK"
