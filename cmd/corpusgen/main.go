@@ -3,6 +3,15 @@
 // inspection or for feeding to msched:
 //
 //	corpusgen -out corpus/ [-n 1300] [-seed 19941127] [-kernels] [-workers N]
+//
+// With -shards it instead writes the seekable sharded corpus format
+// (internal/corpusfile), streaming one generated loop at a time, so a
+// million-loop corpus needs memory for only one loop:
+//
+//	corpusgen -out corpus/ -n 1000000 -shards 64
+//
+// The record content is determined by (seed, n) alone — resharding the
+// same corpus produces the same records in the same global order.
 package main
 
 import (
@@ -25,6 +34,7 @@ func main() {
 		out     = flag.String("out", "corpus", "output directory")
 		n       = flag.Int("n", 0, "synthetic corpus size (default: the paper's 1300)")
 		seed    = flag.Int64("seed", 0, "generator seed (default: built-in)")
+		shards  = flag.Int("shards", 0, "write a sharded streaming corpus with this many shards instead of per-loop files")
 		kernsFl = flag.Bool("kernels", false, "emit the Livermore kernel suite instead")
 		list    = flag.Bool("list", false, "print loop names and sizes to stdout instead of writing files")
 		workers = flag.Int("workers", 0, "parallel printer/writer workers (0 = one per CPU)")
@@ -32,6 +42,24 @@ func main() {
 	flag.Parse()
 
 	m := machine.Cydra5()
+
+	if *shards > 0 {
+		if *kernsFl || *list {
+			fmt.Fprintln(os.Stderr, "corpusgen: -shards is exclusive with -kernels and -list")
+			os.Exit(2)
+		}
+		cfg := loopgen.DefaultConfig()
+		if *n > 0 {
+			cfg.N = *n
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		_, err := experiments.WriteShards(*out, cfg, m, *shards)
+		check(err)
+		fmt.Printf("wrote %d loops to %d shards in %s\n", cfg.N, *shards, *out)
+		return
+	}
 	var loops []*ir.Loop
 	var err error
 	if *kernsFl {

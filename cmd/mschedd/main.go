@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batchWorkers   = fs.Int("batch-workers", 0, "workers fanning one batch across the pool (0 = GOMAXPROCS)")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "longest to wait for in-flight requests on shutdown")
 		persistCache   = fs.String("persist-cache", "", "directory for the crash-safe persistent schedule cache (empty = memory only)")
+		warmStart      = fs.Bool("warm", false, "seed cache misses from structural near-neighbors (schedules unchanged; the SchedSteps effort counter in responses reflects the cheaper search, so enable fleet-wide or not at all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		QueueWait:      *queueWait,
 		CompileTimeout: *compileTimeout,
 		BatchWorkers:   *batchWorkers,
+		WarmStart:      *warmStart,
 	})
 	if *persistCache != "" {
 		// Mount the disk tier before the listener: a replica restarted

@@ -19,10 +19,14 @@
 // answer. Transport failures are tallied as failed.
 //
 // The tally goes to stdout, as JSON with -json (the chaos harness
-// parses it), else as a one-line summary. Exit codes: 0 all completed
-// responses verified; 1 transport failures occurred (but no wrong
-// bytes); 2 usage errors; 3 at least one completed response diverged
-// from local compilation — the one unacceptable outcome.
+// parses it), else as a one-line summary, and includes P50/P99 request
+// latency (a request's latency spans its full retry loop: a refusal the
+// client waits out is latency the caller saw). With -max-p99 the run
+// asserts a latency SLO. Exit codes: 0 all completed responses
+// verified; 1 transport failures occurred (but no wrong bytes); 2
+// usage errors; 3 at least one completed response diverged from local
+// compilation — the one unacceptable outcome; 4 every byte verified
+// but the P99 latency exceeded -max-p99.
 package main
 
 import (
@@ -32,9 +36,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -53,6 +59,7 @@ const (
 	exitFailed   = 1
 	exitUsage    = 2
 	exitMismatch = 3
+	exitSLO      = 4
 )
 
 // workItem is one pool entry: a request and its precomputed reference
@@ -81,6 +88,37 @@ type tally struct {
 	// from local compilation. Must be zero, always.
 	Mismatched int64 `json:"mismatched"`
 	Retries    int64 `json:"retries"`
+	// P50Ms/P99Ms are nearest-rank percentiles of per-request wall
+	// latency, retries and honored Retry-After waits included.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// latencyRecorder collects per-request durations across workers.
+type latencyRecorder struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+func (r *latencyRecorder) record(d time.Duration) {
+	r.mu.Lock()
+	r.ds = append(r.ds, d)
+	r.mu.Unlock()
+}
+
+// percentile is the nearest-rank percentile of the recorded durations
+// (q in (0, 1]); zero when nothing was recorded.
+func (r *latencyRecorder) percentile(q float64) time.Duration {
+	if len(r.ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.ds...)
+	slices.Sort(sorted)
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -95,6 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed         = fs.Int64("seed", 1, "workload seed; the same seed replays the same keys")
 		retries      = fs.Int("retries", 8, "retry budget per request for 429/503 refusals")
 		retryWaitCap = fs.Duration("retry-wait-cap", 2*time.Second, "cap on one honored Retry-After wait")
+		maxP99       = fs.Duration("max-p99", 0, "fail (exit 4) if P99 request latency exceeds this; 0 disables the SLO")
 		jsonOut      = fs.Bool("json", false, "emit the tally as JSON on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -134,6 +173,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var lat latencyRecorder
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
@@ -145,18 +185,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 				if i >= len(jobs) {
 					return
 				}
+				start := time.Now()
 				fire(client, base, pool, jobs[i].batch, *retries, *retryWaitCap, &t)
+				lat.record(time.Since(start))
 			}
 		}()
 	}
 	wg.Wait()
 
+	p50, p99 := lat.percentile(0.50), lat.percentile(0.99)
+	t.P50Ms = float64(p50) / float64(time.Millisecond)
+	t.P99Ms = float64(p99) / float64(time.Millisecond)
+
 	if *jsonOut {
 		data, _ := json.Marshal(&t)
 		fmt.Fprintln(stdout, string(data))
 	} else {
-		fmt.Fprintf(stdout, "schedbomb: %d requests (%d singles, %d batches), %d loops: %d verified, %d refused, %d failed, %d MISMATCHED, %d retries\n",
-			t.Requests, t.Singles, t.Batches, t.Loops, t.VerifiedOK, t.Refused, t.Failed, t.Mismatched, t.Retries)
+		fmt.Fprintf(stdout, "schedbomb: %d requests (%d singles, %d batches), %d loops: %d verified, %d refused, %d failed, %d MISMATCHED, %d retries, p50 %.1fms, p99 %.1fms\n",
+			t.Requests, t.Singles, t.Batches, t.Loops, t.VerifiedOK, t.Refused, t.Failed, t.Mismatched, t.Retries, t.P50Ms, t.P99Ms)
 	}
 	switch {
 	case atomic.LoadInt64(&t.Mismatched) > 0:
@@ -164,6 +210,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitMismatch
 	case atomic.LoadInt64(&t.Failed) > 0:
 		return exitFailed
+	case *maxP99 > 0 && p99 > *maxP99:
+		fmt.Fprintf(stderr, "schedbomb: P99 latency %v exceeds the -max-p99 SLO of %v\n", p99, *maxP99)
+		return exitSLO
 	default:
 		return exitOK
 	}

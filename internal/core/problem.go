@@ -107,6 +107,19 @@ type Counters struct {
 	Unschedules int64
 	// IIAttempts counts IterativeSchedule invocations.
 	IIAttempts int64
+
+	// Warm-start effort accounting (warm.go); all zero on cold compiles.
+	// WarmStarts counts searches that entered the seeded probe ladder.
+	WarmStarts int64
+	// WarmSeededOps counts operations pre-placed at their neighbor's slots
+	// across all warm attempts.
+	WarmSeededOps int64
+	// WarmSkippedII counts candidate IIs the warm search never attempted
+	// that the cold ladder would have.
+	WarmSkippedII int64
+	// WarmFallbacks counts warm searches abandoned to the full cold ladder
+	// because no seeded probe produced a schedule.
+	WarmFallbacks int64
 }
 
 // Add accumulates other into c.
@@ -123,6 +136,10 @@ func (c *Counters) Add(other *Counters) {
 	c.SchedStepsFinal += other.SchedStepsFinal
 	c.Unschedules += other.Unschedules
 	c.IIAttempts += other.IIAttempts
+	c.WarmStarts += other.WarmStarts
+	c.WarmSeededOps += other.WarmSeededOps
+	c.WarmSkippedII += other.WarmSkippedII
+	c.WarmFallbacks += other.WarmFallbacks
 }
 
 // problem is the prepared, immutable scheduling problem.

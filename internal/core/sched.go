@@ -44,7 +44,7 @@ func ModuloSchedule(l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, er
 // inside the MinDist/RecMII computations, so a deadline or cancel aborts a
 // pathological search promptly. The returned error wraps ctx.Err().
 func ModuloScheduleContext(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options) (*Schedule, error) {
-	return scheduleLoop(ctx, l, m, opts, AlgoIterative)
+	return scheduleLoop(ctx, l, m, opts, AlgoIterative, nil)
 }
 
 // scheduleLoop is the shared II-search driver for both scheduling
@@ -52,7 +52,7 @@ func ModuloScheduleContext(ctx context.Context, l *ir.Loop, m *machine.Machine, 
 // input validation (typed ErrInvalidLoop/ErrInvalidMachine), cancellation
 // checks, and panic containment (any internal invariant violation comes
 // back as *InternalError instead of crashing the caller).
-func scheduleLoop(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options, algo string) (sched *Schedule, err error) {
+func scheduleLoop(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options, algo string, seed *WarmSeed) (sched *Schedule, err error) {
 	if l == nil {
 		return nil, fmt.Errorf("core: %w: nil loop", ErrInvalidLoop)
 	}
@@ -83,6 +83,18 @@ func scheduleLoop(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Opti
 	budget := int(opts.BudgetRatio * float64(l.NumOps()))
 	if budget < l.NumOps()+1 {
 		budget = l.NumOps() + 1 // always enough to try each op once
+	}
+
+	// Warm start: with a structural neighbor's schedule in hand, probe its
+	// II with pre-placed operations and descend with cold attempts to the
+	// canonical answer (see warm.go). When the warm search declines (no
+	// skip possible) or falls back, control continues into the cold paths
+	// below with the probe effort already recorded in c.
+	if seed != nil && algo == AlgoIterative && opts.SearchWorkers <= 1 {
+		sched, decided, werr := p.searchWarm(sc, bounds, maxII, budget, seed, &c)
+		if decided {
+			return sched, werr
+		}
 	}
 
 	// Speculative II race: with more than one search worker and more than
@@ -234,11 +246,37 @@ func (s *state) iterativeSchedule(budget int) (attemptOutcome, error) {
 		}
 	}
 
+	if err := s.assignPriority(); err != nil {
+		return attemptInfeasible, err
+	}
+
+	stepsAtEntry := p.counters.SchedSteps
+
+	// The ready heap must see the final priority vector; START's entry
+	// goes stale when it is placed directly below and is skipped later.
+	s.readyInit()
+
+	// Schedule START at time 0.
+	s.scheduleAt(p.loop.Start(), 0, 0)
+	budget--
+
+	outcome, err := s.drive(budget)
+	if err != nil || outcome != attemptScheduled {
+		return outcome, err
+	}
+	p.counters.SchedStepsFinal += p.counters.SchedSteps - stepsAtEntry
+	return attemptScheduled, nil
+}
+
+// assignPriority fills s.prio for this attempt according to the
+// configured priority kind. Shared by the cold and warm attempt drivers.
+func (s *state) assignPriority() error {
+	p := s.p
 	switch p.opts.Priority {
 	case PriorityHeightR:
 		h, err := p.heightR(s.ii)
 		if err != nil {
-			return attemptInfeasible, err
+			return err
 		}
 		s.prio = h
 	case PriorityDepth:
@@ -248,7 +286,7 @@ func (s *state) iterativeSchedule(budget int) (attemptOutcome, error) {
 	case PriorityRecFirst:
 		h, err := p.heightR(s.ii)
 		if err != nil {
-			return attemptInfeasible, err
+			return err
 		}
 		s.prio = h
 		// Lift every operation on a non-trivial SCC above all others.
@@ -264,19 +302,15 @@ func (s *state) iterativeSchedule(budget int) (attemptOutcome, error) {
 			}
 		}
 	default:
-		return attemptInfeasible, fmt.Errorf("core: unknown priority kind %v", p.opts.Priority)
+		return fmt.Errorf("core: unknown priority kind %v", p.opts.Priority)
 	}
+	return nil
+}
 
-	stepsAtEntry := p.counters.SchedSteps
-
-	// The ready heap must see the final priority vector; START's entry
-	// goes stale when it is placed directly below and is skipped later.
-	s.readyInit()
-
-	// Schedule START at time 0.
-	s.scheduleAt(p.loop.Start(), 0, 0)
-	budget--
-
+// drive is the budgeted pick/place/displace loop of Figure 3, run after
+// START (and, on warm attempts, the seeded operations) are in place.
+func (s *state) drive(budget int) (attemptOutcome, error) {
+	p := s.p
 	for steps := 0; s.unscheduled > 0 && budget > 0; steps++ {
 		// Cancellation check, amortized over scheduling steps.
 		if steps&ctxCheckMask == 0 {
@@ -314,7 +348,6 @@ func (s *state) iterativeSchedule(budget int) (attemptOutcome, error) {
 	if s.unscheduled > 0 {
 		return attemptBudgetExhausted, nil
 	}
-	p.counters.SchedStepsFinal += p.counters.SchedSteps - stepsAtEntry
 	return attemptScheduled, nil
 }
 

@@ -1,0 +1,365 @@
+package core
+
+// Warm-start delta scheduling. When the compile cache misses on a loop
+// but holds the schedule of a structural near-neighbor (same canonical
+// shape up to a bounded edit — see internal/schedcache's near-miss
+// index), the iterative scheduler does not have to start from an empty
+// MRT at the MII: Rau's scheduler is built around unschedule/reschedule,
+// so a prior schedule is a legal partial state to resume from.
+//
+// The contract is strict: warm starting may only change *effort*
+// (II attempts, scheduling steps), never the result. The returned
+// schedule must be bit-identical to what a cold compile of the same loop
+// would produce. That rules out returning a seeded attempt's schedule
+// directly — a seeded attempt walks a different displacement history
+// than a cold attempt at the same II, and generally lands on a
+// different (equally legal) schedule. The warm search therefore uses
+// the neighbor only as a *feasibility oracle*:
+//
+//  1. Probe: run seeded attempts at the neighbor's II (clamped into
+//     [MII+1, maxII]) and, if needed, the next II up. Matched operations
+//     are pre-placed at their cached slots when legal under the new
+//     loop's own dependences and MRT; only dirtied operations go through
+//     the normal budgeted drive loop. A success is a cheap feasibility
+//     certificate at that II — its schedule is discarded.
+//  2. Descend: run genuine cold attempts downward from certificate-1
+//     until the first failure. The lowest cold success is exactly what
+//     the cold up-scan from MII would have returned, provided
+//     cold-attempt success is monotone in II across the verified
+//     boundary. Budget-limited heuristics are not monotone by theorem —
+//     this is the one assumption warm starting makes, verified at the
+//     boundary on every compile (the failing attempt below the returned
+//     II is actually run) and pinned corpus-wide by the equivalence
+//     tests (TestWarmMatchesCold) and at runtime by the benchmark
+//     harness. Every II below the single verified failure is skipped:
+//     that is the entire saving.
+//  3. Fall back: if no probe succeeds, or cold attempts fail both
+//     immediately below and at/above the certificate, the warm search
+//     abandons the neighbor entirely and the caller reruns the ordinary
+//     cold ladder from MII, reproducing the cold result (including its
+//     error) exactly. Probe effort stays visible in the counters.
+//
+// Seeding never bends the scheduler's rules: a cached slot is taken only
+// if it fits the MRT and every dependence against already-placed
+// operations (checked with the *new* loop's delays and distances), seeds
+// charge no budget, and a seeded operation is displaceable like any
+// other. The seed order (neighbor time, then op index) is deterministic,
+// so warm compiles are reproducible for a fixed cache state.
+
+import (
+	"context"
+	"runtime/debug"
+	"sort"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+	"modsched/internal/mii"
+)
+
+// WarmSeed carries a structural neighbor's schedule into the scheduler.
+// Callers normally obtain one from internal/schedcache's near-miss index
+// rather than constructing it by hand.
+type WarmSeed struct {
+	// II is the neighbor's achieved initiation interval, the probe point.
+	II int
+	// Times and Alts are the neighbor's final schedule, indexed by the
+	// neighbor's own operation indices.
+	Times []int
+	Alts  []int
+	// Map[i] is the neighbor operation matched to this loop's operation
+	// i, or -1 for a dirty operation (added or structurally changed).
+	// Matched operations must have identical opcodes.
+	Map []int
+}
+
+// ModuloScheduleWarm is ModuloSchedule seeded with a structural
+// neighbor's schedule. The result — schedule or error — is the cold
+// result; only the effort counters (Stats.Warm*) differ. A nil seed is
+// an ordinary cold compile.
+func ModuloScheduleWarm(l *ir.Loop, m *machine.Machine, opts Options, seed *WarmSeed) (*Schedule, error) {
+	return ModuloScheduleWarmContext(context.Background(), l, m, opts, seed)
+}
+
+// ModuloScheduleWarmContext is ModuloScheduleWarm with cancellation.
+func ModuloScheduleWarmContext(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options, seed *WarmSeed) (*Schedule, error) {
+	return scheduleLoop(ctx, l, m, opts, AlgoIterative, seed)
+}
+
+// ModuloScheduleBestEffortWarm is ModuloScheduleBestEffort with a warm
+// seed threaded into the iterative stage. The fallback stages ignore the
+// seed (slack and acyclic scheduling have no warm form), so degradation
+// behavior is unchanged.
+func ModuloScheduleBestEffortWarm(ctx context.Context, l *ir.Loop, m *machine.Machine, opts Options, seed *WarmSeed) (*Schedule, *Degradation, error) {
+	if seed == nil {
+		return ModuloScheduleBestEffort(ctx, l, m, opts)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return bestEffortChain(ctx, l, m, opts, func() (*Schedule, error) {
+		return ModuloScheduleWarmContext(ctx, l, m, opts, seed)
+	})
+}
+
+// warmProbeTries is how many consecutive IIs at and above the seed's II
+// the seeded probe tries before declaring the neighbor unusable. Two
+// covers the common off-by-one when the edit tightened a recurrence or
+// resource slightly; anything beyond that is better served cold.
+const warmProbeTries = 2
+
+// searchWarm runs the warm-start search described in the package
+// comment. decided=false means the caller must run the cold ladder
+// (warm declined or fell back); decided=true means sched/err is the
+// final answer, bit-identical to the cold search's under the boundary
+// assumption above.
+func (p *problem) searchWarm(sc *scratch, bounds *mii.Result, maxII, budget int, seed *WarmSeed, c *Counters) (*Schedule, bool, error) {
+	if len(seed.Map) != p.loop.NumOps() || len(seed.Times) != len(seed.Alts) {
+		return nil, false, nil // malformed seed: ignore it, compile cold
+	}
+	hint := seed.II
+	if hint > maxII {
+		hint = maxII
+	}
+	if hint <= bounds.MII+1 {
+		// Nothing can be skipped: the attempts a certificate at hint lets
+		// the search skip are those strictly between MII and hint-1, an
+		// empty set unless hint >= MII+2. Probing below that only adds the
+		// probe's own attempt on top of the cold ladder (which would start
+		// at MII and reach hint in at most two attempts anyway), so cold is
+		// strictly better.
+		return nil, false, nil
+	}
+	c.WarmStarts++
+
+	// Phase 1: seeded probes for a feasibility certificate.
+	upper := -1
+	for k := 0; k < warmProbeTries && hint+k <= maxII; k++ {
+		if err := p.ctxErr(); err != nil {
+			return nil, true, err
+		}
+		s := sc.newState(p, hint+k)
+		outcome, err := s.runWarmAttempt(seed, budget)
+		if err != nil {
+			return nil, true, err
+		}
+		if outcome == attemptScheduled {
+			upper = hint + k
+			break
+		}
+	}
+	if upper < 0 {
+		// The neighbor's placements are unusable here (its schedule is
+		// infeasible for this loop, or too many operations dirtied):
+		// abandon warm start; the caller reruns the cold ladder from MII.
+		c.WarmFallbacks++
+		return nil, false, nil
+	}
+
+	// Phase 2: cold descent from the certificate. The lowest cold success
+	// is the cold ladder's answer; the single failure below it is run as
+	// the boundary verification.
+	bestII := -1
+	var bestTimes, bestAlts []int
+	var bestFinal int64
+	for ii := upper - 1; ii >= bounds.MII; ii-- {
+		if err := p.ctxErr(); err != nil {
+			return nil, true, err
+		}
+		finalBefore := c.SchedStepsFinal
+		s := sc.newState(p, ii)
+		outcome, err := s.runAttempt(AlgoIterative, budget)
+		if err != nil {
+			return nil, true, err
+		}
+		if outcome != attemptScheduled {
+			break
+		}
+		// Each success adds its steps to SchedStepsFinal, but that counter
+		// describes only the attempt whose schedule is returned: keep the
+		// lowest success's contribution and roll back the rest, so the
+		// final value matches the cold ladder's single success exactly.
+		bestFinal = c.SchedStepsFinal - finalBefore
+		c.SchedStepsFinal = finalBefore
+		bestII = ii
+		bestTimes = append(bestTimes[:0], s.times...)
+		bestAlts = append(bestAlts[:0], s.alts...)
+	}
+	if bestII >= 0 {
+		c.SchedStepsFinal += bestFinal
+		// Cold attempts the warm search never ran: the failures strictly
+		// between MII and the verified boundary at bestII-1.
+		if skipped := int64(bestII - bounds.MII - 1); skipped > 0 {
+			c.WarmSkippedII += skipped
+		}
+		sched, err := finishSchedule(p, bounds, bestII, bestTimes, bestAlts, c)
+		return sched, true, err
+	}
+
+	// Phase 3: cold scheduling failed immediately below the certificate,
+	// so the cold ladder's answer lies at the certificate or above; resume
+	// the ordinary up-scan there. (The seeded probe can out-schedule a
+	// cold attempt at the same II, so even the certificate II may fail
+	// cold.)
+	for ii := upper; ii <= maxII; ii++ {
+		if err := p.ctxErr(); err != nil {
+			return nil, true, err
+		}
+		s := sc.newState(p, ii)
+		outcome, err := s.runAttempt(AlgoIterative, budget)
+		if err != nil {
+			return nil, true, err
+		}
+		if outcome != attemptScheduled {
+			continue
+		}
+		if skipped := int64(upper - bounds.MII - 1); skipped > 0 {
+			c.WarmSkippedII += skipped
+		}
+		times := append(make([]int, 0, len(s.times)), s.times...)
+		alts := append(make([]int, 0, len(s.alts)), s.alts...)
+		sched, err := finishSchedule(p, bounds, ii, times, alts, c)
+		return sched, true, err
+	}
+	// Cold failed everywhere the warm search looked. Whether any II in
+	// the unverified window below would have succeeded cold is unknown,
+	// so rerun the full cold ladder and return its answer verbatim.
+	c.WarmFallbacks++
+	return nil, false, nil
+}
+
+// runWarmAttempt is runAttempt's seeded counterpart, with the same panic
+// containment.
+func (s *state) runWarmAttempt(seed *WarmSeed, budget int) (outcome attemptOutcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outcome = attemptInfeasible
+			err = &InternalError{
+				Loop: s.p.loop.Name, II: s.ii, Counters: *s.p.counters,
+				Panic: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	return s.warmIterativeSchedule(seed, budget)
+}
+
+// warmIterativeSchedule mirrors iterativeSchedule but pre-places the
+// matched operations after START and before the drive loop. Its success
+// is only ever used as a feasibility certificate, so it does not touch
+// SchedStepsFinal (that counter describes the attempt whose schedule is
+// returned).
+func (s *state) warmIterativeSchedule(seed *WarmSeed, budget int) (attemptOutcome, error) {
+	p := s.p
+	p.counters.IIAttempts++
+	for i := range p.loop.Ops {
+		if !s.hasConsistentAlt(i) {
+			return attemptInfeasible, nil
+		}
+	}
+	if err := s.assignPriority(); err != nil {
+		return attemptInfeasible, err
+	}
+	s.readyInit()
+	s.scheduleAt(p.loop.Start(), 0, 0)
+	budget--
+	s.seedFromNeighbor(seed)
+	return s.drive(budget)
+}
+
+// seedFromNeighbor pre-places every matched operation at its neighbor's
+// slot when doing so is legal against the new loop's own dependences and
+// the MRT. Placement order (neighbor time, then op index) is
+// deterministic. Seeds charge no budget and count as WarmSeededOps, not
+// SchedSteps; ops whose cached slot is illegal here simply stay dirty
+// and take the normal drive path. Seeded operations remain displaceable
+// — their stale ready-heap entries are skipped by readyPop, and
+// unschedule re-registers them like any eviction.
+func (s *state) seedFromNeighbor(seed *WarmSeed) {
+	p := s.p
+	start := p.loop.Start()
+	type cand struct{ op, t, alt int }
+	cands := make([]cand, 0, p.loop.NumOps())
+	for op, j := range seed.Map {
+		if op == start || j < 0 || j >= len(seed.Times) {
+			continue
+		}
+		t, alt := seed.Times[j], seed.Alts[j]
+		if t < 0 || alt < 0 {
+			continue
+		}
+		cands = append(cands, cand{op, t, alt})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].t != cands[b].t {
+			return cands[a].t < cands[b].t
+		}
+		return cands[a].op < cands[b].op
+	})
+	for _, cd := range cands {
+		if s.times[cd.op] != -1 {
+			continue
+		}
+		if !s.seedFits(cd.op, cd.t, cd.alt) {
+			continue
+		}
+		s.seedPlace(cd.op, cd.t, cd.alt)
+		p.counters.WarmSeededOps++
+	}
+}
+
+// seedFits reports whether op can legally take slot t with alternative
+// alt given the operations placed so far: the alternative must exist for
+// this loop's opcode, fit the MRT, and satisfy every dependence against
+// already-placed endpoints under the *new* loop's delays and distances.
+func (s *state) seedFits(op, t, alt int) bool {
+	p := s.p
+	oc := p.opcode[op]
+	if t < 0 || alt >= len(oc.Alternatives) {
+		return false
+	}
+	if !s.mrt.fits(t, oc.Alternatives[alt].Table) {
+		return false
+	}
+	for _, ei := range p.pred[op] {
+		e := p.loop.Edges[ei]
+		if e.From == op {
+			// Self edge: satisfiable at this II independent of the slot,
+			// or at no slot at all.
+			if p.delays[ei] > s.ii*e.Distance {
+				return false
+			}
+			continue
+		}
+		qt := s.times[e.From]
+		if qt == -1 {
+			continue
+		}
+		if t < qt+p.delays[ei]-s.ii*e.Distance {
+			return false
+		}
+	}
+	for _, ei := range p.succ[op] {
+		e := p.loop.Edges[ei]
+		if e.To == op {
+			continue // self edge, handled above
+		}
+		qt := s.times[e.To]
+		if qt == -1 {
+			continue
+		}
+		if qt < t+p.delays[ei]-s.ii*e.Distance {
+			return false
+		}
+	}
+	return true
+}
+
+// seedPlace is scheduleAt without displacement (seedFits guarantees
+// none is needed), budget charge, or SchedSteps accounting.
+func (s *state) seedPlace(op, t, alt int) {
+	s.mrt.place(op, t, s.p.opcode[op].Alternatives[alt].Table)
+	s.times[op] = t
+	s.alts[op] = alt
+	s.prev[op] = t
+	s.never[op] = false
+	s.unscheduled--
+}

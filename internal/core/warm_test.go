@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/loopgen"
+	"modsched/internal/machine"
+)
+
+// identitySeed builds the "perfect neighbor" seed from a loop's own cold
+// schedule: identity op mapping (START/STOP excluded), the cold times
+// and alternatives, and the cold II shifted by iiShift.
+func identitySeed(s *Schedule, iiShift int) *WarmSeed {
+	seed := &WarmSeed{
+		II:    s.II + iiShift,
+		Times: append([]int(nil), s.Times...),
+		Alts:  append([]int(nil), s.Alts...),
+		Map:   make([]int, len(s.Times)),
+	}
+	start, stop := s.Loop.Start(), s.Loop.Stop()
+	for i := range seed.Map {
+		if i == start || i == stop {
+			seed.Map[i] = -1
+		} else {
+			seed.Map[i] = i
+		}
+	}
+	return seed
+}
+
+// assertWarmEqualsCold compiles l warm with the given seed and requires
+// the result — schedule or error — to be interchangeable with the cold
+// result. Effort counters are exempt by contract.
+func assertWarmEqualsCold(t *testing.T, name string, l *ir.Loop, m *machine.Machine, opts Options, seed *WarmSeed, cold *Schedule, coldErr error) Counters {
+	t.Helper()
+	warm, warmErr := ModuloScheduleWarmContext(context.Background(), l, m, opts, seed)
+	if (warmErr == nil) != (coldErr == nil) {
+		t.Fatalf("%s: warm err = %v, cold err = %v", name, warmErr, coldErr)
+	}
+	if coldErr != nil {
+		return Counters{}
+	}
+	if warm.II != cold.II || warm.Length != cold.Length {
+		t.Fatalf("%s: warm II/SL = %d/%d, cold = %d/%d", name, warm.II, warm.Length, cold.II, cold.Length)
+	}
+	if !reflect.DeepEqual(warm.Times, cold.Times) {
+		t.Fatalf("%s: warm Times = %v\ncold Times = %v", name, warm.Times, cold.Times)
+	}
+	if !reflect.DeepEqual(warm.Alts, cold.Alts) {
+		t.Fatalf("%s: warm Alts = %v, cold Alts = %v", name, warm.Alts, cold.Alts)
+	}
+	// SchedStepsFinal describes the returned attempt, which is the same
+	// cold attempt either way; only total-effort counters may differ.
+	if warm.Stats.SchedStepsFinal != cold.Stats.SchedStepsFinal {
+		t.Fatalf("%s: warm SchedStepsFinal = %d, cold = %d",
+			name, warm.Stats.SchedStepsFinal, cold.Stats.SchedStepsFinal)
+	}
+	return warm.Stats
+}
+
+// TestWarmMatchesCold pins the warm-start contract over a synthetic
+// corpus and a battery of seed shapes: whatever the seed claims — the
+// loop's own schedule, an overshooting II, an undershooting II from an
+// infeasible neighbor, garbage placements — the compiled schedule is
+// bit-identical to the cold compile.
+func TestWarmMatchesCold(t *testing.T) {
+	m := machine.Generic(machine.DefaultUnitConfig())
+	n := 150
+	if testing.Short() {
+		n = 30
+	}
+	loops, err := loopgen.Generate(loopgen.Config{Seed: 20260808, N: n, MaxOps: 40}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two option sets: the paper's default (where most loops achieve
+	// II = MII and warm starting has nothing to skip), and the
+	// restart-on-failure ablation (where cold attempts fail at many IIs,
+	// the II climbs, and skipping matters — the shape of hard misses).
+	restart := DefaultOptions()
+	restart.RestartOnFailure = true
+	batteries := []struct {
+		name string
+		opts Options
+	}{{"default", DefaultOptions()}, {"restart", restart}}
+
+	var total Counters
+	for _, l := range loops {
+		for _, bat := range batteries {
+			opts := bat.opts
+			cold, coldErr := ModuloScheduleContext(context.Background(), l, m, opts)
+			if coldErr != nil {
+				t.Fatalf("%s/%s: cold compile failed: %v", l.Name, bat.name, coldErr)
+			}
+
+			seeds := map[string]*WarmSeed{
+				"self":      identitySeed(cold, 0),
+				"overshoot": identitySeed(cold, 2),
+				// A neighbor that achieved a lower II than this loop can: its
+				// placements are useless and the probe must fall back cleanly.
+				"undershoot-empty": {
+					II:    cold.MII + 1,
+					Times: make([]int, len(cold.Times)),
+					Alts:  make([]int, len(cold.Alts)),
+					Map: func() []int {
+						mp := make([]int, len(cold.Times))
+						for i := range mp {
+							mp[i] = -1
+						}
+						return mp
+					}(),
+				},
+				// Placements that collide with each other: every op seeds at
+				// slot 0, almost all get rejected or displaced.
+				"garbage-times": func() *WarmSeed {
+					s := identitySeed(cold, 1)
+					for i := range s.Times {
+						s.Times[i] = 0
+					}
+					return s
+				}(),
+				// Malformed: wrong Map length must be ignored, not crash.
+				"malformed": {II: cold.II + 3, Times: cold.Times, Alts: cold.Alts, Map: []int{0}},
+			}
+			for name, seed := range seeds {
+				st := assertWarmEqualsCold(t, l.Name+"/"+bat.name+"/"+name, l, m, opts, seed, cold, coldErr)
+				total.Add(&st)
+			}
+		}
+	}
+	// The corpus must actually exercise every warm path, not bypass them.
+	if total.WarmStarts == 0 {
+		t.Fatal("no warm search ever started across the corpus")
+	}
+	if total.WarmSeededOps == 0 {
+		t.Fatal("no op was ever seeded across the corpus")
+	}
+	if total.WarmSkippedII == 0 {
+		t.Fatal("no II attempt was ever skipped across the corpus")
+	}
+	if total.WarmFallbacks == 0 {
+		t.Fatal("no warm search ever fell back to the cold ladder across the corpus")
+	}
+}
+
+// TestWarmInfeasibleNeighborFallsBack is the satellite's required case,
+// isolated: the structural neighbor's schedule is infeasible at the new
+// loop's MII (its II undershoots what the new loop can achieve, and its
+// placements violate the new loop's recurrence), and the scheduler must
+// fall back cleanly to a cold attempt — same schedule, WarmFallbacks
+// recorded.
+func TestWarmInfeasibleNeighborFallsBack(t *testing.T) {
+	m := machine.Cydra5()
+	build := func(extraDelay int) *ir.Loop {
+		b := ir.NewBuilder("w", m)
+		xi := b.Future()
+		b.DefineAsImm(xi, "aadd", 8, xi.Back(1))
+		x := b.Define("load", xi)
+		q := b.Future()
+		acc := b.Define("fmul", x, q.Back(1))
+		b.DefineAs(q, "fadd", q.Back(1), acc)
+		p := b.OpOf(acc)
+		s := b.OpOf(b.Define("store", xi, acc))
+		if extraDelay > 0 {
+			// store -> fmul at distance 1 closes a recurrence circuit
+			// (fmul -> store flows within the iteration), so the delay
+			// raises RecMII and with it the MII.
+			b.DepDelay(s, p, ir.Mem, 1, extraDelay)
+		}
+		b.Effect("brtop")
+		l, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	// The tight variant carries an extra cross-iteration mem dependence
+	// that raises the recurrence; the loose variant (the "neighbor") does
+	// not, so it schedules at a lower II.
+	loose := build(0)
+	tight := build(40)
+
+	opts := DefaultOptions()
+	looseSched, err := ModuloScheduleContext(context.Background(), loose, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTight, err := ModuloScheduleContext(context.Background(), tight, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if looseSched.II >= coldTight.MII {
+		t.Fatalf("test premise broken: neighbor II %d not below new MII %d", looseSched.II, coldTight.MII)
+	}
+
+	// Seed the tight loop from the loose neighbor (identity mapping: the
+	// ops line up one to one).
+	seed := identitySeed(looseSched, 0)
+	st := assertWarmEqualsCold(t, "tight-from-loose", tight, m, opts, seed, coldTight, nil)
+	if st.WarmStarts != 0 {
+		// II undershoots the MII: the warm search must decline before
+		// probing (nothing to skip), which is the cleanest fallback.
+		t.Fatalf("warm search started despite seed II %d <= MII %d", seed.II, coldTight.MII)
+	}
+
+	// Now force the probe path: claim an II far enough above the MII that
+	// the warm search engages, but keep the loose placements, which
+	// violate the tight loop's new dependence.
+	seed = identitySeed(looseSched, 0)
+	seed.II = coldTight.II + 2
+	st = assertWarmEqualsCold(t, "tight-from-loose-probed", tight, m, opts, seed, coldTight, nil)
+	if st.WarmStarts == 0 {
+		t.Fatal("warm search never started")
+	}
+}

@@ -1,0 +1,269 @@
+// Package corpusfile defines the sharded on-disk corpus format used to
+// stream very large synthetic corpora (100k-1M loops) through the
+// scheduler without ever holding them in memory.
+//
+// A corpus is a set of shard files. Each shard is:
+//
+//	magic    "MSCORP1\n"
+//	header   uvarint length + JSON Header (shard index, shard count,
+//	         generator seed, record count, global index of the first
+//	         record, total record count)
+//	records  Count times: uvarint length + looplang text
+//
+// The framing is deliberately dumb: length-prefixed records make a shard
+// seekable (Skip advances one record without parsing it) and make the
+// record *bytes* independent of how the corpus was sharded — the
+// concatenation of all shards' record payloads in shard order is the
+// same byte sequence for 1 shard or 64, which is what lets streamed
+// reports be compared byte-for-byte across sharding choices
+// (TestShardingInvariant pins this). The header carries provenance
+// (seed, totals) so a reader can validate a shard set without trusting
+// file names.
+package corpusfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Magic identifies a shard file; the trailing newline keeps `head -c8`
+// output readable.
+const Magic = "MSCORP1\n"
+
+// maxRecordLen bounds a single record (a printed loop is a few KB; the
+// largest plausible loop is well under 1 MB). A length prefix beyond it
+// means a corrupt or foreign file, not a big loop.
+const maxRecordLen = 1 << 20
+
+// Header is the self-description at the top of every shard.
+type Header struct {
+	// Shard is this shard's index in [0, Shards).
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Seed is the generator seed the corpus was produced from.
+	Seed int64 `json:"seed"`
+	// Count is the number of records in this shard; First is the global
+	// index of its first record; Total is the record count across all
+	// shards. The contiguous split invariant is
+	// First(s) = sum of Count(0..s-1) and sum of Count = Total.
+	Count int `json:"count"`
+	First int `json:"first"`
+	Total int `json:"total"`
+}
+
+func (h *Header) validate() error {
+	if h.Shards <= 0 || h.Shard < 0 || h.Shard >= h.Shards {
+		return fmt.Errorf("corpusfile: bad shard index %d of %d", h.Shard, h.Shards)
+	}
+	if h.Count < 0 || h.First < 0 || h.Total < 0 || h.First+h.Count > h.Total {
+		return fmt.Errorf("corpusfile: inconsistent counts: count=%d first=%d total=%d",
+			h.Count, h.First, h.Total)
+	}
+	return nil
+}
+
+// ShardCounts splits total records contiguously over shards: the first
+// total%shards shards get one extra record. This is the canonical split
+// corpusgen writes and the invariant tests assume.
+func ShardCounts(total, shards int) []int {
+	counts := make([]int, shards)
+	base, extra := total/shards, total%shards
+	for s := range counts {
+		counts[s] = base
+		if s < extra {
+			counts[s]++
+		}
+	}
+	return counts
+}
+
+// ShardName returns the conventional file name for one shard.
+func ShardName(shard int) string { return fmt.Sprintf("shard-%04d.mscorp", shard) }
+
+// Writer emits one shard. Records must be added in order; Close
+// verifies that exactly Header.Count were written.
+type Writer struct {
+	w      *bufio.Writer
+	count  int
+	target int
+	var64  [binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the magic and header to w and returns a Writer for
+// the records. w is typically an *os.File; the Writer buffers, so the
+// caller must Close (and then close the file) to flush.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	hj, err := json.Marshal(&h)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Writer{w: bw, target: h.Count}
+	if err := sw.writeBlob(hj); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (w *Writer) writeBlob(b []byte) error {
+	n := binary.PutUvarint(w.var64[:], uint64(len(b)))
+	if _, err := w.w.Write(w.var64[:n]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(b)
+	return err
+}
+
+// Add appends one record.
+func (w *Writer) Add(rec []byte) error {
+	if w.count >= w.target {
+		return fmt.Errorf("corpusfile: shard full: header promised %d records", w.target)
+	}
+	if len(rec) > maxRecordLen {
+		return fmt.Errorf("corpusfile: record of %d bytes exceeds limit %d", len(rec), maxRecordLen)
+	}
+	if err := w.writeBlob(rec); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Close flushes and verifies the record count. It does not close the
+// underlying writer.
+func (w *Writer) Close() error {
+	if w.count != w.target {
+		return fmt.Errorf("corpusfile: shard short: header promised %d records, got %d", w.target, w.count)
+	}
+	return w.w.Flush()
+}
+
+// Reader streams one shard's records.
+type Reader struct {
+	r    *bufio.Reader
+	h    Header
+	read int
+	buf  []byte
+}
+
+// NewReader validates the magic, decodes the header, and returns a
+// Reader positioned at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("corpusfile: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("corpusfile: bad magic %q", magic)
+	}
+	sr := &Reader{r: br}
+	hj, err := sr.readBlob()
+	if err != nil {
+		return nil, fmt.Errorf("corpusfile: reading header: %w", err)
+	}
+	if err := json.Unmarshal(hj, &sr.h); err != nil {
+		return nil, fmt.Errorf("corpusfile: decoding header: %w", err)
+	}
+	if err := sr.h.validate(); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+// Header returns the shard's header.
+func (r *Reader) Header() Header { return r.h }
+
+func (r *Reader) readBlob() ([]byte, error) {
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRecordLen {
+		return nil, fmt.Errorf("corpusfile: record length %d exceeds limit %d", n, maxRecordLen)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, err
+	}
+	return r.buf, nil
+}
+
+// Next returns the next record's bytes, or io.EOF after the last one.
+// The returned slice is reused by subsequent calls — copy it to keep it.
+func (r *Reader) Next() ([]byte, error) {
+	if r.read >= r.h.Count {
+		return nil, io.EOF
+	}
+	rec, err := r.readBlob()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("corpusfile: record %d of %d: %w", r.read, r.h.Count, err)
+	}
+	r.read++
+	return rec, nil
+}
+
+// Skip advances past one record without retaining it, or returns io.EOF
+// after the last one.
+func (r *Reader) Skip() error {
+	if r.read >= r.h.Count {
+		return io.EOF
+	}
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return fmt.Errorf("corpusfile: record %d of %d: %w", r.read, r.h.Count, err)
+	}
+	if n > maxRecordLen {
+		return fmt.Errorf("corpusfile: record length %d exceeds limit %d", n, maxRecordLen)
+	}
+	if _, err := r.r.Discard(int(n)); err != nil {
+		return fmt.Errorf("corpusfile: record %d of %d: %w", r.read, r.h.Count, err)
+	}
+	r.read++
+	return nil
+}
+
+// ValidateSet checks that headers form one complete corpus: contiguous
+// firsts, matching totals, seeds, and shard counts. Headers must be in
+// shard order.
+func ValidateSet(hs []Header) error {
+	if len(hs) == 0 {
+		return fmt.Errorf("corpusfile: empty shard set")
+	}
+	next := 0
+	for i, h := range hs {
+		if err := h.validate(); err != nil {
+			return err
+		}
+		if h.Shard != i || h.Shards != len(hs) {
+			return fmt.Errorf("corpusfile: shard %d claims index %d of %d", i, h.Shard, h.Shards)
+		}
+		if h.Seed != hs[0].Seed || h.Total != hs[0].Total {
+			return fmt.Errorf("corpusfile: shard %d provenance mismatch (seed %d total %d vs %d %d)",
+				i, h.Seed, h.Total, hs[0].Seed, hs[0].Total)
+		}
+		if h.First != next {
+			return fmt.Errorf("corpusfile: shard %d starts at %d, want %d", i, h.First, next)
+		}
+		next += h.Count
+	}
+	if next != hs[0].Total {
+		return fmt.Errorf("corpusfile: shards hold %d records, header total says %d", next, hs[0].Total)
+	}
+	return nil
+}

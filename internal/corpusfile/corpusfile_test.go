@@ -1,0 +1,233 @@
+package corpusfile
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// writeCorpus shards records with the canonical contiguous split and
+// returns one buffer per shard.
+func writeCorpus(t *testing.T, records [][]byte, shards int, seed int64) []*bytes.Buffer {
+	t.Helper()
+	counts := ShardCounts(len(records), shards)
+	bufs := make([]*bytes.Buffer, shards)
+	next := 0
+	for s := 0; s < shards; s++ {
+		bufs[s] = &bytes.Buffer{}
+		w, err := NewWriter(bufs[s], Header{
+			Shard: s, Shards: shards, Seed: seed,
+			Count: counts[s], First: next, Total: len(records),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < counts[s]; i++ {
+			if err := w.Add(records[next+i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		next += counts[s]
+	}
+	return bufs
+}
+
+func testRecords(n int) [][]byte {
+	recs := make([][]byte, n)
+	for i := range recs {
+		recs[i] = []byte(fmt.Sprintf("loop %04d {\n  body of loop %d\n}\n", i, i))
+	}
+	return recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	records := testRecords(23)
+	bufs := writeCorpus(t, records, 4, 77)
+
+	var hs []Header
+	got := 0
+	for s, buf := range bufs {
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := r.Header()
+		hs = append(hs, h)
+		if h.Shard != s || h.Shards != 4 || h.Seed != 77 || h.Total != len(records) {
+			t.Fatalf("shard %d header %+v", s, h)
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rec, records[got]) {
+				t.Fatalf("record %d mismatch:\ngot  %q\nwant %q", got, rec, records[got])
+			}
+			got++
+		}
+	}
+	if got != len(records) {
+		t.Fatalf("read %d records, want %d", got, len(records))
+	}
+	if err := ValidateSet(hs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardingInvariant pins the format's core property: the record
+// payload bytes, concatenated in shard order, are identical no matter
+// how many shards the corpus was split into.
+func TestShardingInvariant(t *testing.T) {
+	records := testRecords(37)
+	concat := func(shards int) []byte {
+		var out bytes.Buffer
+		for _, buf := range writeCorpus(t, records, shards, 5) {
+			r, err := NewReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				rec, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				out.Write(rec)
+			}
+		}
+		return out.Bytes()
+	}
+	one := concat(1)
+	for _, shards := range []int{2, 4, 16, 37} {
+		if !bytes.Equal(one, concat(shards)) {
+			t.Fatalf("record bytes differ between 1 shard and %d shards", shards)
+		}
+	}
+}
+
+func TestSkip(t *testing.T) {
+	records := testRecords(9)
+	buf := writeCorpus(t, records, 1, 1)[0]
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip even records, read odd ones.
+	for i := 0; i < len(records); i++ {
+		if i%2 == 0 {
+			if err := r.Skip(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec, records[i]) {
+			t.Fatalf("record %d mismatch after skips", i)
+		}
+	}
+	if err := r.Skip(); err != io.EOF {
+		t.Fatalf("Skip past end = %v, want io.EOF", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next past end = %v, want io.EOF", err)
+	}
+}
+
+func TestWriterCountEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Shard: 0, Shards: 1, Count: 2, First: 0, Total: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close accepted a short shard")
+	}
+	if err := w.Add([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]byte("c")); err == nil {
+		t.Fatal("Add accepted an overfull shard")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	records := testRecords(3)
+	good := writeCorpus(t, records, 1, 1)[0].Bytes()
+
+	if _, err := NewReader(bytes.NewReader([]byte("NOTACORP"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated mid-record: Next must fail, not hang or return short data.
+	trunc := good[:len(good)-5]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < len(records); i++ {
+		if _, lastErr = r.Next(); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("truncated shard read cleanly")
+	}
+	// Mismatched shard-set provenance.
+	hs := []Header{
+		{Shard: 0, Shards: 2, Seed: 1, Count: 1, First: 0, Total: 2},
+		{Shard: 1, Shards: 2, Seed: 9, Count: 1, First: 1, Total: 2},
+	}
+	if err := ValidateSet(hs); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+	hs[1].Seed = 1
+	hs[1].First = 0
+	if err := ValidateSet(hs); err == nil {
+		t.Fatal("non-contiguous firsts accepted")
+	}
+	hs[1].First = 1
+	if err := ValidateSet(hs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardCounts(t *testing.T) {
+	for _, tc := range []struct {
+		total, shards int
+		want          []int
+	}{
+		{10, 3, []int{4, 3, 3}},
+		{3, 4, []int{1, 1, 1, 0}},
+		{0, 2, []int{0, 0}},
+		{7, 1, []int{7}},
+	} {
+		got := ShardCounts(tc.total, tc.shards)
+		if len(got) != len(tc.want) {
+			t.Fatalf("ShardCounts(%d,%d) = %v", tc.total, tc.shards, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("ShardCounts(%d,%d) = %v, want %v", tc.total, tc.shards, got, tc.want)
+			}
+		}
+	}
+}

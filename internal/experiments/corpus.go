@@ -132,8 +132,8 @@ func runOne(ctx context.Context, l *ir.Loop, m *machine.Machine, opts core.Optio
 	var s *core.Schedule
 	var err error
 	if cache != nil {
-		s, _, err = cache.Do(l, m, opts, func() (*core.Schedule, *core.Degradation, error) {
-			sched, cerr := core.ModuloScheduleContext(ctx, l, m, opts)
+		s, _, err = cache.DoWarm(l, m, opts, func(seed *core.WarmSeed) (*core.Schedule, *core.Degradation, error) {
+			sched, cerr := core.ModuloScheduleWarmContext(ctx, l, m, opts, seed)
 			return sched, nil, cerr
 		})
 	} else {

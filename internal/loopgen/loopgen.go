@@ -65,6 +65,12 @@ func DefaultConfig() Config {
 	}
 }
 
+// WithDefaults returns c with every zero field replaced by its default,
+// exactly as Generate and Stream apply them. Callers that derive
+// bookkeeping from the config (shard splits over cfg.N, headers naming
+// cfg.Seed) should normalize through this first.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
 	if c.Seed == 0 {
@@ -102,16 +108,37 @@ func (c Config) withDefaults() Config {
 // fmul, fdiv, pset, copy, cmp, brtop).
 func Generate(cfg Config, m *machine.Machine) ([]*ir.Loop, error) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	loops := make([]*ir.Loop, 0, cfg.N)
+	err := Stream(cfg, m, func(i int, l *ir.Loop) error {
+		loops = append(loops, l)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return loops, nil
+}
+
+// Stream generates the same cfg.N loops as Generate, invoking fn with
+// each one in generation order instead of accumulating them: the i-th
+// streamed loop is identical to Generate's i-th loop (one sequential
+// random stream drives the whole corpus), but memory stays bounded by a
+// single loop no matter how large N is. This is what lets corpusgen
+// write million-loop sharded corpora without holding them. An error from
+// fn stops the stream and is returned as-is.
+func Stream(cfg Config, m *machine.Machine, fn func(i int, l *ir.Loop) error) error {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	for i := 0; i < cfg.N; i++ {
 		l, err := generateOne(cfg, rng, m, i)
 		if err != nil {
-			return nil, fmt.Errorf("loopgen: loop %d: %w", i, err)
+			return fmt.Errorf("loopgen: loop %d: %w", i, err)
 		}
-		loops = append(loops, l)
+		if err := fn(i, l); err != nil {
+			return err
+		}
 	}
-	return loops, nil
+	return nil
 }
 
 // generateOne builds a single loop.

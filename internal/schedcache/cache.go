@@ -59,11 +59,19 @@ type Stats struct {
 // CompileFunc produces the value to cache on a miss.
 type CompileFunc func() (*core.Schedule, *core.Degradation, error)
 
+// WarmCompileFunc produces the value to cache on a miss, given the warm
+// seed derived from the structural near-miss index (nil when warm
+// starting is disabled or no neighbor qualified). See DoWarm.
+type WarmCompileFunc func(seed *core.WarmSeed) (*core.Schedule, *core.Degradation, error)
+
 // entry is one cached compilation, stored detached from every caller.
+// sk is the structural sketch for the near-miss index; nil when warm
+// starting was disabled at insert time.
 type entry struct {
 	key   string
 	sched *core.Schedule
 	deg   *core.Degradation
+	sk    *sketch
 }
 
 // flight is one in-progress compilation that latecomers can join.
@@ -92,6 +100,9 @@ type Cache struct {
 	// disk is the optional persistent tier (AttachDisk); consulted on a
 	// memory miss before compiling, written through after one.
 	disk *diskcache.Store
+	// warm is the structural near-miss index (near.go), populated only
+	// after EnableWarmStart.
+	warm warmIndex
 }
 
 // New returns a cache holding at most capacity entries (DefaultCapacity
@@ -160,8 +171,20 @@ func keyWith(fingerprint [sha256.Size]byte, l *ir.Loop, opts core.Options) strin
 // hashing the looplang rendering minus its header, at a fraction of the
 // cost (no fmt, no per-call maps; Key is on every Do's hot path).
 func writeCanonicalLoop(w io.Writer, l *ir.Loop) {
+	walkCanonicalLoop(l,
+		func(_ int, line []byte) { w.Write(line) },
+		func(line []byte) { w.Write(line) })
+}
+
+// walkCanonicalLoop produces the canonical rendering line by line: one
+// call per real operation (with its op index) followed by one call per
+// explicit edge, in the exact byte order writeCanonicalLoop hashes. The
+// near-miss index (near.go) hashes the same lines individually, so its
+// structural distance is measured over precisely the content that
+// defines cache keys.
+func walkCanonicalLoop(l *ir.Loop, opLine func(op int, line []byte), edgeLine func(line []byte)) {
 	buf := make([]byte, 0, 128)
-	for _, op := range l.Ops {
+	for oi, op := range l.Ops {
 		if op.IsPseudo() {
 			continue
 		}
@@ -185,7 +208,7 @@ func writeCanonicalLoop(w io.Writer, l *ir.Loop) {
 		buf = append(buf, ' ', '#')
 		buf = strconv.AppendInt(buf, op.Imm, 10)
 		buf = append(buf, '\n')
-		w.Write(buf)
+		opLine(oi, buf)
 	}
 	// The explicit edges may appear in any order in l.Edges (a looplang
 	// round-trip re-sorts them); canonicalize before hashing.
@@ -231,7 +254,7 @@ func writeCanonicalLoop(w io.Writer, l *ir.Loop) {
 			buf = strconv.AppendInt(buf, int64(*e.DelayOverride), 10)
 		}
 		buf = append(buf, '\n')
-		w.Write(buf)
+		edgeLine(buf)
 	}
 }
 
@@ -240,7 +263,26 @@ func writeCanonicalLoop(w io.Writer, l *ir.Loop) {
 // rest wait and share the result. The returned schedule is the caller's
 // own deep copy, rebound to the caller's l and m pointers.
 func (c *Cache) Do(l *ir.Loop, m *machine.Machine, opts core.Options, compile CompileFunc) (*core.Schedule, *core.Degradation, error) {
-	key := keyWith(c.fingerprint(m), l, opts)
+	return c.do(l, m, opts, func(*core.WarmSeed) (*core.Schedule, *core.Degradation, error) {
+		return compile()
+	}, false)
+}
+
+// DoWarm is Do for seed-aware compilers: on a miss with warm starting
+// enabled, the near-miss index is consulted and the nearest structural
+// neighbor's schedule (bounded edit distance, see EnableWarmStart) is
+// passed to compile as a *core.WarmSeed. The compiled result must be
+// bit-identical to a cold compile — core's warm search guarantees this;
+// only the Stats effort counters differ — so cached entries stay
+// interchangeable with cold ones. With warm starting disabled, DoWarm
+// behaves exactly like Do (compile receives a nil seed).
+func (c *Cache) DoWarm(l *ir.Loop, m *machine.Machine, opts core.Options, compile WarmCompileFunc) (*core.Schedule, *core.Degradation, error) {
+	return c.do(l, m, opts, compile, true)
+}
+
+func (c *Cache) do(l *ir.Loop, m *machine.Machine, opts core.Options, compile WarmCompileFunc, wantSeed bool) (*core.Schedule, *core.Degradation, error) {
+	fp := c.fingerprint(m)
+	key := keyWith(fp, l, opts)
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -263,6 +305,13 @@ func (c *Cache) Do(l *ir.Loop, m *machine.Machine, opts core.Options, compile Co
 	c.flights[key] = f
 	c.mu.Unlock()
 
+	// The sketch doubles as the near-miss lookup probe for this compile
+	// and the index record for the entry it produces.
+	var sk *sketch
+	if c.warmEnabled() {
+		sk = buildSketch(fp, opts, l)
+	}
+
 	// The persistent tier, when attached, intercepts the compile: a
 	// verified disk entry is promoted into memory without recompiling
 	// (Stats.Misses keeps meaning "compile executed" — the disk store
@@ -270,10 +319,17 @@ func (c *Cache) Do(l *ir.Loop, m *machine.Machine, opts core.Options, compile Co
 	sched, deg, fromDisk := c.diskGet(key, l, m, opts)
 	var err error
 	if !fromDisk {
+		var seed *core.WarmSeed
+		if sk != nil && wantSeed {
+			seed = c.nearSeed(sk, key)
+		}
 		c.mu.Lock()
 		c.stats.Misses++
 		c.mu.Unlock()
-		sched, deg, err = compile()
+		sched, deg, err = compile(seed)
+		if err == nil && seed != nil {
+			c.recordWarm(&sched.Stats)
+		}
 	}
 	if err == nil {
 		// The master copy is detached from the result handed to the miss
@@ -292,11 +348,19 @@ func (c *Cache) Do(l *ir.Loop, m *machine.Machine, opts core.Options, compile Co
 	c.mu.Lock()
 	delete(c.flights, key)
 	if err == nil {
-		c.entries[key] = c.lru.PushFront(&entry{key: key, sched: f.sched, deg: f.deg})
+		el := c.lru.PushFront(&entry{key: key, sched: f.sched, deg: f.deg, sk: sk})
+		c.entries[key] = el
+		if sk != nil && c.warm.enabled {
+			c.indexEntry(el)
+		}
 		for c.lru.Len() > c.cap {
 			oldest := c.lru.Back()
 			c.lru.Remove(oldest)
-			delete(c.entries, oldest.Value.(*entry).key)
+			oent := oldest.Value.(*entry)
+			delete(c.entries, oent.key)
+			if oent.sk != nil {
+				c.deindexEntry(oldest)
+			}
 			c.stats.Evictions++
 		}
 	}

@@ -1,0 +1,347 @@
+package schedcache
+
+// The structural near-miss index. An exact-key miss is usually not a
+// structural stranger: corpus sweeps and served traffic are full of
+// loops differing from an already-compiled one by a single edit — an
+// operation added or removed, a latency-changing opcode or immediate
+// tweak, an explicit dependence edge changed. For those, the cached
+// neighbor's schedule is a high-value warm seed (core/warm.go).
+//
+// The index is built over the same canonical IR walk that defines cache
+// keys: each entry stores a sketch holding one 64-bit FNV-1a hash per
+// canonical op line and per canonical edge line, plus a context hash
+// over the machine fingerprint and options (neighbors must agree on
+// both — a schedule for another machine or budget is not a valid seed).
+// An inverted index buckets entries by (context, op-line hash); a
+// lookup probes the buckets of its own op lines, collects candidate
+// entries, and scores each by structural edit distance:
+//
+//	dist = |unmatched ops on either side| + |edge-line multiset symdiff|
+//
+// The nearest candidate with 0 < dist <= maxEdit wins; ties break by
+// cache key, so a lookup against a fixed cache state is deterministic.
+// The op matching that turns the winner into a WarmSeed is the same
+// greedy first-unused pairing by line hash, walked in op-index order.
+//
+// Which neighbor a miss sees still depends on what the cache holds at
+// that moment, which under concurrent traffic depends on completion
+// order. That is fine by design: the seed changes compile *effort*
+// only, never the resulting schedule (core's warm-start contract), so
+// cached results remain bit-identical to cold compiles regardless.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"hash/fnv"
+
+	"modsched/internal/core"
+	"modsched/internal/ir"
+)
+
+// DefaultWarmMaxEdit is the edit-distance bound used when
+// EnableWarmStart is given a non-positive bound: one op rewritten
+// (2: one unmatched per side) plus one edge changed (2), i.e. a
+// genuinely small delta. Larger bounds admit more distant neighbors,
+// whose seeds dirty more ops and save less.
+const DefaultWarmMaxEdit = 4
+
+// warmBucketCap bounds each inverted-index bucket; beyond it new
+// entries are simply not registered under that op line. Popular op
+// lines (a plain add appears in half the corpus) would otherwise turn
+// every lookup into a cache scan.
+const warmBucketCap = 8
+
+// WarmStats reports warm-start traffic: near-index outcomes on misses,
+// and the scheduler's own warm effort counters summed over all warm
+// compiles that went through this cache.
+type WarmStats struct {
+	// NearHits counts misses for which the index produced a seed;
+	// NearMisses counts misses for which no neighbor qualified.
+	NearHits, NearMisses int64
+	// WarmStarts, SeededOps, SkippedII, Fallbacks aggregate the
+	// corresponding core.Counters Warm* fields over seeded compiles.
+	WarmStarts, SeededOps, SkippedII, Fallbacks int64
+}
+
+// warmIndex is the cache-internal state, guarded by Cache.mu.
+type warmIndex struct {
+	enabled bool
+	maxEdit int
+	buckets map[uint64][]*list.Element
+	stats   WarmStats
+}
+
+// sketch is the structural summary of one canonical loop rendering
+// under one (machine, options) context. Immutable once built.
+type sketch struct {
+	ctx   uint64   // fingerprint + options context hash
+	n     int      // total op count including pseudo ops
+	ops   []uint64 // canonical line hash per real op, in op order
+	opIdx []int32  // op index per sketch position
+	edges []uint64 // canonical explicit-edge line hashes, canonical order
+}
+
+// EnableWarmStart turns on the structural near-miss index with the
+// given edit-distance bound (<= 0 means DefaultWarmMaxEdit). Only
+// entries inserted after enabling are indexed, so enable before
+// populating the cache. Safe to call once, before concurrent use.
+func (c *Cache) EnableWarmStart(maxEdit int) {
+	if maxEdit <= 0 {
+		maxEdit = DefaultWarmMaxEdit
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.warm.enabled = true
+	c.warm.maxEdit = maxEdit
+	if c.warm.buckets == nil {
+		c.warm.buckets = make(map[uint64][]*list.Element)
+	}
+}
+
+// WarmEnabled reports whether EnableWarmStart has been called.
+func (c *Cache) WarmEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.warm.enabled
+}
+
+// WarmStats returns a snapshot of the warm-start counters.
+func (c *Cache) WarmStats() WarmStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.warm.stats
+}
+
+func (c *Cache) warmEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.warm.enabled
+}
+
+// recordWarm folds one warm compile's scheduler counters into the
+// cache-level stats.
+func (c *Cache) recordWarm(st *core.Counters) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.warm.stats.WarmStarts += st.WarmStarts
+	c.warm.stats.SeededOps += st.WarmSeededOps
+	c.warm.stats.SkippedII += st.WarmSkippedII
+	c.warm.stats.Fallbacks += st.WarmFallbacks
+}
+
+// FNV-1a, inlined so per-line hashing allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvLine(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// bucketKey mixes the context hash into the op-line hash so entries for
+// different machines or options never share buckets.
+func bucketKey(ctx, opHash uint64) uint64 {
+	return ctx ^ (opHash * 0x9e3779b97f4a7c15)
+}
+
+// ctxHash matches keyWith's context prefix: the options line (minus
+// SearchWorkers) and the machine fingerprint digest.
+func ctxHash(fp [sha256.Size]byte, opts core.Options) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "options budget=%g delays=%d maxii=%d prio=%d restart=%t late=%t\n",
+		opts.BudgetRatio, int(opts.DelayModel), opts.MaxII, int(opts.Priority),
+		opts.RestartOnFailure, opts.PlaceLate)
+	h.Write(fp[:])
+	return h.Sum64()
+}
+
+// buildSketch hashes the same canonical lines Key hashes, one hash per
+// line instead of one hash over all of them.
+func buildSketch(fp [sha256.Size]byte, opts core.Options, l *ir.Loop) *sketch {
+	sk := &sketch{
+		ctx:   ctxHash(fp, opts),
+		n:     l.NumOps(),
+		ops:   make([]uint64, 0, l.NumOps()),
+		opIdx: make([]int32, 0, l.NumOps()),
+	}
+	walkCanonicalLoop(l,
+		func(op int, line []byte) {
+			sk.ops = append(sk.ops, fnvLine(line))
+			sk.opIdx = append(sk.opIdx, int32(op))
+		},
+		func(line []byte) {
+			sk.edges = append(sk.edges, fnvLine(line))
+		})
+	return sk
+}
+
+// distinctOps returns the deduplicated op-line hashes of sk (order
+// irrelevant: lookups examine every candidate and pick by a total
+// order, and indexing registers set membership).
+func (sk *sketch) distinctOps() []uint64 {
+	out := make([]uint64, 0, len(sk.ops))
+	seen := make(map[uint64]struct{}, len(sk.ops))
+	for _, h := range sk.ops {
+		if _, ok := seen[h]; ok {
+			continue
+		}
+		seen[h] = struct{}{}
+		out = append(out, h)
+	}
+	return out
+}
+
+// indexEntry registers el under every distinct op-line hash of its
+// sketch. Caller holds c.mu.
+func (c *Cache) indexEntry(el *list.Element) {
+	sk := el.Value.(*entry).sk
+	for _, h := range sk.distinctOps() {
+		bk := bucketKey(sk.ctx, h)
+		if b := c.warm.buckets[bk]; len(b) < warmBucketCap {
+			c.warm.buckets[bk] = append(b, el)
+		}
+	}
+}
+
+// deindexEntry removes el from every bucket it may appear in. Caller
+// holds c.mu.
+func (c *Cache) deindexEntry(el *list.Element) {
+	sk := el.Value.(*entry).sk
+	for _, h := range sk.distinctOps() {
+		bk := bucketKey(sk.ctx, h)
+		b := c.warm.buckets[bk]
+		for i, e := range b {
+			if e == el {
+				b = append(b[:i], b[i+1:]...)
+				break
+			}
+		}
+		if len(b) == 0 {
+			delete(c.warm.buckets, bk)
+		} else {
+			c.warm.buckets[bk] = b
+		}
+	}
+}
+
+// nearSeed looks up the nearest structural neighbor of sk and converts
+// it into a warm seed, or returns nil when none qualifies. selfKey
+// guards against the (concurrent-insert) case where an exact twin
+// landed between our miss and this lookup — seeding from an identical
+// loop is pointless and would make "near hit" a lie.
+func (c *Cache) nearSeed(sk *sketch, selfKey string) *core.WarmSeed {
+	c.mu.Lock()
+	if !c.warm.enabled {
+		c.mu.Unlock()
+		return nil
+	}
+	best := c.lookupNear(sk, selfKey)
+	if best == nil {
+		c.warm.stats.NearMisses++
+		c.mu.Unlock()
+		return nil
+	}
+	c.warm.stats.NearHits++
+	c.mu.Unlock()
+	// Entry payloads are immutable after insertion, so the seed can be
+	// built outside the lock.
+	return buildSeed(sk, best)
+}
+
+// lookupNear scans the candidate buckets and returns the entry with the
+// smallest positive edit distance within the bound, ties broken by
+// cache key. Caller holds c.mu.
+func (c *Cache) lookupNear(sk *sketch, selfKey string) *entry {
+	var best *entry
+	bestDist := c.warm.maxEdit + 1
+	seen := make(map[*list.Element]struct{})
+	for _, h := range sk.distinctOps() {
+		for _, el := range c.warm.buckets[bucketKey(sk.ctx, h)] {
+			if _, dup := seen[el]; dup {
+				continue
+			}
+			seen[el] = struct{}{}
+			ent := el.Value.(*entry)
+			if ent.sk.ctx != sk.ctx || ent.key == selfKey {
+				continue
+			}
+			d := editDistance(sk, ent.sk)
+			if d == 0 || d > c.warm.maxEdit {
+				continue
+			}
+			if d < bestDist || (d == bestDist && ent.key < best.key) {
+				best, bestDist = ent, d
+			}
+		}
+	}
+	return best
+}
+
+// editDistance is the structural distance between two sketches: ops
+// unmatched on either side (multiset matching by line hash) plus the
+// explicit-edge multiset symmetric difference.
+func editDistance(a, b *sketch) int {
+	counts := make(map[uint64]int, len(a.ops))
+	for _, h := range a.ops {
+		counts[h]++
+	}
+	matched := 0
+	for _, h := range b.ops {
+		if counts[h] > 0 {
+			counts[h]--
+			matched++
+		}
+	}
+	d := (len(a.ops) - matched) + (len(b.ops) - matched)
+	if len(a.edges) > 0 || len(b.edges) > 0 {
+		ec := make(map[uint64]int, len(a.edges)+len(b.edges))
+		for _, h := range a.edges {
+			ec[h]++
+		}
+		for _, h := range b.edges {
+			ec[h]--
+		}
+		for _, v := range ec {
+			if v < 0 {
+				v = -v
+			}
+			d += v
+		}
+	}
+	return d
+}
+
+// buildSeed pairs the new loop's real ops with the neighbor's by
+// canonical line hash (greedy, first unused, in op-index order — the
+// same deterministic order every time) and packages the neighbor's
+// schedule. Unmatched ops, START, and STOP map to -1 and are scheduled
+// cold by the warm attempt's drive loop.
+func buildSeed(sk *sketch, cand *entry) *core.WarmSeed {
+	seed := &core.WarmSeed{
+		II:    cand.sched.II,
+		Times: append([]int(nil), cand.sched.Times...),
+		Alts:  append([]int(nil), cand.sched.Alts...),
+		Map:   make([]int, sk.n),
+	}
+	for i := range seed.Map {
+		seed.Map[i] = -1
+	}
+	pos := make(map[uint64][]int32, len(cand.sk.ops))
+	for k, h := range cand.sk.ops {
+		pos[h] = append(pos[h], cand.sk.opIdx[k])
+	}
+	for k, h := range sk.ops {
+		if lst := pos[h]; len(lst) > 0 {
+			seed.Map[sk.opIdx[k]] = int(lst[0])
+			pos[h] = lst[1:]
+		}
+	}
+	return seed
+}

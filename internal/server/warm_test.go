@@ -1,0 +1,90 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// daxpyVariantSource is daxpy with one immediate changed: close enough
+// for the near-miss index to seed it from the cached daxpy schedule,
+// but a distinct cache key.
+var daxpyVariantSource = strings.Replace(daxpySource, "si = aadd si@1, #8", "si = aadd si@1, #16", 1)
+
+func getMetricsText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestWarmStartServer runs the warm-started daemon against a cold one:
+// the variant's schedule must be identical field for field (only the
+// SchedSteps effort counter may differ — warm changes how hard the
+// search worked, never what it found), the warm metrics family must
+// report the near hit, and a cold daemon must not emit the family at
+// all.
+func TestWarmStartServer(t *testing.T) {
+	_, coldTS := newTestServer(t, Config{})
+	warmSrv, warmTS := newTestServer(t, Config{WarmStart: true})
+
+	compile := func(ts string, src string) *CompileResponse {
+		status, body, _ := postJSONBody(t, ts+"/compile", CompileRequest{Source: src})
+		if status != http.StatusOK {
+			t.Fatalf("compile status = %d, body %s", status, body)
+		}
+		var resp CompileResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return &resp
+	}
+
+	// Populate both caches with the base loop, then compile the variant:
+	// a fresh key, so a real compile, and on the warm server a near hit.
+	compile(coldTS.URL, daxpySource)
+	compile(warmTS.URL, daxpySource)
+	cold := compile(coldTS.URL, daxpyVariantSource)
+	warm := compile(warmTS.URL, daxpyVariantSource)
+
+	coldCmp, warmCmp := *cold, *warm
+	coldCmp.SchedSteps, warmCmp.SchedSteps = 0, 0
+	if coldCmp != warmCmp {
+		t.Errorf("warm response diverges beyond SchedSteps:\nwarm %+v\ncold %+v", warm, cold)
+	}
+
+	ws := warmSrv.WarmStats()
+	if ws.NearHits != 1 {
+		t.Errorf("NearHits = %d, want 1 (base compile is a near miss, variant a near hit)", ws.NearHits)
+	}
+	if ws.NearMisses != 1 {
+		t.Errorf("NearMisses = %d, want 1", ws.NearMisses)
+	}
+
+	warmText := getMetricsText(t, warmTS.URL)
+	for _, want := range []string{
+		"mschedd_warm_near_hits_total 1",
+		"mschedd_warm_near_misses_total 1",
+		fmt.Sprintf("mschedd_warm_seeded_ops_total %d", ws.SeededOps),
+		fmt.Sprintf("mschedd_warm_fallbacks_total %d", ws.Fallbacks),
+	} {
+		if !strings.Contains(warmText, want) {
+			t.Errorf("warm /metrics missing %q:\n%s", want, warmText)
+		}
+	}
+
+	coldText := getMetricsText(t, coldTS.URL)
+	if strings.Contains(coldText, "mschedd_warm_") {
+		t.Errorf("cold /metrics emits the warm family despite WarmStart off:\n%s", coldText)
+	}
+}

@@ -102,6 +102,17 @@ echo "== byte-identity: ${#loops[@]} loops, local CLI vs served through the fron
 diff -u "$workdir/local.out" "$workdir/served.out"
 diff -u "$workdir/local.err" "$workdir/served.err"
 
+echo "== calm-phase latency SLO: p99 under 1s with all replicas healthy"
+"$workdir/schedbomb" -target "http://$front" -requests 200 -workers 8 -seed 99 \
+  -max-p99 1s -json >"$workdir/bomb_calm.json" 2>"$workdir/bomb_calm.err" || {
+  code=$?
+  echo "calm-phase schedbomb exited $code (4 = P99 SLO violated)" >&2
+  cat "$workdir/bomb_calm.json" "$workdir/bomb_calm.err" >&2
+  exit 1
+}
+cat "$workdir/bomb_calm.json"
+grep -q '"p99_ms":' "$workdir/bomb_calm.json"
+
 echo "== chaos: schedbomb through the front while replica 1 is SIGKILLed and restarted"
 "$workdir/schedbomb" -target "http://$front" -requests 300 -workers 8 -seed 42 -json \
   >"$workdir/bomb_chaos.json" 2>"$workdir/bomb_chaos.err" &
