@@ -203,6 +203,85 @@ func TestServerModeShedRetry(t *testing.T) {
 	}
 }
 
+// TestShedWaitDefaults pins the advertised retry budget: each honored
+// Retry-After wait is capped at 2s and the total sleep across retries
+// at 8s. Changing these changes documented client behavior.
+func TestShedWaitDefaults(t *testing.T) {
+	if shedWaitCap != 2*time.Second {
+		t.Errorf("shedWaitCap = %v, want 2s", shedWaitCap)
+	}
+	if shedTotalWait != 8*time.Second {
+		t.Errorf("shedTotalWait = %v, want 8s", shedTotalWait)
+	}
+}
+
+// TestServerModeShedRetryAfterVariants: hostile or missing Retry-After
+// headers must not break the retry contract. A malformed, negative, or
+// absent value falls to the default wait; a huge value is capped at
+// shedWaitCap — so in every case the client retries until shedTotalWait
+// is exhausted (observable as exactly 3 requests under the shrunken
+// 20ms/50ms budget: capped waits of 20ms fit twice into 50ms), then
+// surfaces the overload as an error. It must never sleep the full hint
+// and never silently fall back to local compilation — overload is not
+// absence, and local output here would mask a capacity problem.
+func TestServerModeShedRetryAfterVariants(t *testing.T) {
+	cases := []struct {
+		name       string
+		retryAfter string // "" = omit the header entirely
+	}{
+		{"absent", ""},
+		{"malformed", "soon"},
+		{"negative", "-3"},
+		{"huge", "3600"},
+		{"huge-overflowing", "99999999999999999999"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			shrinkShedWaits(t)
+			var calls atomic.Int32
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				calls.Add(1)
+				if tc.retryAfter != "" {
+					w.Header().Set("Retry-After", tc.retryAfter)
+				}
+				w.WriteHeader(http.StatusTooManyRequests)
+				io.WriteString(w, `{"kind":"overloaded","error":"server overloaded; retry later","retry_after_sec":1}`+"\n")
+			}))
+			defer ts.Close()
+
+			start := time.Now()
+			var out, errb bytes.Buffer
+			code := run([]string{"-server", ts.URL}, strings.NewReader(goodLoop), &out, &errb)
+			elapsed := time.Since(start)
+
+			if code != exitOther {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, exitOther, errb.String())
+			}
+			if out.Len() != 0 {
+				t.Errorf("stdout not empty — the client fell back or rendered under overload: %s", out.String())
+			}
+			if !strings.Contains(errb.String(), "overloaded") {
+				t.Errorf("stderr lacks the overload diagnostic: %s", errb.String())
+			}
+			if strings.Contains(errb.String(), "compiling locally") {
+				t.Errorf("client silently fell back to local compilation under overload: %s", errb.String())
+			}
+			// Capped waits (20ms) fit the 50ms total budget exactly twice:
+			// initial request + 2 retries. An uncapped huge hint would bust
+			// the budget before the first retry (1 call); an unbounded loop
+			// would exceed 3.
+			if got := calls.Load(); got != 3 {
+				t.Errorf("server saw %d requests, want exactly 3 (caps or retry bound violated)", got)
+			}
+			// Belt and braces: wall time must reflect the capped waits, not
+			// the hinted hours.
+			if elapsed > 5*time.Second {
+				t.Errorf("retry loop slept %v — Retry-After cap not applied", elapsed)
+			}
+		})
+	}
+}
+
 // TestServerModeShedBounded: an always-shedding server exhausts the
 // bounded wait and the client errors — it must not retry forever and
 // must not silently fall back (overload is not absence).

@@ -6,6 +6,14 @@
 // bytes it serves are the replicas' bytes — the front never rewrites a
 // response body. See docs/serving.md ("Topology & failure modes").
 //
+// The async jobs API routes the same way: POST /jobs is hashed by the
+// job id the home replica will derive (so submission and every later
+// GET /jobs/{id} or GET /jobs/{id}/wait land on the same replica), and
+// a 404 from the home is double-checked against the rest of the fleet
+// before being relayed, covering jobs that failed over during a health
+// blip. Jobs forwards never hedge — a hedge win would journal the job
+// where polls would not look.
+//
 //	mschedfront -replicas http://h1:8437,http://h2:8437 [-addr :8436]
 //	            [-vnodes 64] [-health-interval 250ms] [-eject-after 3]
 //	            [-readmit-after 2] [-max-attempts 4] [-backoff 10ms]

@@ -9,6 +9,7 @@
 //
 //	schedbomb -target http://host:port [-requests 200] [-workers 8]
 //	          [-batch-frac 0.4] [-batch-max 5] [-seed 1]
+//	          [-jobs-frac 0] [-tenant schedbomb]
 //	          [-retries 8] [-retry-wait-cap 2s] [-json]
 //
 // The workload derives entirely from -seed, so two runs against
@@ -17,6 +18,15 @@
 // bounded retry budget, 503 draining/no_backends) are tallied as
 // refused, never verified — refusal is a capacity answer, not a compile
 // answer. Transport failures are tallied as failed.
+//
+// With -jobs-frac > 0 that fraction of single requests goes through the
+// async jobs API instead: POST /jobs under -tenant, then long-poll
+// GET /jobs/{id}/wait until the job is terminal. The oracle is the
+// same: a completed job's outcome must be byte-identical to the local
+// compile's BatchItem encoding. A 404 for a job id the tier previously
+// acknowledged counts as mismatched — an acknowledged job is fsynced
+// by contract, so losing it is a wrong answer even though no bytes
+// diverged.
 //
 // The tally goes to stdout, as JSON with -json (the chaos harness
 // parses it), else as a one-line summary, and includes P50/P99 request
@@ -77,6 +87,7 @@ type tally struct {
 	Requests   int64 `json:"requests"`
 	Singles    int64 `json:"singles"`
 	Batches    int64 `json:"batches"`
+	Jobs       int64 `json:"jobs"`
 	Loops      int64 `json:"loops"`
 	VerifiedOK int64 `json:"verified_ok"`
 	// Refused counts loops the tier answered with a capacity refusal
@@ -131,6 +142,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batchFrac    = fs.Float64("batch-frac", 0.4, "fraction of requests that are batches")
 		batchMax     = fs.Int("batch-max", 5, "largest batch (loops per batch request drawn from [2, batch-max])")
 		seed         = fs.Int64("seed", 1, "workload seed; the same seed replays the same keys")
+		jobsFrac     = fs.Float64("jobs-frac", 0, "fraction of single requests sent through the async jobs API")
+		tenant       = fs.String("tenant", "schedbomb", "tenant name for async job submissions")
 		retries      = fs.Int("retries", 8, "retry budget per request for 429/503 refusals")
 		retryWaitCap = fs.Duration("retry-wait-cap", 2*time.Second, "cap on one honored Retry-After wait")
 		maxP99       = fs.Duration("max-p99", 0, "fail (exit 4) if P99 request latency exceeds this; 0 disables the SLO")
@@ -158,6 +171,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rng := rand.New(rand.NewSource(*seed))
 	type job struct {
 		batch []int // pool indices; len 1 = single request
+		async bool  // route through POST /jobs + wait instead of /compile
 	}
 	jobs := make([]job, *requests)
 	for i := range jobs {
@@ -169,7 +183,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			jobs[i] = job{batch: b}
 		} else {
-			jobs[i] = job{batch: []int{rng.Intn(len(pool))}}
+			jobs[i] = job{batch: []int{rng.Intn(len(pool))}, async: rng.Float64() < *jobsFrac}
 		}
 	}
 
@@ -186,7 +200,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 					return
 				}
 				start := time.Now()
-				fire(client, base, pool, jobs[i].batch, *retries, *retryWaitCap, &t)
+				if jobs[i].async {
+					fireJob(client, base, *tenant, &pool[jobs[i].batch[0]], *retries, *retryWaitCap, &t)
+				} else {
+					fire(client, base, pool, jobs[i].batch, *retries, *retryWaitCap, &t)
+				}
 				lat.record(time.Since(start))
 			}
 		}()
@@ -201,8 +219,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		data, _ := json.Marshal(&t)
 		fmt.Fprintln(stdout, string(data))
 	} else {
-		fmt.Fprintf(stdout, "schedbomb: %d requests (%d singles, %d batches), %d loops: %d verified, %d refused, %d failed, %d MISMATCHED, %d retries, p50 %.1fms, p99 %.1fms\n",
-			t.Requests, t.Singles, t.Batches, t.Loops, t.VerifiedOK, t.Refused, t.Failed, t.Mismatched, t.Retries, t.P50Ms, t.P99Ms)
+		fmt.Fprintf(stdout, "schedbomb: %d requests (%d singles, %d batches, %d jobs), %d loops: %d verified, %d refused, %d failed, %d MISMATCHED, %d retries, p50 %.1fms, p99 %.1fms\n",
+			t.Requests, t.Singles, t.Batches, t.Jobs, t.Loops, t.VerifiedOK, t.Refused, t.Failed, t.Mismatched, t.Retries, t.P50Ms, t.P99Ms)
 	}
 	switch {
 	case atomic.LoadInt64(&t.Mismatched) > 0:
@@ -300,7 +318,7 @@ brtop
 // rather than a compile outcome.
 func refusalKind(kind string) bool {
 	switch kind {
-	case server.KindOverloaded, server.KindDraining, server.KindNoBackends:
+	case server.KindOverloaded, server.KindDraining, server.KindNoBackends, server.KindQuota:
 		return true
 	}
 	return false
@@ -371,6 +389,88 @@ func postRetry(client *http.Client, url string, payload []byte, budget int, wait
 		}
 		time.Sleep(wait)
 	}
+}
+
+// fireJob pushes one pool entry through the async jobs API: submit
+// (retrying refusals), then long-poll /wait until the job is terminal,
+// then hold the outcome to the same byte-for-byte oracle as /compile.
+func fireJob(client *http.Client, base, tenant string, w *workItem, retries int, waitCap time.Duration, t *tally) {
+	atomic.AddInt64(&t.Requests, 1)
+	atomic.AddInt64(&t.Jobs, 1)
+	atomic.AddInt64(&t.Loops, 1)
+
+	payload, _ := json.Marshal(&server.JobSubmitRequest{Tenant: tenant, Request: w.req})
+	status, body, _, err := postRetry(client, base+"/jobs", payload, retries, waitCap, t)
+	if err != nil {
+		atomic.AddInt64(&t.Failed, 1)
+		return
+	}
+	if status != http.StatusAccepted && status != http.StatusOK {
+		var eresp server.ErrorResponse
+		if json.Unmarshal(body, &eresp) == nil && refusalKind(eresp.Kind) {
+			atomic.AddInt64(&t.Refused, 1)
+		} else {
+			atomic.AddInt64(&t.Mismatched, 1)
+		}
+		return
+	}
+	var st server.JobStatusResponse
+	if err := json.Unmarshal(body, &st); err != nil || st.ID == "" {
+		atomic.AddInt64(&t.Failed, 1)
+		return
+	}
+
+	// The submission was acknowledged, so the job is journaled: from here
+	// on, transient transport errors and tier refusals are retried, but a
+	// 404 from a responsive tier means the acknowledged job was lost — a
+	// durability violation tallied as a mismatch.
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/jobs/" + st.ID + "/wait")
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		pbody, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var ps server.JobStatusResponse
+			if json.Unmarshal(pbody, &ps) != nil {
+				atomic.AddInt64(&t.Failed, 1)
+				return
+			}
+			switch ps.State {
+			case "done", "failed":
+				if bytes.Equal(bytes.TrimSpace(ps.Outcome), w.itemJSON) {
+					atomic.AddInt64(&t.VerifiedOK, 1)
+				} else {
+					atomic.AddInt64(&t.Mismatched, 1)
+				}
+				return
+			case "expired":
+				// Schedbomb sets no deadline, so the tier expired a job on
+				// its own initiative: a capacity answer, not wrong bytes.
+				atomic.AddInt64(&t.Refused, 1)
+				return
+			}
+			// Still queued or running: poll again.
+		case http.StatusNotFound:
+			atomic.AddInt64(&t.Mismatched, 1)
+			return
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			atomic.AddInt64(&t.Retries, 1)
+			time.Sleep(100 * time.Millisecond)
+		default:
+			atomic.AddInt64(&t.Failed, 1)
+			return
+		}
+	}
+	atomic.AddInt64(&t.Failed, 1)
 }
 
 func verifySingle(w *workItem, status int, body []byte, t *tally) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -9,9 +10,20 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"modsched/internal/server"
 )
+
+// closeJobsOnCleanup drains the job workers before t.TempDir's cleanup
+// deletes the journal directory out from under them.
+func closeJobsOnCleanup(t *testing.T, s *server.Server) {
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.CloseJobs(ctx)
+	})
+}
 
 func runBomb(t *testing.T, args ...string) (int, tally, string) {
 	t.Helper()
@@ -112,6 +124,62 @@ func TestBombRetriesShedding(t *testing.T) {
 	}
 	if tl.Mismatched != 0 || tl.Failed != 0 {
 		t.Errorf("non-clean tally under shedding: %+v", tl)
+	}
+}
+
+// TestBombJobsMode: with -jobs-frac 1 every single request goes through
+// the async jobs API, and every completed job's outcome verifies
+// byte-for-byte against the local oracle — success and deterministic
+// failure outcomes alike.
+func TestBombJobsMode(t *testing.T) {
+	s := server.New(server.Config{})
+	if err := s.EnableJobs(server.JobsConfig{Dir: t.TempDir(), Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	closeJobsOnCleanup(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, tl, stderr := runBomb(t, "-target", ts.URL, "-requests", "40", "-workers", "4",
+		"-seed", "11", "-batch-frac", "0", "-jobs-frac", "1", "-tenant", "bomb")
+	if code != exitOK {
+		t.Fatalf("exit = %d, want 0 (stderr %q, tally %+v)", code, stderr, tl)
+	}
+	if tl.Jobs != 40 || tl.Singles != 0 || tl.Batches != 0 {
+		t.Errorf("tally mix = %+v, want 40 jobs only", tl)
+	}
+	if tl.VerifiedOK != 40 || tl.Mismatched != 0 || tl.Failed != 0 || tl.Refused != 0 {
+		t.Errorf("non-clean jobs tally: %+v", tl)
+	}
+}
+
+// TestBombJobsDetectsLostJob: a tier that acknowledges a submission and
+// then answers 404 for the id has broken the journal's durability
+// promise; the oracle must treat that as a wrong answer.
+func TestBombJobsDetectsLostJob(t *testing.T) {
+	s := server.New(server.Config{})
+	if err := s.EnableJobs(server.JobsConfig{Dir: t.TempDir(), Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	closeJobsOnCleanup(t, s)
+	real := s.Handler()
+	amnesiac := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/jobs/") {
+			w.WriteHeader(http.StatusNotFound)
+			io.WriteString(w, `{"kind":"not_found","error":"no such job"}`+"\n")
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer amnesiac.Close()
+
+	code, tl, _ := runBomb(t, "-target", amnesiac.URL, "-requests", "10", "-workers", "2",
+		"-seed", "13", "-batch-frac", "0", "-jobs-frac", "1")
+	if code != exitMismatch {
+		t.Fatalf("exit = %d, want %d (tally %+v)", code, exitMismatch, tl)
+	}
+	if tl.Mismatched != tl.Jobs || tl.Jobs == 0 {
+		t.Fatalf("lost jobs not all flagged: %+v", tl)
 	}
 }
 

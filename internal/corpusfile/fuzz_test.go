@@ -1,0 +1,109 @@
+package corpusfile
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"modsched/internal/loopgen"
+	"modsched/internal/looplang"
+	"modsched/internal/machine"
+)
+
+// fuzzSeedShard builds one well-formed shard the way corpusgen does:
+// loopgen loops rendered through looplang, length-prefixed behind the
+// magic and header.
+func fuzzSeedShard(tb testing.TB, seed int64, n int) []byte {
+	tb.Helper()
+	m := machine.Generic(machine.DefaultUnitConfig())
+	loops, err := loopgen.Generate(loopgen.Config{Seed: seed, N: n, MinOps: 4, MaxOps: 16}, m)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Shard: 0, Shards: 1, Seed: seed, Count: n, First: 0, Total: n})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, l := range loops {
+		if err := w.Add([]byte(looplang.Print(l))); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCorpusfileRead hammers the shard reader with arbitrary bytes.
+// The contract under attack: truncations, bit flips, and bogus uvarint
+// lengths must come back as errors — never a panic, never a record
+// larger than the format's bound, never more records than the header
+// promised, and never an out-of-memory-sized allocation from a lying
+// length prefix (readBlob rejects lengths beyond maxRecordLen before
+// allocating).
+func FuzzCorpusfileRead(f *testing.F) {
+	valid := fuzzSeedShard(f, 42, 5)
+	f.Add(valid)
+	// Truncations at interesting boundaries: inside the magic, inside
+	// the header, inside a record.
+	f.Add(valid[:4])
+	f.Add(valid[:len(Magic)+1])
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	// A single bit flip in the header region and one in the record body.
+	flip := func(i int) []byte {
+		b := append([]byte(nil), valid...)
+		b[i] ^= 0x40
+		return b
+	}
+	f.Add(flip(2))
+	f.Add(flip(len(Magic) + 3))
+	f.Add(flip(len(valid) - 10))
+	// Bogus uvarint lengths right after the magic: a huge value, a
+	// max-length varint, and a varint that never terminates.
+	f.Add(append([]byte(Magic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
+	f.Add(append([]byte(Magic), 0xff, 0xff, 0xff))
+	f.Add([]byte(Magic))
+	f.Add([]byte("MSCORP2\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Next path: read every record to the end or the first error.
+		r, err := NewReader(bytes.NewReader(data))
+		if err == nil {
+			count := 0
+			for {
+				rec, err := r.Next()
+				if err != nil {
+					if err != io.EOF && count != r.Header().Count {
+						// Mid-shard failure: must be an error, fine.
+					}
+					break
+				}
+				if len(rec) > maxRecordLen {
+					t.Fatalf("Next returned %d-byte record, over the %d bound", len(rec), maxRecordLen)
+				}
+				count++
+				if count > r.Header().Count {
+					t.Fatalf("Next returned %d records, header promised %d", count, r.Header().Count)
+				}
+			}
+		}
+		// Skip path: the same stream must be skippable without reading,
+		// failing on exactly the same corruptions (not panicking).
+		if r2, err := NewReader(bytes.NewReader(data)); err == nil {
+			skipped := 0
+			for {
+				if err := r2.Skip(); err != nil {
+					break
+				}
+				skipped++
+				if skipped > r2.Header().Count {
+					t.Fatalf("Skip advanced %d records, header promised %d", skipped, r2.Header().Count)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,729 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Typed admission errors. Callers map these onto the HTTP surface
+// (quota and queue-full → 429 with Retry-After, draining → 503).
+var (
+	// ErrQueueFull means the global queue bound was hit.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrDraining means the manager no longer accepts submissions.
+	ErrDraining = errors.New("jobs: draining")
+	// ErrNotFound means no job with that id exists here.
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// QuotaError reports a per-tenant token-bucket rejection and how long
+// until a token is available.
+type QuotaError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("jobs: tenant %q over submission quota, retry in %s", e.Tenant, e.RetryAfter)
+}
+
+// TenantConfig shapes one tenant's share of the service.
+type TenantConfig struct {
+	// Weight is the fair-share weight: a tenant with weight 10 is
+	// dispatched 10 jobs for every 1 of a weight-1 tenant while both have
+	// work queued. Min 1.
+	Weight int
+	// Rate is the sustained submission quota in jobs/second (0 = no
+	// quota); Burst is the bucket size (defaults to max(1, Rate)).
+	Rate  float64
+	Burst int
+}
+
+func (tc TenantConfig) normalized() TenantConfig {
+	if tc.Weight < 1 {
+		tc.Weight = 1
+	}
+	if tc.Rate < 0 {
+		tc.Rate = 0
+	}
+	if tc.Burst < 1 {
+		tc.Burst = int(math.Max(1, math.Ceil(tc.Rate)))
+	}
+	return tc
+}
+
+// Executor runs one job's payload to an outcome. ok=false means the
+// executor could not produce an outcome (context canceled by
+// Kill/Close); the job stays queued on disk and re-runs after restart.
+// Deadline and budget errors are NOT executor failures — the executor
+// encodes them as a failed outcome so they become terminal job states.
+type Executor func(ctx context.Context, tenant string, payload json.RawMessage) (outcome json.RawMessage, ok bool)
+
+// Config configures a Manager.
+type Config struct {
+	// Dir is the journal directory (required).
+	Dir string
+	// Workers is the dispatch concurrency (min 1).
+	Workers int
+	// MaxQueued bounds jobs admitted but not terminal (default 1024).
+	MaxQueued int
+	// Tenants maps tenant name → its config; unknown tenants get Default.
+	Tenants map[string]TenantConfig
+	// Default applies to tenants absent from Tenants.
+	Default TenantConfig
+	// Execute runs one job (required).
+	Execute Executor
+	// ExpiredOutcome synthesizes the 504-equivalent outcome stored for a
+	// job whose deadline passed before it could run (required).
+	ExpiredOutcome func(payload json.RawMessage) json.RawMessage
+	// Now overrides the clock in tests.
+	Now func() time.Time
+}
+
+// Status is the externally visible view of one job.
+type Status struct {
+	ID       string          `json:"id"`
+	Tenant   string          `json:"tenant"`
+	State    string          `json:"state"`
+	Position int             `json:"position,omitempty"` // 1-based place in the tenant's queue while queued
+	Outcome  json.RawMessage `json:"outcome,omitempty"`  // set once terminal
+}
+
+// job is the in-memory state of one record.
+type job struct {
+	rec      Record
+	done     chan struct{} // closed on terminal transition
+	dispatch int64         // global dispatch sequence, 0 until dispatched
+}
+
+// tenant is the per-tenant scheduling state.
+type tenant struct {
+	name   string
+	cfg    TenantConfig
+	stride int64
+	pass   int64
+	queue  []*job // FIFO of queued jobs
+
+	// token bucket (refill on demand)
+	tokens float64
+	refill time.Time
+
+	dispatched int64 // jobs handed to workers, for fairness accounting
+}
+
+// strideScale is the stride numerator: stride = strideScale / weight.
+// Large enough that integer truncation across weights 1..1e6 keeps
+// ratios faithful.
+const strideScale = 1 << 20
+
+// Counters is a snapshot of the manager's monotonic counters and
+// current gauges for /metrics.
+type Counters struct {
+	Submitted, Deduped, Recovered        int64
+	Completed, Failed, Expired           int64
+	RejectQuota, RejectFull, RejectDrain int64
+	Queued, Running                      int64 // gauges
+	Tenants                              int64 // gauge: tenants ever seen
+}
+
+// Manager owns the journal, the queues, and the worker pool.
+type Manager struct {
+	cfg     Config
+	journal *Journal
+	now     func() time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	tenants  map[string]*tenant
+	seq      int64 // submission sequence
+	dseq     int64 // dispatch sequence
+	queued   int   // jobs in StateQueued
+	running  int   // jobs in StateRunning
+	draining bool
+	killed   bool
+
+	counters Counters
+
+	wg sync.WaitGroup
+}
+
+// New opens (or creates) the journal under cfg.Dir, recovers every
+// record it holds — terminal records become immediately fetchable,
+// queued records re-enter the dispatch queues in submission order —
+// and starts the worker pool.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Execute == nil || cfg.ExpiredOutcome == nil {
+		return nil, errors.New("jobs: Execute and ExpiredOutcome are required")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxQueued < 1 {
+		cfg.MaxQueued = 1024
+	}
+	cfg.Default = cfg.Default.normalized()
+	journal, recs, err := OpenJournal(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:     cfg,
+		journal: journal,
+		now:     cfg.Now,
+		jobs:    make(map[string]*job),
+		tenants: make(map[string]*tenant),
+	}
+	if m.now == nil {
+		m.now = time.Now
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+
+	m.recover(recs)
+
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// recover re-seats journal records. Queued records are enqueued in Sub
+// order so FIFO within a tenant survives the crash.
+func (m *Manager) recover(recs []Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Sort by Sub (insertion sort — recovery sets are small and this
+	// avoids importing sort for one call site).
+	for i := 1; i < len(recs); i++ {
+		for k := i; k > 0 && recs[k-1].Sub > recs[k].Sub; k-- {
+			recs[k-1], recs[k] = recs[k], recs[k-1]
+		}
+	}
+	for i := range recs {
+		rec := recs[i]
+		if rec.Sub >= m.seq {
+			m.seq = rec.Sub + 1
+		}
+		jb := &job{rec: rec, done: make(chan struct{})}
+		m.jobs[rec.ID] = jb
+		m.counters.Recovered++
+		if Terminal(rec.State) {
+			close(jb.done)
+			continue
+		}
+		// A record persisted as queued (including any that were running at
+		// the crash) goes back on its tenant's queue.
+		jb.rec.State = StateQueued
+		m.enqueueLocked(jb)
+	}
+	m.cond.Broadcast()
+}
+
+func (m *Manager) tenantConfig(name string) TenantConfig {
+	if tc, ok := m.cfg.Tenants[name]; ok {
+		return tc.normalized()
+	}
+	return m.cfg.Default
+}
+
+// tenantLocked returns (creating if needed) the scheduling state for a
+// tenant. m.mu must be held.
+func (m *Manager) tenantLocked(name string) *tenant {
+	t, ok := m.tenants[name]
+	if !ok {
+		cfg := m.tenantConfig(name)
+		t = &tenant{
+			name:   name,
+			cfg:    cfg,
+			stride: strideScale / int64(cfg.Weight),
+			tokens: float64(cfg.Burst),
+			refill: m.now(),
+		}
+		if t.stride < 1 {
+			t.stride = 1
+		}
+		m.tenants[name] = t
+		m.counters.Tenants++
+	}
+	return t
+}
+
+// vtimeLocked is the global virtual time: the minimum pass among
+// tenants with queued work (0 when idle). Activating tenants jump to
+// at least this so an idle tenant cannot bank credit.
+func (m *Manager) vtimeLocked() int64 {
+	var vt int64
+	seen := false
+	for _, t := range m.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if !seen || t.pass < vt {
+			vt, seen = t.pass, true
+		}
+	}
+	return vt
+}
+
+// enqueueLocked appends jb to its tenant queue, handling stride
+// activation. m.mu must be held.
+func (m *Manager) enqueueLocked(jb *job) {
+	t := m.tenantLocked(jb.rec.Tenant)
+	if len(t.queue) == 0 {
+		if vt := m.vtimeLocked(); t.pass < vt {
+			t.pass = vt
+		}
+	}
+	t.queue = append(t.queue, jb)
+	m.queued++
+}
+
+// NormalizeTenant canonicalizes a client-supplied tenant name: spaces
+// trimmed, empty → "anon", overlong names truncated. Submit applies it;
+// it is exported so the HTTP layer and job-id derivation agree.
+func NormalizeTenant(name string) string {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "anon"
+	}
+	if len(name) > 64 {
+		name = name[:64]
+	}
+	return name
+}
+
+// Submit admits a job. The returned Status reflects the job after
+// admission; for a duplicate id the existing job is returned with
+// dup=true and nothing is journaled (idempotent, exactly-once). The
+// journal fsync completes before Submit returns: an acknowledged job
+// survives SIGKILL.
+func (m *Manager) Submit(id, tenantName string, payload json.RawMessage, deadline time.Time) (st Status, dup bool, err error) {
+	if !validID(id) {
+		return Status{}, false, fmt.Errorf("jobs: invalid job id %q", id)
+	}
+	tenantName = NormalizeTenant(tenantName)
+
+	m.mu.Lock()
+	if jb, ok := m.jobs[id]; ok {
+		st := m.statusLocked(jb)
+		m.counters.Deduped++
+		m.mu.Unlock()
+		return st, true, nil
+	}
+	if m.draining {
+		m.counters.RejectDrain++
+		m.mu.Unlock()
+		return Status{}, false, ErrDraining
+	}
+	if m.queued+m.running >= m.cfg.MaxQueued {
+		m.counters.RejectFull++
+		m.mu.Unlock()
+		return Status{}, false, ErrQueueFull
+	}
+	t := m.tenantLocked(tenantName)
+	if wait, ok := m.takeTokenLocked(t); !ok {
+		m.counters.RejectQuota++
+		m.mu.Unlock()
+		return Status{}, false, &QuotaError{Tenant: tenantName, RetryAfter: wait}
+	}
+	rec := Record{
+		ID:      id,
+		Tenant:  tenantName,
+		Sub:     m.seq,
+		State:   StateQueued,
+		Payload: append(json.RawMessage(nil), payload...),
+	}
+	if !deadline.IsZero() {
+		rec.DeadlineUnixMS = deadline.UnixMilli()
+	}
+	m.seq++
+	jb := &job{rec: rec, done: make(chan struct{})}
+	// Register before unlocking so a concurrent duplicate submit dedupes
+	// against this job instead of double-journaling.
+	m.jobs[id] = jb
+	m.mu.Unlock()
+
+	// Durability point: the record is fsynced before the caller is acked.
+	// Outside m.mu so compile workers and other submits aren't serialized
+	// behind the fsync; the map registration above already owns the id.
+	if err := m.journal.Append(&jb.rec); err != nil {
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		close(jb.done)
+		return Status{}, false, err
+	}
+
+	m.mu.Lock()
+	m.counters.Submitted++
+	m.enqueueLocked(jb)
+	st = m.statusLocked(jb)
+	m.mu.Unlock()
+	m.cond.Signal()
+	return st, false, nil
+}
+
+// takeTokenLocked refills and debits tenantName's bucket. Returns the
+// wait until a token exists when the bucket is dry. m.mu must be held.
+func (m *Manager) takeTokenLocked(t *tenant) (time.Duration, bool) {
+	if t.cfg.Rate <= 0 {
+		return 0, true
+	}
+	now := m.now()
+	if elapsed := now.Sub(t.refill).Seconds(); elapsed > 0 {
+		t.tokens = math.Min(float64(t.cfg.Burst), t.tokens+elapsed*t.cfg.Rate)
+	}
+	t.refill = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return 0, true
+	}
+	wait := time.Duration((1 - t.tokens) / t.cfg.Rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return wait, false
+}
+
+// statusLocked builds the caller-facing view. m.mu must be held.
+func (m *Manager) statusLocked(jb *job) Status {
+	st := Status{ID: jb.rec.ID, Tenant: jb.rec.Tenant, State: jb.rec.State, Outcome: jb.rec.Outcome}
+	if jb.rec.State == StateQueued {
+		if t, ok := m.tenants[jb.rec.Tenant]; ok {
+			for i, q := range t.queue {
+				if q == jb {
+					st.Position = i + 1
+					break
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Get returns a job's status, lazily expiring a queued job whose
+// deadline has passed so pollers never see a stale "queued".
+func (m *Manager) Get(id string) (Status, error) {
+	m.mu.Lock()
+	jb, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Status{}, ErrNotFound
+	}
+	if m.expireLocked(jb) {
+		// Journal the terminal record outside the lock.
+		m.mu.Unlock()
+		m.persistTerminal(jb)
+		m.mu.Lock()
+	}
+	st := m.statusLocked(jb)
+	m.mu.Unlock()
+	return st, nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	m.mu.Lock()
+	jb, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Status{}, ErrNotFound
+	}
+	m.mu.Unlock()
+
+	var timer <-chan time.Time
+	if ms := jb.rec.DeadlineUnixMS; ms != 0 {
+		if d := time.UnixMilli(ms).Sub(m.now()); d > 0 {
+			tm := time.NewTimer(d)
+			defer tm.Stop()
+			timer = tm.C
+		} else {
+			timer = closedTimeC
+		}
+	}
+	select {
+	case <-jb.done:
+	case <-timer:
+		// Deadline passed while we were waiting: expire it if still queued
+		// (a running job is left to its executor ctx, which carries the
+		// same deadline).
+		m.mu.Lock()
+		expired := m.expireLocked(jb)
+		m.mu.Unlock()
+		if expired {
+			m.persistTerminal(jb)
+		} else {
+			select {
+			case <-jb.done:
+			case <-ctx.Done():
+				return Status{}, ctx.Err()
+			}
+		}
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+	m.mu.Lock()
+	st := m.statusLocked(jb)
+	m.mu.Unlock()
+	return st, nil
+}
+
+// closedTimeC is a pre-closed time channel for already-past deadlines.
+var closedTimeC = func() <-chan time.Time {
+	c := make(chan time.Time)
+	close(c)
+	return c
+}()
+
+// expireLocked transitions a queued, past-deadline job to expired in
+// memory: removes it from its tenant queue, stores the synthesized
+// outcome, closes done. Returns true if it expired the job; the caller
+// must then call persistTerminal outside m.mu. m.mu must be held.
+func (m *Manager) expireLocked(jb *job) bool {
+	if jb.rec.State != StateQueued || jb.rec.DeadlineUnixMS == 0 {
+		return false
+	}
+	if m.now().UnixMilli() < jb.rec.DeadlineUnixMS {
+		return false
+	}
+	if t, ok := m.tenants[jb.rec.Tenant]; ok {
+		for i, q := range t.queue {
+			if q == jb {
+				t.queue = append(t.queue[:i], t.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	m.queued--
+	jb.rec.State = StateExpired
+	jb.rec.Outcome = m.cfg.ExpiredOutcome(jb.rec.Payload)
+	m.counters.Expired++
+	close(jb.done)
+	return true
+}
+
+// persistTerminal journals a job that just reached a terminal state.
+// Best-effort: an error leaves the on-disk record queued, and a restart
+// will re-run the (deterministic, cached) job.
+func (m *Manager) persistTerminal(jb *job) {
+	m.journal.Complete(&jb.rec)
+}
+
+// worker is one dispatch loop: pick the min-pass tenant, charge its
+// stride, run the job at that tenant's queue head.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		var t *tenant
+		for {
+			if m.closedLocked() {
+				m.mu.Unlock()
+				return
+			}
+			if t = m.pickLocked(); t != nil {
+				break
+			}
+			m.cond.Wait()
+		}
+		jb := t.queue[0]
+		t.queue = t.queue[1:]
+		t.pass += t.stride
+		t.dispatched++
+		m.queued--
+
+		// Expire instead of run if the deadline already passed in queue.
+		if ms := jb.rec.DeadlineUnixMS; ms != 0 && m.now().UnixMilli() >= ms {
+			jb.rec.State = StateExpired
+			jb.rec.Outcome = m.cfg.ExpiredOutcome(jb.rec.Payload)
+			m.counters.Expired++
+			close(jb.done)
+			m.mu.Unlock()
+			m.persistTerminal(jb)
+			continue
+		}
+
+		jb.rec.State = StateRunning
+		m.running++
+		m.dseq++
+		jb.dispatch = m.dseq
+		m.mu.Unlock()
+
+		m.runOne(jb)
+	}
+}
+
+// pickLocked returns the queued tenant with minimum pass, or nil.
+// Linear scan: tenant counts are small (tens), and the scan keeps the
+// structure trivially correct under concurrent map mutation.
+func (m *Manager) pickLocked() *tenant {
+	var best *tenant
+	for _, t := range m.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if best == nil || t.pass < best.pass || (t.pass == best.pass && t.name < best.name) {
+			best = t
+		}
+	}
+	return best
+}
+
+// closedLocked reports whether workers should stop: on drain, queued
+// jobs are deliberately left on disk for the next start rather than
+// raced against the drain timeout.
+func (m *Manager) closedLocked() bool {
+	return m.draining || m.killed
+}
+
+// runOne executes a dispatched job and records its terminal state.
+func (m *Manager) runOne(jb *job) {
+	ctx := m.ctx
+	var cancel context.CancelFunc
+	if ms := jb.rec.DeadlineUnixMS; ms != 0 {
+		ctx, cancel = context.WithDeadline(ctx, time.UnixMilli(ms))
+	}
+	outcome, ok := m.cfg.Execute(ctx, jb.rec.Tenant, jb.rec.Payload)
+	if cancel != nil {
+		cancel()
+	}
+
+	m.mu.Lock()
+	if m.killed {
+		// Simulated process death: the record stays queued on disk and the
+		// in-memory state is abandoned, exactly as a real SIGKILL leaves it.
+		m.running--
+		m.mu.Unlock()
+		return
+	}
+	m.running--
+	if !ok {
+		// Executor couldn't produce an outcome (shutdown cancellation).
+		// Re-queue in memory; the on-disk record is still queued, so even a
+		// crash right now is safe.
+		jb.rec.State = StateQueued
+		m.enqueueLocked(jb)
+		m.mu.Unlock()
+		m.cond.Signal()
+		return
+	}
+	jb.rec.Outcome = outcome
+	if outcomeFailed(outcome) {
+		jb.rec.State = StateFailed
+		m.counters.Failed++
+	} else {
+		jb.rec.State = StateDone
+		m.counters.Completed++
+	}
+	m.mu.Unlock()
+
+	// Persist before signaling waiters: a caller that has observed a
+	// terminal state must never lose it to a crash.
+	m.persistTerminal(jb)
+	close(jb.done)
+}
+
+// outcomeFailed distinguishes done from failed by the outcome's status
+// field — the executor stores a BatchItem-shaped object whose Status is
+// an HTTP-equivalent code. Unparseable outcomes count as failed.
+func outcomeFailed(outcome json.RawMessage) bool {
+	var probe struct {
+		Status int `json:"status"`
+	}
+	if err := json.Unmarshal(outcome, &probe); err != nil {
+		return true
+	}
+	return probe.Status >= 400
+}
+
+// DispatchSeq reports the global dispatch sequence number assigned to a
+// job when a worker picked it up (0 = not yet dispatched). Fairness
+// tests use it to assert interleaving without wall-clock flakiness.
+func (m *Manager) DispatchSeq(id string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if jb, ok := m.jobs[id]; ok {
+		return jb.dispatch
+	}
+	return 0
+}
+
+// TenantDispatched reports how many jobs a tenant has had dispatched.
+func (m *Manager) TenantDispatched(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.tenants[NormalizeTenant(name)]; ok {
+		return t.dispatched
+	}
+	return 0
+}
+
+// Counters snapshots the manager counters and gauges.
+func (m *Manager) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters
+	c.Queued = int64(m.queued)
+	c.Running = int64(m.running)
+	return c
+}
+
+// JournalStats exposes the underlying journal's counters.
+func (m *Manager) JournalStats() JournalStats { return m.journal.Stats() }
+
+// StartDrain stops accepting new submissions. Queued jobs stay
+// journaled; running jobs finish. Poll/wait remain served.
+func (m *Manager) StartDrain() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Close drains and waits for workers to finish their current jobs,
+// bounded by ctx: on ctx expiry the root context is canceled so
+// executors abort, leaving their jobs queued on disk for the next
+// start. Always returns with the worker pool stopped.
+func (m *Manager) Close(ctx context.Context) error {
+	m.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.cancel()
+		return nil
+	case <-ctx.Done():
+		m.cancel()
+		m.cond.Broadcast()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Kill simulates SIGKILL for chaos tests: executors' contexts are
+// canceled and every in-flight completion is dropped without touching
+// the journal, so the on-disk state is exactly what a real process
+// death would leave. The manager is unusable afterwards; re-open the
+// journal dir with New to "restart".
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	m.killed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.cond.Broadcast()
+	m.wg.Wait()
+}

@@ -1,0 +1,373 @@
+// Package jobs is the durable async compile-job subsystem behind
+// mschedd's POST /jobs API: a crash-safe write-ahead journal plus a
+// multi-tenant fair queue.
+//
+// The durability contract mirrors internal/diskcache: every journal
+// record is written to a temp file in the journal directory, fsynced,
+// and renamed into place, and every record embeds its job id and a
+// SHA-256 checksum over the frame. A reader either gets exactly what a
+// writer stored or nothing — never a torn or bit-flipped record. A job
+// acknowledged by Submit has therefore already survived the fsync; a
+// SIGKILL at any later instant loses nothing. On restart, Open's scan
+// classifies records: terminal records (done/failed/expired) are served
+// from the journal without recompiling, queued records are re-enqueued,
+// and anything malformed is moved to quarantine/ for the operator.
+//
+// Exactly-once result semantics come from idempotent job ids (derived
+// by the caller from the compile digest, see server.JobID): a crashed
+// client that re-submits lands on the same record, and a completed
+// record's outcome bytes are immutable once written.
+//
+// Scheduling across tenants is stride-based weighted fair queueing with
+// per-tenant token buckets on admission; see Manager.
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Job states. Running is in-memory only: a record is persisted as
+// queued until its terminal rewrite, so a crash mid-compile recovers
+// the job as queued and re-runs it (the compile is deterministic and
+// cached, so the re-run serves identical bytes).
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"    // outcome carries a successful compile
+	StateFailed  = "failed"  // outcome carries a typed compile error
+	StateExpired = "expired" // deadline passed before completion (504-equivalent)
+)
+
+// Terminal reports whether state is one a job never leaves.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateExpired
+}
+
+// Record is the persisted form of one job. Payload and Outcome are
+// opaque to this package — the executor (internal/server) defines them.
+type Record struct {
+	// ID is the idempotent job id: 64 lowercase hex digits, derived from
+	// the compile digest by the caller so re-submissions dedupe.
+	ID string `json:"id"`
+	// Tenant is the normalized tenant name the job is accounted to.
+	Tenant string `json:"tenant"`
+	// Sub is the submission sequence number; recovery re-enqueues queued
+	// records in Sub order so a restart preserves FIFO within a tenant.
+	Sub int64 `json:"sub"`
+	// DeadlineUnixMS is the absolute wall-clock deadline (0 = none);
+	// a job not terminal by then expires with a 504-equivalent outcome.
+	DeadlineUnixMS int64 `json:"deadline_unix_ms,omitempty"`
+	// State is StateQueued or a terminal state (never StateRunning).
+	State string `json:"state"`
+	// Payload is the submitted work, verbatim (a CompileRequest, for the
+	// compile service).
+	Payload json.RawMessage `json:"payload"`
+	// Outcome is the terminal result, verbatim (a BatchItem, for the
+	// compile service); nil until the job completes.
+	Outcome json.RawMessage `json:"outcome,omitempty"`
+}
+
+// journal framing constants, diskcache idioms throughout: completed
+// records end in recordSuffix, temp files start with tmpPrefix and never
+// match a record name, so a crash mid-write cannot leave a file a reader
+// would open.
+var journalMagic = [4]byte{'M', 'S', 'J', '1'}
+
+const (
+	recordSuffix = ".job"
+	tmpPrefix    = ".tmp-"
+	// QuarantineDir collects files the startup scan rejected.
+	QuarantineDir = "quarantine"
+	// journalHeaderSize is magic + body length.
+	journalHeaderSize = 4 + 8
+	// maxRecordBytes bounds one record; a compile request plus outcome is
+	// a few KiB, anything near this is garbage.
+	maxRecordBytes = 64 << 20
+)
+
+// JournalStats reports journal traffic since Open.
+type JournalStats struct {
+	// Appends and Completes count successful atomic writes; WriteErrors
+	// failed ones.
+	Appends, Completes, WriteErrors int64
+	// Quarantined counts files the startup scan moved aside.
+	Quarantined int64
+	// Records is the current on-disk record count.
+	Records int64
+}
+
+// Journal is one journal directory. Construct with OpenJournal.
+type Journal struct {
+	root string
+	// wmu serializes writers so two transitions of one job cannot
+	// interleave their temp files.
+	wmu sync.Mutex
+
+	mu    sync.Mutex
+	stats JournalStats
+}
+
+// OpenJournal prepares dir (creating it if needed), scans it, and
+// returns the journal plus every well-formed record found. Malformed
+// files — temp leftovers from a crash, truncated or bit-flipped records,
+// strays — are moved to quarantine/, never returned.
+func OpenJournal(dir string) (*Journal, []Record, error) {
+	if dir == "" {
+		return nil, nil, errors.New("jobs: empty journal directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: %w", err)
+	}
+	j := &Journal{root: dir}
+	recs, err := j.scan()
+	if err != nil {
+		return nil, nil, err
+	}
+	return j, recs, nil
+}
+
+// Stats returns a snapshot of the journal counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Dir returns the journal's root directory.
+func (j *Journal) Dir() string { return j.root }
+
+// validID reports whether id is a 64-digit lowercase hex string (the
+// server.JobID shape). Anything else is rejected so a hostile id can
+// never escape the journal tree.
+func validID(id string) bool {
+	if len(id) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *Journal) recordPath(id string) string {
+	return filepath.Join(j.root, id+recordSuffix)
+}
+
+// Append durably persists a freshly submitted record. It must complete
+// before Submit acknowledges the job: the fsync inside is the moment
+// the job becomes crash-proof.
+func (j *Journal) Append(rec *Record) error { return j.write(rec, true) }
+
+// Complete rewrites a record with its terminal state and outcome,
+// atomically replacing the queued record.
+func (j *Journal) Complete(rec *Record) error { return j.write(rec, false) }
+
+func (j *Journal) write(rec *Record, isAppend bool) error {
+	if !validID(rec.ID) {
+		j.countWriteErr()
+		return fmt.Errorf("jobs: invalid job id %q", rec.ID)
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		j.countWriteErr()
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if len(body) > maxRecordBytes {
+		j.countWriteErr()
+		return fmt.Errorf("jobs: record of %d bytes exceeds the %d limit", len(body), maxRecordBytes)
+	}
+	path := j.recordPath(rec.ID)
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	existed := false
+	if _, err := os.Stat(path); err == nil {
+		existed = true
+	}
+	if err := j.writeFrame(path, encodeRecord(body)); err != nil {
+		j.countWriteErr()
+		return err
+	}
+	j.mu.Lock()
+	if isAppend {
+		j.stats.Appends++
+		if !existed {
+			j.stats.Records++
+		}
+	} else {
+		j.stats.Completes++
+		if !existed {
+			j.stats.Records++
+		}
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+func (j *Journal) countWriteErr() {
+	j.mu.Lock()
+	j.stats.WriteErrors++
+	j.mu.Unlock()
+}
+
+// writeFrame is the atomic temp-file + fsync + rename write.
+func (j *Journal) writeFrame(path string, frame []byte) error {
+	f, err := os.CreateTemp(j.root, tmpPrefix+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() {
+		f.Close()
+		os.Remove(tmp)
+	}
+	if _, err := f.Write(frame); err != nil {
+		cleanup()
+		return fmt.Errorf("jobs: %w", err)
+	}
+	// fsync before rename: the record must be durable before it becomes
+	// visible — this is the write-ahead in "write-ahead journal".
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: %w", err)
+	}
+	// Make the rename durable too, best effort (not every platform
+	// supports directory fsync; a failure here can only lose the whole
+	// record on crash, which recovery treats as never-submitted).
+	if d, err := os.Open(j.root); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// scan walks the directory: well-formed records are decoded and
+// returned, everything else is quarantined.
+func (j *Journal) scan() ([]Record, error) {
+	qdir := filepath.Join(j.root, QuarantineDir)
+	quarantine := func(path string) {
+		if err := os.MkdirAll(qdir, 0o755); err != nil {
+			os.Remove(path)
+			j.stats.Quarantined++
+			return
+		}
+		dst := filepath.Join(qdir, filepath.Base(path))
+		for i := 1; ; i++ {
+			if _, err := os.Lstat(dst); errors.Is(err, fs.ErrNotExist) {
+				break
+			}
+			dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(path), i))
+		}
+		if err := os.Rename(path, dst); err != nil {
+			os.Remove(path)
+		}
+		j.stats.Quarantined++
+	}
+
+	var recs []Record
+	err := filepath.WalkDir(j.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != j.root && filepath.Base(path) == QuarantineDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		id, isRecord := strings.CutSuffix(name, recordSuffix)
+		if !isRecord || !validID(id) {
+			quarantine(path)
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			quarantine(path)
+			return nil
+		}
+		body, err := decodeRecord(data)
+		if err != nil {
+			quarantine(path)
+			return nil
+		}
+		var rec Record
+		if err := json.Unmarshal(body, &rec); err != nil || rec.ID != id || !validRecord(&rec) {
+			quarantine(path)
+			return nil
+		}
+		recs = append(recs, rec)
+		j.stats.Records++
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("jobs: scanning journal: %w", err)
+	}
+	return recs, nil
+}
+
+// validRecord rejects decodable-but-nonsensical records (state drift
+// from a future format, a terminal record without its outcome).
+func validRecord(rec *Record) bool {
+	switch rec.State {
+	case StateQueued:
+		return len(rec.Payload) > 0
+	case StateDone, StateFailed, StateExpired:
+		return len(rec.Payload) > 0 && len(rec.Outcome) > 0
+	default:
+		return false
+	}
+}
+
+// encodeRecord frames a record body: magic, body length, body, SHA-256
+// over everything before the checksum.
+func encodeRecord(body []byte) []byte {
+	buf := make([]byte, 0, journalHeaderSize+len(body)+sha256.Size)
+	buf = append(buf, journalMagic[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(body)))
+	buf = append(buf, body...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// decodeRecord verifies a frame and returns the record body.
+func decodeRecord(data []byte) ([]byte, error) {
+	if len(data) < journalHeaderSize+sha256.Size {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if !bytes.Equal(data[:4], journalMagic[:]) {
+		return nil, errors.New("bad magic")
+	}
+	n := binary.BigEndian.Uint64(data[4:journalHeaderSize])
+	if n > maxRecordBytes || journalHeaderSize+int(n)+sha256.Size != len(data) {
+		return nil, errors.New("length mismatch")
+	}
+	body := data[:journalHeaderSize+int(n)]
+	var sum [sha256.Size]byte
+	copy(sum[:], data[journalHeaderSize+int(n):])
+	if sha256.Sum256(body) != sum {
+		return nil, errors.New("checksum mismatch")
+	}
+	return append([]byte(nil), body[journalHeaderSize:]...), nil
+}

@@ -1,0 +1,83 @@
+package proxy
+
+import (
+	"net/http"
+
+	"modsched/internal/server"
+)
+
+// Jobs routing. A job's id is derived from its tenant and canonical
+// loop structure (server.JobID), so the front can compute it from a
+// submission body and route the POST to the id's home replica — the
+// same replica every later GET /jobs/{id} hashes to, because polls
+// route by the id alone. Hedging is disabled on this path: a hedge win
+// would journal the job on a non-home replica where polls through the
+// front would never find it.
+
+func (p *Proxy) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if p.draining.Load() {
+		p.refuse(w, "jobs_submit", http.StatusServiceUnavailable, server.KindDraining, "front is draining")
+		return
+	}
+	body, ok := p.readBody(w, r, "jobs_submit")
+	if !ok {
+		return
+	}
+	// Route by the job id the replica will derive from this body. A body
+	// that does not strictly decode still forwards — to a deterministic
+	// replica — so the client gets the replica's canonical 400.
+	key := ""
+	var req server.JobSubmitRequest
+	if err := strictUnmarshal(body, &req); err == nil {
+		key = server.JobID(req.Tenant, &req.Request)
+	} else {
+		key = server.FallbackKey(&server.CompileRequest{Source: string(body)})
+	}
+	res, err := p.forward(r.Context(), http.MethodPost, "/jobs", body, key, false)
+	if err != nil {
+		p.metrics.add(&p.metrics.noBackends, 1)
+		p.refuse(w, "jobs_submit", http.StatusServiceUnavailable, server.KindNoBackends, "no healthy replica: "+err.Error())
+		return
+	}
+	p.relay(w, "jobs_submit", res)
+}
+
+func (p *Proxy) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	p.forwardJobPoll(w, r, "jobs_get", "/jobs/"+r.PathValue("id"))
+}
+
+func (p *Proxy) handleJobWait(w http.ResponseWriter, r *http.Request) {
+	p.forwardJobPoll(w, r, "jobs_wait", "/jobs/"+r.PathValue("id")+"/wait")
+}
+
+// forwardJobPoll routes a poll to the id's home replica. Polls are
+// served even while the front drains — a draining front must still let
+// clients collect results for jobs already submitted. A 404 from the
+// home is double-checked against the other healthy replicas before
+// being relayed: a job submitted during a health blip failed over to
+// the next candidate, and after the home's readmission the plain hash
+// would look in the wrong place forever.
+func (p *Proxy) forwardJobPoll(w http.ResponseWriter, r *http.Request, endpoint, path string) {
+	id := r.PathValue("id")
+	res, err := p.forward(r.Context(), http.MethodGet, path, nil, id, false)
+	if err != nil {
+		p.metrics.add(&p.metrics.noBackends, 1)
+		p.refuse(w, endpoint, http.StatusServiceUnavailable, server.KindNoBackends, "no healthy replica: "+err.Error())
+		return
+	}
+	if res.status == http.StatusNotFound {
+		for _, rep := range p.healthyCandidates(id) {
+			if rep.addr == res.replica {
+				continue
+			}
+			// Non-home replicas answer a wait-poll 404 immediately; only
+			// the replica that owns the job blocks.
+			alt, err := p.sendOne(r.Context(), rep, http.MethodGet, path, nil)
+			if err == nil && alt.status != http.StatusNotFound {
+				res = alt
+				break
+			}
+		}
+	}
+	p.relay(w, endpoint, res)
+}

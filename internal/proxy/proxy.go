@@ -299,9 +299,13 @@ func retryableStatus(s int) bool {
 // forward sends body to the replicas in key's failover order until an
 // acceptable response, retrying transport errors and retryable statuses
 // with capped jittered backoff (honoring Retry-After), hedging the
-// first attempt. A non-nil upstream is the exact bytes a replica
-// produced; errNoBackends means nothing completed.
-func (p *Proxy) forward(ctx context.Context, path string, body []byte, key string) (*upstream, error) {
+// first attempt when hedgeOK. A non-nil upstream is the exact bytes a
+// replica produced; errNoBackends means nothing completed.
+//
+// hedgeOK must be false for the jobs endpoints: a hedge win would land
+// the journal entry on a replica the key does not hash to, and every
+// later poll — which routes by the key alone — would miss it.
+func (p *Proxy) forward(ctx context.Context, method, path string, body []byte, key string, hedgeOK bool) (*upstream, error) {
 	var last *upstream
 	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
 		healthy := p.healthyCandidates(key)
@@ -313,10 +317,10 @@ func (p *Proxy) forward(ctx context.Context, path string, body []byte, key strin
 		}
 		target := healthy[attempt%len(healthy)]
 		hedge := (*replica)(nil)
-		if attempt == 0 && len(healthy) > 1 {
+		if hedgeOK && attempt == 0 && len(healthy) > 1 {
 			hedge = healthy[1]
 		}
-		res, err := p.send(ctx, target, hedge, path, body)
+		res, err := p.send(ctx, target, hedge, method, path, body)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -344,10 +348,10 @@ func (p *Proxy) forward(ctx context.Context, path string, body []byte, key strin
 // send performs one attempt against target, optionally hedging to next
 // after the hedge delay. The faster acceptable response wins; the
 // slower request is cancelled. Transport failures mark the replica.
-func (p *Proxy) send(ctx context.Context, target, next *replica, path string, body []byte) (*upstream, error) {
+func (p *Proxy) send(ctx context.Context, target, next *replica, method, path string, body []byte) (*upstream, error) {
 	delay := p.hedgeDelay()
 	if next == nil || delay <= 0 {
-		return p.sendOne(ctx, target, path, body)
+		return p.sendOne(ctx, target, method, path, body)
 	}
 
 	sctx, cancel := context.WithCancel(ctx)
@@ -360,7 +364,7 @@ func (p *Proxy) send(ctx context.Context, target, next *replica, path string, bo
 	results := make(chan outcome, 2)
 	launched := 1
 	go func() {
-		res, err := p.sendOne(sctx, target, path, body)
+		res, err := p.sendOne(sctx, target, method, path, body)
 		results <- outcome{res, err, target}
 	}()
 
@@ -374,7 +378,7 @@ func (p *Proxy) send(ctx context.Context, target, next *replica, path string, bo
 				launched = 2
 				p.metrics.add(&p.metrics.hedges, 1)
 				go func() {
-					res, err := p.sendOne(sctx, next, path, body)
+					res, err := p.sendOne(sctx, next, method, path, body)
 					results <- outcome{res, err, next}
 				}()
 			}
@@ -402,15 +406,21 @@ func (p *Proxy) send(ctx context.Context, target, next *replica, path string, bo
 	}
 }
 
-// sendOne is a single upstream POST. It owns the passive health
+// sendOne is a single upstream exchange. It owns the passive health
 // bookkeeping for its target.
-func (p *Proxy) sendOne(ctx context.Context, r *replica, path string, body []byte) (*upstream, error) {
+func (p *Proxy) sendOne(ctx context.Context, r *replica, method, path string, body []byte) (*upstream, error) {
 	start := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.addr+path, bytes.NewReader(body))
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.addr+path, rd)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		p.metrics.countForward(r.addr, "error")
@@ -538,13 +548,16 @@ func (l *latencySampler) p99() (time.Duration, bool) {
 	return buf[(k*99)/100], true
 }
 
-// Handler returns the front's routing table. /compile and
-// /compile/batch mirror the replica API byte for byte; /metrics and
-// /healthz are the front's own.
+// Handler returns the front's routing table. /compile, /compile/batch,
+// and the /jobs family mirror the replica API byte for byte; /metrics
+// and /healthz are the front's own.
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", p.handleCompile)
 	mux.HandleFunc("/compile/batch", p.handleBatch)
+	mux.HandleFunc("POST /jobs", p.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", p.handleJobGet)
+	mux.HandleFunc("GET /jobs/{id}/wait", p.handleJobWait)
 	mux.HandleFunc("/metrics", p.handleMetrics)
 	mux.HandleFunc("/healthz", p.handleHealthz)
 	return mux
@@ -617,7 +630,7 @@ func (p *Proxy) handleCompile(w http.ResponseWriter, r *http.Request) {
 	} else {
 		key = server.FallbackKey(&server.CompileRequest{Source: string(body)})
 	}
-	res, err := p.forward(r.Context(), "/compile", body, key)
+	res, err := p.forward(r.Context(), http.MethodPost, "/compile", body, key, true)
 	if err != nil {
 		p.metrics.add(&p.metrics.noBackends, 1)
 		p.refuse(w, "compile", http.StatusServiceUnavailable, server.KindNoBackends, "no healthy replica: "+err.Error())
@@ -652,7 +665,7 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !splittable {
 		// Malformed or oversized-for-splitting bodies go to one replica
 		// whole, which produces the canonical error (or answer).
-		res, err := p.forward(r.Context(), "/compile/batch", body, server.FallbackKey(&server.CompileRequest{Source: string(body)}))
+		res, err := p.forward(r.Context(), http.MethodPost, "/compile/batch", body, server.FallbackKey(&server.CompileRequest{Source: string(body)}), true)
 		if err != nil {
 			p.metrics.add(&p.metrics.noBackends, 1)
 			p.refuse(w, "batch", http.StatusServiceUnavailable, server.KindNoBackends, "no healthy replica: "+err.Error())
@@ -682,7 +695,7 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 				results[i] = groupResult{nil, err}
 				return
 			}
-			res, err := p.forward(r.Context(), "/compile/batch", sub, g.key)
+			res, err := p.forward(r.Context(), http.MethodPost, "/compile/batch", sub, g.key, true)
 			results[i] = groupResult{res, err}
 		}(i, g)
 	}

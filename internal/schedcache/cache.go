@@ -152,12 +152,45 @@ func KeyWithFingerprint(fingerprint [sha256.Size]byte, l *ir.Loop, opts core.Opt
 
 func keyWith(fingerprint [sha256.Size]byte, l *ir.Loop, opts core.Options) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "options budget=%g delays=%d maxii=%d prio=%d restart=%t late=%t\n",
-		opts.BudgetRatio, int(opts.DelayModel), opts.MaxII, int(opts.Priority),
-		opts.RestartOnFailure, opts.PlaceLate)
-	h.Write(fingerprint[:])
+	writeKeyContext(h, fingerprint, opts)
 	writeCanonicalLoop(h, l)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeKeyContext streams the key's (options, machine) prefix. keyWith
+// and keyAndSketch must hash identical bytes; this is the shared half.
+func writeKeyContext(w io.Writer, fingerprint [sha256.Size]byte, opts core.Options) {
+	fmt.Fprintf(w, "options budget=%g delays=%d maxii=%d prio=%d restart=%t late=%t\n",
+		opts.BudgetRatio, int(opts.DelayModel), opts.MaxII, int(opts.Priority),
+		opts.RestartOnFailure, opts.PlaceLate)
+	w.Write(fingerprint[:])
+}
+
+// keyAndSketch computes the exact cache key and the near-miss sketch
+// from ONE walk of the canonical rendering: each line feeds the key's
+// sha256 and the sketch's per-line FNV in the same pass. The walk
+// dominates both costs, so a warm-enabled miss no longer renders the
+// loop twice.
+func keyAndSketch(fingerprint [sha256.Size]byte, opts core.Options, l *ir.Loop) (string, *sketch) {
+	h := sha256.New()
+	writeKeyContext(h, fingerprint, opts)
+	sk := &sketch{
+		ctx:   ctxHash(fingerprint, opts),
+		n:     l.NumOps(),
+		ops:   make([]uint64, 0, l.NumOps()),
+		opIdx: make([]int32, 0, l.NumOps()),
+	}
+	walkCanonicalLoop(l,
+		func(op int, line []byte) {
+			h.Write(line)
+			sk.ops = append(sk.ops, fnvLine(line))
+			sk.opIdx = append(sk.opIdx, int32(op))
+		},
+		func(line []byte) {
+			h.Write(line)
+			sk.edges = append(sk.edges, fnvLine(line))
+		})
+	return hex.EncodeToString(h.Sum(nil)), sk
 }
 
 // writeCanonicalLoop streams the scheduling-relevant structure of l:
@@ -282,7 +315,16 @@ func (c *Cache) DoWarm(l *ir.Loop, m *machine.Machine, opts core.Options, compil
 
 func (c *Cache) do(l *ir.Loop, m *machine.Machine, opts core.Options, compile WarmCompileFunc, wantSeed bool) (*core.Schedule, *core.Degradation, error) {
 	fp := c.fingerprint(m)
-	key := keyWith(fp, l, opts)
+	// With the warm index on, the sketch rides along on the key's own
+	// canonical walk (a hit simply drops it); with it off, the key walk
+	// stays sketch-free.
+	var sk *sketch
+	var key string
+	if c.warmEnabled() {
+		key, sk = keyAndSketch(fp, opts, l)
+	} else {
+		key = keyWith(fp, l, opts)
+	}
 
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -304,13 +346,6 @@ func (c *Cache) do(l *ir.Loop, m *machine.Machine, opts core.Options, compile Wa
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.mu.Unlock()
-
-	// The sketch doubles as the near-miss lookup probe for this compile
-	// and the index record for the entry it produces.
-	var sk *sketch
-	if c.warmEnabled() {
-		sk = buildSketch(fp, opts, l)
-	}
 
 	// The persistent tier, when attached, intercepts the compile: a
 	// verified disk entry is promoted into memory without recompiling

@@ -70,6 +70,12 @@ type warmIndex struct {
 	maxEdit int
 	buckets map[uint64][]*list.Element
 	stats   WarmStats
+	// Scratch maps reused across lookups (Cache.mu guards every use): a
+	// lookup scores each candidate with editDistance, and allocating the
+	// counting maps per candidate dominated the scan's cost.
+	opScratch   map[uint64]int
+	edgeScratch map[uint64]int
+	seenScratch map[*list.Element]struct{}
 }
 
 // sketch is the structural summary of one canonical loop rendering
@@ -96,6 +102,9 @@ func (c *Cache) EnableWarmStart(maxEdit int) {
 	c.warm.maxEdit = maxEdit
 	if c.warm.buckets == nil {
 		c.warm.buckets = make(map[uint64][]*list.Element)
+		c.warm.opScratch = make(map[uint64]int)
+		c.warm.edgeScratch = make(map[uint64]int)
+		c.warm.seenScratch = make(map[*list.Element]struct{})
 	}
 }
 
@@ -261,7 +270,8 @@ func (c *Cache) nearSeed(sk *sketch, selfKey string) *core.WarmSeed {
 func (c *Cache) lookupNear(sk *sketch, selfKey string) *entry {
 	var best *entry
 	bestDist := c.warm.maxEdit + 1
-	seen := make(map[*list.Element]struct{})
+	seen := c.warm.seenScratch
+	clear(seen)
 	for _, h := range sk.distinctOps() {
 		for _, el := range c.warm.buckets[bucketKey(sk.ctx, h)] {
 			if _, dup := seen[el]; dup {
@@ -272,7 +282,7 @@ func (c *Cache) lookupNear(sk *sketch, selfKey string) *entry {
 			if ent.sk.ctx != sk.ctx || ent.key == selfKey {
 				continue
 			}
-			d := editDistance(sk, ent.sk)
+			d := editDistance(sk, ent.sk, c.warm.opScratch, c.warm.edgeScratch)
 			if d == 0 || d > c.warm.maxEdit {
 				continue
 			}
@@ -286,9 +296,11 @@ func (c *Cache) lookupNear(sk *sketch, selfKey string) *entry {
 
 // editDistance is the structural distance between two sketches: ops
 // unmatched on either side (multiset matching by line hash) plus the
-// explicit-edge multiset symmetric difference.
-func editDistance(a, b *sketch) int {
-	counts := make(map[uint64]int, len(a.ops))
+// explicit-edge multiset symmetric difference. counts and ec are
+// caller-provided scratch (cleared here) so a bucket scan scoring many
+// candidates allocates nothing per candidate.
+func editDistance(a, b *sketch, counts, ec map[uint64]int) int {
+	clear(counts)
 	for _, h := range a.ops {
 		counts[h]++
 	}
@@ -301,7 +313,7 @@ func editDistance(a, b *sketch) int {
 	}
 	d := (len(a.ops) - matched) + (len(b.ops) - matched)
 	if len(a.edges) > 0 || len(b.edges) > 0 {
-		ec := make(map[uint64]int, len(a.edges)+len(b.edges))
+		clear(ec)
 		for _, h := range a.edges {
 			ec[h]++
 		}

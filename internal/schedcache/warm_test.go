@@ -2,6 +2,7 @@ package schedcache
 
 import (
 	"context"
+	"crypto/sha256"
 	"reflect"
 	"testing"
 
@@ -208,6 +209,60 @@ func TestNearIndexEviction(t *testing.T) {
 		}
 	}
 	cache.mu.Unlock()
+}
+
+// TestKeyAndSketchMatchesSeparateWalks pins the fused miss-path walk:
+// keyAndSketch must produce exactly the key Key computes and exactly
+// the sketch buildSketch builds — the one-walk optimization must be
+// invisible to both the cache and the near index.
+func TestKeyAndSketchMatchesSeparateWalks(t *testing.T) {
+	m := machine.Cydra5()
+	loops, err := loopgen.Generate(loopgen.Config{Seed: 404, N: 8, MinOps: 4, MaxOps: 40}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.BudgetRatio = 2.5
+	fp := sha256.Sum256([]byte(m.Fingerprint()))
+	for _, l := range loops {
+		key, sk := keyAndSketch(fp, opts, l)
+		if want := Key(l, m, opts); key != want {
+			t.Fatalf("%s: fused key %s != Key() %s", l.Name, key, want)
+		}
+		if want := buildSketch(fp, opts, l); !reflect.DeepEqual(sk, want) {
+			t.Fatalf("%s: fused sketch differs:\n got %+v\nwant %+v", l.Name, sk, want)
+		}
+	}
+}
+
+// TestEditDistanceScratchReuse pins that consecutive editDistance calls
+// over shared scratch maps give the same answers as fresh maps would —
+// stale counts from a previous candidate must never leak into the next.
+func TestEditDistanceScratchReuse(t *testing.T) {
+	m := machine.Cydra5()
+	loops, err := loopgen.Generate(loopgen.Config{Seed: 405, N: 6, MinOps: 4, MaxOps: 24}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	fp := sha256.Sum256([]byte(m.Fingerprint()))
+	sks := make([]*sketch, len(loops))
+	for i, l := range loops {
+		sks[i] = buildSketch(fp, opts, l)
+	}
+	counts, ec := make(map[uint64]int), make(map[uint64]int)
+	for i, a := range sks {
+		for j, b := range sks {
+			shared := editDistance(a, b, counts, ec)
+			fresh := editDistance(a, b, make(map[uint64]int), make(map[uint64]int))
+			if shared != fresh {
+				t.Fatalf("dist(%d,%d) with shared scratch = %d, fresh = %d", i, j, shared, fresh)
+			}
+			if i == j && shared != 0 {
+				t.Fatalf("dist(%d,%d) = %d, want 0 for identical sketches", i, j, shared)
+			}
+		}
+	}
 }
 
 // TestWarmDisabledIsPlainDo pins that DoWarm without EnableWarmStart

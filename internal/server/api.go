@@ -23,6 +23,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -58,6 +59,13 @@ const (
 	// Clients treat it like draining: fail over or fall back to local
 	// compilation.
 	KindNoBackends = "no_backends"
+	// KindQuota: the tenant's job-submission token bucket is empty; retry
+	// after the Retry-After hint (HTTP 429). Unlike KindOverloaded this is
+	// per tenant, not whole-server.
+	KindQuota = "quota"
+	// KindNotFound: the named job does not exist on this instance
+	// (HTTP 404).
+	KindNotFound = "not_found"
 )
 
 // CompileRequest asks the service to compile one loop.
@@ -164,6 +172,36 @@ type BatchItem struct {
 // BatchResponse carries the per-loop outcomes in input order.
 type BatchResponse struct {
 	Results []BatchItem `json:"results"`
+}
+
+// JobSubmitRequest asks for one asynchronous compile (POST /jobs).
+type JobSubmitRequest struct {
+	// Tenant names the submitter for quota and fair-share accounting;
+	// empty maps to the shared "anon" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// DeadlineMS bounds the whole job — queueing included — in
+	// milliseconds from submission. A job not finished by then reaches the
+	// "expired" state with a 504-equivalent outcome. 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Request is the compile to run, exactly as /compile would take it.
+	Request CompileRequest `json:"request"`
+}
+
+// JobStatusResponse is the body of POST /jobs (202 new, 200 duplicate)
+// and GET /jobs/{id}[/wait].
+type JobStatusResponse struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	// State: "queued", "running", "done", "failed", or "expired".
+	State string `json:"state"`
+	// Position is the job's 1-based place in its tenant's queue while
+	// queued.
+	Position int `json:"position,omitempty"`
+	// Outcome is set once the job is terminal: a BatchItem, byte-for-byte
+	// what the same request would have produced inside a /compile/batch
+	// response (its result field is the /compile success body, its error
+	// field the /compile error body).
+	Outcome json.RawMessage `json:"outcome,omitempty"`
 }
 
 // RenderText writes the response in exactly the format `msched` prints

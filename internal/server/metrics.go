@@ -9,6 +9,7 @@ import (
 
 	"modsched/internal/core"
 	"modsched/internal/diskcache"
+	"modsched/internal/jobs"
 	"modsched/internal/schedcache"
 )
 
@@ -134,6 +135,12 @@ type gauges struct {
 	// warmStats is non-nil when near-miss warm starting is enabled;
 	// like diskStats, its series appear only then.
 	warmStats *schedcache.WarmStats
+	// jobsCounters/jobsJournal are non-nil when the async jobs API is
+	// enabled; the mschedd_jobs_* family appears only then. Because they
+	// ride the gauges value, the final-metrics-on-drain dump carries them
+	// like every other series.
+	jobsCounters *jobs.Counters
+	jobsJournal  *jobs.JournalStats
 }
 
 // writePrometheus renders the Prometheus text exposition format
@@ -223,6 +230,39 @@ func (m *metrics) writePrometheus(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "mschedd_warm_skipped_ii_total %d\n", ws.SkippedII)
 		fmt.Fprint(w, "# HELP mschedd_warm_fallbacks_total Warm searches that fell back to the full cold II ladder.\n# TYPE mschedd_warm_fallbacks_total counter\n")
 		fmt.Fprintf(w, "mschedd_warm_fallbacks_total %d\n", ws.Fallbacks)
+	}
+
+	if jc := g.jobsCounters; jc != nil {
+		fmt.Fprint(w, "# HELP mschedd_jobs_submitted_total Jobs admitted and journaled.\n# TYPE mschedd_jobs_submitted_total counter\n")
+		fmt.Fprintf(w, "mschedd_jobs_submitted_total %d\n", jc.Submitted)
+		fmt.Fprint(w, "# HELP mschedd_jobs_deduped_total Submissions answered by an existing job with the same id.\n# TYPE mschedd_jobs_deduped_total counter\n")
+		fmt.Fprintf(w, "mschedd_jobs_deduped_total %d\n", jc.Deduped)
+		fmt.Fprint(w, "# HELP mschedd_jobs_recovered_total Journal records re-seated at startup (terminal and re-enqueued).\n# TYPE mschedd_jobs_recovered_total counter\n")
+		fmt.Fprintf(w, "mschedd_jobs_recovered_total %d\n", jc.Recovered)
+		fmt.Fprint(w, "# HELP mschedd_jobs_completed_total Jobs finished with a successful compile.\n# TYPE mschedd_jobs_completed_total counter\n")
+		fmt.Fprintf(w, "mschedd_jobs_completed_total %d\n", jc.Completed)
+		fmt.Fprint(w, "# HELP mschedd_jobs_failed_total Jobs finished with a typed compile error (parse, budget, deadline, ...).\n# TYPE mschedd_jobs_failed_total counter\n")
+		fmt.Fprintf(w, "mschedd_jobs_failed_total %d\n", jc.Failed)
+		fmt.Fprint(w, "# HELP mschedd_jobs_expired_total Jobs whose deadline passed before completion.\n# TYPE mschedd_jobs_expired_total counter\n")
+		fmt.Fprintf(w, "mschedd_jobs_expired_total %d\n", jc.Expired)
+		fmt.Fprint(w, "# HELP mschedd_jobs_rejected_total Submissions refused by admission, by reason.\n# TYPE mschedd_jobs_rejected_total counter\n")
+		fmt.Fprintf(w, "mschedd_jobs_rejected_total{reason=\"draining\"} %d\n", jc.RejectDrain)
+		fmt.Fprintf(w, "mschedd_jobs_rejected_total{reason=\"queue_full\"} %d\n", jc.RejectFull)
+		fmt.Fprintf(w, "mschedd_jobs_rejected_total{reason=\"quota\"} %d\n", jc.RejectQuota)
+		fmt.Fprint(w, "# HELP mschedd_jobs_queued Jobs waiting for a worker now.\n# TYPE mschedd_jobs_queued gauge\n")
+		fmt.Fprintf(w, "mschedd_jobs_queued %d\n", jc.Queued)
+		fmt.Fprint(w, "# HELP mschedd_jobs_running Jobs executing now.\n# TYPE mschedd_jobs_running gauge\n")
+		fmt.Fprintf(w, "mschedd_jobs_running %d\n", jc.Running)
+		fmt.Fprint(w, "# HELP mschedd_jobs_tenants Tenants seen since start.\n# TYPE mschedd_jobs_tenants gauge\n")
+		fmt.Fprintf(w, "mschedd_jobs_tenants %d\n", jc.Tenants)
+	}
+	if jj := g.jobsJournal; jj != nil {
+		fmt.Fprint(w, "# HELP mschedd_jobs_journal_records Job records on disk now.\n# TYPE mschedd_jobs_journal_records gauge\n")
+		fmt.Fprintf(w, "mschedd_jobs_journal_records %d\n", jj.Records)
+		fmt.Fprint(w, "# HELP mschedd_jobs_journal_quarantined_total Journal files the startup scan moved to quarantine.\n# TYPE mschedd_jobs_journal_quarantined_total counter\n")
+		fmt.Fprintf(w, "mschedd_jobs_journal_quarantined_total %d\n", jj.Quarantined)
+		fmt.Fprint(w, "# HELP mschedd_jobs_journal_write_errors_total Failed journal writes.\n# TYPE mschedd_jobs_journal_write_errors_total counter\n")
+		fmt.Fprintf(w, "mschedd_jobs_journal_write_errors_total %d\n", jj.WriteErrors)
 	}
 
 	fmt.Fprint(w, "# HELP mschedd_ii_attempts_total Candidate-II attempts represented by served schedules (cache hits replay the original search's counters).\n# TYPE mschedd_ii_attempts_total counter\n")

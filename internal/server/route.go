@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"sync"
 
+	"modsched/internal/jobs"
 	"modsched/internal/looplang"
 	"modsched/internal/machine"
 	"modsched/internal/schedcache"
@@ -62,6 +63,26 @@ func RouteKey(req *CompileRequest) (key string, ok bool) {
 		return "", false
 	}
 	return schedcache.KeyWithFingerprint(fp, loop, opts), true
+}
+
+// JobID derives the idempotent async-job id for a submission: a digest
+// over the normalized tenant and the request's routing key (RouteKey
+// when the request is cacheable, FallbackKey otherwise). The same
+// tenant submitting the same compile always lands on the same id, which
+// is what makes job submission exactly-once across client retries and
+// journal recovery. The front proxy computes the identical id, so a job
+// and all polls for it consistent-hash to the same replica.
+func JobID(tenantName string, req *CompileRequest) string {
+	key, ok := RouteKey(req)
+	if !ok {
+		key = FallbackKey(req)
+	}
+	h := sha256.New()
+	h.Write([]byte("msjob\x00"))
+	h.Write([]byte(jobs.NormalizeTenant(tenantName)))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // FallbackKey is the routing key for requests RouteKey rejects: a plain

@@ -15,6 +15,7 @@ import (
 
 	"modsched/internal/diskcache"
 	"modsched/internal/experiments"
+	"modsched/internal/jobs"
 	"modsched/internal/machine"
 	"modsched/internal/schedcache"
 )
@@ -92,6 +93,10 @@ type Server struct {
 	// disk is the persistent cache tier (EnablePersistentCache); nil
 	// when the cache is memory-only.
 	disk *diskcache.Store
+	// jobs is the async job subsystem (EnableJobs); nil when the jobs
+	// API is not mounted. jobsWaitCap bounds one long poll.
+	jobs        *jobs.Manager
+	jobsWaitCap time.Duration
 
 	// testCompileHook, when set by a test, runs at the start of every
 	// loop compile while its admission slot is held. It lets tests hold
@@ -161,10 +166,17 @@ func (s *Server) CompileLocal(ctx context.Context, req *CompileRequest) BatchIte
 }
 
 // StartDrain flips the server into draining mode: /healthz turns 503 so
-// load balancers stop routing, and new compile requests are refused.
-// In-flight requests are unaffected — finishing them is the caller's
-// job via http.Server.Shutdown.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// load balancers stop routing, and new compile requests and job
+// submissions are refused. In-flight requests are unaffected —
+// finishing them is the caller's job via http.Server.Shutdown — and job
+// workers stop picking up queued work (queued jobs stay journaled for
+// the next start; CloseJobs waits out the running ones).
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	if s.jobs != nil {
+		s.jobs.StartDrain()
+	}
+}
 
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -177,10 +189,22 @@ func (s *Server) MetricsText() string {
 	return b.String()
 }
 
-// drainRetryAfterSec is the Retry-After hint on drain 503s: the peer
-// should fail over immediately and try this instance again only after
-// its replacement has had time to bind.
-const drainRetryAfterSec = 1
+// retryAfterHint is the single EWMA-backed Retry-After estimate behind
+// every refusal this server writes — drain 503s, shed 429s, and job
+// queue-full 429s all share it. Draining callers pass queued=0: the
+// backlog dies with the process, so the peer should fail over now and
+// come back after roughly one compile's worth of time (the EWMA floor
+// keeps this at the old constant 1s under normal latency).
+func (s *Server) retryAfterHint(queued int) int {
+	return s.metrics.retryAfterSec(queued, s.adm.capacity())
+}
+
+// refuse writes one typed refusal carrying its Retry-After hint in both
+// the header and the body.
+func (s *Server) refuse(w http.ResponseWriter, status int, kind, msg string, retrySec int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retrySec))
+	writeJSON(w, status, &ErrorResponse{Kind: kind, Error: msg, RetryAfterSec: retrySec})
+}
 
 func (s *Server) gauges() gauges {
 	g := gauges{
@@ -198,6 +222,12 @@ func (s *Server) gauges() gauges {
 		ws := s.cache.WarmStats()
 		g.warmStats = &ws
 	}
+	if s.jobs != nil {
+		jc := s.jobs.Counters()
+		js := s.jobs.JournalStats()
+		g.jobsCounters = &jc
+		g.jobsJournal = &js
+	}
 	return g
 }
 
@@ -206,6 +236,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/compile/batch", s.handleBatch)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /jobs/{id}/wait", s.handleJobWait)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -240,26 +273,21 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string, 
 		// momentary — fail over now, come back shortly — so a rolling
 		// drain surfaces as clean 503s, never connection errors.
 		status := http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", strconv.Itoa(drainRetryAfterSec))
-		writeJSON(w, status, &ErrorResponse{Kind: KindDraining, Error: "server is draining", RetryAfterSec: drainRetryAfterSec})
+		s.refuse(w, status, KindDraining, "server is draining", s.retryAfterHint(0))
 		s.metrics.countRequest(endpoint, status, time.Since(start).Seconds())
 		return nil
 	}
 	if err := s.adm.acquire(r.Context()); err != nil {
 		var status int
-		var resp *ErrorResponse
 		if errors.Is(err, errShed) {
 			status = http.StatusTooManyRequests
-			retry := s.metrics.retryAfterSec(s.adm.queued(), s.adm.capacity())
-			w.Header().Set("Retry-After", strconv.Itoa(retry))
-			resp = &ErrorResponse{Kind: KindOverloaded, Error: "server overloaded; retry later", RetryAfterSec: retry}
+			s.refuse(w, status, KindOverloaded, "server overloaded; retry later", s.retryAfterHint(s.adm.queued()))
 			s.metrics.countShed()
 		} else {
 			// The client went away while queued.
 			status = 499
-			resp = &ErrorResponse{Kind: KindDeadline, Error: err.Error()}
+			writeJSON(w, status, &ErrorResponse{Kind: KindDeadline, Error: err.Error()})
 		}
-		writeJSON(w, status, resp)
 		s.metrics.countRequest(endpoint, status, time.Since(start).Seconds())
 		return nil
 	}
