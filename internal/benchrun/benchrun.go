@@ -226,22 +226,41 @@ func Run(workers int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := core.DefaultOptions()
-	r = testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			for _, l := range ks {
-				if _, err := core.ModuloSchedule(l, m, opts); err != nil {
-					benchErr = err
-					b.FailNow()
+	// The /scan line disables the compiled placement masks (Options.ScanMRT)
+	// and times the reference use-by-use MRT scan over the same suite, so
+	// the pair gates what the bit-packed reservation tables buy on the
+	// findTimeSlot hot path. Schedules are bit-identical between the two
+	// (pinned by core's differential battery); deltaII doubles as the
+	// drift detector here.
+	livermore := func(name string, scanMRT bool) {
+		if benchErr != nil {
+			return
+		}
+		opts := core.DefaultOptions()
+		opts.ScanMRT = scanMRT
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var delta int64
+			for i := 0; i < b.N; i++ {
+				delta = 0
+				for _, l := range ks {
+					s, err := core.ModuloSchedule(l, m, opts)
+					if err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+					delta += int64(s.II - s.MII)
 				}
 			}
-		}
-	})
+			b.ReportMetric(float64(delta), "deltaII")
+		})
+		rep.Results = append(rep.Results, fromBenchmark(name, r))
+	}
+	livermore("ScheduleLivermore", false)
+	livermore("ScheduleLivermore/scan", true)
 	if benchErr != nil {
 		return nil, benchErr
 	}
-	rep.Results = append(rep.Results, fromBenchmark("ScheduleLivermore", r))
 
 	// Speculative II race over the Livermore suite: same schedules by
 	// construction (the determinism suite pins that), different wall

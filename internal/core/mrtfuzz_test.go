@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"modsched/internal/machine"
+)
+
+// FuzzMRTBitsetEquivalence drives a random MRT through random tables,
+// IIs, and occupancy patterns and requires the compiled-mask path to
+// agree with the reference scan on every question: per-table
+// self-consistency, fits at every probed slot, and — after every
+// mutation — the occupancy bitset mirroring the owner array cell for
+// cell.
+func FuzzMRTBitsetEquivalence(f *testing.F) {
+	f.Add([]byte{3, 12, 2, 2, 0, 0, 1, 5, 1, 1, 3, 0, 1, 0, 1, 1, 2, 4, 0, 2, 0})
+	f.Add([]byte{0, 69, 3, 2, 40, 0, 64, 1, 1, 30, 15, 1, 0, 5, 1, 1, 7, 0, 2, 2, 1, 1, 9})
+	f.Add([]byte{11, 1, 1, 3, 0, 0, 0, 11, 0, 22, 1, 0, 3, 1, 0, 14, 2, 0})
+	f.Add([]byte{5, 7, 4, 5, 6, 2, 3, 9, 1, 4, 2, 13, 0, 0, 1, 1, 8, 1, 2, 3, 0, 0, 6, 2, 1, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+
+		ii := 1 + int(next())%12
+		nres := 1 + int(next())%70 // up to 70 resources: multi-word masks
+		m := newMRT(ii, nres)
+
+		ntab := 1 + int(next())%4
+		tables := make([]machine.ReservationTable, ntab)
+		compiled := make([]machine.CompiledAlt, ntab)
+		for i := range tables {
+			nuse := 1 + int(next())%5
+			uses := make([]machine.ResourceUse, nuse)
+			for j := range uses {
+				uses[j] = machine.ResourceUse{
+					Resource: machine.Resource(int(next()) % nres),
+					Time:     int(next()) % 16,
+				}
+			}
+			tables[i] = machine.ReservationTable{Uses: uses}
+			compiled[i] = machine.CompileTable(tables[i], ii, nres)
+			if got, want := compiled[i].SelfOK, m.selfConsistent(tables[i]); got != want {
+				t.Fatalf("table %d at II=%d: compiled SelfOK=%v, scan selfConsistent=%v (uses %v)",
+					i, ii, got, want, uses)
+			}
+		}
+
+		type placement struct{ op, t, tab int }
+		var placed []placement
+		nextOp := 0
+		for step := 0; step < 64 && pos < len(data); step++ {
+			action := int(next()) % 3
+			tb := int(next()) % ntab
+			slot := int(next()) % (3*ii + 1) // fast-path times are >= 0
+			switch action {
+			case 0, 1:
+				want := m.fits(slot, tables[tb])
+				got := m.fitsMask(slot%ii, &compiled[tb])
+				if got != want {
+					t.Fatalf("step %d: fitsMask=%v, fits=%v (II=%d nres=%d t=%d uses %v, owner %v)",
+						step, got, want, ii, nres, slot, tables[tb].Uses, m.owner)
+				}
+				if action == 1 && want {
+					m.place(nextOp, slot, tables[tb])
+					placed = append(placed, placement{nextOp, slot, tb})
+					nextOp++
+				}
+			case 2:
+				if len(placed) == 0 {
+					continue
+				}
+				i := int(next()) % len(placed)
+				pl := placed[i]
+				m.remove(pl.op, pl.t, tables[pl.tab])
+				placed = append(placed[:i], placed[i+1:]...)
+			}
+			for c := range m.owner {
+				bit := m.occ[c>>6]>>(uint(c)&63)&1 == 1
+				if bit != (m.owner[c] != -1) {
+					t.Fatalf("step %d: occ/owner mismatch at cell %d: bit %v, owner %d",
+						step, c, bit, m.owner[c])
+				}
+			}
+		}
+	})
+}

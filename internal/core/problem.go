@@ -79,6 +79,14 @@ type Options struct {
 	// identical to the sequential search for any worker count; only
 	// wall-clock time changes. 0 and 1 mean sequential.
 	SearchWorkers int
+	// ScanMRT disables the compiled placement masks (machine.Compiled)
+	// and answers every MRT fit with the reference use-by-use scan. The
+	// bitset path is a pure accelerator — schedules, alternatives, and
+	// counters are bit-identical either way (pinned by the differential
+	// battery in mrtbitset_test.go) — so this knob, like SearchWorkers,
+	// changes only speed and is excluded from cache keys. It exists for
+	// differential testing and for measuring the masks' benefit.
+	ScanMRT bool
 }
 
 // DefaultOptions returns the configuration recommended by the paper's
@@ -173,6 +181,12 @@ type problem struct {
 	depthPrio []int
 	nodesAll  []int
 	prof      *mii.Profile
+	// opOrd[i] is op i's opcode registration index on the machine — the
+	// row of machine.Compiled holding its placement-mask families. altOff
+	// carves the per-attempt selfConsistent memo (state.selfOK): op i's
+	// alternatives occupy altOff[i] .. altOff[i+1].
+	opOrd  []int
+	altOff []int32
 }
 
 // profile returns the whole-graph cross-II MinDist profile, built once
@@ -195,9 +209,31 @@ func (p *problem) prewarm(algo string) {
 	p.fifoPriority()
 	p.depthPriority()
 	p.allNodes()
+	p.opcodeOrder()
 	if algo == AlgoSlack {
 		p.profile()
 	}
+}
+
+// opcodeOrder returns the per-op opcode registration indices (the rows of
+// machine.Compiled) and, as a side effect, builds the altOff offsets for
+// the per-attempt selfConsistent memo. Computed once per problem.
+func (p *problem) opcodeOrder() []int {
+	if p.opOrd == nil {
+		n := p.loop.NumOps()
+		p.opOrd = make([]int, n)
+		p.altOff = make([]int32, n+1)
+		for i, op := range p.loop.Ops {
+			idx := p.mach.OpcodeIndex(op.Opcode)
+			if idx < 0 {
+				// MustOpcode succeeded in newProblem, so the name exists.
+				panic(InvariantViolation(fmt.Sprintf("core: opcode %q vanished from machine", op.Opcode)))
+			}
+			p.opOrd[i] = idx
+			p.altOff[i+1] = p.altOff[i] + int32(len(p.opcode[i].Alternatives))
+		}
+	}
+	return p.opOrd
 }
 
 // condensation returns the SCCs of the dependence graph in reverse

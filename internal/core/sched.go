@@ -215,6 +215,15 @@ type state struct {
 	never []bool
 	prio  []int // priority value per op
 
+	// comp holds the machine's compiled placement masks at this II
+	// (machine.Compiled, shared globally); nil when Options.ScanMRT asks
+	// for the reference scan. selfOK is the scan path's per-attempt
+	// selfConsistent memo, indexed by p.altOff[op]+ai: 0 unknown, 1
+	// consistent, 2 self-colliding. The compiled path answers the same
+	// question from the family's SelfOK bit.
+	comp   *machine.Compiled
+	selfOK []int8
+
 	// ready is the lazy-deletion max-heap over unscheduled operations
 	// (see ready.go); heapLive gates it to the iterative scheduler.
 	ready    []int
@@ -356,13 +365,43 @@ func (s *state) drive(budget int) (attemptOutcome, error) {
 const ctxCheckMask = 15
 
 func (s *state) hasConsistentAlt(op int) bool {
-	oc := s.p.opcode[op]
-	for _, alt := range oc.Alternatives {
-		if s.mrt.selfConsistent(alt.Table) {
+	for ai := range s.p.opcode[op].Alternatives {
+		if s.altSelfConsistent(op, ai) {
 			return true
 		}
 	}
 	return false
+}
+
+// altSelfConsistent reports whether alternative ai of op can ever be
+// placed at this II (mrt.selfConsistent), answered from the compiled
+// family's SelfOK bit or, on the scan path, from a per-attempt memo so
+// forcedAlternative stops recomputing the O(uses²) check per
+// displacement.
+func (s *state) altSelfConsistent(op, ai int) bool {
+	if s.comp != nil {
+		return s.comp.Alts(s.p.opOrd[op])[ai].SelfOK
+	}
+	idx := int(s.p.altOff[op]) + ai
+	if v := s.selfOK[idx]; v != 0 {
+		return v == 1
+	}
+	ok := s.mrt.selfConsistent(s.p.opcode[op].Alternatives[ai].Table)
+	if ok {
+		s.selfOK[idx] = 1
+	} else {
+		s.selfOK[idx] = 2
+	}
+	return ok
+}
+
+// altFits reports whether alternative ai of op fits the MRT at time t
+// (t >= 0), via the compiled mask when available.
+func (s *state) altFits(op, t, ai int) bool {
+	if s.comp != nil {
+		return s.mrt.fitsMask(t%s.ii, &s.comp.Alts(s.p.opOrd[op])[ai])
+	}
+	return s.mrt.fits(t, s.p.opcode[op].Alternatives[ai].Table)
 }
 
 // highestPriorityOperation returns the unscheduled operation with the
@@ -476,6 +515,16 @@ func (s *state) findTimeSlot(op, minTime, maxTime int) (int, int) {
 // fittingAlternative returns the first alternative of op that has no
 // resource conflict at time t, or -1.
 func (s *state) fittingAlternative(op, t int) int {
+	if s.comp != nil {
+		fams := s.comp.Alts(s.p.opOrd[op])
+		row := t % s.ii
+		for ai := range fams {
+			if s.mrt.fitsMask(row, &fams[ai]) {
+				return ai
+			}
+		}
+		return -1
+	}
 	oc := s.p.opcode[op]
 	for ai, alt := range oc.Alternatives {
 		if s.mrt.fits(t, alt.Table) {
@@ -493,7 +542,7 @@ func (s *state) forcedAlternative(op, slot int) int {
 	oc := s.p.opcode[op]
 	chosen := -1
 	for ai, alt := range oc.Alternatives {
-		if !s.mrt.selfConsistent(alt.Table) {
+		if !s.altSelfConsistent(op, ai) {
 			continue
 		}
 		if chosen == -1 {

@@ -49,6 +49,19 @@ func resetInts(buf []int, n, v int) []int {
 	return buf
 }
 
+// resetInt8s is resetInts for []int8 (the selfConsistent memo).
+func resetInt8s(buf []int8, n int, v int8) []int8 {
+	if cap(buf) < n {
+		buf = make([]int8, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		buf[i] = v
+	}
+	return buf
+}
+
 // resetBools is resetInts for []bool.
 func resetBools(buf []bool, n int, v bool) []bool {
 	if cap(buf) < n {
@@ -78,6 +91,17 @@ func (sc *scratch) newState(p *problem, ii int) *state {
 		s.mrt = &mrt{}
 	}
 	s.mrt.reset(ii, p.mach.NumResources())
+	// opcodeOrder is II-independent but lazily built; prewarm forces it
+	// before the speculative II race forks, so this call is read-only in
+	// candidate goroutines.
+	p.opcodeOrder()
+	if p.opts.ScanMRT {
+		s.comp = nil
+		s.selfOK = resetInt8s(s.selfOK, int(p.altOff[n]), 0)
+	} else {
+		s.comp = p.mach.Compiled(ii)
+		s.selfOK = s.selfOK[:0]
+	}
 	s.ready = s.ready[:0]
 	s.heapLive = false
 	s.unscheduled = n

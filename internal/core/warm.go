@@ -316,7 +316,7 @@ func (s *state) seedFits(op, t, alt int) bool {
 	if t < 0 || alt >= len(oc.Alternatives) {
 		return false
 	}
-	if !s.mrt.fits(t, oc.Alternatives[alt].Table) {
+	if !s.altFits(op, t, alt) {
 		return false
 	}
 	for _, ei := range p.pred[op] {

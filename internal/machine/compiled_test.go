@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"testing"
+)
+
+// maskCells expands a rotation's sparse mask back into linear cell
+// indices.
+func maskCells(ca *CompiledAlt, s int) map[int]bool {
+	out := map[int]bool{}
+	for _, e := range ca.Mask(s) {
+		for b := 0; b < 64; b++ {
+			if e.Bits&(1<<uint(b)) != 0 {
+				out[int(e.Word)*64+b] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestCompileTableMatchesBruteForce(t *testing.T) {
+	tab := MustTable(
+		ResourceUse{Resource: 0, Time: 0},
+		ResourceUse{Resource: 2, Time: 3},
+		ResourceUse{Resource: 1, Time: 7},
+	)
+	for _, ii := range []int{1, 2, 3, 5, 8} {
+		nres := 3
+		ca := CompileTable(tab, ii, nres)
+		for s := 0; s < ii; s++ {
+			want := map[int]bool{}
+			for _, u := range tab.Uses {
+				want[((s+u.Time)%ii)*nres+int(u.Resource)] = true
+			}
+			if got := maskCells(&ca, s); len(got) != len(want) {
+				t.Fatalf("II=%d s=%d: mask has %d cells, want %d", ii, s, len(got), len(want))
+			} else {
+				for c := range want {
+					if !got[c] {
+						t.Fatalf("II=%d s=%d: cell %d missing from mask", ii, s, c)
+					}
+				}
+			}
+		}
+		if !ca.SelfOK {
+			t.Fatalf("II=%d: distinct-resource table flagged self-colliding", ii)
+		}
+	}
+}
+
+func TestCompileTableSelfCollision(t *testing.T) {
+	gap := MustTable(
+		ResourceUse{Resource: 0, Time: 0},
+		ResourceUse{Resource: 0, Time: 5},
+	)
+	if ca := CompileTable(gap, 5, 2); ca.SelfOK {
+		t.Error("5-apart same-resource uses must self-collide at II=5")
+	}
+	if ca := CompileTable(gap, 6, 2); !ca.SelfOK {
+		t.Error("gap table is placeable at II=6")
+	}
+}
+
+func TestCompileTableEmpty(t *testing.T) {
+	ca := CompileTable(ReservationTable{}, 4, 3)
+	if !ca.SelfOK {
+		t.Error("empty table must be self-consistent")
+	}
+	for s := 0; s < 4; s++ {
+		if len(ca.Mask(s)) != 0 {
+			t.Fatalf("rotation %d of the empty table is non-empty", s)
+		}
+	}
+}
+
+func TestCompileTableMultiWord(t *testing.T) {
+	// 70 resources: one MRT row spans two words, so uses land in
+	// different words and the sparse entries must carry both.
+	tab := MustTable(
+		ResourceUse{Resource: 0, Time: 0},
+		ResourceUse{Resource: 69, Time: 0},
+	)
+	ca := CompileTable(tab, 2, 70)
+	for s := 0; s < 2; s++ {
+		cells := maskCells(&ca, s)
+		row := s % 2
+		if !cells[row*70+0] || !cells[row*70+69] {
+			t.Fatalf("rotation %d: cells %v missing expected pair", s, cells)
+		}
+		if len(ca.Mask(s)) < 2 {
+			t.Fatalf("rotation %d: expected entries in two distinct words, got %v", s, ca.Mask(s))
+		}
+	}
+}
+
+// TestCompiledMemoization pins the sharing contract: same fingerprint +
+// II yields the same *Compiled, including across clones; a different II
+// or a mutated machine does not.
+func TestCompiledMemoization(t *testing.T) {
+	m := Cydra5()
+	c1 := m.Compiled(7)
+	if c2 := m.Compiled(7); c2 != c1 {
+		t.Error("same (machine, II) did not memoize")
+	}
+	if c3 := m.Compiled(8); c3 == c1 {
+		t.Error("different II shared a compiled table")
+	}
+	if cc := m.Clone().Compiled(7); cc != c1 {
+		t.Error("clone with identical fingerprint did not share the compiled table")
+	}
+	mut := m.Clone()
+	mut.AddResource("extra")
+	if cm := mut.Compiled(7); cm == c1 {
+		t.Error("mutated clone shared the original's compiled table")
+	}
+	if cm := mut.Compiled(7); cm.NRes != mut.NumResources() {
+		t.Errorf("compiled NRes = %d, want %d", cm.NRes, mut.NumResources())
+	}
+}
+
+func TestFingerprintDigestInvalidation(t *testing.T) {
+	m := Tiny()
+	d1 := m.FingerprintDigest()
+	if d2 := m.FingerprintDigest(); d2 != d1 {
+		t.Error("digest not stable")
+	}
+	m2 := m.Clone()
+	if m2.FingerprintDigest() != d1 {
+		t.Error("clone digest differs from original")
+	}
+	m2.AddResource("extra")
+	if m2.FingerprintDigest() == d1 {
+		t.Error("AddResource did not invalidate the digest")
+	}
+}
+
+func TestOpcodeIndex(t *testing.T) {
+	m := Tiny()
+	ops := m.Opcodes()
+	for i, op := range ops {
+		if got := m.OpcodeIndex(op.Name); got != i {
+			t.Fatalf("OpcodeIndex(%q) = %d, want %d", op.Name, got, i)
+		}
+	}
+	if got := m.OpcodeIndex("no-such-opcode"); got != -1 {
+		t.Fatalf("OpcodeIndex(missing) = %d, want -1", got)
+	}
+}

@@ -12,9 +12,11 @@
 package machine
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Resource identifies a single machine resource by index into
@@ -221,6 +223,11 @@ type Machine struct {
 	Resources []string // resource names, indexed by Resource
 	opcodes   map[string]*Opcode
 	order     []string // opcode insertion order, for deterministic iteration
+	// fp caches the fingerprint digest (FingerprintDigest). AddResource
+	// and AddOpcode invalidate it; like the compile cache's pointer-keyed
+	// memo, it relies on machines being immutable once scheduling starts
+	// (mutating tests work on fresh Clones).
+	fp atomic.Pointer[[sha256.Size]byte]
 }
 
 // New creates an empty machine with the given resource names.
@@ -235,6 +242,7 @@ func New(name string, resources ...string) *Machine {
 // AddResource appends a resource and returns its handle.
 func (m *Machine) AddResource(name string) Resource {
 	m.Resources = append(m.Resources, name)
+	m.fp.Store(nil)
 	return Resource(len(m.Resources) - 1)
 }
 
@@ -264,6 +272,7 @@ func (m *Machine) AddOpcode(op *Opcode) error {
 	}
 	m.opcodes[op.Name] = op
 	m.order = append(m.order, op.Name)
+	m.fp.Store(nil)
 	return nil
 }
 
@@ -350,6 +359,31 @@ func (m *Machine) Fingerprint() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// FingerprintDigest returns the SHA-256 digest of Fingerprint, memoized
+// on the machine (recomputed after AddResource/AddOpcode). The compiled
+// reservation-table cache and the compile cache both key on it, so the
+// hot path pays the fingerprint rendering once per machine, not once per
+// scheduling call.
+func (m *Machine) FingerprintDigest() [sha256.Size]byte {
+	if p := m.fp.Load(); p != nil {
+		return *p
+	}
+	d := sha256.Sum256([]byte(m.Fingerprint()))
+	m.fp.Store(&d)
+	return d
+}
+
+// OpcodeIndex returns the registration-order index of name (the index
+// into Opcodes() and Compiled.Alts), or -1 if the opcode is unknown.
+func (m *Machine) OpcodeIndex(name string) int {
+	for i, n := range m.order {
+		if n == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // NumResources is the number of machine resources.

@@ -10,10 +10,11 @@
 //   - Keys are structural, not pointer-based. A machine.Clone() and its
 //     original hit the same entries (Fingerprint identity); a re-parsed
 //     loop hits the entry of its first parse (looplang.Print identity).
-//     Options participate in the key EXCEPT SearchWorkers: the
-//     speculative II race is bit-identical to the sequential search by
-//     the core determinism suite, so worker count must not fragment the
-//     cache.
+//     Options participate in the key EXCEPT the result-identical knobs
+//     SearchWorkers and ScanMRT: the speculative II race is bit-identical
+//     to the sequential search by the core determinism suite, and the
+//     compiled-mask MRT is bit-identical to the reference scan by the
+//     core differential battery, so neither may fragment the cache.
 //   - Hits return deep copies rebound to the caller's loop and machine
 //     pointers. A caller mutating a returned schedule cannot poison
 //     later hits.
@@ -135,9 +136,10 @@ func (c *Cache) Len() int {
 }
 
 // Key derives the canonical cache key: a hash over the machine
-// fingerprint, the options (minus SearchWorkers — see the package
-// comment), and the loop's structural rendering. Cache.Do computes the
-// same key with the machine fingerprint memoized; keep the two in sync.
+// fingerprint, the options (minus SearchWorkers and ScanMRT — see the
+// package comment), and the loop's structural rendering. Cache.Do
+// computes the same key with the machine fingerprint memoized; keep the
+// two in sync.
 func Key(l *ir.Loop, m *machine.Machine, opts core.Options) string {
 	return keyWith(sha256.Sum256([]byte(m.Fingerprint())), l, opts)
 }
