@@ -3,6 +3,7 @@
 // inspection or for feeding to msched:
 //
 //	corpusgen -out corpus/ [-n 1300] [-seed 19941127] [-kernels] [-workers N]
+//	         [-machine cydra5|generic|tiny|FILE.mach]
 //
 // With -shards it instead writes the seekable sharded corpus format
 // (internal/corpusfile), streaming one generated loop at a time, so a
@@ -36,12 +37,14 @@ func main() {
 		seed    = flag.Int64("seed", 0, "generator seed (default: built-in)")
 		shards  = flag.Int("shards", 0, "write a sharded streaming corpus with this many shards instead of per-loop files")
 		kernsFl = flag.Bool("kernels", false, "emit the Livermore kernel suite instead")
-		list    = flag.Bool("list", false, "print loop names and sizes to stdout instead of writing files")
-		workers = flag.Int("workers", 0, "parallel printer/writer workers (0 = one per CPU)")
+		list     = flag.Bool("list", false, "print loop names and sizes to stdout instead of writing files")
+		workers  = flag.Int("workers", 0, "parallel printer/writer workers (0 = one per CPU)")
+		machSpec = flag.String("machine", "cydra5", "machine model: cydra5, generic, tiny, or a machlang file (docs/machines.md)")
 	)
 	flag.Parse()
 
-	m := machine.Cydra5()
+	m, _, err := machine.ResolveSpec(*machSpec)
+	check(err)
 
 	if *shards > 0 {
 		if *kernsFl || *list {
@@ -55,13 +58,12 @@ func main() {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
-		_, err := experiments.WriteShards(*out, cfg, m, *shards)
-		check(err)
+		_, werr := experiments.WriteShards(*out, cfg, m, *shards)
+		check(werr)
 		fmt.Printf("wrote %d loops to %d shards in %s\n", cfg.N, *shards, *out)
 		return
 	}
 	var loops []*ir.Loop
-	var err error
 	if *kernsFl {
 		loops, err = kernels.All(m)
 	} else {

@@ -11,6 +11,9 @@
 //	experiments -unroll     Section 5 unroll-before-scheduling baseline
 //	experiments -pressure   register-pressure study (extension)
 //	experiments -all        everything above
+//	experiments -matrix D   cross-machine matrix over a machine zoo
+//	                        (a directory of .mach files or a comma-
+//	                        separated list of machine specs)
 //
 // Use -n to shrink the synthetic corpus for quick runs and -seed to vary
 // it.
@@ -25,6 +28,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"modsched/internal/benchrun"
 	"modsched/internal/core"
@@ -50,7 +54,8 @@ func main() {
 		benchOut   = flag.String("benchout", "BENCH_PR7.json", "where -bench writes its JSON report")
 		n          = flag.Int("n", 0, "synthetic corpus size (default: the paper's 1300)")
 		seed       = flag.Int64("seed", 0, "corpus seed (default: built-in)")
-		machName   = flag.String("machine", "cydra5", "machine model: cydra5 (the paper's), generic, tiny")
+		machName   = flag.String("machine", "cydra5", "machine model: cydra5 (the paper's), generic, tiny, or a machlang file")
+		matrix     = flag.String("matrix", "", "cross-machine matrix: comma-separated machine specs (names or .mach files) or a directory of .mach files")
 		workers    = flag.Int("workers", 0, "parallel scheduling workers (0 = one per CPU, 1 = sequential)")
 		useCache   = flag.Bool("cache", false, "memoize compilations across corpus runs with a shared compile cache")
 		streamDir  = flag.String("stream", "", "run the streaming corpus report over the sharded corpus in this directory (see corpusgen -shards)")
@@ -63,7 +68,7 @@ func main() {
 		*doTable3, *doFig6, *doTable4, *doSummary = true, true, true, true
 		*doFig1, *doTable2, *doUnroll, *doPress = true, true, true, true
 	}
-	if !(*doTable3 || *doFig6 || *doTable4 || *doSummary || *doFig1 || *doTable2 || *doUnroll || *doPress || *doBench || *streamDir != "") {
+	if !(*doTable3 || *doFig6 || *doTable4 || *doSummary || *doFig1 || *doTable2 || *doUnroll || *doPress || *doBench || *streamDir != "" || *matrix != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -87,6 +92,21 @@ func main() {
 		}()
 	}
 	ctx := context.Background()
+
+	if *matrix != "" {
+		// The matrix reruns the corpus + Figure 6 sweep per machine and
+		// prints one comparative report; like every harness, the output is
+		// byte-identical for any -workers value, so scripts can diff runs.
+		mms, err := matrixMachines(*matrix)
+		check(err)
+		corpusFor := func(mm *machine.Machine) ([]*ir.Loop, error) {
+			return corpus(mm, *n, *seed), nil
+		}
+		reports, err := experiments.RunMatrix(ctx, mms, corpusFor, experiments.DefaultFig6Ratios(), *workers)
+		check(err)
+		fmt.Print(experiments.FormatMatrix(reports))
+		return
+	}
 
 	if *streamDir != "" {
 		// The report itself is deterministic and goes to stdout so scripts
@@ -129,18 +149,8 @@ func main() {
 		}
 	}
 
-	var m *machine.Machine
-	switch *machName {
-	case "cydra5":
-		m = machine.Cydra5()
-	case "generic":
-		m = machine.Generic(machine.DefaultUnitConfig())
-	case "tiny":
-		m = machine.Tiny()
-	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown machine %q\n", *machName)
-		os.Exit(2)
-	}
+	m, _, err := machine.ResolveSpec(*machName)
+	check(err)
 
 	if *doFig1 {
 		fmt.Println("Figure 1(a): reservation table for a pipelined add")
@@ -222,6 +232,48 @@ func main() {
 		fmt.Printf("Section 5 cost comparison: list %d steps, modulo %d steps + %d unschedules => %.2fx (paper 2.18x)\n",
 			listSteps, modSteps, modUnsch, float64(modSteps+modUnsch)/float64(listSteps))
 	}
+}
+
+// matrixMachines expands the -matrix argument: a directory of .mach
+// files (taken in sorted order) or a comma-separated list of machine
+// specs, each a built-in name or a machlang file path. Display names
+// are the file base name (minus .mach) for files, the spec itself for
+// built-ins.
+func matrixMachines(arg string) ([]experiments.MatrixMachine, error) {
+	var specs []string
+	if st, err := os.Stat(arg); err == nil && st.IsDir() {
+		paths, err := filepath.Glob(filepath.Join(arg, "*.mach"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(paths)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("no .mach files in %s", arg)
+		}
+		specs = paths
+	} else {
+		specs = strings.Split(arg, ",")
+	}
+	mms := make([]experiments.MatrixMachine, 0, len(specs))
+	for _, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		m, _, err := machine.ResolveSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		name := spec
+		if strings.HasSuffix(spec, ".mach") {
+			name = strings.TrimSuffix(filepath.Base(spec), ".mach")
+		}
+		mms = append(mms, experiments.MatrixMachine{Name: name, Machine: m})
+	}
+	if len(mms) == 0 {
+		return nil, fmt.Errorf("empty -matrix machine list %q", arg)
+	}
+	return mms, nil
 }
 
 func corpus(m *machine.Machine, n int, seed int64) []*ir.Loop {

@@ -119,21 +119,25 @@ func runServed(addr string, srcs []input, cf clientFlags, localOne func(input) i
 }
 
 // clientFlags carries the flag subset that travels to the server.
+// machine and machineSource are mutually exclusive: a built-in machine
+// travels by name, a machlang file travels as its full source.
 type clientFlags struct {
-	machine    string
-	budget     float64
-	priority   string
-	delays     string
-	workers    int
-	timeout    time.Duration
-	besteffort bool
+	machine       string
+	machineSource string
+	budget        float64
+	priority      string
+	delays        string
+	workers       int
+	timeout       time.Duration
+	besteffort    bool
 }
 
 func (cf clientFlags) request(in input) server.CompileRequest {
 	req := server.CompileRequest{
-		Name:    in.name,
-		Source:  in.src,
-		Machine: cf.machine,
+		Name:          in.name,
+		Source:        in.src,
+		Machine:       cf.machine,
+		MachineSource: cf.machineSource,
 		Options: &server.OptionsSpec{
 			Budget:   cf.budget,
 			Priority: cf.priority,

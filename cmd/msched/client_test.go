@@ -74,6 +74,9 @@ func TestServerModeMatchesLocal(t *testing.T) {
 		{"single-file", paths[:1], ""},
 		{"stdin", nil, goodLoop},
 		{"machine and options", append([]string{"-machine", "tiny", "-priority", "fifo", "-budget", "4"}, paths[0]), ""},
+		// A machlang file ships inline to the daemon as machine_source;
+		// the served compile must still render byte-identically.
+		{"machine file", append([]string{"-machine", "../../testdata/machines/simd64.mach"}, paths[0]), ""},
 		{"parse error", nil, "loop broken\nnonsense\n"},
 		{"infeasible", nil, impossibleLoop},
 	}

@@ -2,7 +2,7 @@
 // format (see internal/looplang) and prints the resulting schedule and
 // kernel-only code:
 //
-//	msched [-machine cydra5|generic|tiny] [-algo iterative|slack]
+//	msched [-machine cydra5|generic|tiny|FILE.mach] [-algo iterative|slack]
 //	       [-budget 2] [-priority heightr|fifo|depth|recfirst]
 //	       [-delays vliw|conservative] [-timeout 0] [-besteffort]
 //	       [-workers N] [-cache] [-verbose] [-mrt] [-gantt N]
@@ -94,7 +94,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("msched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		machName   = fs.String("machine", "cydra5", "target machine: cydra5, generic, tiny")
+		machName   = fs.String("machine", "cydra5", "target machine: cydra5, generic, tiny, or a machlang file (docs/machines.md)")
 		budget     = fs.Float64("budget", 2, "BudgetRatio: scheduling steps allowed per operation per II attempt")
 		priority   = fs.String("priority", "heightr", "priority function: heightr, fifo, depth, recfirst")
 		algo       = fs.String("algo", "iterative", "scheduling algorithm: iterative (the paper's), slack (Huff)")
@@ -168,16 +168,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 		}()
 	}
 
-	var m *machine.Machine
-	switch *machName {
-	case "cydra5":
-		m = machine.Cydra5()
-	case "generic":
-		m = machine.Generic(machine.DefaultUnitConfig())
-	case "tiny":
-		m = machine.Tiny()
-	default:
-		return fail(exitUsage, "unknown machine %q", *machName)
+	m, machSource, err := machine.ResolveSpec(*machName)
+	if err != nil {
+		return fail(exitUsage, "%v", err)
 	}
 
 	opts := core.DefaultOptions()
@@ -226,11 +219,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (code int) {
 			defer cancel()
 			return compileOne(ctx, in.src, m, opts, nil, lf, stdout, stderr)
 		}
-		return runServed(*serverAddr, srcs, clientFlags{
-			machine: *machName, budget: *budget, priority: *priority,
+		// A file-spec machine travels inline as machlang source; built-in
+		// names travel by name. Either way the server compiles against a
+		// machine whose fingerprint matches the local one, so the output
+		// stays byte-identical to local compilation.
+		cf := clientFlags{
+			budget: *budget, priority: *priority,
 			delays: *delays, workers: *workers, timeout: *timeout,
 			besteffort: *besteffort,
-		}, localOne, stdout, stderr)
+		}
+		if machSource != "" {
+			cf.machineSource = machSource
+		} else {
+			cf.machine = *machName
+		}
+		return runServed(*serverAddr, srcs, cf, localOne, stdout, stderr)
 	}
 
 	var cache *schedcache.Cache

@@ -55,6 +55,8 @@ func TestRunExitCodes(t *testing.T) {
 		{"success besteffort", []string{"-besteffort"}, goodLoop, exitOK, ""},
 		{"bad flag", []string{"-nosuchflag"}, goodLoop, exitUsage, "flag provided but not defined"},
 		{"bad machine", []string{"-machine", "pdp11"}, goodLoop, exitUsage, "unknown machine"},
+		{"bad machine file", []string{"-machine", "/no/such/file.mach"}, goodLoop, exitUsage, "unknown machine"},
+		{"machine file ok", []string{"-machine", "../../testdata/machines/single_issue.mach"}, goodLoop, exitOK, ""},
 		{"bad priority", []string{"-priority", "random"}, goodLoop, exitUsage, "unknown priority"},
 		{"bad algo", []string{"-algo", "magic"}, goodLoop, exitUsage, "unknown algorithm"},
 		{"bad delays", []string{"-delays", "none"}, goodLoop, exitUsage, "unknown delay model"},

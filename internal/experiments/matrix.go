@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// The cross-machine matrix reruns the paper's evaluation per machine:
+// the central claim — II=MII on ~96% of loops — is a function of
+// machine shape, so the matrix schedules one corpus recipe onto every
+// machine of the zoo (testdata/machines) and reports the per-machine
+// achievement rates and the Figure 6 sweep side by side. Machines run
+// in sequence; within a machine the corpus runs on the worker pool with
+// input-order result slots, so the whole report is byte-identical for
+// any worker count, like every other harness in this package.
+
+// MatrixMachine is one column of the matrix: a display name (the file
+// base name, typically) and the machine itself.
+type MatrixMachine struct {
+	Name    string
+	Machine *machine.Machine
+}
+
+// MatrixReport is one machine's share of the matrix.
+type MatrixReport struct {
+	Name  string
+	Loops int
+	// IIEqMII is the fraction of loops achieving II == MII at
+	// BudgetRatio 2 — the paper's headline rate, per machine.
+	IIEqMII float64
+	// MeanIIRatio is the mean II/MII at BudgetRatio 2.
+	MeanIIRatio float64
+	// Dilation and Inefficiency at BudgetRatio 2 (the Figure 6 knee).
+	Dilation     float64
+	Inefficiency float64
+	// Sweep is the full Figure 6 sweep on this machine.
+	Sweep []Fig6Point
+}
+
+// RunMatrix evaluates the corpus recipe on every machine. corpusFor
+// regenerates the corpus against each machine in turn — loops reference
+// opcodes by name, so one generator configuration produces structurally
+// identical loop populations on every machine and the columns are
+// comparable. The per-machine corpus run and sweep reuse the standard
+// harnesses, so each report is byte-identical for any workers value.
+func RunMatrix(ctx context.Context, machines []MatrixMachine, corpusFor func(*machine.Machine) ([]*ir.Loop, error), ratios []float64, workers int) ([]MatrixReport, error) {
+	reports := make([]MatrixReport, 0, len(machines))
+	for _, mm := range machines {
+		loops, err := corpusFor(mm.Machine)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: corpus on %s: %w", mm.Name, err)
+		}
+		rep, err := runMatrixOne(ctx, mm, loops, ratios, workers)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, *rep)
+	}
+	return reports, nil
+}
+
+func runMatrixOne(ctx context.Context, mm MatrixMachine, loops []*ir.Loop, ratios []float64, workers int) (*MatrixReport, error) {
+	sweep, err := Fig6SweepCached(ctx, loops, mm.Machine, ratios, workers, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sweep on %s: %w", mm.Name, err)
+	}
+	// The headline row reads BudgetRatio 2 (the paper's knee); rerun it
+	// for the per-loop data the rates need. Scheduling is deterministic,
+	// so this costs a run but never changes a number.
+	cr, err := RunCorpusCached(ctx, loops, mm.Machine, 2, false, workers, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: corpus on %s: %w", mm.Name, err)
+	}
+	rep := &MatrixReport{Name: mm.Name, Loops: len(cr.Loops), Sweep: sweep}
+	var eq int
+	var ratioSum float64
+	for _, r := range cr.Loops {
+		if r.II == r.MII {
+			eq++
+		}
+		ratioSum += float64(r.II) / float64(r.MII)
+	}
+	if n := len(cr.Loops); n > 0 {
+		rep.IIEqMII = float64(eq) / float64(n)
+		rep.MeanIIRatio = ratioSum / float64(n)
+	}
+	rep.Dilation = cr.AggregateDilation()
+	rep.Inefficiency = cr.AggregateInefficiency()
+	return rep, nil
+}
+
+// FormatMatrix renders the comparative report: one Table-3-style
+// headline block with the per-machine II=MII rates, then the Figure 6
+// sweep per machine. The output is deterministic in the inputs.
+func FormatMatrix(reports []MatrixReport) string {
+	var b strings.Builder
+	b.WriteString("Cross-machine matrix: corpus + Figure 6 sweep per machine\n")
+	b.WriteString("(paper, Cydra 5: II=MII on 96% of loops, mean II/MII 1.01)\n")
+	fmt.Fprintf(&b, "%-16s %8s %10s %12s %13s %10s\n",
+		"Machine", "Loops", "II=MII(%)", "mean II/MII", "Dilation(%)", "Ineff")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-16s %8d %10.1f %12.3f %13.2f %10.3f\n",
+			r.Name, r.Loops, 100*r.IIEqMII, r.MeanIIRatio, 100*r.Dilation, r.Inefficiency)
+	}
+	for _, r := range reports {
+		fmt.Fprintf(&b, "\n-- %s --\n", r.Name)
+		b.WriteString(FormatFig6(r.Sweep))
+	}
+	return b.String()
+}

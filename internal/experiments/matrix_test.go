@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"modsched/internal/ir"
+	"modsched/internal/machine"
+)
+
+// TestMatrixDeterministicAcrossWorkers: the cross-machine matrix report
+// must be byte-identical for any worker count — machines run in
+// sequence and each per-machine harness folds results in input order,
+// so parallelism is invisible in the rendered report.
+func TestMatrixDeterministicAcrossWorkers(t *testing.T) {
+	src, err := os.ReadFile("../../testdata/machines/single_issue.mach")
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := machine.ParseMachine(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []MatrixMachine{
+		{Name: "cydra5", Machine: machine.Cydra5()},
+		{Name: "single_issue", Machine: single},
+	}
+	n := 12
+	if testing.Short() {
+		n = 6
+	}
+	corpusFor := func(m *machine.Machine) ([]*ir.Loop, error) {
+		return SmallCorpus(m, n)
+	}
+	ratios := []float64{1.0, 2.0}
+	ctx := context.Background()
+
+	ref, err := RunMatrix(ctx, machines, corpusFor, ratios, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refText := FormatMatrix(ref)
+	for _, workers := range []int{4, 8} {
+		rep, err := RunMatrix(ctx, machines, corpusFor, ratios, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text := FormatMatrix(rep); text != refText {
+			t.Fatalf("workers=%d: matrix report differs:\n-- workers=1 --\n%s\n-- workers=%d --\n%s",
+				workers, refText, workers, text)
+		}
+	}
+
+	// Sanity on the report shape: every machine appears with the full
+	// corpus (synthetic loops plus the kernel suite) and a rate in (0, 1].
+	wantLoops, err := SmallCorpus(machines[0].Machine, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(machines) {
+		t.Fatalf("got %d reports, want %d", len(ref), len(machines))
+	}
+	for i, r := range ref {
+		if r.Name != machines[i].Name {
+			t.Errorf("report %d name = %q, want %q", i, r.Name, machines[i].Name)
+		}
+		if r.Loops != len(wantLoops) {
+			t.Errorf("%s: scheduled %d loops, want %d", r.Name, r.Loops, len(wantLoops))
+		}
+		if r.IIEqMII <= 0 || r.IIEqMII > 1 {
+			t.Errorf("%s: II=MII rate %.3f out of (0,1]", r.Name, r.IIEqMII)
+		}
+		if len(r.Sweep) != len(ratios) {
+			t.Errorf("%s: sweep has %d points, want %d", r.Name, len(r.Sweep), len(ratios))
+		}
+		if !strings.Contains(refText, r.Name) {
+			t.Errorf("rendered report omits %s", r.Name)
+		}
+	}
+}

@@ -120,16 +120,24 @@ type compiledKey struct {
 	ii int
 }
 
+// compiledEntry is one memoized Compiled with its recency stamp.
+type compiledEntry struct {
+	c       *Compiled
+	lastUse uint64
+}
+
 var (
 	compiledMu    sync.Mutex
-	compiledCache = make(map[compiledKey]*Compiled)
+	compiledCache = make(map[compiledKey]*compiledEntry)
+	compiledClock uint64 // monotone use counter, advanced under compiledMu
 )
 
 // compiledCacheCap bounds the global memo. A corpus run touches one
-// machine at a handful of IIs; when a process juggles more
-// (machine, II) pairs than this, the whole map is dropped and rebuilt
-// on demand — compilation is cheap (O(alternatives · II · uses)), the
-// bound just keeps pathological II ladders from pinning memory.
+// machine at a handful of IIs; the bound keeps pathological II ladders
+// from pinning memory. At capacity the least-recently-used entry is
+// evicted — never the whole map: with a zoo of machines × an II range
+// in one process, dropping everything would wipe the hot machine's
+// whole II ladder mid-search and recompile it per insertion.
 const compiledCacheCap = 64
 
 // Compiled returns the compiled placement masks for m at ii, memoized
@@ -139,23 +147,45 @@ const compiledCacheCap = 64
 func (m *Machine) Compiled(ii int) *Compiled {
 	key := compiledKey{m.FingerprintDigest(), ii}
 	compiledMu.Lock()
-	c := compiledCache[key]
-	compiledMu.Unlock()
-	if c != nil {
+	if e := compiledCache[key]; e != nil {
+		compiledClock++
+		e.lastUse = compiledClock
+		c := e.c
+		compiledMu.Unlock()
 		return c
 	}
-	c = compileMachine(m, ii)
+	compiledMu.Unlock()
+	c := compileMachine(m, ii)
 	compiledMu.Lock()
 	if prev, ok := compiledCache[key]; ok {
-		c = prev
+		compiledClock++
+		prev.lastUse = compiledClock
+		c = prev.c
 	} else {
-		if len(compiledCache) >= compiledCacheCap {
-			clear(compiledCache)
+		for len(compiledCache) >= compiledCacheCap {
+			evictOldestCompiled()
 		}
-		compiledCache[key] = c
+		compiledClock++
+		compiledCache[key] = &compiledEntry{c: c, lastUse: compiledClock}
 	}
 	compiledMu.Unlock()
 	return c
+}
+
+// evictOldestCompiled removes the least-recently-used entry. Caller
+// holds compiledMu. The linear scan is fine at this cap size.
+func evictOldestCompiled() {
+	var victim compiledKey
+	oldest := uint64(0)
+	first := true
+	for k, e := range compiledCache {
+		if first || e.lastUse < oldest {
+			victim, oldest, first = k, e.lastUse, false
+		}
+	}
+	if !first {
+		delete(compiledCache, victim)
+	}
 }
 
 func compileMachine(m *Machine, ii int) *Compiled {

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -144,5 +145,48 @@ func TestOpcodeIndex(t *testing.T) {
 	}
 	if got := m.OpcodeIndex("no-such-opcode"); got != -1 {
 		t.Fatalf("OpcodeIndex(missing) = %d, want -1", got)
+	}
+}
+
+// TestCompiledLRUSurvivesPressure: one machine's II ladder must stay
+// memoized while other machines churn through the cache. The old policy
+// cleared the whole map at capacity, recompiling the hot ladder after
+// every insertion by a cold machine.
+func TestCompiledLRUSurvivesPressure(t *testing.T) {
+	hot := Cydra5()
+	const ladder = 8
+	ptrs := make([]*Compiled, ladder)
+	for ii := 1; ii <= ladder; ii++ {
+		ptrs[ii-1] = hot.Compiled(ii)
+	}
+	// Interleave foreign insertions (2x the cache cap in total) with
+	// ladder touches, the access pattern of an II search running while a
+	// zoo of other machines compiles in the same process.
+	for i := 0; i < 2*compiledCacheCap; i++ {
+		foreign := New(fmt.Sprintf("pressure%d", i), "R")
+		foreign.MustAddOpcode(&Opcode{Name: "x", Latency: 1,
+			Alternatives: []Alternative{{Name: "a", Table: SimpleTable(0)}}})
+		foreign.Compiled(1 + i%4)
+		for ii := 1; ii <= ladder; ii++ {
+			if got := hot.Compiled(ii); got != ptrs[ii-1] {
+				t.Fatalf("after %d foreign insertions, II=%d was recompiled (pointer changed)", i+1, ii)
+			}
+		}
+	}
+}
+
+// TestCompiledCacheBounded: the LRU policy must still enforce the cap.
+func TestCompiledCacheBounded(t *testing.T) {
+	for i := 0; i < 3*compiledCacheCap; i++ {
+		m := New(fmt.Sprintf("bound%d", i), "R")
+		m.MustAddOpcode(&Opcode{Name: "x", Latency: 1,
+			Alternatives: []Alternative{{Name: "a", Table: SimpleTable(0)}}})
+		m.Compiled(2)
+	}
+	compiledMu.Lock()
+	n := len(compiledCache)
+	compiledMu.Unlock()
+	if n > compiledCacheCap {
+		t.Fatalf("compiled cache holds %d entries, cap is %d", n, compiledCacheCap)
 	}
 }

@@ -239,7 +239,10 @@ func New(name string, resources ...string) *Machine {
 	}
 }
 
-// AddResource appends a resource and returns its handle.
+// AddResource appends a resource and returns its handle. Names are not
+// checked here (the handle-returning signature predates validation);
+// Validate rejects empty and duplicate resource names, and the machlang
+// parser rejects them at parse time with source positions.
 func (m *Machine) AddResource(name string) Resource {
 	m.Resources = append(m.Resources, name)
 	m.fp.Store(nil)
@@ -262,7 +265,12 @@ func (m *Machine) AddOpcode(op *Opcode) error {
 	if len(op.Alternatives) == 0 {
 		return fmt.Errorf("machine %s: opcode %q has no alternatives", m.Name, op.Name)
 	}
+	altSeen := make(map[string]bool, len(op.Alternatives))
 	for _, alt := range op.Alternatives {
+		if altSeen[alt.Name] {
+			return fmt.Errorf("machine %s: opcode %q has duplicate alternative %q", m.Name, op.Name, alt.Name)
+		}
+		altSeen[alt.Name] = true
 		for _, u := range alt.Table.Uses {
 			if int(u.Resource) >= len(m.Resources) {
 				return fmt.Errorf("machine %s: opcode %q alternative %q uses unknown resource %d",
@@ -343,14 +351,35 @@ func (m *Machine) Clone() *Machine {
 // every loop identically, so the fingerprint (not the pointer) is the
 // machine's identity in the compile cache key. Clone preserves it:
 // m.Clone().Fingerprint() == m.Fingerprint().
+//
+// Every name is rendered length-prefixed ("5:SrcBusA" style), so names
+// containing the rendering's own delimiters — commas, brackets, spaces,
+// newlines — cannot alias two structurally different machines onto one
+// fingerprint. (An earlier rendering joined names with bare delimiters;
+// digests computed from it, e.g. persisted diskcache entries, are
+// invalidated by this scheme.)
 func (m *Machine) Fingerprint() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "machine %s\nresources %s\n", m.Name, strings.Join(m.Resources, ","))
-	for _, name := range m.order {
-		op := m.opcodes[name]
-		fmt.Fprintf(&b, "op %s lat=%d class=%d", op.Name, op.Latency, int(op.Class))
+	name := func(s string) {
+		fmt.Fprintf(&b, "%d:%s", len(s), s)
+	}
+	b.WriteString("machine ")
+	name(m.Name)
+	b.WriteString("\nresources")
+	for _, r := range m.Resources {
+		b.WriteByte(' ')
+		name(r)
+	}
+	b.WriteByte('\n')
+	for _, opName := range m.order {
+		op := m.opcodes[opName]
+		b.WriteString("op ")
+		name(op.Name)
+		fmt.Fprintf(&b, " lat=%d class=%d", op.Latency, int(op.Class))
 		for _, alt := range op.Alternatives {
-			fmt.Fprintf(&b, " alt %s[", alt.Name)
+			b.WriteString(" alt ")
+			name(alt.Name)
+			b.WriteString("[")
 			for _, u := range alt.Table.Uses {
 				fmt.Fprintf(&b, "%d@%d;", int(u.Resource), u.Time)
 			}
@@ -398,17 +427,43 @@ func (m *Machine) ResourceName(r Resource) string {
 }
 
 // Validate performs whole-machine consistency checks beyond what AddOpcode
-// enforces: every resource must be used by some opcode (dead resources are
-// usually description bugs), and latencies must cover result-bus usage.
+// enforces: resource names must be non-empty and unique (AddResource
+// accepts anything, so descriptions assembled by hand are checked here),
+// every resource must be used by some opcode (dead resources are usually
+// description bugs), alternative names must be unique within each opcode,
+// and latencies must cover reservation spans — including zero-latency
+// opcodes, which may reserve resources at issue only.
 func (m *Machine) Validate() error {
+	resSeen := make(map[string]int, len(m.Resources))
+	for r, rn := range m.Resources {
+		if rn == "" {
+			return fmt.Errorf("machine %s: resource %d has an empty name", m.Name, r)
+		}
+		if prev, dup := resSeen[rn]; dup {
+			return fmt.Errorf("machine %s: duplicate resource name %q (indices %d and %d)", m.Name, rn, prev, r)
+		}
+		resSeen[rn] = r
+	}
 	used := make([]bool, len(m.Resources))
 	for _, name := range m.order {
 		op := m.opcodes[name]
+		altSeen := make(map[string]bool, len(op.Alternatives))
 		for _, alt := range op.Alternatives {
+			if altSeen[alt.Name] {
+				return fmt.Errorf("machine %s: opcode %q has duplicate alternative %q", m.Name, op.Name, alt.Name)
+			}
+			altSeen[alt.Name] = true
 			for _, u := range alt.Table.Uses {
 				used[u.Resource] = true
 			}
-			if s := alt.Table.Span(); op.Latency > 0 && s > op.Latency {
+			// A table may reserve resources through its last latency cycle;
+			// zero-latency opcodes get the issue cycle only (span 1), so a
+			// zero-latency op holding cycles 0..k no longer validates.
+			limit := op.Latency
+			if limit < 1 {
+				limit = 1
+			}
+			if s := alt.Table.Span(); s > limit {
 				return fmt.Errorf("machine %s: opcode %q alternative %q reserves resources through cycle %d, beyond latency %d",
 					m.Name, op.Name, alt.Name, s-1, op.Latency)
 			}

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -307,5 +308,127 @@ func TestClone(t *testing.T) {
 	if len(c.Opcodes()) != len(m.Opcodes())+1 {
 		t.Errorf("clone order slice inconsistent: %d vs %d opcodes",
 			len(c.Opcodes()), len(m.Opcodes()))
+	}
+}
+
+// delimiterCollisionPair builds two structurally different machines whose
+// fingerprints collided under the pre-length-prefix rendering. Machine A
+// has ONE resource named "a,b"; machine B has TWO resources "a" and "b".
+// Machine A's opcode has ONE alternative named "x[] alt y"; machine B's
+// has TWO alternatives "x" and "y". Under the old comma/bracket-delimited
+// rendering both sides produced the identical strings
+// "resources a,b" and " alt x[] alt y[]".
+func delimiterCollisionPair() (*Machine, *Machine) {
+	a := New("m", "a,b")
+	a.MustAddOpcode(&Opcode{Name: "op", Latency: 1,
+		Alternatives: []Alternative{{Name: "x[] alt y", Table: ReservationTable{}}}})
+	b := New("m", "a", "b")
+	b.MustAddOpcode(&Opcode{Name: "op", Latency: 1,
+		Alternatives: []Alternative{
+			{Name: "x", Table: ReservationTable{}},
+			{Name: "y", Table: ReservationTable{}},
+		}})
+	return a, b
+}
+
+// oldFingerprint reproduces the pre-fix rendering so the regression test
+// can prove the pair actually collided before length-prefixing.
+func oldFingerprint(m *Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s\nresources %s\n", m.Name, strings.Join(m.Resources, ","))
+	for _, op := range m.Opcodes() {
+		fmt.Fprintf(&b, "op %s lat=%d class=%d", op.Name, op.Latency, int(op.Class))
+		for _, alt := range op.Alternatives {
+			fmt.Fprintf(&b, " alt %s[", alt.Name)
+			for _, u := range alt.Table.Uses {
+				fmt.Fprintf(&b, "%d@%d;", int(u.Resource), u.Time)
+			}
+			b.WriteString("]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFingerprintDelimiterInjection: names containing the rendering's
+// delimiters must not alias distinct machines onto one fingerprint (or
+// one fingerprint-keyed cache digest).
+func TestFingerprintDelimiterInjection(t *testing.T) {
+	a, b := delimiterCollisionPair()
+	if oldFingerprint(a) != oldFingerprint(b) {
+		t.Fatalf("pair no longer collides under the old rendering; the regression test lost its subject:\n%q\nvs\n%q",
+			oldFingerprint(a), oldFingerprint(b))
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("distinct machines share a fingerprint:\n%s", a.Fingerprint())
+	}
+	if a.FingerprintDigest() == b.FingerprintDigest() {
+		t.Fatal("distinct machines share a fingerprint digest")
+	}
+	// Newline injection: a resource name carrying a whole forged line.
+	c := New("m", "r\nop 5:extra lat=1 class=0")
+	d := New("m", "r")
+	d.MustAddOpcode(&Opcode{Name: "extra", Latency: 1,
+		Alternatives: []Alternative{{Name: "n", Table: ReservationTable{}}}})
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Fatal("newline in a resource name forged another machine's fingerprint")
+	}
+}
+
+// TestValidateResourceNames: Validate must reject empty and duplicate
+// resource names (AddResource cannot — it has no error return).
+func TestValidateResourceNames(t *testing.T) {
+	empty := New("m", "")
+	empty.MustAddOpcode(&Opcode{Name: "x", Latency: 1,
+		Alternatives: []Alternative{{Name: "a", Table: SimpleTable(0)}}})
+	if err := empty.Validate(); err == nil || !strings.Contains(err.Error(), "empty name") {
+		t.Errorf("empty resource name not rejected: %v", err)
+	}
+	dup := New("m", "R", "R")
+	dup.MustAddOpcode(&Opcode{Name: "x", Latency: 1,
+		Alternatives: []Alternative{{Name: "a", Table: SimpleTable(0)}, {Name: "b", Table: SimpleTable(1)}}})
+	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate resource") {
+		t.Errorf("duplicate resource name not rejected: %v", err)
+	}
+}
+
+// TestDuplicateAlternativeNames: rejected at AddOpcode time, and by
+// Validate for descriptions assembled another way.
+func TestDuplicateAlternativeNames(t *testing.T) {
+	m := New("m", "R")
+	err := m.AddOpcode(&Opcode{Name: "x", Latency: 1,
+		Alternatives: []Alternative{{Name: "a", Table: SimpleTable(0)}, {Name: "a", Table: SimpleTable(0)}}})
+	if err == nil || !strings.Contains(err.Error(), "duplicate alternative") {
+		t.Errorf("AddOpcode accepted duplicate alternative names: %v", err)
+	}
+	// Mutating an already-registered opcode bypasses AddOpcode; Validate
+	// must still catch it.
+	m2 := New("m", "R")
+	m2.MustAddOpcode(&Opcode{Name: "x", Latency: 1,
+		Alternatives: []Alternative{{Name: "a", Table: SimpleTable(0)}, {Name: "b", Table: SimpleTable(0)}}})
+	m2.MustOpcode("x").Alternatives[1].Name = "a"
+	if err := m2.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate alternative") {
+		t.Errorf("Validate accepted duplicate alternative names: %v", err)
+	}
+}
+
+// TestValidateZeroLatencySpan: a zero-latency opcode may reserve the
+// issue cycle only; reserving cycles 0..k must no longer validate.
+func TestValidateZeroLatencySpan(t *testing.T) {
+	bad := New("m", "R")
+	bad.MustAddOpcode(&Opcode{Name: "z", Latency: 0,
+		Alternatives: []Alternative{{Name: "a", Table: BlockTable(0, 3)}}})
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "beyond latency") {
+		t.Errorf("zero-latency opcode spanning 3 cycles validated: %v", err)
+	}
+	// Reserving the issue cycle alone stays legal (a port claim with no
+	// register result), as do resource-free pseudo-ops.
+	ok := New("m", "R")
+	ok.MustAddOpcode(&Opcode{Name: "claim", Latency: 0,
+		Alternatives: []Alternative{{Name: "a", Table: SimpleTable(0)}}})
+	ok.MustAddOpcode(&Opcode{Name: "START", Latency: 0, Class: ClassPseudo,
+		Alternatives: []Alternative{{Name: "none", Table: ReservationTable{}}}})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("issue-cycle-only zero-latency opcode rejected: %v", err)
 	}
 }

@@ -1,0 +1,366 @@
+// Machlang is the textual machine-description format, parsed in the
+// style of internal/looplang: line-oriented, strict, with positioned
+// errors. It makes machines data rather than Go code, so the paper's
+// Cydra 5 model, conservative single-issue variants, CGRA-style grids,
+// and wide-SIMD pipelines can all live as files in one machine zoo
+// (testdata/machines/) and be fed to every tool with -machine FILE.
+//
+//	; Figure 1-style shared-bus cluster, abridged
+//	machine demo
+//
+//	resource SrcBus
+//	resource AdderStage
+//	resource ResultBus
+//	resource InstrUnit
+//
+//	op add latency 4 class ialu
+//	alt adder SrcBus@0 AdderStage@1 ResultBus@3
+//
+//	op brtop latency 1 class branch
+//	alt instr InstrUnit@0
+//
+//	op START latency 0 class pseudo
+//	alt none
+//
+// Rules: the first directive must be `machine NAME`; `resource NAME`
+// lines declare resources in index order; `op NAME latency N class C`
+// opens an opcode (C one of load, store, ialu, falu, mul, div, branch,
+// pred, addr, pseudo, other); each following `alt NAME [RES@T ...]`
+// line adds one alternative whose reservation table is the listed
+// (resource, relative time) uses — an alt with no uses is the empty
+// table of a pseudo-operation. Comments run from ';' to end of line.
+// Duplicate resource, opcode, or per-opcode alternative names, unknown
+// resources, and negative times are all rejected at parse time with
+// line:col positions; the parsed machine is additionally Validated, so
+// anything ParseMachine returns is schedulable as-is.
+package machine
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a malformed machine description. Every error
+// returned by ParseMachine is (or wraps) a *ParseError, mirroring
+// looplang's contract so callers can dispatch with errors.As and report
+// source positions.
+//
+// Line and Col are 1-based. Col is 0 when only the line is known, and
+// Line is 0 for whole-input failures (missing header) and for
+// whole-machine validation failures raised after scanning.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+	Err       error // underlying cause, when the failure wraps another error
+}
+
+func (e *ParseError) Error() string {
+	switch {
+	case e.Line > 0 && e.Col > 0:
+		return fmt.Sprintf("machlang: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("machlang: line %d: %s", e.Line, e.Msg)
+	default:
+		return "machlang: " + e.Msg
+	}
+}
+
+// Unwrap exposes the underlying cause (possibly nil) to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// machParser carries the scan state.
+type machParser struct {
+	lines []string // raw source lines, for error columns
+	m     *Machine
+	res   map[string]Resource
+	// cur is the opcode being assembled; curLine positions AddOpcode
+	// failures (duplicate opcode name, most notably) on its `op` line.
+	cur     *Opcode
+	curAlts map[string]bool
+	curLine int
+}
+
+// ParseMachine parses a machlang source into a validated machine. Every
+// error is (or wraps) a *ParseError with the 1-based line (and, where
+// known, column) of the offending token.
+func ParseMachine(src string) (*Machine, error) {
+	p := &machParser{lines: strings.Split(src, "\n"), res: make(map[string]Resource)}
+	for lineNo, raw := range p.lines {
+		n := lineNo + 1
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.directive(n, fields); err != nil {
+			return nil, err
+		}
+	}
+	if p.m == nil {
+		return nil, &ParseError{Msg: "missing 'machine NAME' header"}
+	}
+	if err := p.commitOp(); err != nil {
+		return nil, err
+	}
+	if err := p.m.Validate(); err != nil {
+		return nil, &ParseError{Msg: "invalid machine: " + err.Error(), Err: err}
+	}
+	return p.m, nil
+}
+
+func (p *machParser) directive(n int, fields []string) error {
+	switch fields[0] {
+	case "machine":
+		if len(fields) != 2 {
+			return p.errf(n, "usage: machine NAME")
+		}
+		if p.m != nil {
+			return p.errTok(n, fields[0], "duplicate 'machine' header (already named %q)", p.m.Name)
+		}
+		p.m = New(fields[1])
+		return nil
+	case "resource":
+		if p.m == nil {
+			return p.errTok(n, fields[0], "'resource' before the 'machine NAME' header")
+		}
+		if len(fields) != 2 {
+			return p.errf(n, "usage: resource NAME")
+		}
+		name := fields[1]
+		if strings.Contains(name, "@") {
+			return p.errTok(n, name, "resource name %q may not contain '@' (reserved for RES@TIME uses)", name)
+		}
+		if _, dup := p.res[name]; dup {
+			return p.errTok(n, name, "duplicate resource %q", name)
+		}
+		if p.cur != nil || len(p.m.order) > 0 {
+			return p.errTok(n, fields[0], "'resource' after the first 'op' (declare all resources first)")
+		}
+		p.res[name] = p.m.AddResource(name)
+		return nil
+	case "op":
+		if p.m == nil {
+			return p.errTok(n, fields[0], "'op' before the 'machine NAME' header")
+		}
+		if err := p.commitOp(); err != nil {
+			return err
+		}
+		// op NAME latency N class C
+		if len(fields) != 6 || fields[2] != "latency" || fields[4] != "class" {
+			return p.errf(n, "usage: op NAME latency N class C")
+		}
+		lat, err := strconv.Atoi(fields[3])
+		if err != nil || lat < 0 {
+			return p.errTok(n, fields[3], "bad latency %q (want a non-negative integer)", fields[3])
+		}
+		class, ok := classFromString(fields[5])
+		if !ok {
+			return p.errTok(n, fields[5], "unknown class %q (want load, store, ialu, falu, mul, div, branch, pred, addr, pseudo, or other)", fields[5])
+		}
+		p.cur = &Opcode{Name: fields[1], Latency: lat, Class: class}
+		p.curAlts = make(map[string]bool)
+		p.curLine = n
+		return nil
+	case "alt":
+		if p.cur == nil {
+			return p.errTok(n, fields[0], "'alt' outside an 'op' block")
+		}
+		if len(fields) < 2 {
+			return p.errf(n, "usage: alt NAME [RES@TIME ...]")
+		}
+		name := fields[1]
+		if p.curAlts[name] {
+			return p.errTok(n, name, "opcode %q already has an alternative %q", p.cur.Name, name)
+		}
+		uses := make([]ResourceUse, 0, len(fields)-2)
+		for _, tok := range fields[2:] {
+			at := strings.LastIndex(tok, "@")
+			if at < 0 {
+				return p.errTok(n, tok, "bad use %q (want RES@TIME)", tok)
+			}
+			rn, ts := tok[:at], tok[at+1:]
+			r, ok := p.res[rn]
+			if !ok {
+				return p.errTok(n, tok, "unknown resource %q", rn)
+			}
+			tm, err := strconv.Atoi(ts)
+			if err != nil || tm < 0 {
+				return p.errTok(n, tok, "bad time %q in use %q (want a non-negative integer)", ts, tok)
+			}
+			uses = append(uses, ResourceUse{Resource: r, Time: tm})
+		}
+		tab, err := NewTable(uses...)
+		if err != nil {
+			return p.errf(n, "%v", err)
+		}
+		p.curAlts[name] = true
+		p.cur.Alternatives = append(p.cur.Alternatives, Alternative{Name: name, Table: tab})
+		return nil
+	default:
+		return p.errTok(n, fields[0], "unknown directive %q (want machine, resource, op, or alt)", fields[0])
+	}
+}
+
+// commitOp registers the opcode being assembled, positioning any
+// AddOpcode failure (a duplicate opcode name, an alternative-free
+// opcode) on its 'op' line.
+func (p *machParser) commitOp() error {
+	if p.cur == nil {
+		return nil
+	}
+	op := p.cur
+	p.cur, p.curAlts = nil, nil
+	if err := p.m.AddOpcode(op); err != nil {
+		return &ParseError{Line: p.curLine, Msg: err.Error(), Err: err}
+	}
+	return nil
+}
+
+// errf builds a line-positioned ParseError (column unknown).
+func (p *machParser) errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errTok builds a ParseError positioned at the first occurrence of tok
+// on the given source line, preferring separator-delimited matches so
+// short tokens point at the operand rather than an earlier substring.
+func (p *machParser) errTok(line int, tok, format string, args ...any) error {
+	col := 0
+	if tok != "" && line >= 1 && line <= len(p.lines) {
+		if i := indexMachToken(p.lines[line-1], tok); i >= 0 {
+			col = i + 1
+		}
+	}
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func indexMachToken(s, tok string) int {
+	isSep := func(b byte) bool {
+		switch b {
+		case ' ', '\t', ';':
+			return true
+		}
+		return false
+	}
+	// Walk the strings.Index match chain rather than scanning byte by
+	// byte: adversarial inputs (a megabyte of one repeated letter) make
+	// the naive scan quadratic. The candidate cap bounds pathological
+	// self-overlapping matches; past it we settle for the first raw hit.
+	first := -1
+	for off, tries := 0, 0; off+len(tok) <= len(s) && tries < 64; tries++ {
+		i := strings.Index(s[off:], tok)
+		if i < 0 {
+			break
+		}
+		i += off
+		if first < 0 {
+			first = i
+		}
+		leftOK := i == 0 || isSep(s[i-1])
+		rightOK := i+len(tok) == len(s) || isSep(s[i+len(tok)])
+		if leftOK && rightOK {
+			return i
+		}
+		off = i + 1
+	}
+	return first
+}
+
+// classFromString is the inverse of OpClass.String.
+func classFromString(s string) (OpClass, bool) {
+	switch s {
+	case "load":
+		return ClassMemLoad, true
+	case "store":
+		return ClassMemStore, true
+	case "ialu":
+		return ClassIntALU, true
+	case "falu":
+		return ClassFloatALU, true
+	case "mul":
+		return ClassMul, true
+	case "div":
+		return ClassDiv, true
+	case "branch":
+		return ClassBranch, true
+	case "pred":
+		return ClassPredicate, true
+	case "addr":
+		return ClassAddress, true
+	case "pseudo":
+		return ClassPseudo, true
+	case "other":
+		return ClassOther, true
+	default:
+		return ClassOther, false
+	}
+}
+
+// PrintMachine renders a machine in the machlang format. For machines
+// whose names are machlang-representable (no whitespace, ';', or — for
+// resources — '@'; true of everything the parser itself produces), the
+// output re-parses to a machine with an identical fingerprint, and
+// PrintMachine is a fixpoint thereafter.
+func PrintMachine(m *Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s\n\n", m.Name)
+	for _, r := range m.Resources {
+		fmt.Fprintf(&b, "resource %s\n", r)
+	}
+	for _, op := range m.Opcodes() {
+		fmt.Fprintf(&b, "\nop %s latency %d class %s\n", op.Name, op.Latency, op.Class)
+		for _, alt := range op.Alternatives {
+			fmt.Fprintf(&b, "alt %s", alt.Name)
+			for _, u := range alt.Table.Uses {
+				fmt.Fprintf(&b, " %s@%d", m.ResourceName(u.Resource), u.Time)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// LoadMachineFile reads and parses one machlang file. The machine comes
+// back validated (ParseMachine runs Validate); errors wrap *ParseError
+// with the file path prefixed.
+func LoadMachineFile(path string) (*Machine, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, perr := ParseMachine(string(src))
+	if perr != nil {
+		return nil, fmt.Errorf("%s: %w", path, perr)
+	}
+	return m, nil
+}
+
+// ResolveSpec resolves a -machine flag value: one of the built-in names
+// (cydra5, generic, tiny; empty means cydra5) or a path to a machlang
+// file. For file specs it also returns the machlang source, so clients
+// that ship the machine over the wire (msched -server) send exactly the
+// bytes they compiled against locally; built-ins return an empty source.
+func ResolveSpec(spec string) (m *Machine, source string, err error) {
+	switch spec {
+	case "", "cydra5":
+		return Cydra5(), "", nil
+	case "generic":
+		return Generic(DefaultUnitConfig()), "", nil
+	case "tiny":
+		return Tiny(), "", nil
+	}
+	src, rerr := os.ReadFile(spec)
+	if rerr != nil {
+		return nil, "", fmt.Errorf("unknown machine %q (want cydra5, generic, tiny, or a machlang file): %v", spec, rerr)
+	}
+	m, perr := ParseMachine(string(src))
+	if perr != nil {
+		return nil, "", fmt.Errorf("%s: %w", spec, perr)
+	}
+	return m, string(src), nil
+}

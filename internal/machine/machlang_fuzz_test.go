@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzMachlangRoundTrip: for any input, ParseMachine must either reject
+// with a *ParseError (never panic, never another error type), or accept
+// and produce a machine whose printed form re-parses to an identical
+// fingerprint, with PrintMachine a fixpoint thereafter. Seeded from
+// literal snippets plus the machine zoo.
+func FuzzMachlangRoundTrip(f *testing.F) {
+	seeds := []string{
+		machlangDemo,
+		"machine m\nresource R\nop add latency 1 class ialu\nalt a R@0\n",
+		"machine m\nresource R\nop nop latency 0 class pseudo\nalt none\n",
+		"machine m\nresource A\nresource B\nop x latency 3 class mul\nalt p A@0 B@1\nalt q B@0 A@1\n",
+		"machine m\nop x latency 1 class other\n",
+		"resource R\n",
+		"machine m\nresource R\nalt a R@0\n",
+		"machine m\nresource A@B\n",
+		"; comment only\n",
+		"machine m\nresource R\nop d latency 4 class div\nalt b R@0 R@1 R@2 R@3\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	if zoo, err := filepath.Glob(filepath.Join(zooDir, "*.mach")); err == nil {
+		for _, path := range zoo {
+			if src, err := os.ReadFile(path); err == nil {
+				f.Add(string(src))
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseMachine(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection is not a *ParseError: %T %v", err, err)
+			}
+			if pe.Line < 0 || pe.Line > strings.Count(src, "\n")+1 {
+				t.Fatalf("ParseError.Line %d outside input", pe.Line)
+			}
+			return
+		}
+		text := PrintMachine(m)
+		m2, err := ParseMachine(text)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput:\n%s\nprinted:\n%s", err, src, text)
+		}
+		if m.Fingerprint() != m2.Fingerprint() {
+			t.Fatalf("fingerprint changed across print/parse\nprinted:\n%s", text)
+		}
+		if text2 := PrintMachine(m2); text2 != text {
+			t.Fatalf("PrintMachine is not a fixpoint:\n%s\n-- vs --\n%s", text, text2)
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package machine
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const machlangDemo = `; minimal two-unit machine
+machine demo
+
+resource Issue
+resource Adder
+resource ResultBus
+
+op add latency 4 class ialu
+alt adder Issue@0 Adder@1 ResultBus@3
+
+op brtop latency 1 class branch
+alt issue Issue@0
+
+op START latency 0 class pseudo
+alt none
+`
+
+func TestParseMachineDemo(t *testing.T) {
+	m, err := ParseMachine(machlangDemo)
+	if err != nil {
+		t.Fatalf("ParseMachine: %v", err)
+	}
+	if m.Name != "demo" {
+		t.Errorf("name = %q, want demo", m.Name)
+	}
+	if got := len(m.Resources); got != 3 {
+		t.Errorf("resources = %d, want 3", got)
+	}
+	add := m.MustOpcode("add")
+	if add.Latency != 4 || add.Class != ClassIntALU {
+		t.Errorf("add = lat %d class %v, want lat 4 class ialu", add.Latency, add.Class)
+	}
+	if len(add.Alternatives) != 1 || len(add.Alternatives[0].Table.Uses) != 3 {
+		t.Errorf("add alternatives = %+v, want one alt with 3 uses", add.Alternatives)
+	}
+	start := m.MustOpcode("START")
+	if len(start.Alternatives) != 1 || len(start.Alternatives[0].Table.Uses) != 0 {
+		t.Errorf("START should have one empty-table alternative, got %+v", start.Alternatives)
+	}
+}
+
+func TestParseMachineMalformed(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		line, col int    // expected position (col 0: line-only)
+		contains  string // substring of the message
+	}{
+		{"empty input", "", 0, 0, "missing 'machine NAME' header"},
+		{"comment only", "; nothing here\n", 0, 0, "missing 'machine NAME' header"},
+		{"resource before header", "resource R\n", 1, 1, "before the 'machine NAME' header"},
+		{"op before header", "op add latency 1 class ialu\n", 1, 1, "before the 'machine NAME' header"},
+		{"duplicate header", "machine a\nmachine b\n", 2, 1, "duplicate 'machine' header"},
+		{"machine arity", "machine a b\n", 1, 0, "usage: machine NAME"},
+		{"resource arity", "machine m\nresource\n", 2, 0, "usage: resource NAME"},
+		{"duplicate resource", "machine m\nresource R\nresource R\n", 3, 10, `duplicate resource "R"`},
+		{"resource with @", "machine m\nresource A@B\n", 2, 10, "may not contain '@'"},
+		{"resource after op", "machine m\nresource R\nop add latency 1 class ialu\nalt a R@0\nresource S\n", 5, 1, "after the first 'op'"},
+		{"op arity", "machine m\nop add latency 1\n", 2, 0, "usage: op NAME latency N class C"},
+		{"op keywords", "machine m\nop add lat 1 class ialu extra\n", 2, 0, "usage: op NAME latency N class C"},
+		{"bad latency", "machine m\nop add latency -2 class ialu\n", 2, 16, `bad latency "-2"`},
+		{"latency not a number", "machine m\nop add latency x class ialu\n", 2, 16, `bad latency "x"`},
+		{"unknown class", "machine m\nop add latency 1 class alu\n", 2, 24, `unknown class "alu"`},
+		{"alt outside op", "machine m\nresource R\nalt a R@0\n", 3, 1, "'alt' outside an 'op' block"},
+		{"alt arity", "machine m\nresource R\nop add latency 1 class ialu\nalt\n", 4, 0, "usage: alt NAME"},
+		{"duplicate alt", "machine m\nresource R\nop add latency 1 class ialu\nalt a R@0\nalt a R@0\n", 5, 5, `already has an alternative "a"`},
+		{"use without @", "machine m\nresource R\nop add latency 1 class ialu\nalt a R0\n", 4, 7, `bad use "R0"`},
+		{"unknown resource", "machine m\nresource R\nop add latency 1 class ialu\nalt a S@0\n", 4, 7, `unknown resource "S"`},
+		{"bad time", "machine m\nresource R\nop add latency 1 class ialu\nalt a R@x\n", 4, 7, `bad time "x"`},
+		{"negative time", "machine m\nresource R\nop add latency 2 class ialu\nalt a R@-1\n", 4, 7, `bad time "-1"`},
+		{"duplicate use", "machine m\nresource R\nop add latency 1 class ialu\nalt a R@0 R@0\n", 4, 0, "duplicate reservation table use"},
+		{"duplicate op", "machine m\nresource R\nop add latency 1 class ialu\nalt a R@0\nop add latency 1 class ialu\nalt a R@0\n", 5, 0, `duplicate opcode "add"`},
+		{"op without alts", "machine m\nresource R\nop add latency 1 class ialu\nop sub latency 1 class ialu\nalt a R@0\n", 3, 0, "no alternatives"},
+		{"trailing op without alts", "machine m\nresource R\nop add latency 1 class ialu\n", 3, 0, "no alternatives"},
+		{"unknown directive", "machine m\nfrobnicate\n", 2, 1, `unknown directive "frobnicate"`},
+		{"span exceeds latency", "machine m\nresource R\nop add latency 1 class ialu\nalt a R@0 R@1\n", 0, 0, "invalid machine"},
+		{"zero latency span", "machine m\nresource R\nop nop latency 0 class pseudo\nalt a R@0 R@1\n", 0, 0, "invalid machine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseMachine(tc.src)
+			if err == nil {
+				t.Fatalf("ParseMachine accepted %q", tc.src)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ParseError", err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line = %d, want %d (err: %v)", pe.Line, tc.line, err)
+			}
+			if tc.col != 0 && pe.Col != tc.col {
+				t.Errorf("col = %d, want %d (err: %v)", pe.Col, tc.col, err)
+			}
+			if !strings.Contains(err.Error(), tc.contains) {
+				t.Errorf("error %q does not contain %q", err.Error(), tc.contains)
+			}
+		})
+	}
+}
+
+// TestMachlangRoundTrip checks parse → Print → parse fingerprint
+// equality and the Print fixpoint for the in-repo constructors.
+func TestMachlangRoundTrip(t *testing.T) {
+	for _, m := range []*Machine{Cydra5(), Tiny(), mustParse(t, machlangDemo)} {
+		src := PrintMachine(m)
+		got, err := ParseMachine(src)
+		if err != nil {
+			t.Fatalf("%s: reparse of PrintMachine output failed: %v\n%s", m.Name, err, src)
+		}
+		if got.Fingerprint() != m.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across print/parse", m.Name)
+		}
+		if again := PrintMachine(got); again != src {
+			t.Errorf("%s: PrintMachine is not a fixpoint", m.Name)
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *Machine {
+	t.Helper()
+	m, err := ParseMachine(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const zooDir = "../../testdata/machines"
+
+// TestMachineZoo parses every machine in the zoo, requiring each to
+// validate, round-trip, and carry the full opcode repertoire the loop
+// generators emit — so any corpus loop is portable to any zoo machine.
+func TestMachineZoo(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(zooDir, "*.mach"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("machine zoo has %d files, want at least 4: %v", len(files), files)
+	}
+	repertoire := []string{
+		"load", "store", "pset", "preset", "aadd", "asub",
+		"add", "sub", "cmp", "copy", "sel", "fadd", "fsub",
+		"mul", "fmul", "div", "fdiv", "fsqrt", "brtop", "START", "STOP",
+	}
+	seen := make(map[string]bool)
+	for _, f := range files {
+		m, err := LoadMachineFile(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if seen[m.Name] {
+			t.Errorf("%s: duplicate machine name %q in zoo", f, m.Name)
+		}
+		seen[m.Name] = true
+		for _, opName := range repertoire {
+			if _, ok := m.Opcode(opName); !ok {
+				t.Errorf("%s: missing opcode %q (corpus loops will not schedule)", f, opName)
+			}
+		}
+		src, rerr := os.ReadFile(f)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		reparsed, perr := ParseMachine(PrintMachine(m))
+		if perr != nil {
+			t.Errorf("%s: PrintMachine output does not reparse: %v", f, perr)
+		} else if reparsed.Fingerprint() != m.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across print/parse", f)
+		}
+		_ = src
+	}
+}
+
+// TestCydra5MachFileMatchesConstructor pins the acceptance criterion:
+// testdata/machines/cydra5.mach reproduces the hardcoded Cydra5()
+// machine exactly, fingerprint digest and all, so file-driven and
+// constructor-driven runs hit the same cache entries.
+func TestCydra5MachFileMatchesConstructor(t *testing.T) {
+	m, err := LoadMachineFile(filepath.Join(zooDir, "cydra5.mach"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Cydra5()
+	if m.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("cydra5.mach fingerprint differs from Cydra5():\nfile:\n%s\nconstructor:\n%s",
+			m.Fingerprint(), want.Fingerprint())
+	}
+	if m.FingerprintDigest() != want.FingerprintDigest() {
+		t.Fatal("cydra5.mach digest differs from Cydra5()")
+	}
+}
+
+func TestLoadMachineFileErrors(t *testing.T) {
+	if _, err := LoadMachineFile(filepath.Join(zooDir, "no_such.mach")); err == nil {
+		t.Error("LoadMachineFile on a missing path should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.mach")
+	if err := os.WriteFile(bad, []byte("machine m\nbogus\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadMachineFile(bad)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("LoadMachineFile error %v does not wrap *ParseError", err)
+	}
+	if !strings.Contains(err.Error(), "bad.mach") {
+		t.Errorf("error %q does not name the file", err)
+	}
+}

@@ -303,3 +303,30 @@ func BenchmarkCacheHit(b *testing.B) {
 		}
 	}
 }
+
+// TestKeyDistinctForDelimiterCollidingMachines: the machine half of the
+// cache key is the fingerprint digest, so the delimiter-injection pair
+// from the machine package's regression test (one resource "a,b" vs two
+// resources "a" and "b"; one alternative "x[] alt y" vs two alternatives
+// "x" and "y") must occupy distinct cache keys — under the old rendering
+// they shared one and poisoned every fingerprint-keyed layer.
+func TestKeyDistinctForDelimiterCollidingMachines(t *testing.T) {
+	a := machine.New("m", "a,b")
+	a.MustAddOpcode(&machine.Opcode{Name: "op", Latency: 1,
+		Alternatives: []machine.Alternative{{Name: "x[] alt y"}}})
+	b := machine.New("m", "a", "b")
+	b.MustAddOpcode(&machine.Opcode{Name: "op", Latency: 1,
+		Alternatives: []machine.Alternative{{Name: "x"}, {Name: "y"}}})
+
+	bld := ir.NewBuilder("l", nil)
+	bld.Effect("op", bld.Invariant("p"))
+	l, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	ka, kb := Key(l, a, opts), Key(l, b, opts)
+	if ka == kb {
+		t.Fatalf("delimiter-colliding machines share the cache key %s", ka)
+	}
+}

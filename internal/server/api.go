@@ -77,7 +77,15 @@ type CompileRequest struct {
 	// Source is the loop in the textual loop format (docs/loop-format.md).
 	Source string `json:"source"`
 	// Machine names the target: "cydra5" (default), "generic", "tiny".
+	// Mutually exclusive with MachineSource.
 	Machine string `json:"machine,omitempty"`
+	// MachineSource is a full machine description in the machlang format
+	// (docs/machines.md) for compiling against a custom target. The
+	// server parses and validates it, then keys every cache and routing
+	// layer by the machine's fingerprint — a custom machine behaves
+	// exactly like a built-in with a different digest. Mutually exclusive
+	// with Machine.
+	MachineSource string `json:"machine_source,omitempty"`
 	// Options tunes the scheduler; zero fields keep the paper defaults.
 	Options *OptionsSpec `json:"options,omitempty"`
 	// TimeoutMS bounds this compile in milliseconds. The server clamps it

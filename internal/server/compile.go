@@ -38,18 +38,39 @@ func classify(err error) (kind string, status int) {
 	}
 }
 
-// machineFor resolves a request's machine name to the server's shared
-// instance. Sharing one instance per name matters beyond allocation: the
-// compile cache memoizes machine fingerprints by pointer, so a stable
-// pointer keeps every request on the memoized fast path.
-func (s *Server) machineFor(name string) (*machine.Machine, *ErrorResponse) {
+// machineFor resolves a request's machine — a built-in name or an
+// inline machlang source — to a shared instance. Sharing one instance
+// per name (or per source digest, for inline machines) matters beyond
+// allocation: the compile cache memoizes machine fingerprints by
+// pointer, so a stable pointer keeps every request on the memoized fast
+// path. Inline sources that fail to parse map to KindParse, exactly as
+// loop sources do; a validation failure inside one maps to KindInvalid.
+func (s *Server) machineFor(req *CompileRequest) (*machine.Machine, *ErrorResponse) {
+	if req.MachineSource != "" {
+		if req.Machine != "" {
+			return nil, &ErrorResponse{Kind: KindInvalid, Error: "machine and machine_source are mutually exclusive"}
+		}
+		m, err := inlineMachine(req.MachineSource)
+		if err != nil {
+			var pe *machine.ParseError
+			kind := KindParse
+			if errors.As(err, &pe) && pe.Line == 0 && pe.Err != nil {
+				// Validate failures surface wrapped in a line-less
+				// ParseError; they are semantic, not syntactic.
+				kind = KindInvalid
+			}
+			return nil, &ErrorResponse{Kind: kind, Error: err.Error()}
+		}
+		return m, nil
+	}
+	name := req.Machine
 	if name == "" {
 		name = "cydra5"
 	}
 	if m, ok := s.machines[name]; ok {
 		return m, nil
 	}
-	return nil, &ErrorResponse{Kind: KindInvalid, Error: "unknown machine " + quote(name) + " (want cydra5, generic, or tiny)"}
+	return nil, &ErrorResponse{Kind: KindInvalid, Error: "unknown machine " + quote(name) + " (want cydra5, generic, tiny, or an inline machine_source)"}
 }
 
 // buildOptions translates the request's option spec into scheduler
@@ -138,7 +159,7 @@ func (s *Server) compileItem(ctx context.Context, req *CompileRequest) BatchItem
 // errors exactly as they do in the CLI), then the cached best-effort
 // compile, then kernel lowering.
 func (s *Server) compileOne(ctx context.Context, req *CompileRequest) (*CompileResponse, *ErrorResponse, int) {
-	m, errResp := s.machineFor(req.Machine)
+	m, errResp := s.machineFor(req)
 	if errResp != nil {
 		return nil, errResp, http.StatusUnprocessableEntity
 	}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"modsched/internal/machine"
+)
+
+// Inline machines (CompileRequest.MachineSource) are parsed once per
+// distinct source and memoized process-wide by source digest. The memo
+// exists for pointer stability, not just speed: the compile cache and
+// the compiled-mask cache memoize machine fingerprints through the
+// *Machine's own atomic digest cache, so handing every request for the
+// same source the same instance keeps them all on the memoized fast
+// path — exactly the property Server.machines gives the built-ins.
+// Shared by the server's compile path and the front proxy's RouteKey
+// (which parses the machine to derive the routing fingerprint).
+
+type inlineEntry struct {
+	m       *machine.Machine
+	lastUse uint64
+}
+
+var (
+	inlineMu    sync.Mutex
+	inlineCache = make(map[[sha256.Size]byte]*inlineEntry)
+	inlineClock uint64
+)
+
+// inlineCacheCap bounds the memo; a serving fleet sees a handful of
+// custom machines, not an unbounded stream. LRU eviction, like the
+// compiled-mask cache: dropping everything would force the hot custom
+// machine to re-parse (and re-fingerprint) per request under pressure.
+const inlineCacheCap = 32
+
+// inlineMachine parses a machlang source, memoized by digest. Errors
+// are not cached — a malformed source re-parses per request, which is
+// fine because rejection is cheap and carries the position diagnostics.
+func inlineMachine(src string) (*machine.Machine, error) {
+	key := sha256.Sum256([]byte(src))
+	inlineMu.Lock()
+	if e := inlineCache[key]; e != nil {
+		inlineClock++
+		e.lastUse = inlineClock
+		m := e.m
+		inlineMu.Unlock()
+		return m, nil
+	}
+	inlineMu.Unlock()
+	m, err := machine.ParseMachine(src)
+	if err != nil {
+		return nil, err
+	}
+	inlineMu.Lock()
+	if prev, ok := inlineCache[key]; ok {
+		inlineClock++
+		prev.lastUse = inlineClock
+		m = prev.m
+	} else {
+		for len(inlineCache) >= inlineCacheCap {
+			evictOldestInline()
+		}
+		inlineClock++
+		inlineCache[key] = &inlineEntry{m: m, lastUse: inlineClock}
+	}
+	inlineMu.Unlock()
+	return m, nil
+}
+
+// evictOldestInline removes the least-recently-used entry; caller holds
+// inlineMu.
+func evictOldestInline() {
+	var victim [sha256.Size]byte
+	oldest := uint64(0)
+	first := true
+	for k, e := range inlineCache {
+		if first || e.lastUse < oldest {
+			victim, oldest, first = k, e.lastUse, false
+		}
+	}
+	if !first {
+		delete(inlineCache, victim)
+	}
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"modsched/internal/jobs"
+	"modsched/internal/machine"
+)
+
+// TestInlineMachineMatchesNamed: a machine shipped inline as machlang
+// source must compile to the byte-identical response the same machine
+// produces under its built-in name — the wire format is an encoding
+// detail, not a semantic input.
+func TestInlineMachineMatchesNamed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	inline := machine.PrintMachine(machine.Cydra5())
+
+	status, named, _ := postJSONBody(t, ts.URL+"/compile", CompileRequest{Source: daxpySource, Machine: "cydra5"})
+	if status != http.StatusOK {
+		t.Fatalf("named compile status = %d: %s", status, named)
+	}
+	status, got, _ := postJSONBody(t, ts.URL+"/compile", CompileRequest{Source: daxpySource, MachineSource: inline})
+	if status != http.StatusOK {
+		t.Fatalf("inline compile status = %d: %s", status, got)
+	}
+	if !bytes.Equal(named, got) {
+		t.Fatalf("inline machine response diverges from named:\n-- named --\n%s\n-- inline --\n%s", named, got)
+	}
+}
+
+// TestInlineMachineErrors pins the error taxonomy for inline machines:
+// syntax errors are KindParse with a position (like loop sources),
+// semantic rejections from Validate are KindInvalid, and mixing a name
+// with a source is refused outright.
+func TestInlineMachineErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	valid := machine.PrintMachine(machine.Tiny())
+
+	cases := []struct {
+		name    string
+		req     CompileRequest
+		kind    string
+		wantSub string
+	}{
+		{
+			"mutually exclusive",
+			CompileRequest{Source: daxpySource, Machine: "tiny", MachineSource: valid},
+			KindInvalid, "mutually exclusive",
+		},
+		{
+			"syntax error carries position",
+			CompileRequest{Source: daxpySource, MachineSource: "machine m\nresource R\nop x latency q class ialu\nalt a R@0\n"},
+			KindParse, "line 3",
+		},
+		{
+			"missing header",
+			CompileRequest{Source: daxpySource, MachineSource: "resource R\n"},
+			KindParse, "machine NAME",
+		},
+		{
+			"validate failure is semantic",
+			CompileRequest{Source: daxpySource, MachineSource: "machine m\n\nresource Issue\nresource Unused\n\nop add latency 1 class ialu\nalt a Issue@0\n"},
+			KindInvalid, "Unused",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, _ := postJSONBody(t, ts.URL+"/compile", tc.req)
+			if status != http.StatusUnprocessableEntity {
+				t.Fatalf("status = %d, want 422: %s", status, body)
+			}
+			var eresp ErrorResponse
+			if err := json.Unmarshal(body, &eresp); err != nil {
+				t.Fatalf("decode: %v: %s", err, body)
+			}
+			if eresp.Kind != tc.kind {
+				t.Errorf("kind = %q, want %q (%s)", eresp.Kind, tc.kind, eresp.Error)
+			}
+			if !strings.Contains(eresp.Error, tc.wantSub) {
+				t.Errorf("error %q does not mention %q", eresp.Error, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestInlineMachineMemo: repeated requests for the same source must
+// share one *Machine instance — the compile and compiled-mask caches
+// memoize fingerprints through the machine's pointer, so instance
+// churn would silently bypass both fast paths.
+func TestInlineMachineMemo(t *testing.T) {
+	src := machine.PrintMachine(machine.Generic(machine.DefaultUnitConfig()))
+	m1, err := inlineMachine(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := inlineMachine(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("same source parsed to distinct instances; memo is not pointer-stable")
+	}
+	if _, err := inlineMachine("resource R\n"); err == nil {
+		t.Fatal("malformed source accepted")
+	}
+}
+
+// TestRouteKeyInlineMatchesNamed: an inline machine routes by its
+// parsed fingerprint, so the same machine shipped inline or named hashes
+// to the same replica home, the same schedcache key, and the same
+// idempotent job id.
+func TestRouteKeyInlineMatchesNamed(t *testing.T) {
+	s := New(Config{})
+	inline := machine.PrintMachine(machine.Cydra5())
+	reqInline := &CompileRequest{Source: daxpySource, MachineSource: inline}
+	reqNamed := &CompileRequest{Source: daxpySource, Machine: "cydra5"}
+
+	kI, ok := RouteKey(reqInline)
+	if !ok {
+		t.Fatal("RouteKey rejected a valid inline machine")
+	}
+	kN, ok := RouteKey(reqNamed)
+	if !ok {
+		t.Fatal("RouteKey rejected the named machine")
+	}
+	if kI != kN {
+		t.Fatalf("inline key %s != named key %s", kI, kN)
+	}
+	if want := cacheKeyFor(t, s, reqInline); kI != want {
+		t.Fatalf("RouteKey = %s, cache key = %s", kI, want)
+	}
+	if JobID("acme", reqInline) != JobID("acme", reqNamed) {
+		t.Fatal("inline and named submissions produce distinct job ids")
+	}
+
+	// Unroutable inline requests fall back deterministically.
+	for _, req := range []*CompileRequest{
+		{Source: daxpySource, MachineSource: "resource R\n"},
+		{Source: daxpySource, Machine: "tiny", MachineSource: inline},
+	} {
+		if _, ok := RouteKey(req); ok {
+			t.Errorf("RouteKey accepted %+v", req)
+		}
+		if len(FallbackKey(req)) != 64 {
+			t.Errorf("FallbackKey malformed for %+v", req)
+		}
+	}
+}
+
+// TestJobsInlineMachine: the async path accepts an inline machine and
+// the job's outcome is byte-identical to the synchronous compile of the
+// same request — the journal round-trips machine_source faithfully.
+func TestJobsInlineMachine(t *testing.T) {
+	_, ts := newJobsServer(t, Config{}, JobsConfig{Workers: 1})
+	req := CompileRequest{Source: daxpySource, MachineSource: machine.PrintMachine(machine.Tiny())}
+
+	status, st, _ := submitJob(t, ts.URL, JobSubmitRequest{Tenant: "t1", Request: req})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	fin := waitJob(t, ts.URL, st.ID)
+	if fin.State != jobs.StateDone {
+		t.Fatalf("state %q, want done (outcome %s)", fin.State, fin.Outcome)
+	}
+	jobStatus, jobResult, _ := outcomeParts(t, fin.Outcome)
+
+	syncStatus, syncBody, _ := postJSONBody(t, ts.URL+"/compile", req)
+	syncBody = bytes.TrimSuffix(syncBody, []byte("\n"))
+	if jobStatus != syncStatus {
+		t.Fatalf("job outcome status %d, /compile %d", jobStatus, syncStatus)
+	}
+	if !bytes.Equal(jobResult, syncBody) {
+		t.Fatalf("result bytes differ:\njob:  %s\nsync: %s", jobResult, syncBody)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"modsched/internal/looplang"
+	"modsched/internal/machine"
 	"modsched/internal/schedcache"
 )
 
@@ -128,6 +129,9 @@ func TestRouteKeyMatchesCacheKey(t *testing.T) {
 		// Workers must not fragment routing, exactly as it does not
 		// fragment the cache.
 		{Source: daxpySource, Options: &OptionsSpec{Workers: 7}},
+		// Inline machines route by parsed fingerprint, through the same
+		// machineFor path the cache key uses.
+		{Source: daxpySource, MachineSource: machine.PrintMachine(machine.Tiny())},
 	} {
 		key, ok := RouteKey(&req)
 		if !ok {
@@ -160,7 +164,7 @@ func TestRouteKeyMatchesCacheKey(t *testing.T) {
 // option building the serving path performs.
 func cacheKeyFor(t *testing.T, s *Server, req *CompileRequest) string {
 	t.Helper()
-	m, errResp := s.machineFor(req.Machine)
+	m, errResp := s.machineFor(req)
 	if errResp != nil {
 		t.Fatal(errResp.Error)
 	}

@@ -48,16 +48,35 @@ var routeParseMachines = sync.OnceValue(func() map[string]*machine.Machine {
 // identically on every replica, so the caller routes them by FallbackKey
 // instead.
 func RouteKey(req *CompileRequest) (key string, ok bool) {
-	fps := routeMachines()
-	fp, ok := fps[req.Machine]
-	if !ok {
-		return "", false
+	var fp [sha256.Size]byte
+	var m *machine.Machine
+	if req.MachineSource != "" {
+		if req.Machine != "" {
+			return "", false // mutually exclusive; fails identically everywhere
+		}
+		// Inline machines route by their parsed fingerprint, so a custom
+		// machine shipped inline and the same machine known locally hash
+		// to the same replica and share its schedcache entries. The parse
+		// goes through the process-wide memo, so a front routing a hot
+		// custom machine parses it once, not per request.
+		im, err := inlineMachine(req.MachineSource)
+		if err != nil {
+			return "", false
+		}
+		m, fp = im, im.FingerprintDigest()
+	} else {
+		fps := routeMachines()
+		var known bool
+		fp, known = fps[req.Machine]
+		if !known {
+			return "", false
+		}
+		m = routeParseMachines()[req.Machine]
 	}
 	opts, errResp := buildOptions(req.Options)
 	if errResp != nil {
 		return "", false
 	}
-	m := routeParseMachines()[req.Machine]
 	loop, err := looplang.Parse(req.Source, m)
 	if err != nil {
 		return "", false
@@ -93,6 +112,8 @@ func JobID(tenantName string, req *CompileRequest) string {
 func FallbackKey(req *CompileRequest) string {
 	h := sha256.New()
 	h.Write([]byte(req.Machine))
+	h.Write([]byte{0})
+	h.Write([]byte(req.MachineSource))
 	h.Write([]byte{0})
 	h.Write([]byte(req.Source))
 	if o := req.Options; o != nil {

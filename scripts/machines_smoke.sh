@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the machine zoo (docs/machines.md): run the
+# cross-machine experiment matrix on two zoo machines and require the
+# report to be byte-identical across worker counts, then compile a loop
+# against a machlang file both locally and through mschedd (which
+# receives the machine inline as machine_source) and require identical
+# output. CI runs this on every push; it is also runnable by hand from
+# the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/msched" ./cmd/msched
+go build -o "$workdir/mschedd" ./cmd/mschedd
+go build -o "$workdir/experiments" ./cmd/experiments
+
+echo "== matrix on two zoo machines, byte-identical across workers"
+matrix="testdata/machines/single_issue.mach,testdata/machines/superscalar4.mach"
+"$workdir/experiments" -matrix "$matrix" -n 25 -workers 1 >"$workdir/matrix.w1"
+"$workdir/experiments" -matrix "$matrix" -n 25 -workers 4 >"$workdir/matrix.w4"
+diff -u "$workdir/matrix.w1" "$workdir/matrix.w4"
+grep -q "single_issue" "$workdir/matrix.w1"
+grep -q "superscalar4" "$workdir/matrix.w1"
+grep -q "II=MII" "$workdir/matrix.w1"
+
+echo "== start daemon"
+"$workdir/mschedd" -addr 127.0.0.1:0 >"$workdir/daemon.out" 2>"$workdir/daemon.err" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^mschedd: listening on //p' "$workdir/daemon.out")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "daemon never announced its address" >&2
+  cat "$workdir/daemon.err" >&2
+  exit 1
+fi
+echo "   listening on $addr"
+
+loops=(testdata/regressions/*.loop)
+for mach in testdata/machines/simd64.mach testdata/machines/cgra4x4.mach; do
+  echo "== $mach: local vs served (inline machine_source) must be byte-identical"
+  "$workdir/msched" -besteffort -machine "$mach" "${loops[@]}" \
+    >"$workdir/local.out" 2>"$workdir/local.err"
+  "$workdir/msched" -besteffort -machine "$mach" -server "$addr" "${loops[@]}" \
+    >"$workdir/served.out" 2>"$workdir/served.err"
+  diff -u "$workdir/local.out" "$workdir/served.out"
+  diff -u "$workdir/local.err" "$workdir/served.err"
+done
+
+echo "== malformed inline machine is a 422 parse error"
+code="$(curl -s -o "$workdir/err.json" -w '%{http_code}' \
+  -X POST "http://$addr/compile" \
+  -H 'Content-Type: application/json' \
+  -d '{"source":"loop l\nbrtop\n","machine_source":"resource R\n"}')"
+if [ "$code" != "422" ]; then
+  echo "malformed machine_source returned $code, want 422" >&2
+  cat "$workdir/err.json" >&2
+  exit 1
+fi
+grep -q '"kind":"parse"' "$workdir/err.json"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+
+echo "machines smoke: OK"
